@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean outputs
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+experiments:
+	dune exec bench/main.exe -- --no-micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/master_worker.exe
+	dune exec examples/stencil.exe
+	dune exec examples/histogram.exe
+	dune exec examples/reduction.exe
+	dune exec examples/mpi_windows.exe
+	dune exec examples/load_balance.exe
+
+# The capture used by EXPERIMENTS.md / the release checklist.
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
