@@ -1,0 +1,284 @@
+(* The benchmark harness: regenerates every figure and quantitative claim
+   of the paper (sections E1-E17, simulated time — deterministic), then
+   runs Bechamel wall-clock micro-benchmarks of the implementation's hot
+   paths.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --list       # list experiments
+     dune exec bench/main.exe -- --only E7    # one experiment section
+     dune exec bench/main.exe -- --micro-only # only the Bechamel benches
+     dune exec bench/main.exe -- --no-micro   # only the E-sections *)
+
+open Bechamel
+open Toolkit
+module Registry = Dsm_experiments.Registry
+module Harness = Dsm_experiments.Harness
+
+(* ---------- micro-benchmark subjects ---------- *)
+
+let vc_pair n seed =
+  let g = Dsm_sim.Prng.create ~seed in
+  let mk () =
+    Dsm_clocks.Vector_clock.of_array
+      (Array.init n (fun _ -> Dsm_sim.Prng.int g 64))
+  in
+  (mk (), mk ())
+
+let bench_vc_compare n =
+  let a, b = vc_pair n 1 in
+  Test.make
+    ~name:(Printf.sprintf "vc_compare_n%d" n)
+    (Staged.stage (fun () -> ignore (Dsm_clocks.Vector_clock.compare a b)))
+
+let bench_vc_merge n =
+  let a, b = vc_pair n 2 in
+  Test.make
+    ~name:(Printf.sprintf "vc_merge_n%d" n)
+    (Staged.stage (fun () -> ignore (Dsm_clocks.Vector_clock.merge a b)))
+
+let bench_codec n =
+  let a, _ = vc_pair n 3 in
+  Test.make
+    ~name:(Printf.sprintf "vc_codec_roundtrip_n%d" n)
+    (Staged.stage (fun () ->
+         ignore
+           (Dsm_clocks.Codec.decode_vector (Dsm_clocks.Codec.encode_vector a))))
+
+let bench_matrix_observe n =
+  let a = Dsm_clocks.Matrix_clock.create ~n ~me:0 in
+  let b = Dsm_clocks.Matrix_clock.create ~n ~me:1 in
+  Dsm_clocks.Matrix_clock.tick b;
+  Test.make
+    ~name:(Printf.sprintf "matrix_observe_n%d" n)
+    (Staged.stage (fun () -> Dsm_clocks.Matrix_clock.observe a b))
+
+let bench_heap =
+  Test.make ~name:"heap_push_pop_1k"
+    (Staged.stage (fun () ->
+         let h = Dsm_sim.Heap.create () in
+         let g = Dsm_sim.Prng.create ~seed:5 in
+         for i = 0 to 999 do
+           Dsm_sim.Heap.add h ~time:(Dsm_sim.Prng.float g 100.) ~seq:i i
+         done;
+         let rec drain () =
+           match Dsm_sim.Heap.pop h with Some _ -> drain () | None -> ()
+         in
+         drain ()))
+
+let bench_engine_events =
+  Test.make ~name:"engine_1k_events"
+    (Staged.stage (fun () ->
+         let sim = Dsm_sim.Engine.create () in
+         Dsm_sim.Engine.spawn sim (fun () ->
+             for _ = 1 to 1000 do
+               Dsm_sim.Engine.sleep sim 1.0
+             done);
+         ignore (Dsm_sim.Engine.run sim)))
+
+(* End-to-end cost of checked operations: a fresh 4-node machine running
+   16 checked puts, per transport. Wall-clock per sample covers the full
+   simulation stack (locks, messages, clocks, report). *)
+let bench_checked_ops name transport =
+  Test.make
+    ~name:(Printf.sprintf "checked_16_puts_%s" name)
+    (Staged.stage (fun () ->
+         let m = Harness.fresh_machine ~n:4 () in
+         let d =
+           Dsm_core.Detector.create m
+             ~config:
+               { Dsm_core.Config.default with Dsm_core.Config.transport }
+             ()
+         in
+         let a = Dsm_core.Detector.alloc_shared d ~pid:3 ~name:"a" ~len:1 () in
+         for pid = 0 to 1 do
+           Dsm_rdma.Machine.spawn m ~pid (fun p ->
+               let buf = Dsm_rdma.Machine.alloc_private m ~pid ~len:1 () in
+               for _ = 1 to 8 do
+                 Dsm_core.Detector.put d p ~src:buf ~dst:a
+               done)
+         done;
+         Harness.run_to_completion m))
+
+let bench_plain_ops =
+  Test.make ~name:"plain_16_puts"
+    (Staged.stage (fun () ->
+         let m = Harness.fresh_machine ~n:4 () in
+         let a = Dsm_rdma.Machine.alloc_public m ~pid:3 ~len:1 () in
+         for pid = 0 to 1 do
+           Dsm_rdma.Machine.spawn m ~pid (fun p ->
+               let buf = Dsm_rdma.Machine.alloc_private m ~pid ~len:1 () in
+               for _ = 1 to 8 do
+                 Dsm_rdma.Machine.put p ~src:buf ~dst:a ()
+               done)
+         done;
+         Harness.run_to_completion m))
+
+let sample_trace () =
+  let r = Dsm_trace.Recorder.create ~n:4 () in
+  let g = Dsm_sim.Prng.create ~seed:7 in
+  for i = 0 to 199 do
+    ignore
+      (Dsm_trace.Recorder.access r ~time:(float_of_int i)
+         ~pid:(Dsm_sim.Prng.int g 4)
+         ~kind:
+           (if Dsm_sim.Prng.bool g then Dsm_trace.Event.Write
+            else Dsm_trace.Event.Read)
+         ~target:
+           (Dsm_memory.Addr.region
+              ~pid:(Dsm_sim.Prng.int g 4)
+              ~space:Dsm_memory.Addr.Public
+              ~offset:(Dsm_sim.Prng.int g 16)
+              ~len:(1 + Dsm_sim.Prng.int g 4))
+         ())
+  done;
+  r
+
+let bench_trace_races =
+  Test.make ~name:"trace_hb_races_200ev"
+    (Staged.stage (fun () ->
+         let t = Dsm_trace.Recorder.finish (sample_trace ()) in
+         ignore (Dsm_trace.Trace.races t)))
+
+let bench_lockset =
+  let t = Dsm_trace.Recorder.finish (sample_trace ()) in
+  Test.make ~name:"lockset_200ev"
+    (Staged.stage (fun () -> ignore (Dsm_baselines.Lockset.analyze t)))
+
+let bench_barrier n =
+  Test.make
+    ~name:(Printf.sprintf "barrier_round_n%d" n)
+    (Staged.stage (fun () ->
+         let m = Harness.fresh_machine ~n () in
+         let env = Dsm_pgas.Env.plain m in
+         let c = Dsm_pgas.Collectives.create env in
+         Dsm_rdma.Machine.spawn_all m (fun p ->
+             for _ = 1 to 4 do
+               Dsm_pgas.Collectives.barrier c p
+             done);
+         Harness.run_to_completion m))
+
+let bench_svm_fault_path =
+  Test.make ~name:"svm_read_fault"
+    (Staged.stage (fun () ->
+         let m = Harness.fresh_machine ~n:2 () in
+         let svm = Dsm_svm.Svm.create m ~page_words:16 ~num_pages:1 () in
+         Dsm_rdma.Machine.spawn m ~pid:1 (fun p ->
+             ignore (Dsm_svm.Svm.load svm p ~addr:0));
+         Harness.run_to_completion m))
+
+let bench_window_fence =
+  Test.make ~name:"mpiwin_fence_exchange"
+    (Staged.stage (fun () ->
+         let m = Harness.fresh_machine ~n:4 () in
+         let env = Dsm_pgas.Env.plain m in
+         let c = Dsm_pgas.Collectives.create env in
+         let w =
+           Dsm_mpiwin.Window.create env ~collectives:c ~name:"w"
+             ~len_per_rank:1
+         in
+         Dsm_rdma.Machine.spawn_all m (fun p ->
+             let pid = Dsm_rdma.Machine.pid p in
+             Dsm_mpiwin.Window.fence w p;
+             Dsm_mpiwin.Window.put w p ~rank:((pid + 1) mod 4) ~offset:0 pid;
+             Dsm_mpiwin.Window.fence w p);
+         Harness.run_to_completion m))
+
+let bench_task_pool =
+  Test.make ~name:"task_pool_16_tasks"
+    (Staged.stage (fun () ->
+         let m = Harness.fresh_machine ~n:4 () in
+         let env = Dsm_pgas.Env.plain m in
+         let c = Dsm_pgas.Collectives.create env in
+         let pool =
+           Dsm_pgas.Task_pool.create env ~collectives:c ~name:"pool"
+             ~capacity_per_node:16
+         in
+         Dsm_pgas.Task_pool.seed_tasks pool ~pid:0 (List.init 16 (fun i -> i));
+         Dsm_rdma.Machine.spawn_all m (fun p ->
+             Dsm_pgas.Task_pool.run_worker pool p ~work:(fun _ -> ()));
+         Harness.run_to_completion m))
+
+let micro_tests =
+  Test.make_grouped ~name:"dsmcheck"
+    [
+      bench_vc_compare 4;
+      bench_vc_compare 16;
+      bench_vc_compare 64;
+      bench_vc_merge 16;
+      bench_codec 16;
+      bench_matrix_observe 16;
+      bench_heap;
+      bench_engine_events;
+      bench_plain_ops;
+      bench_checked_ops "inline" Dsm_core.Config.Inline;
+      bench_checked_ops "piggyback" Dsm_core.Config.Piggyback_txn;
+      bench_checked_ops "explicit" Dsm_core.Config.Explicit_txn;
+      bench_trace_races;
+      bench_lockset;
+      bench_barrier 4;
+      bench_barrier 16;
+      bench_svm_fault_path;
+      bench_window_fence;
+      bench_task_pool;
+    ]
+
+let run_micro () =
+  print_newline ();
+  print_endline "=== Micro-benchmarks (wall clock, Bechamel OLS ns/run) ===";
+  print_newline ();
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Dsm_stats.Table.create ~headers:[ "benchmark"; "ns/run"; "r^2" ]
+  in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      let estimate =
+        match Analyze.OLS.estimates v with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square v with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Dsm_stats.Table.add_row table [ name; estimate; r2 ])
+    (List.sort compare rows);
+  Dsm_stats.Table.print table
+
+(* ---------- driver ---------- *)
+
+let () =
+  let ppf = Format.std_formatter in
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+      List.iter
+        (fun e ->
+          Format.printf "%-4s %s@." e.Harness.id e.Harness.paper_artifact)
+        Registry.all
+  | [ "--only"; id ] -> (
+      match Registry.run_only ppf id with
+      | Ok () -> ()
+      | Error msg ->
+          prerr_endline msg;
+          exit 1)
+  | [ "--micro-only" ] -> run_micro ()
+  | [ "--no-micro" ] -> Registry.run_all ppf
+  | [] ->
+      Registry.run_all ppf;
+      run_micro ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [--list | --only E<k> | --micro-only | --no-micro]";
+      exit 1

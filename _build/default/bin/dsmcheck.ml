@@ -1,0 +1,374 @@
+(* dsmcheck: command-line driver for the DSM race-detection reproduction.
+
+   Subcommands:
+     dsmcheck list                      list the paper experiments
+     dsmcheck experiment E5             replay one experiment (or "all")
+     dsmcheck workload random ...       run a workload under the detector
+*)
+
+open Cmdliner
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Report = Dsm_core.Report
+module Env = Dsm_pgas.Env
+module Collectives = Dsm_pgas.Collectives
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let doc = "List the experiments (E1..E10 reproduce the paper; E11+ are extensions)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %s@." e.Dsm_experiments.Harness.id
+          e.Dsm_experiments.Harness.paper_artifact)
+      Dsm_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd =
+  let doc = "Replay one experiment section, or $(b,all) of them." in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (E1..E17) or 'all'.")
+  in
+  let run id =
+    let ppf = Format.std_formatter in
+    if String.lowercase_ascii id = "all" then begin
+      Dsm_experiments.Registry.run_all ppf;
+      `Ok ()
+    end
+    else
+      match Dsm_experiments.Registry.run_only ppf id with
+      | Ok () -> `Ok ()
+      | Error msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id))
+
+(* ---------- workload ---------- *)
+
+type which = Random | Master_worker | Stencil | Pipeline | Locked_counter
+
+let which_conv =
+  let parse = function
+    | "random" -> Ok Random
+    | "master-worker" -> Ok Master_worker
+    | "stencil" -> Ok Stencil
+    | "pipeline" -> Ok Pipeline
+    | "locked-counter" -> Ok Locked_counter
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print ppf = function
+    | Random -> Format.pp_print_string ppf "random"
+    | Master_worker -> Format.pp_print_string ppf "master-worker"
+    | Stencil -> Format.pp_print_string ppf "stencil"
+    | Pipeline -> Format.pp_print_string ppf "pipeline"
+    | Locked_counter -> Format.pp_print_string ppf "locked-counter"
+  in
+  Arg.conv (parse, print)
+
+let run_workload which n seed ops racy detect coherence verbose explain dot_file csv_file report_csv =
+  setup_logs verbose;
+  if n < 2 then `Error (false, "need at least 2 processes")
+  else begin
+    let sim = Dsm_sim.Engine.create ~seed ()
+    in
+    let machine = Machine.create sim ~n () in
+    let checker =
+      if coherence then Some (Dsm_rdma.Coherence.attach machine) else None
+    in
+    let config =
+      {
+        Config.default with
+        Config.record_trace = dot_file <> None || csv_file <> None || explain;
+        granularity = Config.Word;
+      }
+    in
+    let detector =
+      if detect then Some (Detector.create machine ~config ~verbose ())
+      else None
+    in
+    let env =
+      match detector with
+      | Some d -> Env.checked d
+      | None -> Env.plain machine
+    in
+    let collectives = Collectives.create env in
+    (match which with
+    | Random ->
+        Dsm_workload.Random_access.setup env ~collectives
+          { Dsm_workload.Random_access.default with ops_per_proc = ops; seed }
+    | Master_worker ->
+        Dsm_workload.Master_worker.setup env ~collectives
+          { Dsm_workload.Master_worker.default with tasks_per_worker = ops; racy; seed }
+    | Stencil ->
+        ignore
+          (Dsm_workload.Stencil.setup env ~collectives
+             { Dsm_workload.Stencil.default with iterations = ops; seed })
+    | Pipeline ->
+        Dsm_workload.Pipeline.setup env
+          { Dsm_workload.Pipeline.default with batches = ops; seed }
+    | Locked_counter ->
+        Dsm_workload.Locked_counter.setup env
+          { Dsm_workload.Locked_counter.default with
+            increments_per_proc = ops; seed });
+    (match Machine.run machine with
+    | Dsm_sim.Engine.Completed -> ()
+    | _ -> prerr_endline "warning: simulation did not complete");
+    Format.printf "simulated time : %.2f us@." (Dsm_sim.Engine.now sim);
+    (match checker with
+    | None -> ()
+    | Some ch ->
+        Format.printf "coherence      : %d words checked, %d violation(s)@."
+          (Dsm_rdma.Coherence.checked_words ch)
+          (List.length (Dsm_rdma.Coherence.violations ch));
+        List.iter
+          (fun v ->
+            Format.printf "  %a@." Dsm_rdma.Coherence.pp_violation v)
+          (Dsm_rdma.Coherence.violations ch));
+    Format.printf "messages       : %d (%d words)@."
+      (Machine.fabric_messages machine)
+      (Machine.fabric_words machine);
+    (match detector with
+    | None -> Format.printf "detection      : off@."
+    | Some d ->
+        Format.printf "checked ops    : %d@." (Detector.checked_ops d);
+        Format.printf "@[<v>%a@]@." Report.pp_grouped (Detector.report d);
+        (match report_csv with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Report.to_csv (Detector.report d));
+            close_out oc;
+            Format.printf "signals csv    : %s@." path
+        | None -> ());
+        if verbose then
+          Format.printf "@[<v>%a@]@." Report.pp_summary (Detector.report d);
+        (match Detector.trace d with
+        | Some trace ->
+            if explain then begin
+              (* Pair each signalled access with one ground-truth race it
+                 belongs to and show why the accesses are unordered. *)
+              let flagged = Report.flagged_event_ids (Detector.report d) in
+              let shown = Hashtbl.create 8 in
+              List.iter
+                (fun { Dsm_trace.Trace.first; second } ->
+                  if
+                    Hashtbl.mem flagged second.Dsm_trace.Event.id
+                    && not (Hashtbl.mem shown second.Dsm_trace.Event.id)
+                  then begin
+                    Hashtbl.add shown second.Dsm_trace.Event.id ();
+                    Format.printf "@.%s"
+                      (Dsm_trace.Trace.explain trace
+                         ~first:first.Dsm_trace.Event.id
+                         ~second:second.Dsm_trace.Event.id)
+                  end)
+                (Dsm_trace.Trace.races trace)
+            end;
+            Format.printf "trace          : %a@." Dsm_trace.Export.pp_summary
+              (Dsm_trace.Export.summary trace);
+            (match dot_file with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Dsm_trace.Trace.to_dot trace);
+                close_out oc;
+                Format.printf "trace graph    : %s@." path
+            | None -> ());
+            (match csv_file with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Dsm_trace.Export.to_csv trace);
+                close_out oc;
+                Format.printf "trace csv      : %s@." path
+            | None -> ())
+        | None -> ()));
+    `Ok ()
+  end
+
+let workload_cmd =
+  let doc = "Run a workload on the simulated DSM machine." in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some which_conv) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "random, master-worker, stencil, pipeline, or locked-counter.")
+  in
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let ops =
+    Arg.(
+      value & opt int 20
+      & info [ "ops" ] ~doc:"Ops per process / tasks / iterations.")
+  in
+  let racy =
+    Arg.(value & flag & info [ "racy" ] ~doc:"Racy master-worker variant.")
+  in
+  let detect =
+    Arg.(
+      value & opt bool true
+      & info [ "detect" ] ~doc:"Enable the race detector.")
+  in
+  let coherence =
+    Arg.(
+      value & flag
+      & info [ "coherence" ] ~doc:"Attach the memory-coherence checker.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print signals live.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"For each signal, print why the pair is unordered (Lemma 1).")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dot" ] ~docv:"FILE" ~doc:"Write the HB graph as DOT.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"FILE" ~doc:"Write the event trace as CSV.")
+  in
+  let report_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "signals-csv" ] ~docv:"FILE"
+          ~doc:"Write the race signals as CSV.")
+  in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      ret
+        (const run_workload $ which $ n $ seed $ ops $ racy $ detect
+       $ coherence $ verbose $ explain $ dot $ csv $ report_csv))
+
+(* ---------- run (mini-language programs) ---------- *)
+
+let run_program path n instrument detect verbose =
+  setup_logs verbose;
+  let source =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  match Dsm_lang.Parser.parse source with
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  | Ok prog -> (
+      match Dsm_lang.Compile.lower ~instrument prog with
+      | Error msg -> `Error (false, msg)
+      | Ok ir ->
+          let sim = Dsm_sim.Engine.create () in
+          let machine = Machine.create sim ~n () in
+          let detector =
+            if detect then Some (Detector.create machine ~verbose ())
+            else None
+          in
+          let rt = Dsm_lang.Exec.setup machine ?detector ir in
+          (match Machine.run machine with
+          | Dsm_sim.Engine.Completed -> ()
+          | _ -> prerr_endline "warning: simulation did not complete");
+          Format.printf "wrappers       : %d checked / %d raw accesses@."
+            (Dsm_lang.Ir.checked_accesses ir)
+            (Dsm_lang.Ir.raw_accesses ir);
+          Format.printf "simulated time : %.2f us@." (Dsm_sim.Engine.now sim);
+          List.iter
+            (fun (d : Dsm_lang.Ast.shared_decl) ->
+              let contents = Dsm_lang.Exec.array_contents rt d.name in
+              Format.printf "%-14s : [%s]@." d.name
+                (String.concat " "
+                   (Array.to_list (Array.map string_of_int contents))))
+            prog.Dsm_lang.Ast.shared;
+          (match detector with
+          | None -> ()
+          | Some d ->
+              Format.printf "@[<v>%a@]@." Report.pp_grouped
+                (Detector.report d));
+          `Ok ())
+
+let run_cmd =
+  let doc = "Compile and run a mini-language program (see programs/*.dsm)." in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program source file.")
+  in
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let instrument =
+    Arg.(
+      value & opt bool true
+      & info [ "instrument" ]
+          ~doc:"Let the pre-compiler insert detection wrappers (§5.2).")
+  in
+  let detect =
+    Arg.(
+      value & opt bool true
+      & info [ "detect" ] ~doc:"Attach the race detector.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print signals live.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run_program $ path $ n $ instrument $ detect $ verbose))
+
+(* ---------- scenario ---------- *)
+
+let scenario_cmd =
+  let doc = "Replay one of the paper's figures (fig1..fig5)." in
+  let figure =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE" ~doc:"fig1, fig2, fig3, fig4, or fig5.")
+  in
+  let run figure =
+    let experiment_of = function
+      | "fig1" -> Some "E1"
+      | "fig2" -> Some "E2"
+      | "fig3" -> Some "E3"
+      | "fig4" -> Some "E4"
+      | "fig5" | "fig5a" | "fig5b" | "fig5c" -> Some "E5"
+      | _ -> None
+    in
+    match experiment_of (String.lowercase_ascii figure) with
+    | None -> `Error (false, Printf.sprintf "unknown figure %S" figure)
+    | Some id -> (
+        match
+          Dsm_experiments.Registry.run_only Format.std_formatter id
+        with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg))
+  in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(ret (const run $ figure))
+
+let main =
+  let doc =
+    "Coherent distributed memory with race-condition detection (Butelle & \
+     Coti, IPPS 2011)"
+  in
+  Cmd.group
+    (Cmd.info "dsmcheck" ~version:"1.0.0" ~doc)
+    [ list_cmd; experiment_cmd; scenario_cmd; workload_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/histogram.ml: Addr Array Dsm_core Dsm_memory Dsm_rdma Dsm_sim Engine Format Node_memory Printf Prng String

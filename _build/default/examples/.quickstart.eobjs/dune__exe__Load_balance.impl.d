@@ -1,0 +1,1 @@
+examples/load_balance.ml: Array Collectives Dsm_core Dsm_pgas Dsm_rdma Dsm_sim Engine Env Format List Prng String Task_pool

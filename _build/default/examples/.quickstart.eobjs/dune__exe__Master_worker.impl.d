@@ -1,0 +1,1 @@
+examples/master_worker.ml: Collectives Dsm_core Dsm_pgas Dsm_rdma Dsm_sim Dsm_workload Engine Env Format List Master_worker

@@ -1,0 +1,1 @@
+examples/mpi_windows.ml: Collectives Dsm_core Dsm_mpiwin Dsm_pgas Dsm_rdma Dsm_sim Engine Env Format List Window

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Detector Dsm_core Dsm_memory Dsm_net Dsm_rdma Dsm_sim Dsm_trace Engine Format Hashtbl List Node_memory Report

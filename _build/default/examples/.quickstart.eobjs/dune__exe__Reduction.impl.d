@@ -1,0 +1,1 @@
+examples/reduction.ml: Collectives Dsm_core Dsm_pgas Dsm_rdma Dsm_sim Engine Env Format List Shared_array

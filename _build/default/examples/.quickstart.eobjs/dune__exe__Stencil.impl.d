@@ -1,0 +1,1 @@
+examples/stencil.ml: Array Collectives Dsm_core Dsm_pgas Dsm_rdma Dsm_sim Dsm_workload Engine Env Format Shared_array Stencil String

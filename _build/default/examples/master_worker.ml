@@ -1,0 +1,47 @@
+(* The paper's §4.4 example: master/worker with an intentional race.
+
+   Workers push results to the master with one-sided puts. In the racy
+   variant they all write the same cell — the race the paper says must be
+   signaled but not aborted — and updates are lost. In the clean variant
+   each worker owns a slot and a barrier orders the master's reads:
+   nothing is flagged and nothing is lost.
+
+   Run with: dune exec examples/master_worker.exe *)
+
+open Dsm_sim
+open Dsm_pgas
+open Dsm_workload
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Report = Dsm_core.Report
+
+let run ~racy =
+  let sim = Engine.create () in
+  let machine = Machine.create sim ~n:4 () in
+  let detector = Detector.create machine () in
+  let env = Env.checked detector in
+  let collectives = Collectives.create env in
+  Master_worker.setup env ~collectives
+    { Master_worker.default with racy; tasks_per_worker = 6 };
+  (match Machine.run machine with
+  | Engine.Completed -> ()
+  | _ -> prerr_endline "warning: simulation did not complete");
+  (Master_worker.master_total env, Report.count (Detector.report detector),
+   Detector.report detector)
+
+let () =
+  Format.printf "--- Master/worker (3 workers x 6 tasks) ---@.@.";
+  let racy_total, racy_races, report = run ~racy:true in
+  Format.printf
+    "racy variant : master counted %2d results (18 produced) — %d race signal(s)@."
+    racy_total racy_races;
+  let clean_total, clean_races, _ = run ~racy:false in
+  Format.printf
+    "clean variant: master counted %2d results (18 produced) — %d race signal(s)@.@."
+    clean_total clean_races;
+  Format.printf "First racy signals:@.";
+  List.iteri
+    (fun i r -> if i < 3 then Format.printf "  %a@." Report.pp_race r)
+    (Report.races report);
+  Format.printf
+    "@.The shared result cell loses updates exactly where the detector points.@."

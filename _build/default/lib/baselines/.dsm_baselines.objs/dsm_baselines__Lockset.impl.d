@@ -1,0 +1,1 @@
+lib/baselines/lockset.ml: Array Dsm_trace Event Hashtbl List Set String Trace

@@ -1,0 +1,1 @@
+lib/baselines/scoring.ml: Addr Dsm_core Dsm_memory Dsm_trace Format Hashtbl List

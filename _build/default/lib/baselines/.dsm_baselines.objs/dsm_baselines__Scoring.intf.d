@@ -1,0 +1,1 @@
+lib/baselines/scoring.mli: Dsm_core Dsm_trace Format

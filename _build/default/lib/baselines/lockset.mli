@@ -1,0 +1,32 @@
+(** Eraser-style lockset analysis (Savage et al. 1997), adapted to the DSM
+    trace vocabulary — the classic alternative the paper's related work
+    contrasts with happens-before detection.
+
+    The analysis enforces a {e locking discipline}: every shared word must
+    be consistently protected by at least one common lock. It walks the
+    trace once, tracking the locks each process holds, and runs the
+    per-word state machine
+
+    {v Virgin -> Exclusive(p) -> Shared -> Shared_modified v}
+
+    intersecting the candidate lockset at each access once a second
+    process is involved. A word is reported when its candidate set empties
+    while in a write-involved state.
+
+    On lock-free one-sided programs — the paper's target — lockset flags
+    {e every} shared word touched by two processes with a write, whether
+    or not the accesses are causally ordered through data or barriers:
+    the precision gap E9 measures. *)
+
+type verdict = {
+  word : int * int;  (** (owner node, word offset) in public memory *)
+  first_violation : int;
+      (** id of the access event at which the candidate set emptied *)
+}
+
+val analyze : Dsm_trace.Trace.t -> verdict list
+(** Verdicts in first-violation order, one per word at most. *)
+
+val racy_words : Dsm_trace.Trace.t -> (int * int) list
+(** Just the words, sorted — comparable with ground truth and with the
+    detector's flags (see {!Scoring}). *)

@@ -1,0 +1,1 @@
+lib/clocks/codec.ml: Array Buffer Bytes Char List Matrix_clock Vector_clock

@@ -1,0 +1,1 @@
+lib/clocks/codec.mli: Matrix_clock Vector_clock

@@ -1,0 +1,1 @@
+lib/clocks/order.ml: Format

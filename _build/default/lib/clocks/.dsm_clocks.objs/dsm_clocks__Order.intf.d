@@ -1,0 +1,1 @@
+lib/clocks/order.mli: Format

@@ -1,0 +1,116 @@
+type wire = int array
+
+let word_bytes = 8
+
+let bytes_of_words w = w * word_bytes
+
+let encode_vector v =
+  let a = Vector_clock.to_array v in
+  let n = Array.length a in
+  Array.init (n + 1) (fun i -> if i = 0 then n else a.(i - 1))
+
+let decode_vector w =
+  if Array.length w = 0 then invalid_arg "Codec.decode_vector: empty buffer";
+  let n = w.(0) in
+  if n <= 0 || Array.length w <> n + 1 then
+    invalid_arg "Codec.decode_vector: malformed buffer";
+  Vector_clock.of_array (Array.sub w 1 n)
+
+let encode_matrix m =
+  let n = Matrix_clock.dim m in
+  let w = Array.make ((n * n) + 2) 0 in
+  w.(0) <- n;
+  w.(1) <- Matrix_clock.owner m;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      w.(2 + (i * n) + j) <- Matrix_clock.entry m i j
+    done
+  done;
+  w
+
+let decode_matrix w =
+  if Array.length w < 2 then invalid_arg "Codec.decode_matrix: empty buffer";
+  let n = w.(0) and me = w.(1) in
+  if n <= 0 || me < 0 || me >= n || Array.length w <> (n * n) + 2 then
+    invalid_arg "Codec.decode_matrix: malformed buffer";
+  let rows =
+    Array.init n (fun i -> Array.init n (fun j -> w.(2 + (i * n) + j)))
+  in
+  Matrix_clock.of_rows ~me rows
+
+let varint_add buf x =
+  let rec go x =
+    if x < 0x80 then Buffer.add_char buf (Char.chr x)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (x land 0x7f)));
+      go (x lsr 7)
+    end
+  in
+  if x < 0 then invalid_arg "Codec.varint: negative" else go x
+
+let varint_read b pos =
+  let len = Bytes.length b in
+  let rec go pos shift acc =
+    if pos >= len then invalid_arg "Codec.decode_vector_varint: truncated";
+    let c = Char.code (Bytes.get b pos) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let encode_vector_varint v =
+  let buf = Buffer.create 16 in
+  varint_add buf (Vector_clock.dim v);
+  Array.iter (varint_add buf) (Vector_clock.to_array v);
+  Buffer.to_bytes buf
+
+let decode_vector_varint b =
+  let n, pos = varint_read b 0 in
+  if n <= 0 then invalid_arg "Codec.decode_vector_varint: bad dimension";
+  let a = Array.make n 0 in
+  let pos = ref pos in
+  for i = 0 to n - 1 do
+    let x, next = varint_read b !pos in
+    a.(i) <- x;
+    pos := next
+  done;
+  if !pos <> Bytes.length b then
+    invalid_arg "Codec.decode_vector_varint: trailing bytes";
+  Vector_clock.of_array a
+
+let encode_vector_delta ~since v =
+  if Vector_clock.dim since <> Vector_clock.dim v then
+    invalid_arg "Codec.encode_vector_delta: dimension mismatch";
+  let n = Vector_clock.dim v in
+  let diffs = ref [] and count = ref 0 in
+  for i = n - 1 downto 0 do
+    let x = Vector_clock.entry v i in
+    if x <> Vector_clock.entry since i then begin
+      diffs := (i, x) :: !diffs;
+      incr count
+    end
+  done;
+  let w = Array.make (2 + (2 * !count)) 0 in
+  w.(0) <- n;
+  w.(1) <- !count;
+  List.iteri
+    (fun k (i, x) ->
+      w.(2 + (2 * k)) <- i;
+      w.(3 + (2 * k)) <- x)
+    !diffs;
+  w
+
+let decode_vector_delta ~base w =
+  if Array.length w < 2 then invalid_arg "Codec.decode_vector_delta: empty";
+  let n = w.(0) and count = w.(1) in
+  if n <> Vector_clock.dim base || count < 0
+     || Array.length w <> 2 + (2 * count)
+  then invalid_arg "Codec.decode_vector_delta: malformed buffer";
+  let a = Vector_clock.to_array base in
+  for k = 0 to count - 1 do
+    let i = w.(2 + (2 * k)) and x = w.(3 + (2 * k)) in
+    if i < 0 || i >= n || x < 0 then
+      invalid_arg "Codec.decode_vector_delta: malformed entry";
+    a.(i) <- x
+  done;
+  Vector_clock.of_array a

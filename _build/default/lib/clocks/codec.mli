@@ -1,0 +1,57 @@
+(** Wire encodings for clocks.
+
+    The paper's §4.3 argues (after Charron-Bost) that clocks cannot shrink
+    below [n] entries. This module makes the cost concrete: it provides the
+    dense encodings used by the simulated NIC messages, plus a differential
+    encoding whose {e worst case} is still linear in [n] — the E6 experiment
+    measures both. The wire unit is the simulator's machine word. *)
+
+type wire = int array
+(** A flat word buffer as carried inside a simulated message. *)
+
+val word_bytes : int
+(** Bytes per simulated word (8: the model machine is 64-bit). *)
+
+val bytes_of_words : int -> int
+
+(** {1 Dense encodings} *)
+
+val encode_vector : Vector_clock.t -> wire
+(** [n + 1] words: dimension header then entries. *)
+
+val decode_vector : wire -> Vector_clock.t
+(** Inverse of {!encode_vector}. Raises [Invalid_argument] on a malformed
+    buffer. *)
+
+val encode_matrix : Matrix_clock.t -> wire
+(** [n*n + 2] words: dimension and owner headers then rows. *)
+
+val decode_matrix : wire -> Matrix_clock.t
+
+(** {1 Differential encoding}
+
+    [encode_vector_delta ~since v] ships only the entries of [v] that
+    differ from [since], as [(index, value)] pairs after a 2-word header.
+    When the receiver already holds [since] this is lossless and often
+    short; when every entry moved it degenerates to [2n + 2] words —
+    worse than dense, illustrating §4.3. *)
+
+val encode_vector_delta : since:Vector_clock.t -> Vector_clock.t -> wire
+
+val decode_vector_delta : base:Vector_clock.t -> wire -> Vector_clock.t
+(** [decode_vector_delta ~base w] reconstructs the encoded clock given the
+    [base] ([since]) the encoder used. Raises [Invalid_argument] if the
+    buffer is malformed or the dimensions disagree. *)
+
+(** {1 Byte-level varint encoding}
+
+    LEB128-style: each entry takes [ceil(bits/7)] bytes, so clocks with
+    small counters are compact at the {e byte} level — yet the encoding
+    still needs at least one byte {e per entry}, so §4.3's
+    linear-in-[n] bound survives even here. E6 tabulates it. *)
+
+val encode_vector_varint : Vector_clock.t -> bytes
+(** Varint dimension header followed by varint entries. *)
+
+val decode_vector_varint : bytes -> Vector_clock.t
+(** Raises [Invalid_argument] on malformed or truncated input. *)

@@ -1,0 +1,81 @@
+type t = int array
+
+let create ~n =
+  if n <= 0 then invalid_arg "Vector_clock.create: dimension must be positive";
+  Array.make n 0
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Vector_clock.of_array: empty";
+  Array.iter
+    (fun x -> if x < 0 then invalid_arg "Vector_clock.of_array: negative entry")
+    a;
+  Array.copy a
+
+let to_array = Array.copy
+
+let entry c i =
+  if i < 0 || i >= Array.length c then invalid_arg "Vector_clock.entry";
+  c.(i)
+
+let is_zero c = Array.for_all (fun x -> x = 0) c
+
+let tick c ~me =
+  if me < 0 || me >= Array.length c then invalid_arg "Vector_clock.tick";
+  c.(me) <- c.(me) + 1
+
+let check_dim a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vector_clock.%s: dimension mismatch" name)
+
+let merge_into ~into src =
+  check_dim into src "merge_into";
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let merge a b =
+  check_dim a b "merge";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+(* Algorithm 3: componentwise comparison, decided in a single pass by
+   tracking whether some component of [a] is below [b] and some above. *)
+let compare a b : Order.t =
+  check_dim a b "compare";
+  let some_lt = ref false and some_gt = ref false in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) < b.(i) then some_lt := true
+    else if a.(i) > b.(i) then some_gt := true
+  done;
+  match (!some_lt, !some_gt) with
+  | false, false -> Order.Equal
+  | true, false -> Order.Before
+  | false, true -> Order.After
+  | true, true -> Order.Concurrent
+
+let leq a b =
+  match compare a b with
+  | Order.Equal | Order.Before -> true
+  | Order.After | Order.Concurrent -> false
+
+let concurrent a b = Order.concurrent (compare a b)
+
+let equal a b = compare a b = Order.Equal
+
+let sum c = Array.fold_left ( + ) 0 c
+
+let size_words = Array.length
+
+let snapshot = copy
+
+let pp ppf c =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_iter ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       (fun f c -> Array.iter f c)
+       Format.pp_print_int)
+    c
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,79 @@
+(** Vector clocks (Mattern 1988, the paper's reference [15]).
+
+    A vector clock over [n] processes characterizes causality exactly
+    (Charron-Bost's lower bound, §4.3 of the paper, shows [n] entries are
+    also necessary): event [e1] happened-before [e2] iff
+    [clock e1 < clock e2] componentwise. The paper's Algorithms 3 and 4 are
+    {!compare} and {!merge}.
+
+    Values are mutable: the simulator's processes and the per-datum clocks
+    of the detector update them in place while holding the region lock, as
+    prescribed by §4.2. Use {!copy} / {!snapshot} when a value must escape
+    the critical section (e.g. into a trace). *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is the zero clock of dimension [n] (all entries 0 —
+    the paper's initial value, §4.2). *)
+
+val dim : t -> int
+(** Number of processes the clock covers. *)
+
+val copy : t -> t
+
+val of_array : int array -> t
+(** [of_array a] wraps a copy of [a]. Raises [Invalid_argument] if [a] is
+    empty or contains a negative entry. *)
+
+val to_array : t -> int array
+(** Fresh array with the clock's entries — the wire representation. *)
+
+val entry : t -> int -> int
+(** [entry c i] is component [i]. Raises [Invalid_argument] when [i] is out
+    of bounds. *)
+
+val is_zero : t -> bool
+
+val tick : t -> me:int -> unit
+(** [tick c ~me] increments component [me]: the paper's
+    [update_local_clock] step performed before every event (§4.2). *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] sets [into] to the componentwise maximum of
+    [into] and [src] — Algorithm 4 ([max_clock]) applied in place.
+    Raises [Invalid_argument] on dimension mismatch. *)
+
+val merge : t -> t -> t
+(** Pure Algorithm 4: fresh componentwise maximum. *)
+
+val compare : t -> t -> Order.t
+(** Algorithm 3. [compare a b] is
+    {!Order.Equal} when all components agree, {!Order.Before} when
+    [a <= b] componentwise with at least one strict, {!Order.After} for the
+    converse, and {!Order.Concurrent} when neither dominates — the race
+    verdict of Lemma 1. Raises [Invalid_argument] on dimension mismatch. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff [compare a b] is [Equal] or [Before]. *)
+
+val concurrent : t -> t -> bool
+(** [concurrent a b] iff no causal order exists between [a] and [b]. *)
+
+val equal : t -> t -> bool
+
+val sum : t -> int
+(** Sum of components — a convenient progress measure for tests. *)
+
+val size_words : t -> int
+(** Words needed on the wire (the §4.3 linear-in-[n] cost measured by
+    experiment E6). *)
+
+val snapshot : t -> t
+(** Alias for {!copy}, named for its use when capturing a clock into an
+    immutable trace record. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [<a,b,c>]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/clock_store.ml: Addr Config Dsm_clocks Dsm_memory Hashtbl List Printf Vector_clock

@@ -1,0 +1,1 @@
+lib/core/clock_store.mli: Config Dsm_clocks Dsm_memory

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Addr Array Clock_store Config Dsm_clocks Dsm_memory Dsm_rdma Dsm_sim Dsm_trace Hashtbl List Option Printf Report Vector_clock

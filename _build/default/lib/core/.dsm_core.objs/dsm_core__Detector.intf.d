@@ -1,0 +1,1 @@
+lib/core/detector.mli: Config Dsm_clocks Dsm_memory Dsm_rdma Dsm_trace Report

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Dsm_clocks Dsm_memory Dsm_trace Format Hashtbl List Logs Printf String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Dsm_clocks Dsm_memory Dsm_trace Format Hashtbl

@@ -1,0 +1,90 @@
+open Dsm_memory
+open Dsm_clocks
+
+type entry = { v : Vector_clock.t; w : Vector_clock.t; s : Vector_clock.t }
+
+type t = {
+  node : int;
+  clock_dim : int;
+  granularity : Config.granularity;
+  mutable registered : Addr.region list; (* address-sorted *)
+  table : (int * int, entry) Hashtbl.t; (* (offset, len) -> clocks *)
+}
+
+let create ~node ~clock_dim ~granularity () =
+  if clock_dim < 1 then invalid_arg "Clock_store.create: clock_dim";
+  { node; clock_dim; granularity; registered = []; table = Hashtbl.create 64 }
+
+let node t = t.node
+
+let register t (r : Addr.region) =
+  match t.granularity with
+  | Config.Block _ | Config.Word -> ()
+  | Config.Variable ->
+      if r.base.pid <> t.node then
+        invalid_arg "Clock_store.register: region is on another node";
+      if not (Addr.is_public r) then
+        invalid_arg "Clock_store.register: region is not public";
+      if List.exists (fun r' -> Addr.overlap r r') t.registered then
+        invalid_arg "Clock_store.register: overlaps a registered variable";
+      t.registered <-
+        List.sort
+          (fun (a : Addr.region) (b : Addr.region) ->
+            compare a.base.offset b.base.offset)
+          (r :: t.registered)
+
+let block_granules t (r : Addr.region) k =
+  let first = r.base.offset / k in
+  let last = Addr.last_offset r / k in
+  List.init (last - first + 1) (fun i ->
+      Addr.region ~pid:t.node ~space:Addr.Public ~offset:((first + i) * k)
+        ~len:k)
+
+let granules t (r : Addr.region) =
+  if r.base.pid <> t.node then invalid_arg "Clock_store.granules: wrong node";
+  match t.granularity with
+  | Config.Word -> block_granules t r 1
+  | Config.Block k -> block_granules t r k
+  | Config.Variable ->
+      let covering = List.filter (fun v -> Addr.overlap r v) t.registered in
+      let covered_words =
+        List.fold_left
+          (fun acc (v : Addr.region) ->
+            let lo = max v.base.offset r.base.offset in
+            let hi = min (Addr.last_offset v) (Addr.last_offset r) in
+            acc + (hi - lo + 1))
+          0 covering
+      in
+      if covered_words < r.len then
+        failwith
+          (Printf.sprintf
+             "Clock_store: access to %s touches unregistered shared data"
+             (Addr.to_string r));
+      covering
+
+let entry t (g : Addr.region) =
+  let key = (g.base.offset, g.len) in
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          v = Vector_clock.create ~n:t.clock_dim;
+          w = Vector_clock.create ~n:t.clock_dim;
+          s = Vector_clock.create ~n:t.clock_dim;
+        }
+      in
+      Hashtbl.add t.table key e;
+      e
+
+let entries t = Hashtbl.length t.table
+
+(* The paper's accounting (§5.1): V plus the W refinement = 2 clocks per
+   datum. The sync clock is an extension and is only charged once an
+   atomic has actually touched the datum. *)
+let storage_words t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      acc + (2 * t.clock_dim)
+      + (if Vector_clock.is_zero e.s then 0 else t.clock_dim))
+    t.table 0

@@ -1,0 +1,55 @@
+(** Per-node clock metadata: the [V] and [W] clocks attached to every
+    shared piece of data (§4.1–4.2).
+
+    One store lives (conceptually in NIC memory) on each node and maps
+    {e granules} of that node's public segment to a pair of clocks. A
+    granule is the unit of detection chosen by {!Config.granularity}:
+    the registered shared variable, an aligned block, or a single word.
+
+    Entries are created lazily with zero clocks — the paper's initial
+    value — and updated in place while the NIC lock on the covering
+    region is held (§4.2's no-self-race argument). *)
+
+type entry = {
+  v : Dsm_clocks.Vector_clock.t;
+      (** general-purpose clock: all plain accesses *)
+  w : Dsm_clocks.Vector_clock.t;  (** write clock: plain writes only (§4.4) *)
+  s : Dsm_clocks.Vector_clock.t;
+      (** synchronization clock: atomic read-modify-writes. Atomics are
+          NIC-serialized, so they never race with each other; they act as
+          writes towards plain accesses and as release/acquire points for
+          causality (extension beyond the paper, see
+          [Detector.fetch_add]) *)
+}
+
+type t
+
+val create :
+  node:int -> clock_dim:int -> granularity:Config.granularity -> unit -> t
+(** [clock_dim] is the vector dimension ([n], or 1 in the Lamport
+    ablation). *)
+
+val node : t -> int
+
+val register : t -> Dsm_memory.Addr.region -> unit
+(** Declares a shared variable ({!Config.Variable} granularity): the
+    compiler's role of §3.1. The region must be public, on this node, and
+    must not overlap a previously registered variable.
+    No-op under block/word granularity. *)
+
+val granules : t -> Dsm_memory.Addr.region -> Dsm_memory.Addr.region list
+(** The granules covering an access to [region], in address order.
+    Under {!Config.Variable}, raises [Failure] if any accessed word
+    falls outside every registered variable — shared data must be
+    declared. *)
+
+val entry : t -> Dsm_memory.Addr.region -> entry
+(** The clock pair of one granule (as returned by {!granules});
+    lazily zero-initialized. *)
+
+val entries : t -> int
+(** Number of granules that have materialized clocks. *)
+
+val storage_words : t -> int
+(** Total words of clock metadata held: [entries × 2 × clock_dim] — the
+    §5.1 storage-overhead numerator measured in E7. *)

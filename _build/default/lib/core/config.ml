@@ -1,0 +1,52 @@
+type transport = Inline | Piggyback_txn | Explicit_txn
+
+type clock_mode = Vector | Lamport_only
+
+type granularity = Variable | Block of int | Word
+
+type t = {
+  use_write_clock : bool;
+  transport : transport;
+  clock_mode : clock_mode;
+  granularity : granularity;
+  record_trace : bool;
+  trace_reads_from : [ `All_writers | `Last_writer ];
+  ordered_locking : bool;
+  lock_aware_clocks : bool;
+}
+
+let default =
+  {
+    use_write_clock = true;
+    transport = Piggyback_txn;
+    clock_mode = Vector;
+    granularity = Variable;
+    record_trace = false;
+    trace_reads_from = `All_writers;
+    ordered_locking = true;
+    lock_aware_clocks = false;
+  }
+
+let transport_name = function
+  | Inline -> "inline"
+  | Piggyback_txn -> "piggyback"
+  | Explicit_txn -> "explicit"
+
+let granularity_name = function
+  | Variable -> "var"
+  | Block k -> Printf.sprintf "block%d" k
+  | Word -> "word"
+
+let name t =
+  Printf.sprintf "%s%s/%s/%s"
+    (match t.clock_mode with Vector -> "vector" | Lamport_only -> "lamport")
+    (if t.use_write_clock then "+W" else "")
+    (transport_name t.transport)
+    (granularity_name t.granularity)
+
+let validate t =
+  (match t.granularity with
+  | Block k when k < 1 ->
+      invalid_arg "Config.validate: block size must be positive"
+  | Variable | Block _ | Word -> ());
+  t

@@ -1,0 +1,429 @@
+open Dsm_memory
+open Dsm_clocks
+module Machine = Dsm_rdma.Machine
+module Event = Dsm_trace.Event
+module Recorder = Dsm_trace.Recorder
+
+type t = {
+  machine : Machine.t;
+  config : Config.t;
+  report : Report.t;
+  dim : int; (* vector dimension: n, or 1 in the Lamport ablation *)
+  procs : Vector_clock.t array;
+  stores : Clock_store.t array;
+  recorder : Recorder.t option;
+  (* clock per user-level lock, keyed by the locked region's identity;
+     only consulted when [lock_aware_clocks] is set *)
+  lock_clocks : (int * int * int, Vector_clock.t) Hashtbl.t;
+  mutable checked_ops : int;
+  mutable meta_messages : int;
+  mutable clock_words_shipped : int;
+}
+
+let vget_tag = "dsm.vget"
+
+let vput_tag = "dsm.vput"
+
+(* Access classes: the paper's reads and writes, plus the atomic
+   read-modify-write extension (NIC-serialized, hence synchronizing). *)
+type access_class = Plain_read | Plain_write | Atomic_rmw
+
+let class_code = function Plain_read -> 0 | Plain_write -> 1 | Atomic_rmw -> 2
+
+let class_of_code = function
+  | 0 -> Plain_read
+  | 1 -> Plain_write
+  | 2 -> Atomic_rmw
+  | c -> invalid_arg (Printf.sprintf "Detector: bad access class %d" c)
+
+let merge_entry (e : Clock_store.entry) cls clock =
+  match cls with
+  | Plain_read -> Vector_clock.merge_into ~into:e.v clock
+  | Plain_write ->
+      Vector_clock.merge_into ~into:e.v clock;
+      Vector_clock.merge_into ~into:e.w clock
+  | Atomic_rmw -> Vector_clock.merge_into ~into:e.s clock
+
+let install_control_plane t =
+  Machine.set_control_handler t.machine ~tag:vget_tag
+    (fun ~node ~origin:_ words ->
+      let g =
+        Addr.region ~pid:node ~space:Addr.Public ~offset:words.(0)
+          ~len:words.(1)
+      in
+      let e = Clock_store.entry t.stores.(node) g in
+      Some
+        (Array.concat
+           [
+             Vector_clock.to_array e.v;
+             Vector_clock.to_array e.w;
+             Vector_clock.to_array e.s;
+           ]));
+  Machine.set_control_handler t.machine ~tag:vput_tag
+    (fun ~node ~origin:_ words ->
+      let g =
+        Addr.region ~pid:node ~space:Addr.Public ~offset:words.(0)
+          ~len:words.(1)
+      in
+      let cls = class_of_code words.(2) in
+      let clock = Vector_clock.of_array (Array.sub words 3 t.dim) in
+      merge_entry (Clock_store.entry t.stores.(node) g) cls clock;
+      None)
+
+let create machine ?(config = Config.default) ?(verbose = false) () =
+  let config = Config.validate config in
+  let n = Machine.n machine in
+  let dim =
+    match config.Config.clock_mode with
+    | Config.Vector -> n
+    | Config.Lamport_only -> 1
+  in
+  let t =
+    {
+      machine;
+      config;
+      report = Report.create ~verbose ();
+      dim;
+      procs = Array.init n (fun _ -> Vector_clock.create ~n:dim);
+      stores =
+        Array.init n (fun node ->
+            Clock_store.create ~node ~clock_dim:dim
+              ~granularity:config.Config.granularity ());
+      lock_clocks = Hashtbl.create 16;
+      recorder =
+        (if config.Config.record_trace then
+           let reads_from =
+             match config.Config.trace_reads_from with
+             | `All_writers -> Recorder.All_writers
+             | `Last_writer -> Recorder.Last_writer
+           in
+           Some (Recorder.create ~reads_from ~n ())
+         else None);
+      checked_ops = 0;
+      meta_messages = 0;
+      clock_words_shipped = 0;
+    }
+  in
+  install_control_plane t;
+  t
+
+let machine t = t.machine
+
+let config t = t.config
+
+let report t = t.report
+
+let register t (r : Addr.region) = Clock_store.register t.stores.(r.base.pid) r
+
+let alloc_shared t ~pid ?name ~len () =
+  let r = Machine.alloc_public t.machine ~pid ?name ~len () in
+  register t r;
+  r
+
+(* The component this process ticks: its pid, or 0 when every process
+   shares the single Lamport component. *)
+let me t p =
+  match t.config.Config.clock_mode with
+  | Config.Vector -> Machine.pid p
+  | Config.Lamport_only -> 0
+
+let now t = Dsm_sim.Engine.now (Machine.sim t.machine)
+
+let record_access t p ~kind ~target =
+  match t.recorder with
+  | None -> None
+  | Some rec_ ->
+      Some
+        (Recorder.access rec_ ~time:(now t) ~pid:(Machine.pid p) ~kind ~target
+           ())
+
+(* One granule's clocks plus the way to push a merge back, per transport.
+   Under Inline/Piggyback the store is manipulated directly (the exchange
+   rides the data messages); under Explicit each remote granule costs a
+   control round trip to read and an async control message to update —
+   Algorithm 5 taken literally. *)
+type fetched = {
+  fv : Vector_clock.t;
+  fw : Vector_clock.t;
+  fs : Vector_clock.t;
+  push : access_class -> Vector_clock.t -> unit;
+}
+
+let fetch_entry t p (g : Addr.region) =
+  let node = g.base.pid in
+  let direct () =
+    let e = Clock_store.entry t.stores.(node) g in
+    { fv = e.v; fw = e.w; fs = e.s; push = (fun cls c -> merge_entry e cls c) }
+  in
+  match t.config.Config.transport with
+  | Config.Inline | Config.Piggyback_txn -> direct ()
+  | Config.Explicit_txn ->
+      if node = Machine.pid p then direct ()
+      else begin
+        let words =
+          Machine.control p ~target:node ~tag:vget_tag
+            ~words:[| g.base.offset; g.len |]
+        in
+        t.meta_messages <- t.meta_messages + 2;
+        t.clock_words_shipped <- t.clock_words_shipped + Array.length words;
+        let fv = Vector_clock.of_array (Array.sub words 0 t.dim) in
+        let fw = Vector_clock.of_array (Array.sub words t.dim t.dim) in
+        let fs = Vector_clock.of_array (Array.sub words (2 * t.dim) t.dim) in
+        {
+          fv;
+          fw;
+          fs;
+          push =
+            (fun cls clock ->
+              let payload =
+                Array.concat
+                  [
+                    [| g.base.offset; g.len; class_code cls |];
+                    Vector_clock.to_array clock;
+                  ]
+              in
+              t.meta_messages <- t.meta_messages + 1;
+              t.clock_words_shipped <- t.clock_words_shipped + t.dim;
+              Machine.control_async p ~target:node ~tag:vput_tag
+                ~words:payload);
+        }
+      end
+
+let kind_of_class = function
+  | Plain_read -> Event.Read
+  | Plain_write -> Event.Write
+  | Atomic_rmw -> Event.Atomic_update
+
+(* Check one access (already ticked clock [v0]) against every granule it
+   covers, signal incomparabilities, merge [v0] into the granules, and
+   return the union of the clocks the accessor absorbs (the causal
+   history of the writes/atomics a read or an atomic observed). *)
+let check_access t p ~(region : Addr.region) ~cls ~v0 ~event_id =
+  let store = t.stores.(region.base.pid) in
+  let gs = Clock_store.granules store region in
+  let absorb_union = Vector_clock.create ~n:t.dim in
+  List.iter
+    (fun g ->
+      let f = fetch_entry t p g in
+      (* What this access must be ordered against:
+         - a plain read races with concurrent plain writes and atomics
+           (or with any access in the no-write-clock ablation);
+         - a plain write races with any concurrent access;
+         - an atomic races with concurrent plain accesses only (atomics
+           are serialized by the target NIC). *)
+      let datum_clock, against =
+        match cls with
+        | Plain_read ->
+            if t.config.Config.use_write_clock then
+              (Vector_clock.merge f.fw f.fs, Report.Write_clock)
+            else (Vector_clock.merge f.fv f.fs, Report.General_clock)
+        | Plain_write -> (Vector_clock.merge f.fv f.fs, Report.General_clock)
+        | Atomic_rmw -> (Vector_clock.snapshot f.fv, Report.General_clock)
+      in
+      if Vector_clock.concurrent v0 datum_clock then
+        Report.signal t.report
+          {
+            Report.event_id;
+            time = now t;
+            accessor = Machine.pid p;
+            kind = kind_of_class cls;
+            granule = g;
+            accessor_clock = Vector_clock.snapshot v0;
+            datum_clock;
+            against;
+          };
+      (match cls with
+      | Plain_read | Atomic_rmw ->
+          Vector_clock.merge_into ~into:absorb_union f.fw;
+          Vector_clock.merge_into ~into:absorb_union f.fs
+      | Plain_write -> ());
+      f.push cls (Vector_clock.snapshot v0))
+    gs;
+  absorb_union
+
+(* Piggybacked clock words on a data message: a dense-encoded vector. *)
+let piggyback_words t =
+  match t.config.Config.transport with
+  | Config.Inline | Config.Piggyback_txn -> t.dim + 1
+  | Config.Explicit_txn -> 0
+
+let lock_regions t p regions =
+  let regions =
+    if t.config.Config.ordered_locking then
+      List.sort
+        (fun (a : Addr.region) (b : Addr.region) ->
+          compare
+            (a.base.pid, a.base.space, a.base.offset)
+            (b.base.pid, b.base.space, b.base.offset))
+        regions
+    else regions
+  in
+  List.map (fun r -> Machine.lock p r) regions
+
+let unlock_all p tokens = List.iter (Machine.unlock p) (List.rev tokens)
+
+(* The shared body of Algorithms 1 and 2: tick, read-side check and
+   absorption, write-side check, then the transfer provided by [transfer].
+   [read_region] is checked when public; [write_region] always is. *)
+let checked_op t p ~read_region ~write_region ~transfer =
+  t.checked_ops <- t.checked_ops + 1;
+  let v0 = t.procs.(Machine.pid p) in
+  let body () =
+    Vector_clock.tick v0 ~me:(me t p);
+    if Addr.is_public read_region then begin
+      let event_id =
+        record_access t p ~kind:Event.Read ~target:read_region
+      in
+      let absorbed =
+        check_access t p ~region:read_region ~cls:Plain_read ~v0 ~event_id
+      in
+      (* The reader absorbs the causal history of the writes it observed:
+         this is what orders Figure 5b's m3 after m1. *)
+      Vector_clock.merge_into ~into:v0 absorbed
+    end;
+    if Addr.is_public write_region then begin
+      let event_id =
+        record_access t p ~kind:Event.Write ~target:write_region
+      in
+      ignore
+        (check_access t p ~region:write_region ~cls:Plain_write ~v0 ~event_id)
+    end;
+    transfer ()
+  in
+  match t.config.Config.transport with
+  | Config.Inline -> body ()
+  | Config.Piggyback_txn | Config.Explicit_txn ->
+      let tokens = lock_regions t p [ read_region; write_region ] in
+      body ();
+      unlock_all p tokens
+
+let count_shipped t msgs =
+  t.clock_words_shipped <- t.clock_words_shipped + (piggyback_words t * msgs)
+
+let put t p ~src ~dst =
+  let extra_words = piggyback_words t in
+  let transfer () =
+    match t.config.Config.transport with
+    | Config.Inline ->
+        count_shipped t 1;
+        Machine.put p ~src ~dst ~extra_words ()
+    | Config.Piggyback_txn | Config.Explicit_txn ->
+        count_shipped t 1;
+        Machine.raw_put p ~src ~dst ~extra_words ()
+  in
+  checked_op t p ~read_region:src ~write_region:dst ~transfer
+
+let get t p ~src ~dst =
+  let extra_words = piggyback_words t in
+  let transfer () =
+    match t.config.Config.transport with
+    | Config.Inline ->
+        count_shipped t 2;
+        Machine.get p ~src ~dst ~extra_words ()
+    | Config.Piggyback_txn | Config.Explicit_txn ->
+        count_shipped t 2;
+        Machine.raw_get p ~src ~dst ~extra_words ()
+  in
+  checked_op t p ~read_region:src ~write_region:dst ~transfer
+
+(* Checked atomic read-modify-writes (extension beyond the paper): the
+   NIC serializes them, so atomic/atomic pairs are synchronized — the
+   detector treats them as release/acquire points on the datum — while
+   atomic/plain pairs are checked like write races. *)
+let checked_atomic t p ~(target : Addr.global) ~run_op =
+  if target.space <> Addr.Public then
+    invalid_arg "Detector.atomic: target is not public";
+  t.checked_ops <- t.checked_ops + 1;
+  let region = Addr.region_of_global target ~len:1 in
+  let v0 = t.procs.(Machine.pid p) in
+  Vector_clock.tick v0 ~me:(me t p);
+  let event_id = record_access t p ~kind:Event.Atomic_update ~target:region in
+  let absorbed = check_access t p ~region ~cls:Atomic_rmw ~v0 ~event_id in
+  Vector_clock.merge_into ~into:v0 absorbed;
+  count_shipped t 2;
+  run_op ~extra_words:(piggyback_words t)
+
+let fetch_add t p ~target ~delta =
+  checked_atomic t p ~target ~run_op:(fun ~extra_words ->
+      Machine.fetch_add p ~target ~extra_words ~delta ())
+
+let cas t p ~target ~expected ~desired =
+  checked_atomic t p ~target ~run_op:(fun ~extra_words ->
+      Machine.cas p ~target ~extra_words ~expected ~desired ())
+
+let record_lock t ~pid ~phase ~lock ~time =
+  match t.recorder with
+  | None -> ()
+  | Some rec_ -> (
+      match phase with
+      | `Acquire -> ignore (Recorder.lock_acquire rec_ ~time ~pid ~lock)
+      | `Release -> ignore (Recorder.lock_release rec_ ~time ~pid ~lock))
+
+(* User-level checked locks. [Machine.lock] provides the mutual
+   exclusion; when [lock_aware_clocks] is set the lock also carries
+   causality: release publishes the holder's clock into the lock's
+   clock, acquire absorbs it — the classic release/acquire discipline
+   the paper's algorithm lacks (experiment E11). *)
+type lock_handle = {
+  token : Machine.token;
+  lock_key : int * int * int;
+  lock_name : string;
+}
+
+let lock_clock t key =
+  match Hashtbl.find_opt t.lock_clocks key with
+  | Some c -> c
+  | None ->
+      let c = Vector_clock.create ~n:t.dim in
+      Hashtbl.add t.lock_clocks key c;
+      c
+
+let lock t p (r : Addr.region) =
+  let token = Machine.lock p r in
+  let lock_key = (r.base.pid, r.base.offset, r.len) in
+  let lock_name = Addr.to_string r in
+  record_lock t ~pid:(Machine.pid p) ~phase:`Acquire ~lock:lock_name
+    ~time:(now t);
+  if t.config.Config.lock_aware_clocks then begin
+    let v0 = t.procs.(Machine.pid p) in
+    Vector_clock.tick v0 ~me:(me t p);
+    Vector_clock.merge_into ~into:v0 (lock_clock t lock_key)
+  end;
+  { token; lock_key; lock_name }
+
+let unlock t p h =
+  if t.config.Config.lock_aware_clocks then begin
+    let v0 = t.procs.(Machine.pid p) in
+    Vector_clock.tick v0 ~me:(me t p);
+    Vector_clock.merge_into ~into:(lock_clock t h.lock_key) v0
+  end;
+  record_lock t ~pid:(Machine.pid p) ~phase:`Release ~lock:h.lock_name
+    ~time:(now t);
+  Machine.unlock p h.token
+
+let barrier_sync t =
+  let merged = Vector_clock.create ~n:t.dim in
+  Array.iter (fun c -> Vector_clock.merge_into ~into:merged c) t.procs;
+  Array.iter (fun c -> Vector_clock.merge_into ~into:c merged) t.procs
+
+let on_barrier t ~pid ~phase ~generation ~time =
+  match t.recorder with
+  | None -> ()
+  | Some rec_ -> (
+      match phase with
+      | `Enter -> ignore (Recorder.barrier_enter rec_ ~time ~pid ~generation)
+      | `Exit -> ignore (Recorder.barrier_exit rec_ ~time ~pid ~generation))
+
+let proc_clock t pid = Vector_clock.snapshot t.procs.(pid)
+
+let trace t = Option.map Recorder.finish t.recorder
+
+let checked_ops t = t.checked_ops
+
+let meta_messages t = t.meta_messages
+
+let clock_words_shipped t = t.clock_words_shipped
+
+let storage_words t =
+  Array.fold_left (fun acc s -> acc + Clock_store.storage_words s) 0 t.stores
+  + Array.fold_left (fun acc c -> acc + Vector_clock.size_words c) 0 t.procs

@@ -1,0 +1,141 @@
+(** The race detector: the paper's Algorithms 1–5 as a checked layer over
+    the one-sided operations.
+
+    Usage mirrors the paper's deployment ("implemented in the
+    communication library", §5): programs call {!put} and {!get} instead
+    of the machine's primitives, and the detector
+
+    + takes the region locks (Algorithm 1/2's [lock] lines — transaction
+      transports only),
+    + ticks the accessor's clock ([update_local_clock]),
+    + compares it with the datum's clocks ([compare_clocks], Algorithm 3)
+      and {e signals} — never aborts — on incomparability (Lemma 1, §4.4),
+    + performs the transfer,
+    + merges the accessor's clock into the datum's clocks
+      ([update_clock] / [update_clock_W], Algorithms 4–5), and
+    + releases the locks.
+
+    Reads are checked against the write clock [W] when
+    {!Config.use_write_clock} is set, so concurrent read-only accesses are
+    not flagged (§4.4, Figure 4); writes are checked against the
+    general-purpose clock [V]. A read also {e absorbs} the write clock of
+    the data it observed, which is how inter-process causality propagates
+    (Figure 5b's "no race" case).
+
+    A [put ~src ~dst] is treated as a read of [src] (when [src] is public
+    — another process could be writing it) plus a write of [dst]; a
+    [get ~src ~dst] is a read of [src] plus a write of [dst] (when [dst]
+    is public). Private-side halves cannot race (single-threaded
+    processes, §4's note on locks in private space) and are neither
+    checked nor recorded. *)
+
+type t
+
+val create :
+  Dsm_rdma.Machine.t -> ?config:Config.t -> ?verbose:bool -> unit -> t
+(** One detector per machine. Installs the clock control-plane services
+    (explicit transport) on the machine's NICs. [verbose] makes every
+    race signal print through [Logs]. *)
+
+val machine : t -> Dsm_rdma.Machine.t
+
+val config : t -> Config.t
+
+val report : t -> Report.t
+
+(** {1 Shared-data declaration} *)
+
+val register : t -> Dsm_memory.Addr.region -> unit
+(** Declares a public region as one shared variable (the compiler's job,
+    §3.1). Required before access under {!Config.Variable} granularity. *)
+
+val alloc_shared :
+  t -> pid:int -> ?name:string -> len:int -> unit -> Dsm_memory.Addr.region
+(** Allocate in [pid]'s public segment and {!register} in one step. *)
+
+(** {1 Checked one-sided operations} *)
+
+val put :
+  t -> Dsm_rdma.Machine.proc ->
+  src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region -> unit
+(** Algorithm 1. Blocking. *)
+
+val get :
+  t -> Dsm_rdma.Machine.proc ->
+  src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region -> unit
+(** Algorithm 2. Blocking. *)
+
+(** {1 Checked atomic operations (extension beyond the paper)}
+
+    The NIC serializes atomic read-modify-writes on a word, so two
+    atomics never race with each other; the detector treats them as
+    release/acquire points (the accessor absorbs the datum's write and
+    sync clocks, and publishes its own clock into the sync clock). An
+    atomic is still checked — and signalled — against concurrent {e
+    plain} accesses, which remain races. *)
+
+val fetch_add :
+  t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global -> delta:int ->
+  int
+(** Checked atomic add; returns the old value. *)
+
+val cas :
+  t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global ->
+  expected:int -> desired:int -> bool
+(** Checked compare-and-swap. *)
+
+(** {1 Checked user-level locks}
+
+    [Dsm_rdma.Machine.lock] wrapped for debugged programs: the lock
+    events are trace-recorded, and — when
+    {!Config.lock_aware_clocks} is set (an extension; the paper's
+    algorithm has no lock/clock interaction) — the lock carries
+    causality: {!unlock} publishes the holder's clock into a per-lock
+    clock, {!lock} absorbs it, so lock-ordered critical sections stop
+    being reported as races (experiment E11). *)
+
+type lock_handle
+
+val lock : t -> Dsm_rdma.Machine.proc -> Dsm_memory.Addr.region -> lock_handle
+(** Blocking; same lock semantics and cost as [Machine.lock]. *)
+
+val unlock : t -> Dsm_rdma.Machine.proc -> lock_handle -> unit
+
+(** {1 Synchronization hooks} *)
+
+val barrier_sync : t -> unit
+(** Models the causal effect of a full barrier: every process clock
+    becomes the merge of all process clocks. Called by the PGAS barrier
+    after its last participant arrives. *)
+
+val on_barrier :
+  t -> pid:int -> phase:[ `Enter | `Exit ] -> generation:int -> time:float ->
+  unit
+(** Trace-records one process's barrier crossing (no clock effect). *)
+
+val record_lock :
+  t -> pid:int -> phase:[ `Acquire | `Release ] -> lock:string -> time:float ->
+  unit
+(** Trace-records a user-level lock event. Note that the paper's clocks do
+    {e not} propagate through user locks, so lock-synchronized programs
+    can produce false positives — measured in E8/E9. *)
+
+(** {1 Introspection} *)
+
+val proc_clock : t -> int -> Dsm_clocks.Vector_clock.t
+(** Snapshot of a process's current clock. *)
+
+val trace : t -> Dsm_trace.Trace.t option
+(** The recorded trace so far ([Config.record_trace] runs only). *)
+
+val checked_ops : t -> int
+
+val meta_messages : t -> int
+(** Clock-plane control messages issued (explicit transport). *)
+
+val clock_words_shipped : t -> int
+(** Clock words that travelled on the wire (piggybacked or explicit). *)
+
+val storage_words : t -> int
+(** Clock storage held across all nodes and processes: the §5.1 memory
+    overhead. *)

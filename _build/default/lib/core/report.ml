@@ -1,0 +1,157 @@
+type against = General_clock | Write_clock
+
+type race = {
+  event_id : int option;
+  time : float;
+  accessor : int;
+  kind : Dsm_trace.Event.kind;
+  granule : Dsm_memory.Addr.region;
+  accessor_clock : Dsm_clocks.Vector_clock.t;
+  datum_clock : Dsm_clocks.Vector_clock.t;
+  against : against;
+}
+
+type t = {
+  mutable races : race list;
+  mutable suppressed : race list;
+  mutable suppressions : Dsm_memory.Addr.region list;
+  mutable count : int;
+  verbose : bool;
+}
+
+let src = Logs.Src.create "dsmcheck.race" ~doc:"Race condition signals"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let create ?(verbose = false) () =
+  { races = []; suppressed = []; suppressions = []; count = 0; verbose }
+
+let against_name = function
+  | General_clock -> "general clock"
+  | Write_clock -> "write clock"
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "RACE at t=%.2f: P%d %s on %a — accessor clock %a incomparable with %s %a"
+    r.time r.accessor
+    (Dsm_trace.Event.kind_name r.kind)
+    Dsm_memory.Addr.pp_region r.granule Dsm_clocks.Vector_clock.pp
+    r.accessor_clock (against_name r.against) Dsm_clocks.Vector_clock.pp
+    r.datum_clock
+
+let signal t r =
+  if List.exists (Dsm_memory.Addr.overlap r.granule) t.suppressions then
+    t.suppressed <- r :: t.suppressed
+  else begin
+    t.races <- r :: t.races;
+    t.count <- t.count + 1;
+    if t.verbose then Log.warn (fun m -> m "%a" pp_race r)
+  end
+
+let suppress t region = t.suppressions <- region :: t.suppressions
+
+let suppressed t = List.rev t.suppressed
+
+let count t = t.count
+
+let races t = List.rev t.races
+
+let flagged_event_ids t =
+  let set = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r.event_id with Some id -> Hashtbl.replace set id () | None -> ())
+    t.races;
+  set
+
+let clear t =
+  t.races <- [];
+  t.suppressed <- [];
+  t.count <- 0
+
+type group = {
+  g_granule : Dsm_memory.Addr.region;
+  g_pids : int list;
+  g_count : int;
+  g_first_time : float;
+  g_kinds : Dsm_trace.Event.kind list;
+}
+
+let grouped t =
+  let table : (int * int * int, group) Hashtbl.t = Hashtbl.create 16 in
+  let key (r : race) =
+    ( r.granule.Dsm_memory.Addr.base.pid,
+      r.granule.Dsm_memory.Addr.base.offset,
+      r.granule.Dsm_memory.Addr.len )
+  in
+  List.iter
+    (fun r ->
+      let k = key r in
+      match Hashtbl.find_opt table k with
+      | None ->
+          Hashtbl.add table k
+            {
+              g_granule = r.granule;
+              g_pids = [ r.accessor ];
+              g_count = 1;
+              g_first_time = r.time;
+              g_kinds = [ r.kind ];
+            }
+      | Some g ->
+          Hashtbl.replace table k
+            {
+              g with
+              g_pids =
+                (if List.mem r.accessor g.g_pids then g.g_pids
+                 else g.g_pids @ [ r.accessor ]);
+              g_count = g.g_count + 1;
+              g_kinds =
+                (if List.mem r.kind g.g_kinds then g.g_kinds
+                 else g.g_kinds @ [ r.kind ]);
+            })
+    (races t);
+  Hashtbl.fold (fun _ g acc -> g :: acc) table []
+  |> List.map (fun g -> { g with g_pids = List.sort compare g.g_pids })
+  |> List.sort (fun a b -> compare a.g_first_time b.g_first_time)
+
+let pp_group ppf g =
+  Format.fprintf ppf "%a: %d signal(s), %s by %s, first at t=%.2f"
+    Dsm_memory.Addr.pp_region g.g_granule g.g_count
+    (String.concat "/" (List.map Dsm_trace.Event.kind_name g.g_kinds))
+    (String.concat ", "
+       (List.map (fun p -> Printf.sprintf "P%d" p) g.g_pids))
+    g.g_first_time
+
+let pp_grouped ppf t =
+  match grouped t with
+  | [] -> Format.fprintf ppf "no race condition signaled"
+  | groups ->
+      Format.fprintf ppf "%d raced shared datum(s):@," (List.length groups);
+      Format.pp_print_list pp_group ppf groups
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "time,accessor,kind,node,offset,len,against,accessor_clock,datum_clock\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.6f,%d,%s,%d,%d,%d,%s,\"%s\",\"%s\"\n" r.time
+           r.accessor
+           (Dsm_trace.Event.kind_name r.kind)
+           r.granule.Dsm_memory.Addr.base.pid
+           r.granule.Dsm_memory.Addr.base.offset r.granule.Dsm_memory.Addr.len
+           (match r.against with
+           | General_clock -> "general"
+           | Write_clock -> "write")
+           (Dsm_clocks.Vector_clock.to_string r.accessor_clock)
+           (Dsm_clocks.Vector_clock.to_string r.datum_clock)))
+    (races t);
+  Buffer.contents buf
+
+let pp_summary ppf t =
+  if t.count = 0 then Format.fprintf ppf "no race condition signaled"
+  else
+    Format.fprintf ppf "%d race condition signal(s):@,%a" t.count
+      (Format.pp_print_list pp_race)
+      (races t)

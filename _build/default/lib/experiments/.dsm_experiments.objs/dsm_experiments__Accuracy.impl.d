@@ -1,0 +1,1 @@
+lib/experiments/accuracy.ml: Collectives Dsm_baselines Dsm_core Dsm_pgas Dsm_rdma Dsm_stats Dsm_trace Dsm_workload Env Format Harness List Lockset Printf Scoring Summary Table

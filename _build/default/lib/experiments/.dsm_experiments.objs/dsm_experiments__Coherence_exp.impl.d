@@ -1,0 +1,1 @@
+lib/experiments/coherence_exp.ml: Collectives Dsm_core Dsm_memory Dsm_pgas Dsm_rdma Dsm_sim Dsm_stats Dsm_workload Env Format Harness List Table

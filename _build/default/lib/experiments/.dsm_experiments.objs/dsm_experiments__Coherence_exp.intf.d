@@ -1,0 +1,1 @@
+lib/experiments/coherence_exp.mli: Harness

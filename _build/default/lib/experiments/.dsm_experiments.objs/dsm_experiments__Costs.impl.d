@@ -1,0 +1,1 @@
+lib/experiments/costs.ml: Array Bytes Codec Dsm_clocks Dsm_core Dsm_net Dsm_pgas Dsm_rdma Dsm_sim Dsm_stats Dsm_workload Env Format Harness Hashtbl List Matrix_clock Printf Table Vector_clock

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Array Dsm_baselines Dsm_core Dsm_memory Dsm_pgas Dsm_rdma Dsm_sim Dsm_stats Dsm_workload Env Format Harness List Lockset Printf Scoring Table

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Addr Array Dsm_core Dsm_memory Dsm_net Dsm_rdma Dsm_sim Dsm_stats Dsm_trace Format Harness List Node_memory Printf Table

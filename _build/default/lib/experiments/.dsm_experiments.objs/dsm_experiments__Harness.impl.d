@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Dsm_memory Dsm_net Dsm_rdma Dsm_sim Dsm_trace Engine Format Hashtbl List Printf

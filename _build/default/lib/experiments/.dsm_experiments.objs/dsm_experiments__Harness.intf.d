@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Dsm_memory Dsm_net Dsm_rdma Dsm_trace Format

@@ -1,0 +1,1 @@
+lib/experiments/lang_exp.ml: Ast Compile Dsm_core Dsm_lang Dsm_rdma Dsm_stats Exec Format Harness Ir Table

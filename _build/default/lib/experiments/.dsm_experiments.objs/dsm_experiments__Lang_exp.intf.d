@@ -1,0 +1,1 @@
+lib/experiments/lang_exp.mli: Harness

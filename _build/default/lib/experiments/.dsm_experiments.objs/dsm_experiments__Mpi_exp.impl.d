@@ -1,0 +1,1 @@
+lib/experiments/mpi_exp.ml: Collectives Dsm_core Dsm_mpiwin Dsm_pgas Dsm_rdma Dsm_stats Env Format Harness List Table Window

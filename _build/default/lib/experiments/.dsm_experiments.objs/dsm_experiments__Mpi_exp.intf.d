@@ -1,0 +1,1 @@
+lib/experiments/mpi_exp.mli: Harness

@@ -1,0 +1,1 @@
+lib/experiments/reduction_exp.ml: Collectives Dsm_core Dsm_net Dsm_pgas Dsm_rdma Dsm_sim Dsm_stats Env Format Harness List Shared_array Table

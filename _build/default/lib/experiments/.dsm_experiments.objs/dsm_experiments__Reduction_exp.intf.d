@@ -1,0 +1,1 @@
+lib/experiments/reduction_exp.mli: Harness

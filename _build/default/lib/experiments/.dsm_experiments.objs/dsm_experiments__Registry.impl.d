@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Accuracy Coherence_exp Costs Extensions Figures Harness Lang_exp List Mpi_exp Printf Reduction_exp Stability String Svm_exp

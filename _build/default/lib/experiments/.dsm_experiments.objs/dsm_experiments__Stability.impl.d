@@ -1,0 +1,1 @@
+lib/experiments/stability.ml: Dsm_baselines Dsm_core Dsm_net Dsm_pgas Dsm_rdma Dsm_sim Dsm_stats Dsm_workload Env Format Harness List Scoring Table

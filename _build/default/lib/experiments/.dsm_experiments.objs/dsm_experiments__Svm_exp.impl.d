@@ -1,0 +1,1 @@
+lib/experiments/svm_exp.ml: Dsm_memory Dsm_rdma Dsm_sim Dsm_stats Dsm_svm Format Harness Table

@@ -1,0 +1,236 @@
+(* E8-E9: accuracy of the detector vs. ground truth and baselines. *)
+
+open Dsm_stats
+open Dsm_pgas
+open Dsm_baselines
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Report = Dsm_core.Report
+module Trace = Dsm_trace.Trace
+
+(* One traced random run; returns (flagged words, ground-truth words). *)
+let traced_random ~seed ~read_fraction ~use_write_clock ~trace_reads_from =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d =
+    Detector.create m
+      ~config:
+        {
+          Config.default with
+          Config.granularity = Config.Word;
+          use_write_clock;
+          record_trace = true;
+          trace_reads_from;
+        }
+      ()
+  in
+  Dsm_workload.Random_access.setup (Env.checked d)
+    {
+      Dsm_workload.Random_access.default with
+      ops_per_proc = 25;
+      vars = 4;
+      var_len = 4;
+      read_fraction;
+      seed;
+    };
+  Harness.run_to_completion m;
+  let trace =
+    match Detector.trace d with Some t -> t | None -> assert false
+  in
+  ( Scoring.detector_words (Detector.report d),
+    Scoring.ground_truth_words trace )
+
+let e8 ppf =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let table =
+    Table.create
+      ~headers:
+        [ "read fraction"; "detector"; "flagged (mean)"; "fp (mean)"; "precision"; "recall" ]
+  in
+  List.iter
+    (fun read_fraction ->
+      List.iter
+        (fun (name, use_write_clock) ->
+          let stats =
+            List.map
+              (fun seed ->
+                let flagged, truth =
+                  traced_random ~seed ~read_fraction ~use_write_clock
+                    ~trace_reads_from:`All_writers
+                in
+                let c = Scoring.confusion ~truth ~flagged in
+                ( float_of_int (List.length flagged),
+                  float_of_int c.Scoring.false_pos,
+                  c.Scoring.precision,
+                  c.Scoring.recall ))
+              seeds
+          in
+          let mean f = (Summary.of_list (List.map f stats)).Summary.mean in
+          Table.add_row table
+            [
+              Printf.sprintf "%.2f" read_fraction;
+              name;
+              Printf.sprintf "%.1f" (mean (fun (a, _, _, _) -> a));
+              Printf.sprintf "%.1f" (mean (fun (_, b, _, _) -> b));
+              Printf.sprintf "%.3f" (mean (fun (_, _, c, _) -> c));
+              Printf.sprintf "%.3f" (mean (fun (_, _, _, d) -> d));
+            ])
+        [ ("V+W (paper)", true); ("single clock", false) ])
+    [ 0.5; 0.9; 0.99 ];
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "Scored against the algorithm's own causality (all-writers reads-from).@.\
+     The single-clock detector loses precision as reads dominate — §4.4's@.\
+     false-positive claim; with the write clock both precision and recall@.\
+     stay at 1.@.@.";
+  (* The all-writers vs last-writer semantic gap, for the V+W detector. *)
+  let table2 =
+    Table.create
+      ~headers:[ "ground truth"; "precision (mean)"; "recall (mean)" ]
+  in
+  List.iter
+    (fun (name, trace_reads_from) ->
+      let cs =
+        List.map
+          (fun seed ->
+            let flagged, truth =
+              traced_random ~seed ~read_fraction:0.5 ~use_write_clock:true
+                ~trace_reads_from
+            in
+            Scoring.confusion ~truth ~flagged)
+          seeds
+      in
+      let mean f = (Summary.of_list (List.map f cs)).Summary.mean in
+      Table.add_row table2
+        [
+          name;
+          Printf.sprintf "%.3f" (mean (fun c -> c.Scoring.precision));
+          Printf.sprintf "%.3f" (mean (fun c -> c.Scoring.recall));
+        ])
+    [
+      ("all-writers (paper's clocks)", `All_writers);
+      ("last-writer (strict HB)", `Last_writer);
+    ];
+  Format.fprintf ppf "%s@." (Table.render table2);
+  Format.fprintf ppf
+    "Against strict happens-before the detector keeps precision 1 but can@.\
+     miss pairs whose only order came from overwritten values: the price of@.\
+     merging every writer into the datum's write clock (Algorithm 5).@."
+
+(* ---------- E9: per-workload comparison with lockset ---------- *)
+
+type family_run = {
+  flagged : Scoring.words;
+  lockset : Scoring.words;
+  truth : Scoring.words;
+  signals : int;
+}
+
+let traced_config =
+  {
+    Config.default with
+    Config.granularity = Config.Word;
+    record_trace = true;
+  }
+
+let run_family setup =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d = Detector.create m ~config:traced_config () in
+  let env = Env.checked d in
+  setup env;
+  Harness.run_to_completion m;
+  let trace =
+    match Detector.trace d with Some t -> t | None -> assert false
+  in
+  {
+    flagged = Scoring.detector_words (Detector.report d);
+    lockset = Lockset.racy_words trace;
+    truth = Scoring.ground_truth_words trace;
+    signals = Report.count (Detector.report d);
+  }
+
+let families =
+  [
+    ( "random (unsynchronized)",
+      fun env ->
+        Dsm_workload.Random_access.setup env
+          { Dsm_workload.Random_access.default with ops_per_proc = 25; seed = 9 }
+    );
+    ( "random + barriers",
+      fun env ->
+        let c = Collectives.create env in
+        Dsm_workload.Random_access.setup env ~collectives:c
+          {
+            Dsm_workload.Random_access.default with
+            ops_per_proc = 25;
+            barrier_every = Some 5;
+            seed = 9;
+          } );
+    ( "master/worker racy",
+      fun env ->
+        let c = Collectives.create env in
+        Dsm_workload.Master_worker.setup env ~collectives:c
+          { Dsm_workload.Master_worker.default with racy = true } );
+    ( "master/worker clean",
+      fun env ->
+        let c = Collectives.create env in
+        Dsm_workload.Master_worker.setup env ~collectives:c
+          { Dsm_workload.Master_worker.default with racy = false } );
+    ( "stencil (bulk-synchronous)",
+      fun env ->
+        let c = Collectives.create env in
+        ignore
+          (Dsm_workload.Stencil.setup env ~collectives:c
+             Dsm_workload.Stencil.default) );
+  ]
+
+let e9 ppf =
+  let table =
+    Table.create
+      ~headers:
+        [
+          "workload";
+          "truth words";
+          "method";
+          "flagged";
+          "precision";
+          "recall";
+        ]
+  in
+  List.iter
+    (fun (name, setup) ->
+      let r = run_family setup in
+      let score method_name flagged =
+        let c = Scoring.confusion ~truth:r.truth ~flagged in
+        Table.add_row table
+          [
+            name;
+            string_of_int (List.length r.truth);
+            method_name;
+            string_of_int (List.length flagged);
+            Printf.sprintf "%.3f" c.Scoring.precision;
+            Printf.sprintf "%.3f" c.Scoring.recall;
+          ]
+      in
+      score "vector clocks (paper)" r.flagged;
+      score "lockset (Eraser)" r.lockset)
+    families;
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "Lockset cannot see barrier synchronization, so it floods the clean@.\
+     bulk-synchronous workloads with false positives; the paper's clock@.\
+     detector tracks the true causality in every family.@."
+
+let experiments =
+  [
+    {
+      Harness.id = "E8";
+      paper_artifact = "§4.4: the write clock eliminates false positives";
+      run = e8;
+    };
+    {
+      Harness.id = "E9";
+      paper_artifact = "Lemma 1 in practice: accuracy vs. offline HB and lockset";
+      run = e9;
+    };
+  ]

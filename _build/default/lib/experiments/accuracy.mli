@@ -1,0 +1,13 @@
+(** E8–E9: detection accuracy.
+
+    E8 quantifies §4.4's claim that the write clock eliminates false
+    positives, by scoring the V+W detector and the single-clock ablation
+    against offline ground truth over read-heavy random workloads, and
+    measures the gap between the algorithm's causality (all-writers) and
+    strict happens-before (last-writer).
+
+    E9 scores the detector and the Eraser-style lockset baseline on the
+    workload families (random, master/worker racy and clean, stencil):
+    precision/recall per method per family. *)
+
+val experiments : Harness.experiment list

@@ -1,0 +1,10 @@
+(** E14: coherence validation of the substrate.
+
+    The paper's model presumes {e coherent} distributed memory: a get
+    returns, per word, the value of the last write the owning NIC
+    applied. E14 runs every workload family under the online coherence
+    checker ([Dsm_rdma.Coherence]) and reports the comparisons — all
+    clean — plus a positive control where memory is corrupted behind the
+    NIC's back and the checker catches it. *)
+
+val experiments : Harness.experiment list

@@ -1,0 +1,10 @@
+(** E6–E7: the quantitative discussion claims.
+
+    E6 measures clock sizes on the wire (§4.3's lower bound: vectors grow
+    linearly in [n], matrices quadratically, and the differential encoding
+    does not beat [n] in the worst case) plus the Lamport ablation's
+    blindness. E7 measures the §5.1 overhead: detection's cost in
+    simulated time, messages, wire words, and clock storage, across
+    transports, process counts and granularities. *)
+
+val experiments : Harness.experiment list

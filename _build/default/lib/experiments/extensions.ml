@@ -1,0 +1,150 @@
+(* E11-E12: extensions beyond the paper (lock-aware clocks, checked
+   atomics). *)
+
+open Dsm_stats
+open Dsm_pgas
+open Dsm_baselines
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Report = Dsm_core.Report
+
+(* ---------- E11: lock-aware clocks ---------- *)
+
+let run_locked_counter ~lock_aware =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d =
+    Detector.create m
+      ~config:
+        {
+          Config.default with
+          Config.granularity = Config.Word;
+          record_trace = true;
+          lock_aware_clocks = lock_aware;
+        }
+      ()
+  in
+  let env = Env.checked d in
+  Dsm_workload.Locked_counter.setup env
+    { Dsm_workload.Locked_counter.default with increments_per_proc = 6 };
+  Harness.run_to_completion m;
+  let trace =
+    match Detector.trace d with Some t -> t | None -> assert false
+  in
+  ( Report.count (Detector.report d),
+    List.length (Scoring.ground_truth_words trace),
+    List.length (Lockset.racy_words trace),
+    Dsm_workload.Locked_counter.counter_value env )
+
+let e11 ppf =
+  let plain_signals, truth, lockset, count = run_locked_counter ~lock_aware:false in
+  let aware_signals, _, _, count' = run_locked_counter ~lock_aware:true in
+  Format.fprintf ppf
+    "Lock-disciplined counter: 4 processes x 6 increments under a NIC lock.@.\
+     Final count %d/%d (plain clocks) and %d/%d (lock-aware): mutual@.\
+     exclusion works either way — only the verdicts differ.@.@."
+    count 24 count' 24;
+  let table =
+    Table.create ~headers:[ "method"; "verdict (racy words / signals)"; "correct?" ]
+  in
+  Table.add_row table
+    [
+      "ground truth (HB with lock edges)";
+      string_of_int truth;
+      (if truth = 0 then "race-free, as designed" else "UNEXPECTED");
+    ];
+  Table.add_row table
+    [
+      "lockset (Eraser)";
+      string_of_int lockset;
+      (if lockset = 0 then "clean (consistent locking)" else "UNEXPECTED");
+    ];
+  Table.add_row table
+    [
+      "paper clocks (no lock awareness)";
+      string_of_int plain_signals;
+      (if plain_signals > 0 then "FALSE POSITIVES" else "unexpected silence");
+    ];
+  Table.add_row table
+    [
+      "lock-aware clocks (extension)";
+      string_of_int aware_signals;
+      (if aware_signals = 0 then "clean (fixed)" else "UNEXPECTED");
+    ];
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "The paper's clocks only flow through the data itself, so the first@.\
+     read of each critical section looks concurrent with the previous@.\
+     holder's write. Publishing the clock on unlock and absorbing it on@.\
+     lock (release/acquire) restores precision at the cost of one clock@.\
+     per lock object.@."
+
+(* ---------- E12: checked atomics ---------- *)
+
+let run_histogram ~atomic =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d = Detector.create m () in
+  let bins =
+    Array.init 4 (fun b ->
+        Detector.alloc_shared d ~pid:0 ~name:(Printf.sprintf "bin%d" b) ~len:1
+          ())
+  in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      let g = Dsm_sim.Prng.create ~seed:(50 + pid) in
+      let scratch = Machine.alloc_private m ~pid ~len:1 () in
+      for _ = 1 to 16 do
+        Machine.compute p (Dsm_sim.Prng.exponential g ~mean:3.0);
+        let bin = bins.(Dsm_sim.Prng.int g 4) in
+        if atomic then
+          ignore
+            (Detector.fetch_add d p ~target:bin.Dsm_memory.Addr.base ~delta:1)
+        else begin
+          Detector.get d p ~src:bin ~dst:scratch;
+          let v =
+            (Dsm_memory.Node_memory.read (Machine.node m pid) scratch).(0)
+          in
+          Dsm_memory.Node_memory.write (Machine.node m pid) scratch [| v + 1 |];
+          Detector.put d p ~src:scratch ~dst:bin
+        end
+      done);
+  Harness.run_to_completion m;
+  let counted =
+    Array.fold_left
+      (fun acc bin ->
+        acc + (Dsm_memory.Node_memory.read (Machine.node m 0) bin).(0))
+      0 bins
+  in
+  (counted, Report.count (Detector.report d))
+
+let e12 ppf =
+  let naive_count, naive_signals = run_histogram ~atomic:false in
+  let atomic_count, atomic_signals = run_histogram ~atomic:true in
+  let table =
+    Table.create
+      ~headers:[ "increment protocol"; "counted (of 64)"; "race signals" ]
+  in
+  Table.add_row table
+    [ "naive get/modify/put"; string_of_int naive_count; string_of_int naive_signals ];
+  Table.add_row table
+    [ "NIC fetch-and-add (checked)"; string_of_int atomic_count; string_of_int atomic_signals ];
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "Atomic read-modify-writes are serialized by the target NIC: the@.\
+     checked extension treats them as synchronizing accesses, so a purely@.\
+     atomic counter is both correct and silent, while the naive protocol@.\
+     loses updates exactly where the detector signals.@."
+
+let experiments =
+  [
+    {
+      Harness.id = "E11";
+      paper_artifact = "extension: causality through user-level locks";
+      run = e11;
+    };
+    {
+      Harness.id = "E12";
+      paper_artifact = "extension: checked atomic read-modify-writes";
+      run = e12;
+    };
+  ]

@@ -1,0 +1,14 @@
+(** E11+: extensions beyond the paper.
+
+    E11 measures what the paper's clocks miss: causality through
+    user-level locks. A lock-disciplined shared counter is race-free (the
+    ground truth with lock edges and the Eraser lockset both say so), yet
+    the paper's algorithm — whose clocks never interact with locks —
+    floods it with false positives; the [lock_aware_clocks] extension
+    (release publishes, acquire absorbs a per-lock clock) removes them.
+
+    E12 measures the checked-atomics extension: NIC-serialized
+    fetch-and-add as a synchronizing operation vs. the naive
+    get/modify/put loop. *)
+
+val experiments : Harness.experiment list

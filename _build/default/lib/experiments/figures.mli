@@ -1,0 +1,5 @@
+(** E1–E5: the paper's figures (memory organization, put/get flow, lock
+    delay, concurrent reads, and the three race diagrams) as executable,
+    self-checking scenarios. *)
+
+val experiments : Harness.experiment list

@@ -1,0 +1,77 @@
+open Dsm_sim
+module Machine = Dsm_rdma.Machine
+
+type experiment = {
+  id : string;
+  paper_artifact : string;
+  run : Format.formatter -> unit;
+}
+
+let section ppf e =
+  Format.fprintf ppf "@.=== %s — %s ===@.@." e.id e.paper_artifact;
+  e.run ppf;
+  Format.pp_print_flush ppf ()
+
+let fresh_machine ?(n = 3) ?(latency = Dsm_net.Latency.Constant 1.0) ?seed ()
+    =
+  let sim = Engine.create ?seed () in
+  Machine.create sim ~n ~latency ()
+
+let run_to_completion m =
+  match Machine.run m with
+  | Engine.Completed -> ()
+  | Engine.Blocked k ->
+      failwith (Printf.sprintf "experiment blocked with %d processes" k)
+  | Engine.Stopped | Engine.Time_limit_reached | Engine.Event_limit_reached ->
+      failwith "experiment was cut off"
+
+let collect_arrows m =
+  let arrows = ref [] in
+  let pending : (int * string, float * int * int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let counter = ref 0 in
+  Machine.add_observer m (function
+    | Machine.Sent { time; src; dst; msg } ->
+        incr counter;
+        Hashtbl.replace pending
+          (!counter, Dsm_rdma.Message.describe msg)
+          (time, src, dst)
+    | Machine.Delivered { time; msg; _ } ->
+        (* Match the oldest pending send with the same description: FIFO
+           channels make this exact for our scenarios. *)
+        let label = Dsm_rdma.Message.describe msg in
+        let best = ref None in
+        Hashtbl.iter
+          (fun (k, l) v ->
+            if l = label then
+              match !best with
+              | Some (k0, _) when k0 <= k -> ()
+              | _ -> best := Some (k, v))
+          pending;
+        (match !best with
+        | Some (k, (t0, src, dst)) ->
+            Hashtbl.remove pending (k, label);
+            arrows :=
+              {
+                Dsm_trace.Spacetime.send_time = t0;
+                recv_time = time;
+                src;
+                dst;
+                label;
+              }
+              :: !arrows
+        | None -> ())
+    | Machine.Write_applied _ | Machine.Read_served _
+    | Machine.Atomic_applied _ ->
+        ());
+  fun () -> List.rev !arrows
+
+let private_with m ~pid words =
+  let r = Machine.alloc_private m ~pid ~len:(Array.length words) () in
+  Dsm_memory.Node_memory.write (Machine.node m pid) r words;
+  r
+
+let fmt_ratio a b = Printf.sprintf "%.2fx" (a /. b)
+
+let fmt_us t = Printf.sprintf "%.2f us" t

@@ -1,0 +1,108 @@
+(* E17: library-level vs. pre-compiler-level detection (§5.2). *)
+
+open Dsm_stats
+open Dsm_lang
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Report = Dsm_core.Report
+
+let seqs l = Ast.Seq l
+
+(* Barrier-synchronized: each rank fills its slot, rank 0 folds. *)
+let clean_program =
+  {
+    Ast.shared =
+      [ { Ast.name = "slots"; length = 4 }; { Ast.name = "out"; length = 1 } ];
+    body =
+      seqs
+        [
+          Ast.Store ("slots", Ast.Mine, Ast.Binop (Ast.Mul, Ast.Mine, Ast.Mine));
+          Ast.Barrier;
+          Ast.If
+            ( Ast.Binop (Ast.Eq, Ast.Mine, Ast.Int 0),
+              seqs
+                [
+                  Ast.Let ("acc", Ast.Int 0);
+                  Ast.For
+                    ( "i",
+                      Ast.Int 0,
+                      Ast.Binop (Ast.Sub, Ast.Procs, Ast.Int 1),
+                      Ast.Let
+                        ( "acc",
+                          Ast.Binop
+                            (Ast.Add, Ast.Var "acc", Ast.Load ("slots", Ast.Var "i"))
+                        ) );
+                  Ast.Store ("out", Ast.Int 0, Ast.Var "acc");
+                ],
+              Ast.Skip );
+        ];
+  }
+
+(* Unsynchronized: everyone writes the same cell. *)
+let racy_program =
+  {
+    Ast.shared = [ { Ast.name = "cell"; length = 1 } ];
+    body =
+      seqs
+        [
+          Ast.Compute (Ast.Binop (Ast.Mul, Ast.Mine, Ast.Int 9));
+          Ast.Store ("cell", Ast.Int 0, Ast.Mine);
+        ];
+  }
+
+let run_lang ~instrument prog =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d = Detector.create m () in
+  let ir = Compile.lower_exn ~instrument prog in
+  ignore (Exec.setup m ~detector:d ir);
+  Harness.run_to_completion m;
+  (Report.count (Detector.report d), Ir.checked_accesses ir)
+
+(* The library level: the same racy program hand-written against the
+   detector API. *)
+let run_library () =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d = Detector.create m () in
+  let cell = Detector.alloc_shared d ~pid:0 ~name:"cell" ~len:1 () in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      Machine.compute p (float_of_int (pid * 9));
+      let buf = Machine.alloc_private m ~pid ~len:1 () in
+      Detector.put d p ~src:buf ~dst:cell);
+  Harness.run_to_completion m;
+  Report.count (Detector.report d)
+
+let e17 ppf =
+  Format.fprintf ppf "The racy source program:@.@.  @[<v>%a@]@.@." Ast.pp_program
+    racy_program;
+  let table =
+    Table.create
+      ~headers:[ "program"; "deployment"; "wrappers"; "race signals" ]
+  in
+  let row name deployment wrappers signals =
+    Table.add_row table
+      [ name; deployment; wrappers; string_of_int signals ]
+  in
+  let s, w = run_lang ~instrument:true clean_program in
+  row "barrier-synchronized fold" "pre-compiler wrappers" (string_of_int w) s;
+  let s, _ = run_lang ~instrument:false clean_program in
+  row "barrier-synchronized fold" "uninstrumented" "0" s;
+  let s, w = run_lang ~instrument:true racy_program in
+  row "unsynchronized stores" "pre-compiler wrappers" (string_of_int w) s;
+  row "unsynchronized stores" "communication library" "-" (run_library ());
+  let s, _ = run_lang ~instrument:false racy_program in
+  row "unsynchronized stores" "uninstrumented" "0" s;
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "The pre-compiler level (wrappers inserted by a lowering pass) and the@.\
+     library level (checked put/get) agree signal for signal, as §5.2@.\
+     promises; without instrumentation the same race happens silently.@."
+
+let experiments =
+  [
+    {
+      Harness.id = "E17";
+      paper_artifact = "§5.2: library-level vs. pre-compiler-level detection";
+      run = e17;
+    };
+  ]

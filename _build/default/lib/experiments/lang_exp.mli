@@ -1,0 +1,11 @@
+(** E17: §5.2's two deployment levels.
+
+    The paper closes by proposing that detection can live either "in the
+    communication library" or "in the pre-compiler, as wrappers around
+    remote data accesses". The library level is [Dsm_core.Detector]; the
+    pre-compiler level is [Dsm_lang.Compile] inserting wrappers into a
+    small PGAS language. E17 runs the same programs at both levels and at
+    no level, showing identical results and identical verdicts — and that
+    an uninstrumented binary races invisibly. *)
+
+val experiments : Harness.experiment list

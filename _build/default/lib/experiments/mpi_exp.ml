@@ -1,0 +1,70 @@
+(* E15: MPI-2 windows; usage checking (MARMOT) vs. clock detection. *)
+
+open Dsm_stats
+open Dsm_pgas
+open Dsm_mpiwin
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Report = Dsm_core.Report
+
+let run_program program =
+  let m = Harness.fresh_machine ~n:3 () in
+  let d = Detector.create m () in
+  let env = Env.checked d in
+  let c = Collectives.create env in
+  let w = Window.create env ~collectives:c ~name:"w" ~len_per_rank:2 in
+  Machine.spawn_all m (fun p -> program w p (Machine.pid p));
+  Harness.run_to_completion m;
+  ( List.length (Window.usage_violations w),
+    Report.count (Detector.report d),
+    Window.usage_violations w )
+
+let correct_exchange w p pid =
+  Window.fence w p;
+  Window.put w p ~rank:((pid + 1) mod 3) ~offset:0 pid;
+  Window.fence w p;
+  ignore (Window.get w p ~rank:pid ~offset:0);
+  Window.fence w p
+
+let op_outside_epoch w p pid =
+  if pid = 0 then Window.put w p ~rank:1 ~offset:1 7;
+  Window.fence w p
+
+let race_within_epoch w p pid =
+  Window.fence w p;
+  if pid <> 2 then Window.put w p ~rank:2 ~offset:0 pid;
+  Window.fence w p
+
+let e15 ppf =
+  let table =
+    Table.create
+      ~headers:
+        [ "window program"; "usage (MARMOT-style)"; "races (paper clocks)"; "reading" ]
+  in
+  let row name program reading =
+    let usage, races, _ = run_program program in
+    Table.add_row table
+      [ name; string_of_int usage; string_of_int races; reading ]
+  in
+  row "fence-synchronized exchange" correct_exchange "both clean";
+  row "put outside any epoch" op_outside_epoch "only usage checking sees it";
+  row "conflicting puts inside one epoch" race_within_epoch
+    "only the clocks see it";
+  Format.fprintf ppf "%s@." (Table.render table);
+  let _, _, violations = run_program op_outside_epoch in
+  List.iter
+    (fun v -> Format.fprintf ppf "  %a@." Window.pp_usage_violation v)
+    violations;
+  Format.fprintf ppf
+    "@.Usage checking validates how the synchronization API is used;@.\
+     Lemma 1 validates whether the accesses it permits are ordered. The@.\
+     two catch disjoint bug classes — the complementarity §2 implies.@."
+
+let experiments =
+  [
+    {
+      Harness.id = "E15";
+      paper_artifact = "§2: MPI-2 windows; MARMOT-style checking vs. clocks";
+      run = e15;
+    };
+  ]

@@ -1,0 +1,9 @@
+(** E15: MPI-2 one-sided windows and the MARMOT comparison (§2).
+
+    The paper positions its clock-based detection against MARMOT's
+    checking of "correct usage of the synchronization features provided
+    by MPI". E15 runs three window programs — a correct fence exchange,
+    an operation outside any epoch, and a data race inside a legal epoch
+    — under both checkers, exhibiting their complementarity. *)
+
+val experiments : Harness.experiment list

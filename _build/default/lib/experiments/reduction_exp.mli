@@ -1,0 +1,6 @@
+(** E10: the §5.2 future-work operation — a one-sided reduction performed
+    by a single process with no participation of the others — compared
+    with the conventional gather collective across process counts, and
+    adjudicated by the race detector. *)
+
+val experiments : Harness.experiment list

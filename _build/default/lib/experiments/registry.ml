@@ -1,0 +1,18 @@
+let all =
+  Figures.experiments @ Costs.experiments @ Accuracy.experiments
+  @ Reduction_exp.experiments @ Extensions.experiments @ Stability.experiments @ Coherence_exp.experiments @ Mpi_exp.experiments @ Svm_exp.experiments @ Lang_exp.experiments
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.Harness.id = id)
+    all
+
+let run_all ppf = List.iter (Harness.section ppf) all
+
+let run_only ppf id =
+  match find id with
+  | Some e ->
+      Harness.section ppf e;
+      Ok ()
+  | None -> Error (Printf.sprintf "unknown experiment %S" id)

@@ -1,0 +1,10 @@
+(** E13: verdict stability under timing.
+
+    Lemma 1 is a statement about causality, not about speed: which
+    accesses race is fully determined by the program's synchronization
+    structure, so the detector's verdicts must be invariant under any
+    change of latency model or jitter seed — only the timestamps may
+    move. E13 replays the figure scenarios and a random workload under
+    six fabric timings and compares the flagged word sets. *)
+
+val experiments : Harness.experiment list

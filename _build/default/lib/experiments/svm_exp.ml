@@ -1,0 +1,147 @@
+(* E16: one-sided RDMA model vs. Li-Hudak paged SVM. *)
+
+open Dsm_stats
+module Machine = Dsm_rdma.Machine
+module Svm = Dsm_svm.Svm
+
+let rounds = 10
+
+type outcome = { messages : int; time : float; faults : int }
+
+let run_rdma program =
+  let m = Harness.fresh_machine ~n:4 () in
+  let area = Machine.alloc_public m ~pid:0 ~name:"data" ~len:16 () in
+  program m area;
+  Harness.run_to_completion m;
+  {
+    messages = Machine.fabric_messages m;
+    time = Dsm_sim.Engine.now (Machine.sim m);
+    faults = 0;
+  }
+
+let run_svm program =
+  let m = Harness.fresh_machine ~n:4 () in
+  let svm = Svm.create m ~page_words:16 ~num_pages:1 () in
+  program m svm;
+  Harness.run_to_completion m;
+  {
+    messages = Machine.fabric_messages m;
+    time = Dsm_sim.Engine.now (Machine.sim m);
+    faults = Svm.read_faults svm + Svm.write_faults svm;
+  }
+
+(* (a) one producer, three consumers re-reading 16 shared words. *)
+
+let rdma_read_heavy m (area : Dsm_memory.Addr.region) =
+  Machine.spawn m ~pid:0 (fun p ->
+      let buf = Machine.alloc_private m ~pid:0 ~len:16 () in
+      Machine.put p ~src:buf ~dst:area ());
+  for pid = 1 to 3 do
+    Machine.spawn m ~pid (fun p ->
+        Machine.compute p 10.0;
+        let buf = Machine.alloc_private m ~pid ~len:16 () in
+        for _ = 1 to rounds do
+          Machine.get p ~src:area ~dst:buf ()
+        done)
+  done
+
+let svm_read_heavy m svm =
+  Machine.spawn m ~pid:0 (fun p ->
+      for i = 0 to 15 do
+        Svm.store svm p ~addr:i i
+      done);
+  for pid = 1 to 3 do
+    Machine.spawn m ~pid (fun p ->
+        Machine.compute p 10.0;
+        for _ = 1 to rounds do
+          for i = 0 to 15 do
+            ignore (Svm.load svm p ~addr:i)
+          done
+        done)
+  done
+
+(* (b) two writers alternating on one word. *)
+
+let alternating m writer =
+  for pid = 0 to 1 do
+    Machine.spawn m ~pid (fun p ->
+        for r = 0 to rounds - 1 do
+          Machine.compute p (float_of_int ((((2 * r) + pid) * 50) + 1));
+          writer p pid r
+        done)
+  done
+
+let rdma_ping_pong m (area : Dsm_memory.Addr.region) =
+  let target =
+    Dsm_memory.Addr.region ~pid:0 ~space:Dsm_memory.Addr.Public
+      ~offset:area.Dsm_memory.Addr.base.offset ~len:1
+  in
+  alternating m (fun p pid r ->
+      let buf =
+        Machine.alloc_private m ~pid:(Machine.pid p) ~len:1 ()
+      in
+      ignore pid;
+      ignore r;
+      Machine.put p ~src:buf ~dst:target ())
+
+let svm_ping_pong m svm =
+  alternating m (fun p _pid r -> Svm.store svm p ~addr:0 r)
+
+(* (c) false sharing: the writers touch different words of one page. *)
+
+let rdma_false_sharing m (area : Dsm_memory.Addr.region) =
+  alternating m (fun p pid _r ->
+      let target =
+        Dsm_memory.Addr.region ~pid:0 ~space:Dsm_memory.Addr.Public
+          ~offset:(area.Dsm_memory.Addr.base.offset + (pid * 8))
+          ~len:1
+      in
+      let buf = Machine.alloc_private m ~pid:(Machine.pid p) ~len:1 () in
+      Machine.put p ~src:buf ~dst:target ())
+
+let svm_false_sharing m svm =
+  alternating m (fun p pid r -> Svm.store svm p ~addr:(pid * 8) r)
+
+let e16 ppf =
+  let table =
+    Table.create
+      ~headers:[ "access pattern"; "model"; "messages"; "faults"; "sim time" ]
+  in
+  let row pattern model outcome =
+    Table.add_row table
+      [
+        pattern;
+        model;
+        string_of_int outcome.messages;
+        (if model = "paged SVM" then string_of_int outcome.faults else "-");
+        Harness.fmt_us outcome.time;
+      ]
+  in
+  row "read-heavy (1 writer, 3 readers x10)" "one-sided RDMA"
+    (run_rdma rdma_read_heavy);
+  row "read-heavy (1 writer, 3 readers x10)" "paged SVM"
+    (run_svm svm_read_heavy);
+  row "write ping-pong (2 writers x10)" "one-sided RDMA"
+    (run_rdma rdma_ping_pong);
+  row "write ping-pong (2 writers x10)" "paged SVM" (run_svm svm_ping_pong);
+  row "false sharing (2 words, 1 page)" "one-sided RDMA"
+    (run_rdma rdma_false_sharing);
+  row "false sharing (2 words, 1 page)" "paged SVM"
+    (run_svm svm_false_sharing);
+  Format.fprintf ppf "%s@." (Table.render table);
+  Format.fprintf ppf
+    "Caching wins when readers re-read (the SVM's page amortizes); the@.\
+     paper's direct one-sided model wins whenever writes alternate — and@.\
+     decisively under false sharing, where the page protocol ping-pongs@.\
+     on words that never actually conflict. This is §2's trade-off,@.\
+     measured, and the motivation for detecting races at the level of the@.\
+     accesses themselves.@."
+
+let experiments =
+  [
+    {
+      Harness.id = "E16";
+      paper_artifact = "§2: one-sided model vs. cached-page DSM (Li-Hudak)";
+      run = e16;
+    };
+  ]

@@ -1,0 +1,11 @@
+(** E16: the paper's model vs. the §2 cached-memory model.
+
+    §2 recalls that DSM "is often modeled as a large cached memory" with
+    page faults resolved by a distributed memory controller (Li & Hudak),
+    and the paper's contribution is precisely a {e lower-level} model
+    where a process reaches remote memory directly. E16 runs three access
+    patterns on both substrates — read-heavy sharing, write ping-pong and
+    false sharing — and compares messages, faults and simulated time,
+    quantifying when each model wins. *)
+
+val experiments : Harness.experiment list

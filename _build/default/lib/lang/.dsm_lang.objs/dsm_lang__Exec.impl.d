@@ -1,0 +1,1 @@
+lib/lang/exec.ml: Addr Array Ast Dsm_core Dsm_memory Dsm_pgas Dsm_rdma Hashtbl Ir List Node_memory Printf

@@ -1,0 +1,1 @@
+lib/lang/exec.mli: Dsm_core Dsm_rdma Ir

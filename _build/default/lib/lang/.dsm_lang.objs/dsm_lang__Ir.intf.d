@@ -1,0 +1,1 @@
+lib/lang/ir.mli: Ast

@@ -1,0 +1,145 @@
+type binop = Add | Sub | Mul | Div | Mod | Eq | Lt
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mine
+  | Procs
+  | Load of string * expr
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Skip
+  | Let of string * expr
+  | Store of string * expr * expr
+  | Fetch_add of string * expr * expr
+  | Barrier
+  | Compute of expr
+  | Seq of stmt list
+  | If of expr * stmt * stmt
+  | For of string * expr * expr * stmt
+  | While of expr * stmt
+
+type shared_decl = { name : string; length : int }
+
+type program = { shared : shared_decl list; body : stmt }
+
+module StringSet = Set.Make (String)
+
+let validate prog =
+  let exception Bad of string in
+  try
+    let shared = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        if d.length < 1 then
+          raise (Bad (Printf.sprintf "shared array %S has no elements" d.name));
+        if Hashtbl.mem shared d.name then
+          raise (Bad (Printf.sprintf "shared array %S declared twice" d.name));
+        Hashtbl.add shared d.name d.length)
+      prog.shared;
+    let check_shared name =
+      if not (Hashtbl.mem shared name) then
+        raise (Bad (Printf.sprintf "undeclared shared array %S" name))
+    in
+    let rec check_expr env = function
+      | Int _ | Mine | Procs -> ()
+      | Var v ->
+          if not (StringSet.mem v env) then
+            raise (Bad (Printf.sprintf "undefined private variable %S" v))
+      | Load (name, idx) ->
+          check_shared name;
+          check_expr env idx
+      | Binop (_, a, b) ->
+          check_expr env a;
+          check_expr env b
+    in
+    (* Returns the environment after the statement (straight-line scope). *)
+    let rec check_stmt env = function
+      | Skip | Barrier -> env
+      | Let (v, e) ->
+          check_expr env e;
+          StringSet.add v env
+      | Store (name, idx, e) ->
+          check_shared name;
+          check_expr env idx;
+          check_expr env e;
+          env
+      | Fetch_add (name, idx, e) ->
+          check_shared name;
+          check_expr env idx;
+          check_expr env e;
+          env
+      | Compute e ->
+          check_expr env e;
+          env
+      | Seq l -> List.fold_left check_stmt env l
+      | If (c, a, b) ->
+          check_expr env c;
+          ignore (check_stmt env a);
+          ignore (check_stmt env b);
+          env
+      | For (v, lo, hi, body) ->
+          check_expr env lo;
+          check_expr env hi;
+          ignore (check_stmt (StringSet.add v env) body);
+          env
+      | While (c, body) ->
+          check_expr env c;
+          ignore (check_stmt env body);
+          env
+    in
+    ignore (check_stmt StringSet.empty prog.body);
+    Ok ()
+  with Bad msg -> Error msg
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Lt -> "<"
+
+let rec pp_expr ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Var v -> Format.pp_print_string ppf v
+  | Mine -> Format.pp_print_string ppf "MINE"
+  | Procs -> Format.pp_print_string ppf "PROCS"
+  | Load (name, idx) -> Format.fprintf ppf "%s[%a]" name pp_expr idx
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+
+let rec pp_stmt ppf = function
+  | Skip -> Format.pp_print_string ppf "skip"
+  | Let (v, e) -> Format.fprintf ppf "%s := %a" v pp_expr e
+  | Store (name, idx, e) ->
+      Format.fprintf ppf "%s[%a] := %a" name pp_expr idx pp_expr e
+  | Fetch_add (name, idx, e) ->
+      Format.fprintf ppf "%s[%a] +>= %a" name pp_expr idx pp_expr e
+  | Barrier -> Format.pp_print_string ppf "barrier"
+  | Compute e -> Format.fprintf ppf "compute %a" pp_expr e
+  | Seq l ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@,")
+           pp_stmt)
+        l
+  | If (c, a, b) ->
+      Format.fprintf ppf
+        "@[<v 2>if %a then@,%a@]@,@[<v 2>else@,%a@]@,end" pp_expr c pp_stmt a
+        pp_stmt b
+  | For (v, lo, hi, body) ->
+      Format.fprintf ppf "@[<v 2>for %s = %a to %a do@,%a@]@,done" v pp_expr lo
+        pp_expr hi pp_stmt body
+  | While (c, body) ->
+      Format.fprintf ppf "@[<v 2>while %a do@,%a@]@,done" pp_expr c pp_stmt
+        body
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun d -> Format.fprintf ppf "shared %s[%d]@," d.name d.length)
+    prog.shared;
+  pp_stmt ppf prog.body;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,137 @@
+open Dsm_memory
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+
+exception Runtime_error of string
+
+type runtime = {
+  machine : Machine.t;
+  n : int;
+  arrays : (string, Addr.region array) Hashtbl.t; (* element regions *)
+  collectives : Dsm_pgas.Collectives.t;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let element rt name idx =
+  match Hashtbl.find_opt rt.arrays name with
+  | None -> fail "unknown shared array %S" name
+  | Some elems ->
+      if idx < 0 || idx >= Array.length elems then
+        fail "%s[%d] out of bounds (length %d)" name idx (Array.length elems);
+      elems.(idx)
+
+let interpret rt ~detector p body =
+  let pid = Machine.pid p in
+  let scratch = Machine.alloc_private rt.machine ~pid ~len:1 () in
+  let vars : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let read_scratch () =
+    (Node_memory.read (Machine.node rt.machine pid) scratch).(0)
+  in
+  let write_scratch v =
+    Node_memory.write (Machine.node rt.machine pid) scratch [| v |]
+  in
+  let data_op access ~checked ~raw =
+    match (access, detector) with
+    | Ir.Raw, _ -> raw ()
+    | Ir.Checked, Some d -> checked d
+    | Ir.Checked, None ->
+        fail "checked access executed without a detector attached"
+  in
+  let rec eval : Ir.expr -> int = function
+    | Ir.Int i -> i
+    | Ir.Var v -> (
+        match Hashtbl.find_opt vars v with
+        | Some x -> x
+        | None -> fail "undefined variable %S" v)
+    | Ir.Mine -> pid
+    | Ir.Procs -> rt.n
+    | Ir.Load (access, name, idx) ->
+        let r = element rt name (eval idx) in
+        data_op access
+          ~checked:(fun d -> Detector.get d p ~src:r ~dst:scratch)
+          ~raw:(fun () -> Machine.get p ~src:r ~dst:scratch ());
+        read_scratch ()
+    | Ir.Binop (op, a, b) -> (
+        let x = eval a in
+        let y = eval b in
+        match op with
+        | Ast.Add -> x + y
+        | Ast.Sub -> x - y
+        | Ast.Mul -> x * y
+        | Ast.Div -> if y = 0 then fail "division by zero" else x / y
+        | Ast.Mod -> if y = 0 then fail "modulo by zero" else x mod y
+        | Ast.Eq -> if x = y then 1 else 0
+        | Ast.Lt -> if x < y then 1 else 0)
+  in
+  let rec exec : Ir.stmt -> unit = function
+    | Ir.Skip -> ()
+    | Ir.Let (v, e) -> Hashtbl.replace vars v (eval e)
+    | Ir.Store (access, name, idx, e) ->
+        let r = element rt name (eval idx) in
+        write_scratch (eval e);
+        data_op access
+          ~checked:(fun d -> Detector.put d p ~src:scratch ~dst:r)
+          ~raw:(fun () -> Machine.put p ~src:scratch ~dst:r ())
+    | Ir.Fetch_add (access, name, idx, e) ->
+        let r = element rt name (eval idx) in
+        let delta = eval e in
+        data_op access
+          ~checked:(fun d ->
+            ignore (Detector.fetch_add d p ~target:r.Addr.base ~delta))
+          ~raw:(fun () ->
+            ignore (Machine.fetch_add p ~target:r.Addr.base ~delta ()))
+    | Ir.Barrier -> Dsm_pgas.Collectives.barrier rt.collectives p
+    | Ir.Compute e -> Machine.compute p (float_of_int (eval e))
+    | Ir.Seq l -> List.iter exec l
+    | Ir.If (c, a, b) -> if eval c <> 0 then exec a else exec b
+    | Ir.For (v, lo, hi, body) ->
+        let lo = eval lo and hi = eval hi in
+        for i = lo to hi do
+          Hashtbl.replace vars v i;
+          exec body
+        done
+    | Ir.While (c, body) ->
+        while eval c <> 0 do
+          exec body
+        done
+  in
+  exec body
+
+let setup machine ?detector (prog : Ir.program) =
+  let n = Machine.n machine in
+  let env =
+    match detector with
+    | Some d -> Dsm_pgas.Env.checked d
+    | None -> Dsm_pgas.Env.plain machine
+  in
+  let arrays = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.shared_decl) ->
+      let elems =
+        Array.init d.length (fun i ->
+            let pid = i mod n in
+            let r =
+              Machine.alloc_public machine ~pid
+                ~name:(Printf.sprintf "%s[%d]" d.name i)
+                ~len:1 ()
+            in
+            Dsm_pgas.Env.register env r;
+            r)
+      in
+      Hashtbl.add arrays d.name elems)
+    prog.shared;
+  let rt =
+    { machine; n; arrays; collectives = Dsm_pgas.Collectives.create env }
+  in
+  Machine.spawn_all machine (fun p -> interpret rt ~detector p prog.body);
+  rt
+
+let array_contents rt name =
+  match Hashtbl.find_opt rt.arrays name with
+  | None -> raise Not_found
+  | Some elems ->
+      Array.map
+        (fun (r : Addr.region) ->
+          (Node_memory.read (Machine.node rt.machine r.base.pid) r).(0))
+        elems

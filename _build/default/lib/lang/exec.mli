@@ -1,0 +1,25 @@
+(** The run-time for lowered programs: executes the SPMD body on every
+    node of a machine.
+
+    Shared arrays are laid out cyclically over the nodes (element [i] on
+    node [i mod n]) and, when a detector is attached, registered as
+    shared data. [Checked] accesses run through the detector's
+    Algorithms 1–2; [Raw] accesses use the NIC primitives directly —
+    with a detector attached but a [Raw] program, races happen {e
+    invisibly}: the instrumented/uninstrumented contrast of E17. *)
+
+type runtime
+
+val setup :
+  Dsm_rdma.Machine.t -> ?detector:Dsm_core.Detector.t -> Ir.program -> runtime
+(** Allocates the arrays, the collectives and one interpreter process per
+    node; run the machine afterwards. [Checked] accesses with no
+    [detector] raise [Failure] at execution. *)
+
+val array_contents : runtime -> string -> int array
+(** Meta-level, after the run: the elements of a shared array.
+    Raises [Not_found] for an unknown name. *)
+
+exception Runtime_error of string
+(** Index out of bounds, division by zero, missing detector for a
+    checked access. *)

@@ -1,0 +1,62 @@
+type access = Raw | Checked
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mine
+  | Procs
+  | Load of access * string * expr
+  | Binop of Ast.binop * expr * expr
+
+type stmt =
+  | Skip
+  | Let of string * expr
+  | Store of access * string * expr * expr
+  | Fetch_add of access * string * expr * expr
+  | Barrier
+  | Compute of expr
+  | Seq of stmt list
+  | If of expr * stmt * stmt
+  | For of string * expr * expr * stmt
+  | While of expr * stmt
+
+type program = { shared : Ast.shared_decl list; body : stmt }
+
+let count_accesses ~tag prog =
+  let n = ref 0 in
+  let hit a = if a = tag then incr n in
+  let rec expr = function
+    | Int _ | Var _ | Mine | Procs -> ()
+    | Load (a, _, idx) ->
+        hit a;
+        expr idx
+    | Binop (_, x, y) ->
+        expr x;
+        expr y
+  in
+  let rec stmt = function
+    | Skip | Barrier -> ()
+    | Let (_, e) | Compute e -> expr e
+    | Store (a, _, idx, e) | Fetch_add (a, _, idx, e) ->
+        hit a;
+        expr idx;
+        expr e
+    | Seq l -> List.iter stmt l
+    | If (c, x, y) ->
+        expr c;
+        stmt x;
+        stmt y
+    | For (_, lo, hi, body) ->
+        expr lo;
+        expr hi;
+        stmt body
+    | While (c, body) ->
+        expr c;
+        stmt body
+  in
+  stmt prog.body;
+  !n
+
+let checked_accesses = count_accesses ~tag:Checked
+
+let raw_accesses = count_accesses ~tag:Raw

@@ -1,0 +1,37 @@
+(** The lowered form the interpreter executes.
+
+    Identical to [Ast] except that every remote access carries an
+    {!access} tag. [Checked] accesses go through the race detector's
+    Algorithms 1–2; [Raw] accesses hit the NIC directly and are invisible
+    to the detector — exactly the difference between a program the §5.2
+    pre-compiler instrumented and one it did not. *)
+
+type access = Raw | Checked
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mine
+  | Procs
+  | Load of access * string * expr
+  | Binop of Ast.binop * expr * expr
+
+type stmt =
+  | Skip
+  | Let of string * expr
+  | Store of access * string * expr * expr
+  | Fetch_add of access * string * expr * expr
+  | Barrier
+  | Compute of expr
+  | Seq of stmt list
+  | If of expr * stmt * stmt
+  | For of string * expr * expr * stmt
+  | While of expr * stmt
+
+type program = { shared : Ast.shared_decl list; body : stmt }
+
+val checked_accesses : program -> int
+(** Number of [Checked] access sites — what the pre-compiler reports as
+    "wrappers inserted". *)
+
+val raw_accesses : program -> int

@@ -1,0 +1,1 @@
+lib/memory/allocator.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/memory/lock_table.mli:

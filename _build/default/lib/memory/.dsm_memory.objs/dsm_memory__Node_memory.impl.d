@@ -1,0 +1,1 @@
+lib/memory/node_memory.ml: Addr Allocator Array List Lock_table Printf Segment

@@ -1,0 +1,1 @@
+lib/memory/node_memory.mli: Addr Allocator Lock_table Segment

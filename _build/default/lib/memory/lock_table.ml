@@ -1,0 +1,87 @@
+type lock_id = int
+
+type discipline = First_fit | Strict_head
+
+type waiter = { w_offset : int; w_len : int; grant : lock_id -> unit }
+
+type t = {
+  discipline : discipline;
+  mutable next_id : int;
+  held : (lock_id, int * int) Hashtbl.t;
+  mutable queue : waiter list; (* reversed: newest first *)
+}
+
+let create ?(discipline = First_fit) () =
+  { discipline; next_id = 0; held = Hashtbl.create 16; queue = [] }
+
+let ranges_overlap (o1, l1) (o2, l2) = o1 < o2 + l2 && o2 < o1 + l1
+
+let conflicts t ~offset ~len =
+  Hashtbl.fold
+    (fun _ range acc -> acc || ranges_overlap range (offset, len))
+    t.held false
+
+let check_range ~offset ~len op =
+  if offset < 0 || len < 1 then
+    invalid_arg (Printf.sprintf "Lock_table.%s: degenerate range" op)
+
+let grant_now t ~offset ~len =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.add t.held id (offset, len);
+  id
+
+let conflicts_queued t ~offset ~len =
+  List.exists (fun w -> ranges_overlap (w.w_offset, w.w_len) (offset, len))
+    t.queue
+
+(* Immediate grant when the range conflicts with nothing held — and, for
+   fairness, with nothing already waiting for an overlapping range (a
+   stream of small requests must not starve a queued large one). Requests
+   for disjoint ranges are never held up by unrelated waiters; under
+   Strict_head any waiter blocks every newcomer. *)
+let grantable t ~offset ~len =
+  (not (conflicts t ~offset ~len))
+  &&
+  match t.discipline with
+  | First_fit -> not (conflicts_queued t ~offset ~len)
+  | Strict_head -> t.queue = []
+
+let acquire t ~offset ~len k =
+  check_range ~offset ~len "acquire";
+  if grantable t ~offset ~len then k (grant_now t ~offset ~len)
+  else t.queue <- { w_offset = offset; w_len = len; grant = k } :: t.queue
+
+let try_acquire t ~offset ~len =
+  check_range ~offset ~len "try_acquire";
+  if grantable t ~offset ~len then Some (grant_now t ~offset ~len) else None
+
+let release t id =
+  if not (Hashtbl.mem t.held id) then
+    failwith "Lock_table.release: unknown or already-released lock";
+  Hashtbl.remove t.held id;
+  (* Grant waiters in arrival order. Collect grants first: a grant callback
+     may acquire or release further locks reentrantly. *)
+  let in_order = List.rev t.queue in
+  let granted = ref [] and still_waiting = ref [] in
+  let blocked_head = ref false in
+  List.iter
+    (fun w ->
+      let eligible =
+        (not !blocked_head) && not (conflicts t ~offset:w.w_offset ~len:w.w_len)
+      in
+      if eligible then begin
+        let id = grant_now t ~offset:w.w_offset ~len:w.w_len in
+        granted := (w.grant, id) :: !granted
+      end
+      else begin
+        if t.discipline = Strict_head then blocked_head := true;
+        still_waiting := w :: !still_waiting
+      end)
+    in_order;
+  t.queue <- !still_waiting;
+  List.iter (fun (grant, id) -> grant id) (List.rev !granted)
+
+let held_count t = Hashtbl.length t.held
+
+let queued_count t = List.length t.queue

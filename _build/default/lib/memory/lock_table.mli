@@ -1,0 +1,49 @@
+(** NIC-provided range locks over one process's public memory (§3.1).
+
+    "These locks guarantee exclusive access on a memory area: when a lock
+    is taken by a process, other processes must wait for the release of
+    this lock before they can access the data." Two lock requests conflict
+    when their word ranges overlap. Grants are callback-style because the
+    requester is the simulated NIC agent, not a coroutine: [acquire]
+    either grants synchronously or queues the continuation, and [release]
+    hands the lock to eligible waiters — which is exactly how Figure 3's
+    delayed [put] arises. *)
+
+type t
+
+type lock_id
+(** Token identifying one granted lock; needed to release it. *)
+
+type discipline =
+  | First_fit
+      (** waiters are scanned in arrival order and every one that no
+          longer conflicts is granted — fair, no head-of-line blocking *)
+  | Strict_head
+      (** only the head of the queue may be granted; a blocked head blocks
+          everyone behind it — the most conservative NIC *)
+
+val create : ?discipline:discipline -> unit -> t
+(** Default discipline is {!First_fit}. *)
+
+val acquire : t -> offset:int -> len:int -> (lock_id -> unit) -> unit
+(** [acquire t ~offset ~len k] requests exclusive access to the word range
+    [\[offset, offset+len)]. [k] is invoked with the lock token as soon as
+    no held lock overlaps — possibly immediately, possibly from a later
+    {!release}. Under {!First_fit} a request also waits behind {e queued}
+    requests for overlapping ranges (fairness), but is never delayed by
+    waiters on disjoint ranges; under {!Strict_head} any waiter blocks
+    every newcomer. Raises [Invalid_argument] on a degenerate range. *)
+
+val try_acquire : t -> offset:int -> len:int -> lock_id option
+(** Non-blocking variant: [Some id] on success, [None] if it would wait. *)
+
+val release : t -> lock_id -> unit
+(** Releases a held lock and grants eligible waiters, in queue order,
+    according to the discipline. Raises [Failure] if the token is unknown
+    (double release). *)
+
+val held_count : t -> int
+
+val queued_count : t -> int
+(** Requests currently waiting — non-zero here at quiescence is how tests
+    detect a lock leak or deadlock. *)

@@ -1,0 +1,38 @@
+type t = int array
+
+let create ~words =
+  if words < 0 then invalid_arg "Segment.create: negative size";
+  Array.make words 0
+
+let size = Array.length
+
+let check t ~offset ~len op =
+  if offset < 0 || len < 0 || offset + len > Array.length t then
+    invalid_arg
+      (Printf.sprintf "Segment.%s: [%d..+%d) outside segment of %d words" op
+         offset len (Array.length t))
+
+let read t ~offset =
+  check t ~offset ~len:1 "read";
+  t.(offset)
+
+let write t ~offset v =
+  check t ~offset ~len:1 "write";
+  t.(offset) <- v
+
+let read_block t ~offset ~len =
+  check t ~offset ~len "read_block";
+  Array.sub t offset len
+
+let write_block t ~offset data =
+  check t ~offset ~len:(Array.length data) "write_block";
+  Array.blit data 0 t offset (Array.length data)
+
+let fill t ~offset ~len v =
+  check t ~offset ~len "fill";
+  Array.fill t offset len v
+
+let blit ~src ~src_offset ~dst ~dst_offset ~len =
+  check src ~offset:src_offset ~len "blit(src)";
+  check dst ~offset:dst_offset ~len "blit(dst)";
+  Array.blit src src_offset dst dst_offset len

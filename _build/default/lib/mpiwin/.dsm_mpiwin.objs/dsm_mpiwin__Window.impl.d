@@ -1,0 +1,1 @@
+lib/mpiwin/window.ml: Addr Array Collectives Dsm_memory Dsm_pgas Dsm_rdma Dsm_sim Env Format Hashtbl List Node_memory Printf

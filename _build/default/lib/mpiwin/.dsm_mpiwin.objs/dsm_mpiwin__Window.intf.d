@@ -1,0 +1,1 @@
+lib/mpiwin/window.mli: Dsm_memory Dsm_pgas Dsm_rdma Format

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Dsm_sim Engine Latency Printf Prng Topology

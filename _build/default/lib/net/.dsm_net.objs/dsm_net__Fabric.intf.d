@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Dsm_sim Latency Topology

@@ -1,0 +1,112 @@
+open Dsm_sim
+
+type 'msg t = {
+  sim : Engine.t;
+  topo : Topology.t;
+  model : Latency.t;
+  fifo : bool;
+  drop_probability : float;
+  duplicate_probability : float;
+  rng : Prng.t;
+  handlers : (src:int -> 'msg -> unit) option array;
+  last_delivery : float array array;
+  mutable messages : int;
+  mutable words : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+let loopback_delay = 0.05 (* us: memcpy through the local NIC *)
+
+let create sim ~topology ~latency ?(fifo = true) ?(drop_probability = 0.)
+    ?(duplicate_probability = 0.) () =
+  let topology = Topology.validate topology in
+  if drop_probability < 0. || drop_probability > 1. then
+    invalid_arg "Fabric.create: drop_probability out of range";
+  if duplicate_probability < 0. || duplicate_probability > 1. then
+    invalid_arg "Fabric.create: duplicate_probability out of range";
+  let n = Topology.nodes topology in
+  {
+    sim;
+    topo = topology;
+    model = latency;
+    fifo;
+    drop_probability;
+    duplicate_probability;
+    rng = Prng.split (Engine.rng sim);
+    handlers = Array.make n None;
+    last_delivery = Array.make_matrix n n 0.;
+    messages = 0;
+    words = 0;
+    dropped = 0;
+    duplicated = 0;
+  }
+
+let nodes t = Array.length t.handlers
+
+let topology t = t.topo
+
+let register t ~node f =
+  if node < 0 || node >= nodes t then invalid_arg "Fabric.register: node";
+  match t.handlers.(node) with
+  | Some _ -> invalid_arg "Fabric.register: handler already registered"
+  | None -> t.handlers.(node) <- Some f
+
+let deliver t ~src ~dst msg () =
+  match t.handlers.(dst) with
+  | None -> failwith (Printf.sprintf "Fabric: node %d has no handler" dst)
+  | Some f -> f ~src msg
+
+let schedule_delivery t ~src ~dst msg ~arrival =
+  let arrival =
+    if t.fifo then begin
+      (* FIFO channel: never deliver before an earlier send on the same
+         (src, dst) pair. *)
+      let floor = t.last_delivery.(src).(dst) in
+      let a = if arrival <= floor then floor +. 1e-9 else arrival in
+      t.last_delivery.(src).(dst) <- a;
+      a
+    end
+    else arrival
+  in
+  Engine.schedule_at t.sim ~at:arrival (deliver t ~src ~dst msg)
+
+let send t ~src ~dst ~words msg =
+  if words < 0 then invalid_arg "Fabric.send: negative size";
+  if src < 0 || src >= nodes t then invalid_arg "Fabric.send: src";
+  if dst < 0 || dst >= nodes t then invalid_arg "Fabric.send: dst";
+  t.messages <- t.messages + 1;
+  t.words <- t.words + words;
+  let now = Engine.now t.sim in
+  let arrival =
+    if src = dst then now +. loopback_delay
+    else begin
+      let hops = Topology.hops t.topo ~src ~dst in
+      let d = Latency.delay t.model t.rng ~words in
+      now +. (d *. float_of_int (max 1 hops))
+    end
+  in
+  if t.drop_probability > 0. && Prng.bernoulli t.rng ~p:t.drop_probability
+  then t.dropped <- t.dropped + 1
+  else begin
+    schedule_delivery t ~src ~dst msg ~arrival;
+    if
+      t.duplicate_probability > 0.
+      && Prng.bernoulli t.rng ~p:t.duplicate_probability
+    then begin
+      t.duplicated <- t.duplicated + 1;
+      schedule_delivery t ~src ~dst msg ~arrival:(arrival +. 1e-9)
+    end
+  end
+
+let messages_dropped t = t.dropped
+
+let messages_duplicated t = t.duplicated
+
+let messages_sent t = t.messages
+
+let words_sent t = t.words
+
+let reset_counters t =
+  t.messages <- 0;
+  t.words <- 0

@@ -1,0 +1,62 @@
+(** The interconnect: typed point-to-point message delivery.
+
+    A fabric connects [n] nodes over a {!Topology.t} with a {!Latency.t}
+    model. Each node registers one receive handler (its NIC agent — see
+    [dsm_rdma]); {!send} schedules that handler to run at the delivery
+    time. Channels are FIFO by default, matching the in-order delivery of
+    the RDMA fabrics the paper targets (§3.2): two messages from [src] to
+    [dst] are delivered in send order even when the latency model is
+    jittered.
+
+    The fabric also keeps the traffic accounting (messages and payload
+    words) that experiments E2/E6/E7 read to price the detector's clock
+    piggybacking. *)
+
+type 'msg t
+
+val create :
+  Dsm_sim.Engine.t ->
+  topology:Topology.t ->
+  latency:Latency.t ->
+  ?fifo:bool ->
+  ?drop_probability:float ->
+  ?duplicate_probability:float ->
+  unit ->
+  'msg t
+(** [create sim ~topology ~latency ()] builds a fabric with no handlers
+    registered. [fifo] defaults to [true].
+
+    [drop_probability] and [duplicate_probability] (both default [0.])
+    inject faults for robustness testing: the paper's model — like the
+    RDMA fabrics it abstracts — {e assumes reliable, ordered delivery};
+    the protocol layers above do not retransmit, so a dropped message
+    turns into a blocked operation that the engine reports (see the test
+    suite). Counters still count each physical transmission. *)
+
+val messages_dropped : 'msg t -> int
+
+val messages_duplicated : 'msg t -> int
+
+val nodes : 'msg t -> int
+
+val topology : 'msg t -> Topology.t
+
+val register : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** [register t ~node f] installs [f] as [node]'s receive handler. Raises
+    [Invalid_argument] if out of range or already registered. *)
+
+val send : 'msg t -> src:int -> dst:int -> words:int -> 'msg -> unit
+(** [send t ~src ~dst ~words m] schedules delivery of [m] to [dst]'s
+    handler. [words] is the payload size used by the latency model and the
+    traffic counters. Sending to an unregistered node raises [Failure] at
+    delivery time. A message to self is delivered after a fixed small
+    loopback delay, without touching the interconnect counters' hop
+    accounting. *)
+
+val messages_sent : 'msg t -> int
+
+val words_sent : 'msg t -> int
+(** Total payload words over all sends — the denominator for the clock
+    overhead ratios in E6/E7. *)
+
+val reset_counters : 'msg t -> unit

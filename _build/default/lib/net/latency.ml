@@ -1,0 +1,41 @@
+type t =
+  | Constant of float
+  | Linear of { base : float; per_word : float }
+  | Logp of { latency : float; overhead : float; gap_per_word : float }
+  | Jittered of { model : t; mean_jitter : float }
+
+let infiniband_like =
+  Logp { latency = 1.5; overhead = 0.4; gap_per_word = 0.0025 }
+
+let ethernet_like = Logp { latency = 25.0; overhead = 3.0; gap_per_word = 0.08 }
+
+let min_delay = 1e-6
+
+let rec delay model rng ~words =
+  if words < 0 then invalid_arg "Latency.delay: negative size";
+  let d =
+    match model with
+    | Constant c -> c
+    | Linear { base; per_word } -> base +. (float_of_int words *. per_word)
+    | Logp { latency; overhead; gap_per_word } ->
+        latency +. (2. *. overhead) +. (float_of_int words *. gap_per_word)
+    | Jittered { model; mean_jitter } ->
+        delay model rng ~words
+        +. Dsm_sim.Prng.exponential rng ~mean:mean_jitter
+  in
+  max d min_delay
+
+let rec pp ppf = function
+  | Constant c -> Format.fprintf ppf "constant(%g us)" c
+  | Linear { base; per_word } ->
+      Format.fprintf ppf "linear(%g + %g/word us)" base per_word
+  | Logp { latency; overhead; gap_per_word } ->
+      Format.fprintf ppf "logp(L=%g o=%g G=%g us)" latency overhead gap_per_word
+  | Jittered { model; mean_jitter } ->
+      Format.fprintf ppf "%a + exp(%g us)" pp model mean_jitter
+
+let rec name = function
+  | Constant _ -> "constant"
+  | Linear _ -> "linear"
+  | Logp _ -> "logp"
+  | Jittered { model; _ } -> name model ^ "+jitter"

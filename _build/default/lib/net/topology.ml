@@ -1,0 +1,78 @@
+type t =
+  | Fully_connected of int
+  | Ring of int
+  | Mesh2d of { rows : int; cols : int }
+  | Star of int
+  | Torus2d of { rows : int; cols : int }
+  | Hypercube of int
+
+let nodes = function
+  | Fully_connected n | Ring n | Star n -> n
+  | Mesh2d { rows; cols } | Torus2d { rows; cols } -> rows * cols
+  | Hypercube d -> 1 lsl d
+
+let validate t =
+  let ok =
+    match t with
+    | Fully_connected n | Ring n | Star n -> n >= 1
+    | Mesh2d { rows; cols } | Torus2d { rows; cols } -> rows >= 1 && cols >= 1
+    | Hypercube d -> d >= 0 && d <= 20
+  in
+  if not ok then invalid_arg "Topology.validate: degenerate shape";
+  t
+
+let check_endpoint t who i =
+  if i < 0 || i >= nodes t then
+    invalid_arg (Printf.sprintf "Topology.hops: %s out of range" who)
+
+let hops t ~src ~dst =
+  check_endpoint t "src" src;
+  check_endpoint t "dst" dst;
+  if src = dst then 0
+  else
+    match t with
+    | Fully_connected _ -> 1
+    | Ring n ->
+        let d = abs (src - dst) in
+        min d (n - d)
+    | Mesh2d { cols; _ } ->
+        let r1 = src / cols and c1 = src mod cols in
+        let r2 = dst / cols and c2 = dst mod cols in
+        abs (r1 - r2) + abs (c1 - c2)
+    | Star _ -> if src = 0 || dst = 0 then 1 else 2
+    | Torus2d { rows; cols } ->
+        let ring_dist len a b =
+          let d = abs (a - b) in
+          min d (len - d)
+        in
+        ring_dist rows (src / cols) (dst / cols)
+        + ring_dist cols (src mod cols) (dst mod cols)
+    | Hypercube _ ->
+        let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+        popcount (src lxor dst)
+
+let diameter t =
+  match t with
+  | Fully_connected n -> if n <= 1 then 0 else 1
+  | Ring n -> n / 2
+  | Mesh2d { rows; cols } -> rows - 1 + (cols - 1)
+  | Star n -> if n <= 1 then 0 else if n = 2 then 1 else 2
+  | Torus2d { rows; cols } -> (rows / 2) + (cols / 2)
+  | Hypercube d -> d
+
+let name = function
+  | Fully_connected _ -> "full"
+  | Ring _ -> "ring"
+  | Mesh2d _ -> "mesh2d"
+  | Star _ -> "star"
+  | Torus2d _ -> "torus2d"
+  | Hypercube _ -> "hypercube"
+
+let pp ppf t =
+  match t with
+  | Fully_connected n -> Format.fprintf ppf "full(%d)" n
+  | Ring n -> Format.fprintf ppf "ring(%d)" n
+  | Mesh2d { rows; cols } -> Format.fprintf ppf "mesh2d(%dx%d)" rows cols
+  | Star n -> Format.fprintf ppf "star(%d)" n
+  | Torus2d { rows; cols } -> Format.fprintf ppf "torus2d(%dx%d)" rows cols
+  | Hypercube d -> Format.fprintf ppf "hypercube(%d)" d

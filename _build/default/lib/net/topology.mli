@@ -1,0 +1,38 @@
+(** Interconnect topologies.
+
+    A topology fixes the number of nodes and the hop distance between
+    pairs; the fabric multiplies per-hop latency by this distance. The
+    paper's model is topology-agnostic (any interconnection network, §3);
+    the sweep over topologies belongs to the E2/E7 sensitivity analysis. *)
+
+type t =
+  | Fully_connected of int  (** [n] nodes, 1 hop between any two *)
+  | Ring of int             (** [n] nodes on a bidirectional ring *)
+  | Mesh2d of { rows : int; cols : int }
+      (** 2-D mesh without wraparound, Manhattan distance *)
+  | Star of int             (** node 0 is the hub; leaves are 2 hops apart *)
+  | Torus2d of { rows : int; cols : int }
+      (** 2-D mesh with wraparound links: Manhattan distance modulo the
+          ring lengths *)
+  | Hypercube of int
+      (** [Hypercube d]: 2^d nodes; the hop count between two nodes is
+          the Hamming distance of their labels *)
+
+val nodes : t -> int
+(** Total node count. Raises [Invalid_argument] on non-positive shapes at
+    construction-time checks in {!validate}. *)
+
+val validate : t -> t
+(** Returns the topology unchanged or raises [Invalid_argument] if its
+    shape is degenerate (fewer than 1 node, empty mesh, ...). *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Shortest-path hop count. [hops t ~src ~dst = 0] iff [src = dst].
+    Raises [Invalid_argument] when an endpoint is out of range. *)
+
+val diameter : t -> int
+(** Maximum hop count over all pairs. *)
+
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pgas/collectives.ml: Addr Array Dsm_core Dsm_memory Dsm_rdma Dsm_sim Engine Env Hashtbl Ivar Shared_array

@@ -1,0 +1,1 @@
+lib/pgas/collectives.mli: Dsm_rdma Env Shared_array

@@ -1,0 +1,1 @@
+lib/pgas/env.ml: Dsm_core Dsm_rdma

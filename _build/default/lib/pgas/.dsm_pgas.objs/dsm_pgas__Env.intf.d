@@ -1,0 +1,1 @@
+lib/pgas/env.mli: Dsm_core Dsm_memory Dsm_rdma

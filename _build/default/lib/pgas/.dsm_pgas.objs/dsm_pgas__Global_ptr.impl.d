@@ -1,0 +1,1 @@
+lib/pgas/global_ptr.ml: Dsm_rdma Format Shared_array

@@ -1,0 +1,1 @@
+lib/pgas/global_ptr.mli: Dsm_memory Dsm_rdma Format Shared_array

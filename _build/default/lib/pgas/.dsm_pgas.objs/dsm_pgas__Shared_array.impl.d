@@ -1,0 +1,1 @@
+lib/pgas/shared_array.ml: Addr Array Dsm_memory Dsm_rdma Env List Printf

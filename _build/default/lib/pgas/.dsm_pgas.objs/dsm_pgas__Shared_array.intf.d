@@ -1,0 +1,1 @@
+lib/pgas/shared_array.mli: Dsm_memory Dsm_rdma Env

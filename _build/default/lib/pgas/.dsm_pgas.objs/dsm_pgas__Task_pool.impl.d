@@ -1,0 +1,1 @@
+lib/pgas/task_pool.ml: Addr Array Collectives Dsm_memory Dsm_rdma Env List Node_memory Printf

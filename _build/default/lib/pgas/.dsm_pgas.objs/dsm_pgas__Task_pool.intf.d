@@ -1,0 +1,1 @@
+lib/pgas/task_pool.mli: Collectives Dsm_rdma Env

@@ -1,0 +1,243 @@
+open Dsm_memory
+open Dsm_sim
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+
+let arrive_tag = "pgas.barrier.arrive"
+
+let release_tag = "pgas.barrier.release"
+
+type t = {
+  env : Env.t;
+  n : int;
+  gen_of_pid : int array; (* barriers entered so far, per process *)
+  arrivals : (int, int) Hashtbl.t; (* generation -> count at coordinator *)
+  releases : (int * int, unit Ivar.t) Hashtbl.t; (* (generation, pid) *)
+  bcast_cell : Addr.region array; (* one public word per node *)
+  reduce_slots : Addr.region array; (* n public words per node *)
+  xfer : Addr.region array; (* n public words per node: scatter/alltoall *)
+  scratch : Addr.region array; (* private staging word per node *)
+}
+
+let release_ivar t ~generation ~pid =
+  let key = (generation, pid) in
+  match Hashtbl.find_opt t.releases key with
+  | Some iv -> iv
+  | None ->
+      let iv = Ivar.create () in
+      Hashtbl.add t.releases key iv;
+      iv
+
+let create env =
+  let m = Env.machine env in
+  let n = Machine.n m in
+  let t =
+    {
+      env;
+      n;
+      gen_of_pid = Array.make n 0;
+      arrivals = Hashtbl.create 16;
+      releases = Hashtbl.create 16;
+      bcast_cell =
+        Array.init n (fun pid ->
+            Machine.alloc_public m ~pid ~name:"pgas.bcast" ~len:1 ());
+      reduce_slots =
+        Array.init n (fun pid ->
+            Machine.alloc_public m ~pid ~name:"pgas.reduce" ~len:n ());
+      xfer =
+        Array.init n (fun pid ->
+            Machine.alloc_public m ~pid ~name:"pgas.xfer" ~len:n ());
+      scratch =
+        Array.init n (fun pid ->
+            Machine.alloc_private m ~pid ~name:"pgas.scratch" ~len:1 ());
+    }
+  in
+  Array.iter (fun r -> Env.register env r) t.bcast_cell;
+  (* Register staging slots per word: each slot is written by one process,
+     so per-slot clocks avoid false sharing between contributors. *)
+  let register_per_word (r : Addr.region) =
+    for off = 0 to r.len - 1 do
+      Env.register env
+        (Addr.region ~pid:r.base.pid ~space:Addr.Public
+           ~offset:(r.base.offset + off) ~len:1)
+    done
+  in
+  Array.iter register_per_word t.reduce_slots;
+  Array.iter register_per_word t.xfer;
+  let sim = Machine.sim m in
+  Machine.set_control_handler m ~tag:arrive_tag
+    (fun ~node:_ ~origin:_ words ->
+      let generation = words.(0) in
+      let count =
+        (match Hashtbl.find_opt t.arrivals generation with
+        | Some c -> c
+        | None -> 0)
+        + 1
+      in
+      Hashtbl.replace t.arrivals generation count;
+      if count = n then begin
+        (* Everyone is in: merge the clocks (the causal content of the
+           barrier), then notify every node. *)
+        (match Env.detector env with
+        | Some d -> Detector.barrier_sync d
+        | None -> ());
+        for dst = 0 to n - 1 do
+          Machine.control_notify m ~src:0 ~dst ~tag:release_tag
+            ~words:[| generation |]
+        done
+      end;
+      None);
+  Machine.set_control_handler m ~tag:release_tag
+    (fun ~node ~origin:_ words ->
+      Ivar.fill sim (release_ivar t ~generation:words.(0) ~pid:node) ();
+      None);
+  t
+
+let env t = t.env
+
+let barrier t p =
+  let pid = Machine.pid p in
+  let generation = t.gen_of_pid.(pid) in
+  t.gen_of_pid.(pid) <- generation + 1;
+  let m = Env.machine t.env in
+  let time () = Engine.now (Machine.sim m) in
+  (match Env.detector t.env with
+  | Some d -> Detector.on_barrier d ~pid ~phase:`Enter ~generation ~time:(time ())
+  | None -> ());
+  Machine.control_async p ~target:0 ~tag:arrive_tag ~words:[| generation |];
+  Ivar.read (Machine.sim m) (release_ivar t ~generation ~pid);
+  match Env.detector t.env with
+  | Some d -> Detector.on_barrier d ~pid ~phase:`Exit ~generation ~time:(time ())
+  | None -> ()
+
+let generation t ~pid = t.gen_of_pid.(pid)
+
+let staged t p v =
+  let pid = Machine.pid p in
+  Dsm_memory.Node_memory.write
+    (Machine.node (Env.machine t.env) pid)
+    t.scratch.(pid) [| v |];
+  t.scratch.(pid)
+
+let read_scratch t p =
+  let pid = Machine.pid p in
+  (Dsm_memory.Node_memory.read
+     (Machine.node (Env.machine t.env) pid)
+     t.scratch.(pid)).(0)
+
+let broadcast t p ~root value =
+  let pid = Machine.pid p in
+  (match (pid = root, value) with
+  | true, None -> invalid_arg "Collectives.broadcast: root must supply a value"
+  | false, Some _ ->
+      invalid_arg "Collectives.broadcast: only the root supplies a value"
+  | true, Some v -> Env.put t.env p ~src:(staged t p v) ~dst:t.bcast_cell.(root)
+  | false, None -> ());
+  barrier t p;
+  let result =
+    match value with
+    | Some v -> v
+    | None ->
+        Env.get t.env p ~src:t.bcast_cell.(root) ~dst:t.scratch.(pid);
+        read_scratch t p
+  in
+  (* Close the read phase so a subsequent broadcast's publish cannot race
+     with a straggler's get. *)
+  barrier t p;
+  result
+
+let slot t ~root ~pid =
+  let (r : Addr.region) = t.reduce_slots.(root) in
+  Addr.region ~pid:r.base.pid ~space:Addr.Public ~offset:(r.base.offset + pid)
+    ~len:1
+
+let reduce_gather t p ~root ~value =
+  let pid = Machine.pid p in
+  Env.put t.env p ~src:(staged t p value) ~dst:(slot t ~root ~pid);
+  barrier t p;
+  let result =
+    if pid <> root then None
+    else begin
+      let sum = ref 0 in
+      for contributor = 0 to t.n - 1 do
+        Env.get t.env p ~src:(slot t ~root ~pid:contributor)
+          ~dst:t.scratch.(pid);
+        sum := !sum + read_scratch t p
+      done;
+      Some !sum
+    end
+  in
+  barrier t p;
+  result
+
+(* Word [sender] of [node]'s transfer area. *)
+let xfer_slot t ~node ~sender =
+  let (r : Addr.region) = t.xfer.(node) in
+  Addr.region ~pid:r.base.pid ~space:Addr.Public
+    ~offset:(r.base.offset + sender) ~len:1
+
+let read_slot t p r =
+  let pid = Machine.pid p in
+  Env.get t.env p ~src:r ~dst:t.scratch.(pid);
+  read_scratch t p
+
+let scatter t p ~root values =
+  let pid = Machine.pid p in
+  (match (pid = root, values) with
+  | true, None -> invalid_arg "Collectives.scatter: root must supply values"
+  | false, Some _ ->
+      invalid_arg "Collectives.scatter: only the root supplies values"
+  | true, Some v when Array.length v <> t.n ->
+      invalid_arg "Collectives.scatter: need one value per process"
+  | true, Some v ->
+      for j = 0 to t.n - 1 do
+        Env.put t.env p ~src:(staged t p v.(j))
+          ~dst:(xfer_slot t ~node:j ~sender:root)
+      done
+  | false, None -> ());
+  barrier t p;
+  let mine = read_slot t p (xfer_slot t ~node:pid ~sender:root) in
+  barrier t p;
+  mine
+
+let gather t p ~root ~value =
+  let pid = Machine.pid p in
+  Env.put t.env p ~src:(staged t p value) ~dst:(slot t ~root ~pid);
+  barrier t p;
+  let result =
+    if pid <> root then None
+    else
+      Some
+        (Array.init t.n (fun contributor ->
+             read_slot t p (slot t ~root ~pid:contributor)))
+  in
+  barrier t p;
+  result
+
+let alltoall t p ~values =
+  if Array.length values <> t.n then
+    invalid_arg "Collectives.alltoall: need one value per process";
+  let pid = Machine.pid p in
+  for j = 0 to t.n - 1 do
+    Env.put t.env p ~src:(staged t p values.(j))
+      ~dst:(xfer_slot t ~node:j ~sender:pid)
+  done;
+  barrier t p;
+  let received =
+    Array.init t.n (fun sender ->
+        read_slot t p (xfer_slot t ~node:pid ~sender))
+  in
+  barrier t p;
+  received
+
+let reduce_onesided_sum (_ : t) p array =
+  let sum = ref 0 in
+  for i = 0 to Shared_array.length array - 1 do
+    sum := !sum + Shared_array.read array p i
+  done;
+  !sum
+
+let allreduce t p ~value =
+  match reduce_gather t p ~root:0 ~value with
+  | Some sum -> broadcast t p ~root:0 (Some sum)
+  | None -> broadcast t p ~root:0 None

@@ -1,0 +1,48 @@
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+
+type t = Plain of Machine.t | Checked of Detector.t
+
+let plain m = Plain m
+
+let checked d = Checked d
+
+let machine = function Plain m -> m | Checked d -> Detector.machine d
+
+let detector = function Plain _ -> None | Checked d -> Some d
+
+let n t = Machine.n (machine t)
+
+let put t p ~src ~dst =
+  match t with
+  | Plain _ -> Machine.put p ~src ~dst ()
+  | Checked d -> Detector.put d p ~src ~dst
+
+let get t p ~src ~dst =
+  match t with
+  | Plain _ -> Machine.get p ~src ~dst ()
+  | Checked d -> Detector.get d p ~src ~dst
+
+let fetch_add t p ~target ~delta =
+  match t with
+  | Plain _ -> Machine.fetch_add p ~target ~delta ()
+  | Checked d -> Detector.fetch_add d p ~target ~delta
+
+type lock_handle =
+  | Plain_lock of Machine.token
+  | Checked_lock of Detector.lock_handle
+
+let lock t p r =
+  match t with
+  | Plain _ -> Plain_lock (Machine.lock p r)
+  | Checked d -> Checked_lock (Detector.lock d p r)
+
+let unlock t p h =
+  match (t, h) with
+  | Plain _, Plain_lock tok -> Machine.unlock p tok
+  | Checked d, Checked_lock h -> Detector.unlock d p h
+  | Plain _, Checked_lock _ | Checked _, Plain_lock _ ->
+      invalid_arg "Env.unlock: handle from a different environment"
+
+let register t r =
+  match t with Plain _ -> () | Checked d -> Detector.register d r

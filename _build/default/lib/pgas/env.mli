@@ -1,0 +1,47 @@
+(** The PGAS execution environment: a machine, optionally wrapped by the
+    race detector.
+
+    Every data movement in this library goes through {!put} / {!get}, so
+    switching a whole application between "full performance" and
+    "debugging with detection" (the deployment choice §5.1 discusses) is
+    one constructor change: [Env.plain m] vs [Env.checked d]. *)
+
+type t
+
+val plain : Dsm_rdma.Machine.t -> t
+(** Raw one-sided operations; no clocks, no signals. *)
+
+val checked : Dsm_core.Detector.t -> t
+(** All operations go through the detector (Algorithms 1–2). *)
+
+val machine : t -> Dsm_rdma.Machine.t
+
+val detector : t -> Dsm_core.Detector.t option
+
+val n : t -> int
+
+val put :
+  t -> Dsm_rdma.Machine.proc ->
+  src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region -> unit
+
+val get :
+  t -> Dsm_rdma.Machine.proc ->
+  src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region -> unit
+
+val fetch_add :
+  t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global -> delta:int ->
+  int
+(** Atomic add: checked under a checked environment (see
+    [Dsm_core.Detector.fetch_add]), raw NIC atomic otherwise. *)
+
+type lock_handle
+
+val lock : t -> Dsm_rdma.Machine.proc -> Dsm_memory.Addr.region -> lock_handle
+(** The NIC lock service; under a checked environment the lock is
+    trace-recorded and, with [Config.lock_aware_clocks], carries
+    causality (see [Dsm_core.Detector.lock]). *)
+
+val unlock : t -> Dsm_rdma.Machine.proc -> lock_handle -> unit
+
+val register : t -> Dsm_memory.Addr.region -> unit
+(** Declare a shared datum (no-op on a plain environment). *)

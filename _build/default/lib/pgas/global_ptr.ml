@@ -1,0 +1,31 @@
+type t = { array : Shared_array.t; index : int }
+
+let of_array array index =
+  if index < 0 || index >= Shared_array.length array then
+    invalid_arg "Global_ptr.of_array: index out of bounds";
+  { array; index }
+
+let array t = t.array
+
+let index t = t.index
+
+let advance t k = of_array t.array (t.index + k)
+
+let diff a b =
+  if a.array != b.array then
+    invalid_arg "Global_ptr.diff: pointers into different arrays";
+  a.index - b.index
+
+let affinity t = Shared_array.owner t.array t.index
+
+let is_local t p = affinity t = Dsm_rdma.Machine.pid p
+
+let region t = Shared_array.region_of t.array t.index
+
+let deref t p = Shared_array.read t.array p t.index
+
+let assign t p v = Shared_array.write t.array p t.index v
+
+let pp ppf t =
+  Format.fprintf ppf "&%s[%d]@@P%d" (Shared_array.name t.array) t.index
+    (affinity t)

@@ -1,0 +1,42 @@
+(** UPC-style pointers-to-shared: an index into a {!Shared_array} with
+    pointer arithmetic that walks the global address space.
+
+    A global pointer resolves to the [(processor, local address)] couple
+    of §3.1 at every dereference, so a program can traverse a distributed
+    array without knowing where elements live — the affinity queries are
+    there when it wants to care. *)
+
+type t
+
+val of_array : Shared_array.t -> int -> t
+(** [of_array a i] points at element [i].
+    Raises [Invalid_argument] when out of bounds. *)
+
+val array : t -> Shared_array.t
+
+val index : t -> int
+
+val advance : t -> int -> t
+(** [advance p k] moves [k] elements forward (negative [k] moves back).
+    Raises [Invalid_argument] when the result leaves the array. *)
+
+val diff : t -> t -> int
+(** [diff a b] is [index a - index b]. Raises [Invalid_argument] when the
+    pointers address different arrays. *)
+
+val affinity : t -> int
+(** The pid owning the pointed-at element. *)
+
+val is_local : t -> Dsm_rdma.Machine.proc -> bool
+(** Does the element live on the calling process's node? *)
+
+val region : t -> Dsm_memory.Addr.region
+(** The resolved global address. *)
+
+val deref : t -> Dsm_rdma.Machine.proc -> int
+(** One-sided read of the element (checked under a checked env). *)
+
+val assign : t -> Dsm_rdma.Machine.proc -> int -> unit
+(** One-sided write of the element. *)
+
+val pp : Format.formatter -> t -> unit

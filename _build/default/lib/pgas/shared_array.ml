@@ -1,0 +1,155 @@
+open Dsm_memory
+module Machine = Dsm_rdma.Machine
+
+type layout = Block | Cyclic | On_node of int
+
+type t = {
+  env : Env.t;
+  name : string;
+  len : int;
+  elem_words : int;
+  layout : layout;
+  n : int;
+  block : int; (* ceil(len/n), used by Block *)
+  chunks : Addr.region option array; (* per node *)
+  scratch : Addr.region array; (* one private staging element per node *)
+}
+
+let chunk_size ~len ~n ~block layout node =
+  match layout with
+  | Block ->
+      let lo = node * block in
+      let hi = min len ((node + 1) * block) in
+      max 0 (hi - lo)
+  | Cyclic -> ((len - node - 1) / n) + if node < len then 1 else 0
+  | On_node p -> if node = p then len else 0
+
+let create env ~name ~len ?(elem_words = 1) ?(layout = Block) () =
+  if len < 1 then invalid_arg "Shared_array.create: len must be positive";
+  if elem_words < 1 then
+    invalid_arg "Shared_array.create: elem_words must be positive";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  (match layout with
+  | On_node p when p < 0 || p >= n ->
+      invalid_arg "Shared_array.create: On_node pid out of range"
+  | On_node _ | Block | Cyclic -> ());
+  let block = (len + n - 1) / n in
+  let chunks =
+    Array.init n (fun node ->
+        let size = chunk_size ~len ~n ~block layout node in
+        if size = 0 then None
+        else
+          Some
+            (Machine.alloc_public m ~pid:node
+               ~name:(Printf.sprintf "%s@%d" name node)
+               ~len:(size * elem_words) ()))
+  in
+  let scratch =
+    Array.init n (fun node ->
+        Machine.alloc_private m ~pid:node
+          ~name:(Printf.sprintf "%s.scratch" name)
+          ~len:elem_words ())
+  in
+  let t = { env; name; len; elem_words; layout; n; block; chunks; scratch } in
+  (* Register every element as one shared datum. *)
+  (match Env.detector env with
+  | None -> ()
+  | Some _ ->
+      for node = 0 to n - 1 do
+        match chunks.(node) with
+        | None -> ()
+        | Some (c : Addr.region) ->
+            let elements = c.len / elem_words in
+            for e = 0 to elements - 1 do
+              Env.register env
+                (Addr.region ~pid:node ~space:Addr.Public
+                   ~offset:(c.base.offset + (e * elem_words))
+                   ~len:elem_words)
+            done
+      done);
+  t
+
+let length t = t.len
+
+let name t = t.name
+
+let layout t = t.layout
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Shared_array: index out of bounds"
+
+let owner t i =
+  check_index t i;
+  match t.layout with
+  | Block -> i / t.block
+  | Cyclic -> i mod t.n
+  | On_node p -> p
+
+let local_index t i =
+  match t.layout with
+  | Block -> i mod t.block
+  | Cyclic -> i / t.n
+  | On_node _ -> i
+
+let elem_words t = t.elem_words
+
+let region_of t i =
+  check_index t i;
+  let node = owner t i in
+  match t.chunks.(node) with
+  | None -> assert false (* an owned element implies a non-empty chunk *)
+  | Some (c : Addr.region) ->
+      Addr.region ~pid:node ~space:Addr.Public
+        ~offset:(c.base.offset + (local_index t i * t.elem_words))
+        ~len:t.elem_words
+
+let check_single t what =
+  if t.elem_words <> 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Shared_array.%s: elements of %S are %d words wide; use %s_elem"
+         what t.name t.elem_words what)
+
+let read_elem t p i =
+  let pid = Machine.pid p in
+  let dst = t.scratch.(pid) in
+  Env.get t.env p ~src:(region_of t i) ~dst;
+  Dsm_memory.Node_memory.read (Machine.node (Env.machine t.env) pid) dst
+
+let write_elem t p i data =
+  if Array.length data <> t.elem_words then
+    invalid_arg "Shared_array.write_elem: wrong element width";
+  let pid = Machine.pid p in
+  let src = t.scratch.(pid) in
+  Dsm_memory.Node_memory.write (Machine.node (Env.machine t.env) pid) src data;
+  Env.put t.env p ~src ~dst:(region_of t i)
+
+let read t p i =
+  check_single t "read";
+  (read_elem t p i).(0)
+
+let write t p i v =
+  check_single t "write";
+  write_elem t p i [| v |]
+
+let peek_elem t i =
+  let r = region_of t i in
+  Dsm_memory.Node_memory.read (Machine.node (Env.machine t.env) r.base.pid) r
+
+let poke_elem t i data =
+  if Array.length data <> t.elem_words then
+    invalid_arg "Shared_array.poke_elem: wrong element width";
+  let r = region_of t i in
+  Dsm_memory.Node_memory.write
+    (Machine.node (Env.machine t.env) r.base.pid)
+    r data
+
+let peek t i =
+  check_single t "peek";
+  (peek_elem t i).(0)
+
+let poke t i v = poke_elem t i [| v |]
+
+let my_indices t ~pid =
+  List.filter (fun i -> owner t i = pid) (List.init t.len (fun i -> i))

@@ -1,0 +1,107 @@
+open Dsm_memory
+module Machine = Dsm_rdma.Machine
+
+type t = {
+  env : Env.t;
+  collectives : Collectives.t;
+  n : int;
+  capacity : int;
+  heads : Addr.region array; (* per node: next index to take (atomic) *)
+  tails : Addr.region array; (* per node: number of seeded tasks (static) *)
+  slots : Addr.region array; (* per node: capacity task slots *)
+  executed : int array;
+}
+
+let create env ~collectives ~name ~capacity_per_node =
+  if capacity_per_node < 1 then invalid_arg "Task_pool.create: capacity";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  let alloc pid what len =
+    let r =
+      Machine.alloc_public m ~pid
+        ~name:(Printf.sprintf "%s.%s" name what)
+        ~len ()
+    in
+    (* one shared datum per word, as the compiler would lay them out *)
+    for off = 0 to len - 1 do
+      Env.register env
+        (Addr.region ~pid ~space:Addr.Public
+           ~offset:(r.Addr.base.offset + off) ~len:1)
+    done;
+    r
+  in
+  {
+    env;
+    collectives;
+    n;
+    capacity = capacity_per_node;
+    heads = Array.init n (fun pid -> alloc pid "head" 1);
+    tails = Array.init n (fun pid -> alloc pid "tail" 1);
+    slots = Array.init n (fun pid -> alloc pid "slots" capacity_per_node);
+    executed = Array.make n 0;
+  }
+
+let node_mem t pid = Machine.node (Env.machine t.env) pid
+
+let seed_tasks t ~pid tasks =
+  let count = List.length tasks in
+  let current = (Node_memory.read (node_mem t pid) t.tails.(pid)).(0) in
+  if current + count > t.capacity then
+    failwith "Task_pool.seed_tasks: queue overflow";
+  List.iteri
+    (fun i task ->
+      let (r : Addr.region) = t.slots.(pid) in
+      Node_memory.write (node_mem t pid)
+        (Addr.region ~pid ~space:Addr.Public
+           ~offset:(r.base.offset + current + i)
+           ~len:1)
+        [| task |])
+    tasks;
+  Node_memory.write (node_mem t pid) t.tails.(pid) [| current + count |]
+
+let slot_region t ~victim ~index =
+  let (r : Addr.region) = t.slots.(victim) in
+  Addr.region ~pid:victim ~space:Addr.Public ~offset:(r.base.offset + index)
+    ~len:1
+
+let run_worker t p ~work =
+  let pid = Machine.pid p in
+  let m = Env.machine t.env in
+  let scratch = Machine.alloc_private m ~pid ~len:1 () in
+  let read r =
+    Env.get t.env p ~src:r ~dst:scratch;
+    (Node_memory.read (node_mem t pid) scratch).(0)
+  in
+  (* The seed phase is closed by this barrier: the static tails can then
+     be read once per victim. *)
+  Collectives.barrier t.collectives p;
+  let tails = Array.init t.n (fun v -> read t.tails.(v)) in
+  let try_take victim =
+    let index =
+      Env.fetch_add t.env p ~target:t.heads.(victim).Addr.base ~delta:1
+    in
+    if index < tails.(victim) then
+      Some (read (slot_region t ~victim ~index))
+    else None
+  in
+  (* Own queue first, then steal round-robin. A full empty sweep means
+     every queue is drained (tails are static, heads only grow). *)
+  let rec scan k =
+    if k = t.n then None
+    else
+      match try_take ((pid + k) mod t.n) with
+      | Some task -> Some task
+      | None -> scan (k + 1)
+  in
+  let rec loop () =
+    match scan 0 with
+    | Some task ->
+        work task;
+        t.executed.(pid) <- t.executed.(pid) + 1;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  Collectives.barrier t.collectives p
+
+let executed t = Array.copy t.executed

@@ -1,0 +1,38 @@
+(** A distributed task pool over one-sided operations: dynamic load
+    balancing done right on the paper's model.
+
+    Tasks are integers (task ids) stored in per-node public queues. A
+    worker takes from its own queue with an atomic fetch-and-add on the
+    queue's head cursor and, when empty, {e steals} from a victim's queue
+    the same way — no locks, no polling races, no participation of the
+    victim (the one-sided philosophy of §5.2 applied to scheduling).
+
+    Because every cursor update is a NIC atomic and the task slots are
+    written before the barrier that opens the work phase, the race
+    detector stays silent on this pool — the contrast with the naive
+    master/worker result cell of §4.4. *)
+
+type t
+
+val create :
+  Env.t ->
+  collectives:Collectives.t ->
+  name:string ->
+  capacity_per_node:int ->
+  t
+(** Collective creation (from setup code). [capacity_per_node] bounds how
+    many tasks one node's queue can hold. *)
+
+val seed_tasks : t -> pid:int -> int list -> unit
+(** Meta-level: preload tasks into [pid]'s queue before the run.
+    Raises [Failure] if the queue would overflow. *)
+
+val run_worker :
+  t -> Dsm_rdma.Machine.proc -> work:(int -> unit) -> unit
+(** Worker loop: barrier in, then repeatedly take a local task — or steal
+    one, round-robin over victims — and call [work] on it; returns when
+    every queue is exhausted. Call from every process (SPMD). *)
+
+val executed : t -> int array
+(** After the run: how many tasks each process executed (meta-level).
+    The sum equals the number seeded; the spread shows the stealing. *)

@@ -1,0 +1,1 @@
+lib/rdma/coherence.ml: Array Format Hashtbl List Machine

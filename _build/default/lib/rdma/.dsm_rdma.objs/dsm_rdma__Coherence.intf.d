@@ -1,0 +1,1 @@
+lib/rdma/coherence.mli: Format Machine

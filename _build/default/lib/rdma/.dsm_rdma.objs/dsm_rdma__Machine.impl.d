@@ -1,0 +1,1 @@
+lib/rdma/machine.ml: Addr Array Dsm_memory Dsm_net Dsm_sim Engine Hashtbl Ivar List Lock_table Message Node_memory Printf Segment

@@ -1,0 +1,1 @@
+lib/rdma/machine.mli: Dsm_memory Dsm_net Dsm_sim Message

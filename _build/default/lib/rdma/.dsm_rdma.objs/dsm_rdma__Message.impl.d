@@ -1,0 +1,1 @@
+lib/rdma/message.ml: Array Printf

@@ -1,0 +1,66 @@
+type violation = {
+  time : float;
+  node : int;
+  offset : int;
+  expected : int;
+  observed : int;
+  origin : int;
+}
+
+type t = {
+  shadow : (int * int, int) Hashtbl.t; (* (node, offset) -> last value *)
+  mutable violations : violation list;
+  mutable checked : int;
+  mutable adopted : int;
+}
+
+let record t ~node ~offset value = Hashtbl.replace t.shadow (node, offset) value
+
+let check t ~time ~node ~offset ~origin observed =
+  t.checked <- t.checked + 1;
+  match Hashtbl.find_opt t.shadow (node, offset) with
+  | None ->
+      t.adopted <- t.adopted + 1;
+      record t ~node ~offset observed
+  | Some expected ->
+      if expected <> observed then
+        t.violations <-
+          { time; node; offset; expected; observed; origin } :: t.violations
+
+let attach m =
+  let t =
+    {
+      shadow = Hashtbl.create 256;
+      violations = [];
+      checked = 0;
+      adopted = 0;
+    }
+  in
+  Machine.add_observer m (function
+    | Machine.Write_applied { node; offset; data; _ } ->
+        Array.iteri (fun i v -> record t ~node ~offset:(offset + i) v) data
+    | Machine.Read_served { time; node; offset; data; origin } ->
+        Array.iteri
+          (fun i v -> check t ~time ~node ~offset:(offset + i) ~origin v)
+          data
+    | Machine.Atomic_applied { time; node; offset; old_value; new_value; origin }
+      ->
+        (* The atomic's read side must agree with the shadow; its write
+           side updates it. *)
+        check t ~time ~node ~offset ~origin old_value;
+        record t ~node ~offset new_value
+    | Machine.Sent _ | Machine.Delivered _ -> ());
+  t
+
+let violations t = List.rev t.violations
+
+let checked_words t = t.checked
+
+let adopted_words t = t.adopted
+
+let is_clean t = t.violations = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "COHERENCE VIOLATION at t=%.2f: P%d read P%d.pub[%d] = %d, last applied write was %d"
+    v.time v.origin v.node v.offset v.observed v.expected

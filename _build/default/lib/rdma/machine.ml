@@ -1,0 +1,431 @@
+open Dsm_sim
+open Dsm_memory
+
+type observation =
+  | Sent of { time : float; src : int; dst : int; msg : Message.t }
+  | Delivered of { time : float; src : int; dst : int; msg : Message.t }
+  | Write_applied of {
+      time : float;
+      node : int;
+      offset : int;
+      data : int array;
+      origin : int;
+    }
+  | Read_served of {
+      time : float;
+      node : int;
+      offset : int;
+      data : int array;
+      origin : int;
+    }
+  | Atomic_applied of {
+      time : float;
+      node : int;
+      offset : int;
+      old_value : int;
+      new_value : int;
+      origin : int;
+    }
+
+type t = {
+  sim : Engine.t;
+  fabric : Message.t Dsm_net.Fabric.t;
+  nodes : Node_memory.t array;
+  mutable next_op : int;
+  pending_acks : (int, unit Ivar.t) Hashtbl.t;
+  pending_data : (int, int array Ivar.t) Hashtbl.t;
+  pending_atomic : (int, int Ivar.t) Hashtbl.t;
+  pending_lock : (int, int Ivar.t) Hashtbl.t;
+  pending_control : (int, int array Ivar.t) Hashtbl.t;
+  (* (node, token) -> the lock id held on that node for a remote owner *)
+  remote_locks : (int * int, Lock_table.lock_id) Hashtbl.t;
+  control_handlers :
+    (string, node:int -> origin:int -> int array -> int array option)
+    Hashtbl.t;
+  mutable observers : (observation -> unit) list;
+  mutable ops : int;
+}
+
+type proc = { m : t; p : int }
+
+(* ---------- construction ---------- *)
+
+let rec handle m ~node ~src msg =
+  notify m (Delivered { time = Engine.now m.sim; src; dst = node; msg });
+  let nm = m.nodes.(node) in
+  let locks = Node_memory.locks nm in
+  let public = Node_memory.segment nm Addr.Public in
+  match msg with
+  | Message.Put { op; origin; offset; data; locked; want_ack; _ } ->
+      let write_and_finish id =
+        Segment.write_block public ~offset data;
+        notify m
+          (Write_applied
+             { time = Engine.now m.sim; node; offset; data; origin });
+        (match id with Some id -> Lock_table.release locks id | None -> ());
+        if want_ack then transmit m ~src:node ~dst:origin (Message.Put_ack { op })
+      in
+      if locked then
+        Lock_table.acquire locks ~offset ~len:(Array.length data) (fun id ->
+            write_and_finish (Some id))
+      else write_and_finish None
+  | Message.Get { op; origin; offset; len; locked; extra_words } ->
+      let read_and_reply id =
+        let data = Segment.read_block public ~offset ~len in
+        notify m
+          (Read_served { time = Engine.now m.sim; node; offset; data; origin });
+        (match id with Some id -> Lock_table.release locks id | None -> ());
+        transmit m ~src:node ~dst:origin
+          (Message.Get_reply { op; data; extra_words })
+      in
+      if locked then
+        Lock_table.acquire locks ~offset ~len (fun id -> read_and_reply (Some id))
+      else read_and_reply None
+  | Message.Atomic { op; origin; offset; kind; _ } ->
+      Lock_table.acquire locks ~offset ~len:1 (fun id ->
+          let old_value = Segment.read public ~offset in
+          (match kind with
+          | Message.Fetch_add delta ->
+              Segment.write public ~offset (old_value + delta)
+          | Message.Compare_and_swap { expected; desired } ->
+              if old_value = expected then Segment.write public ~offset desired);
+          notify m
+            (Atomic_applied
+               {
+                 time = Engine.now m.sim;
+                 node;
+                 offset;
+                 old_value;
+                 new_value = Segment.read public ~offset;
+                 origin;
+               });
+          Lock_table.release locks id;
+          transmit m ~src:node ~dst:origin
+            (Message.Atomic_reply { op; old_value }))
+  | Message.Lock_request { op; origin; offset; len } ->
+      Lock_table.acquire locks ~offset ~len (fun id ->
+          Hashtbl.replace m.remote_locks (node, op) id;
+          transmit m ~src:node ~dst:origin
+            (Message.Lock_granted { op; token = op }))
+  | Message.Unlock { token } -> (
+      match Hashtbl.find_opt m.remote_locks (node, token) with
+      | Some id ->
+          Hashtbl.remove m.remote_locks (node, token);
+          Lock_table.release locks id
+      | None -> failwith (Printf.sprintf "NIC P%d: unknown unlock token" node))
+  | Message.Control { op; origin; tag; words; want_reply } -> (
+      match Hashtbl.find_opt m.control_handlers tag with
+      | None ->
+          failwith
+            (Printf.sprintf "NIC P%d: no control handler for tag %S" node tag)
+      | Some f -> (
+          match (f ~node ~origin words, want_reply) with
+          | Some reply, _ ->
+              transmit m ~src:node ~dst:origin
+                (Message.Control_reply { op; words = reply })
+          | None, false -> ()
+          | None, true ->
+              failwith
+                (Printf.sprintf
+                   "NIC P%d: control handler %S did not reply as requested"
+                   node tag)))
+  | Message.Put_ack { op } -> fill_pending m.pending_acks op () m
+  | Message.Get_reply { op; data; _ } -> fill_pending m.pending_data op data m
+  | Message.Atomic_reply { op; old_value } ->
+      fill_pending m.pending_atomic op old_value m
+  | Message.Lock_granted { op; token } ->
+      fill_pending m.pending_lock op token m
+  | Message.Control_reply { op; words } ->
+      fill_pending m.pending_control op words m
+
+and fill_pending : 'a. (int, 'a Ivar.t) Hashtbl.t -> int -> 'a -> t -> unit =
+ fun table op v m ->
+  match Hashtbl.find_opt table op with
+  | Some iv ->
+      Hashtbl.remove table op;
+      Ivar.fill m.sim iv v
+  | None -> failwith (Printf.sprintf "NIC: reply for unknown op #%d" op)
+
+and transmit m ~src ~dst msg =
+  notify m (Sent { time = Engine.now m.sim; src; dst; msg });
+  Dsm_net.Fabric.send m.fabric ~src ~dst ~words:(Message.wire_words msg) msg
+
+and notify m obs = List.iter (fun f -> f obs) m.observers
+
+let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
+    ?private_words ?public_words ?discipline ?drop_probability
+    ?duplicate_probability () =
+  if n < 1 then invalid_arg "Machine.create: need at least one node";
+  let topology =
+    match topology with
+    | None -> Dsm_net.Topology.Fully_connected n
+    | Some t ->
+        if Dsm_net.Topology.nodes t <> n then
+          invalid_arg "Machine.create: topology node count differs from n";
+        t
+  in
+  let fabric =
+    Dsm_net.Fabric.create sim ~topology ~latency ?drop_probability
+      ?duplicate_probability ()
+  in
+  let m =
+    {
+      sim;
+      fabric;
+      nodes =
+        Array.init n (fun pid ->
+            Node_memory.create ~pid ?private_words ?public_words ?discipline ());
+      next_op = 0;
+      pending_acks = Hashtbl.create 64;
+      pending_data = Hashtbl.create 64;
+      pending_atomic = Hashtbl.create 64;
+      pending_lock = Hashtbl.create 64;
+      pending_control = Hashtbl.create 64;
+      remote_locks = Hashtbl.create 64;
+      control_handlers = Hashtbl.create 8;
+      observers = [];
+      ops = 0;
+    }
+  in
+  for node = 0 to n - 1 do
+    Dsm_net.Fabric.register fabric ~node (fun ~src msg ->
+        handle m ~node ~src msg)
+  done;
+  m
+
+let sim m = m.sim
+
+let n m = Array.length m.nodes
+
+let node m pid =
+  if pid < 0 || pid >= n m then invalid_arg "Machine.node: pid out of range";
+  m.nodes.(pid)
+
+let fabric_messages m = Dsm_net.Fabric.messages_sent m.fabric
+
+let fabric_words m = Dsm_net.Fabric.words_sent m.fabric
+
+let reset_traffic_counters m = Dsm_net.Fabric.reset_counters m.fabric
+
+(* ---------- processes ---------- *)
+
+let proc m ~pid =
+  if pid < 0 || pid >= n m then invalid_arg "Machine.proc: pid out of range";
+  { m; p = pid }
+
+let spawn m ~pid ?name body =
+  let name = match name with Some s -> s | None -> Printf.sprintf "P%d" pid in
+  let p = proc m ~pid in
+  Engine.spawn m.sim ~name (fun () -> body p)
+
+let spawn_all m ?name body =
+  for pid = 0 to n m - 1 do
+    spawn m ~pid ?name body
+  done
+
+let pid p = p.p
+
+let machine p = p.m
+
+let compute p dt = Engine.sleep p.m.sim dt
+
+let run ?until ?max_events m = Engine.run ?until ?max_events m.sim
+
+(* ---------- allocation ---------- *)
+
+let alloc_public m ~pid ?name ~len () =
+  Node_memory.alloc (node m pid) ~space:Addr.Public ?name ~len ()
+
+let alloc_private m ~pid ?name ~len () =
+  Node_memory.alloc (node m pid) ~space:Addr.Private ?name ~len ()
+
+(* ---------- op helpers ---------- *)
+
+let fresh_op m =
+  let op = m.next_op in
+  m.next_op <- op + 1;
+  op
+
+let check_same_len (src : Addr.region) (dst : Addr.region) what =
+  if src.len <> dst.len then
+    invalid_arg (Printf.sprintf "Machine.%s: region lengths differ" what)
+
+let check_local p (r : Addr.region) what =
+  if r.base.pid <> p.p then
+    invalid_arg
+      (Printf.sprintf "Machine.%s: %s is not local to P%d" what
+         (Addr.to_string r) p.p)
+
+let check_public (r : Addr.region) what =
+  if not (Addr.is_public r) then
+    invalid_arg
+      (Printf.sprintf "Machine.%s: %s is not public" what (Addr.to_string r))
+
+let read_local p (r : Addr.region) = Node_memory.read p.m.nodes.(p.p) r
+
+let write_local p (r : Addr.region) data =
+  Node_memory.write p.m.nodes.(p.p) r data
+
+(* Acquire a lock on the caller's own node, suspending until granted. *)
+let await_local_lock p ~offset ~len =
+  let locks = Node_memory.locks p.m.nodes.(p.p) in
+  Engine.await p.m.sim (fun resume ->
+      Lock_table.acquire locks ~offset ~len resume)
+
+(* ---------- data operations ---------- *)
+
+let send_put p ~src ~dst ~extra_words ~locked ~ack =
+  check_local p src "put";
+  check_public dst "put";
+  check_same_len src dst "put";
+  let data = read_local p src in
+  let op = fresh_op p.m in
+  p.m.ops <- p.m.ops + 1;
+  let iv = if ack then Some (Ivar.create ()) else None in
+  (match iv with
+  | Some iv -> Hashtbl.replace p.m.pending_acks op iv
+  | None -> ());
+  transmit p.m ~src:p.p ~dst:dst.base.pid
+    (Message.Put
+       {
+         op;
+         origin = p.p;
+         offset = dst.base.offset;
+         data;
+         extra_words;
+         locked;
+         want_ack = ack;
+       });
+  match iv with Some iv -> Ivar.read p.m.sim iv | None -> ()
+
+let put p ~src ~dst ?(extra_words = 0) ?(ack = true) () =
+  send_put p ~src ~dst ~extra_words ~locked:true ~ack
+
+let raw_put p ~src ~dst ?(extra_words = 0) () =
+  send_put p ~src ~dst ~extra_words ~locked:false ~ack:true
+
+let send_get p ~(src : Addr.region) ~extra_words ~locked =
+  check_public src "get";
+  let op = fresh_op p.m in
+  p.m.ops <- p.m.ops + 1;
+  let iv = Ivar.create () in
+  Hashtbl.replace p.m.pending_data op iv;
+  transmit p.m ~src:p.p ~dst:src.base.pid
+    (Message.Get
+       {
+         op;
+         origin = p.p;
+         offset = src.base.offset;
+         len = src.len;
+         extra_words;
+         locked;
+       });
+  Ivar.read p.m.sim iv
+
+let get p ~src ~(dst : Addr.region) ?(extra_words = 0) () =
+  check_local p dst "get";
+  check_same_len src dst "get";
+  (* Figure 3: the destination region stays locked for the whole round
+     trip, so a concurrent put to it is delayed until the get finishes. *)
+  let dst_lock =
+    if Addr.is_public dst then
+      Some (await_local_lock p ~offset:dst.base.offset ~len:dst.len)
+    else None
+  in
+  let data = send_get p ~src ~extra_words ~locked:true in
+  write_local p dst data;
+  match dst_lock with
+  | Some id -> Lock_table.release (Node_memory.locks p.m.nodes.(p.p)) id
+  | None -> ()
+
+let raw_get p ~src ~(dst : Addr.region) ?(extra_words = 0) () =
+  check_local p dst "raw_get";
+  check_same_len src dst "raw_get";
+  let data = send_get p ~src ~extra_words ~locked:false in
+  write_local p dst data
+
+let raw_read p ~src = send_get p ~src ~extra_words:0 ~locked:false
+
+let atomic p ~(target : Addr.global) ~extra_words kind =
+  if target.space <> Addr.Public then
+    invalid_arg "Machine.atomic: target is not public";
+  let op = fresh_op p.m in
+  p.m.ops <- p.m.ops + 1;
+  let iv = Ivar.create () in
+  Hashtbl.replace p.m.pending_atomic op iv;
+  transmit p.m ~src:p.p ~dst:target.pid
+    (Message.Atomic
+       { op; origin = p.p; offset = target.offset; kind; extra_words });
+  Ivar.read p.m.sim iv
+
+let fetch_add p ~target ?(extra_words = 0) ~delta () =
+  atomic p ~target ~extra_words (Message.Fetch_add delta)
+
+let cas p ~target ?(extra_words = 0) ~expected ~desired () =
+  let old =
+    atomic p ~target ~extra_words
+      (Message.Compare_and_swap { expected; desired })
+  in
+  old = expected
+
+(* ---------- lock service ---------- *)
+
+type token =
+  | No_lock
+  | Local of Lock_table.lock_id
+  | Remote of { node : int; tok : int }
+
+let lock p (r : Addr.region) =
+  match (r.base.space, r.base.pid = p.p) with
+  | Addr.Private, true -> No_lock
+  | Addr.Private, false ->
+      invalid_arg "Machine.lock: cannot lock another process's private memory"
+  | Addr.Public, true ->
+      Local (await_local_lock p ~offset:r.base.offset ~len:r.len)
+  | Addr.Public, false ->
+      let op = fresh_op p.m in
+      let iv = Ivar.create () in
+      Hashtbl.replace p.m.pending_lock op iv;
+      transmit p.m ~src:p.p ~dst:r.base.pid
+        (Message.Lock_request
+           { op; origin = p.p; offset = r.base.offset; len = r.len });
+      let tok = Ivar.read p.m.sim iv in
+      Remote { node = r.base.pid; tok }
+
+let unlock p = function
+  | No_lock -> ()
+  | Local id -> Lock_table.release (Node_memory.locks p.m.nodes.(p.p)) id
+  | Remote { node; tok } ->
+      transmit p.m ~src:p.p ~dst:node (Message.Unlock { token = tok })
+
+(* ---------- control plane ---------- *)
+
+let set_control_handler m ~tag f =
+  if Hashtbl.mem m.control_handlers tag then
+    invalid_arg
+      (Printf.sprintf "Machine.set_control_handler: tag %S is taken" tag);
+  Hashtbl.replace m.control_handlers tag f
+
+let control p ~target ~tag ~words =
+  let op = fresh_op p.m in
+  let iv = Ivar.create () in
+  Hashtbl.replace p.m.pending_control op iv;
+  transmit p.m ~src:p.p ~dst:target
+    (Message.Control { op; origin = p.p; tag; words; want_reply = true });
+  Ivar.read p.m.sim iv
+
+let control_async p ~target ~tag ~words =
+  let op = fresh_op p.m in
+  transmit p.m ~src:p.p ~dst:target
+    (Message.Control { op; origin = p.p; tag; words; want_reply = false })
+
+let control_notify m ~src ~dst ~tag ~words =
+  let op = fresh_op m in
+  transmit m ~src ~dst
+    (Message.Control { op; origin = src; tag; words; want_reply = false })
+
+(* ---------- observation ---------- *)
+
+let add_observer m f = m.observers <- m.observers @ [ f ]
+
+let ops_started m = m.ops

@@ -1,0 +1,231 @@
+(** The simulated parallel machine: nodes, NIC agents, one-sided operations.
+
+    A {!t} bundles [n] nodes (each a [Dsm_memory.Node_memory.t]), a fabric,
+    and one NIC agent per node. The NIC agent services remote accesses
+    {e without any participation of the target process} — the OS-bypass /
+    one-sided property of §3.2 the whole paper rests on: the target
+    program is never scheduled to handle a [put] or [get] directed at its
+    public memory.
+
+    Programs run as simulated processes ({!spawn}) and talk to the machine
+    through a {!proc} handle. All data operations are expressed against
+    [Dsm_memory.Addr] regions; remote regions must be public.
+
+    Two data paths exist:
+    - {e atomic} operations ({!put}, {!get}, {!fetch_add}, {!cas}): the
+      NICs take the region locks themselves, giving §3.2's atomicity —
+      including Figure 3's "put delayed until the end of the get";
+    - {e raw} operations ({!raw_put}, {!raw_get}) plus the explicit
+      {!lock}/{!unlock} service: the building blocks with which the race
+      detector implements the paper's Algorithm 1/2 transactions.
+
+    The [Control] plane ({!control}, {!set_control_handler}) lets upper
+    layers install named services on every node (clock storage, barrier
+    masters, ...) whose messages are priced by the same fabric. *)
+
+type t
+
+type proc
+(** A program's handle on the machine: its pid plus the machine itself. *)
+
+val create :
+  Dsm_sim.Engine.t ->
+  n:int ->
+  ?topology:Dsm_net.Topology.t ->
+  ?latency:Dsm_net.Latency.t ->
+  ?private_words:int ->
+  ?public_words:int ->
+  ?discipline:Dsm_memory.Lock_table.discipline ->
+  ?drop_probability:float ->
+  ?duplicate_probability:float ->
+  unit ->
+  t
+(** Defaults: fully-connected topology over [n], {!Dsm_net.Latency.infiniband_like},
+    4096-word segments, first-fit NIC locks, reliable fabric. The fault
+    probabilities are forwarded to [Dsm_net.Fabric] for robustness
+    testing: the one-sided protocols assume reliable delivery, so drops
+    surface as blocked operations. Raises [Invalid_argument] if [n]
+    disagrees with an explicit topology's node count or [n < 1]. *)
+
+val sim : t -> Dsm_sim.Engine.t
+
+val n : t -> int
+
+val node : t -> int -> Dsm_memory.Node_memory.t
+(** Direct (meta-level) access to a node's memory — used by tests and by
+    experiment setup/validation code, not by simulated programs. *)
+
+val fabric_messages : t -> int
+(** Messages the fabric carried so far (see [Dsm_net.Fabric]). *)
+
+val fabric_words : t -> int
+
+val reset_traffic_counters : t -> unit
+
+(** {1 Processes} *)
+
+val spawn : t -> pid:int -> ?name:string -> (proc -> unit) -> unit
+(** [spawn m ~pid body] starts [body] as the program of process [pid].
+    Several programs may share a pid only in tests; normal setups spawn
+    one per node. *)
+
+val spawn_all : t -> ?name:string -> (proc -> unit) -> unit
+(** SPMD helper: spawn the same program on every node. *)
+
+val proc : t -> pid:int -> proc
+(** A detached handle (for driving the machine from setup code in tests). *)
+
+val pid : proc -> int
+
+val machine : proc -> t
+
+val compute : proc -> float -> unit
+(** Model [dt] microseconds of local computation. *)
+
+val run : ?until:float -> ?max_events:int -> t -> Dsm_sim.Engine.outcome
+(** Convenience: run the underlying engine. *)
+
+(** {1 Allocation} *)
+
+val alloc_public :
+  t -> pid:int -> ?name:string -> len:int -> unit -> Dsm_memory.Addr.region
+(** Meta-level allocation in a node's public segment: plays the compiler's
+    role of placing shared data (§3.1). *)
+
+val alloc_private :
+  t -> pid:int -> ?name:string -> len:int -> unit -> Dsm_memory.Addr.region
+
+(** {1 Atomic one-sided operations (NIC-locked)} *)
+
+val put :
+  proc -> src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region ->
+  ?extra_words:int -> ?ack:bool -> unit -> unit
+(** [put p ~src ~dst ()] copies [src] (a region of [p]'s own memory,
+    private or public) into [dst] (a {e public} region of any process) —
+    one data message (§3.2, Figure 2). With [ack = true] (default) the
+    call blocks until the remote write has happened, making the put a
+    transaction; with [ack = false] it returns as soon as the message is
+    injected, the paper's bare one-message put.
+    Raises [Invalid_argument] on length mismatch, a non-local [src], or a
+    non-public [dst]. *)
+
+val get :
+  proc -> src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region ->
+  ?extra_words:int -> unit -> unit
+(** [get p ~src ~dst ()] copies the {e public} region [src] of any process
+    into [p]'s own region [dst]. Two messages (request + data, §3.2,
+    Figure 2); blocking, as the paper requires. While the get is in
+    flight, [p]'s NIC holds the lock on a public [dst], so a concurrent
+    put to the same place is delayed — Figure 3. *)
+
+val fetch_add :
+  proc -> target:Dsm_memory.Addr.global -> ?extra_words:int -> delta:int ->
+  unit -> int
+(** Atomic read-modify-write at the target NIC; returns the old value.
+    [extra_words] models piggybacked metadata, as on the data messages. *)
+
+val cas :
+  proc -> target:Dsm_memory.Addr.global -> ?extra_words:int -> expected:int ->
+  desired:int -> unit -> bool
+(** Compare-and-swap; [true] iff the swap happened. *)
+
+(** {1 Lock service and raw data path (detector building blocks)} *)
+
+type token
+(** A held lock. Tokens are not transferable between processes. *)
+
+val lock : proc -> Dsm_memory.Addr.region -> token
+(** [lock p r] acquires exclusive access to region [r]:
+    - private region of [p] itself: free (the paper's "no need of a real
+      lock" in private space) — returns immediately;
+    - public region of [p]: local NIC lock, no messages;
+    - public region of another process: one request/grant round trip,
+      waiting in the remote NIC's queue if the range is held.
+    Raises [Invalid_argument] for a private region of another process. *)
+
+val unlock : proc -> token -> unit
+(** Releases. Remote releases are a single asynchronous message (FIFO
+    ordering makes waiting for confirmation unnecessary). *)
+
+val raw_put :
+  proc -> src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region ->
+  ?extra_words:int -> unit -> unit
+(** Like {!put} with [ack = true] but the target NIC does {e not} take the
+    range lock: the caller must hold it (Algorithms 1–2 lock first). *)
+
+val raw_get :
+  proc -> src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region ->
+  ?extra_words:int -> unit -> unit
+(** Lock-free counterpart of {!get}; the caller must hold both locks. *)
+
+val raw_read : proc -> src:Dsm_memory.Addr.region -> int array
+(** Fetch a remote public region's contents into the caller's hands (not
+    into simulated memory): how the detector reads remote clock words. *)
+
+(** {1 Control plane} *)
+
+val set_control_handler :
+  t ->
+  tag:string ->
+  (node:int -> origin:int -> int array -> int array option) ->
+  unit
+(** [set_control_handler m ~tag f] installs service [f] on every NIC. On a
+    [Control] message with this [tag], the target NIC runs
+    [f ~node ~origin words]; [Some reply] sends a [Control_reply].
+    Raises [Invalid_argument] if [tag] is taken. *)
+
+val control :
+  proc -> target:int -> tag:string -> words:int array -> int array
+(** Round-trip control request; blocks for the reply. [Failure] at
+    delivery time if the service replies [None] or is not installed. *)
+
+val control_async :
+  proc -> target:int -> tag:string -> words:int array -> unit
+(** One-way control message (no reply expected). *)
+
+val control_notify :
+  t -> src:int -> dst:int -> tag:string -> words:int array -> unit
+(** NIC-initiated one-way control message: lets a control handler (which
+    runs on a NIC, not in a process) talk to other NICs — e.g. a barrier
+    coordinator broadcasting its release. Priced like any message. *)
+
+(** {1 Observation} *)
+
+type observation =
+  | Sent of { time : float; src : int; dst : int; msg : Message.t }
+  | Delivered of { time : float; src : int; dst : int; msg : Message.t }
+  | Write_applied of {
+      time : float;
+      node : int;
+      offset : int;
+      data : int array;
+      origin : int;
+    }
+      (** the NIC committed a remote put to [node]'s public memory —
+          emitted at {e apply} time, i.e. after any Figure 3 lock delay *)
+  | Read_served of {
+      time : float;
+      node : int;
+      offset : int;
+      data : int array;
+      origin : int;
+    }
+      (** the NIC read [data] out of public memory to serve a get *)
+  | Atomic_applied of {
+      time : float;
+      node : int;
+      offset : int;
+      old_value : int;
+      new_value : int;
+      origin : int;
+    }
+
+val add_observer : t -> (observation -> unit) -> unit
+(** Observers see every message send/delivery and every NIC memory
+    application — the feeds for [dsm_trace]'s space-time diagrams and for
+    {!Coherence}. *)
+
+(** {1 Counters} *)
+
+val ops_started : t -> int
+(** put/get/atomic operations initiated since creation. *)

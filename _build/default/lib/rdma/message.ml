@@ -1,0 +1,93 @@
+type t =
+  | Put of {
+      op : int;
+      origin : int;
+      offset : int;
+      data : int array;
+      extra_words : int;
+      locked : bool;
+      want_ack : bool;
+    }
+  | Put_ack of { op : int }
+  | Get of {
+      op : int;
+      origin : int;
+      offset : int;
+      len : int;
+      extra_words : int;
+      locked : bool;
+    }
+  | Get_reply of { op : int; data : int array; extra_words : int }
+  | Atomic of {
+      op : int;
+      origin : int;
+      offset : int;
+      kind : atomic_kind;
+      extra_words : int;
+    }
+  | Atomic_reply of { op : int; old_value : int }
+  | Lock_request of { op : int; origin : int; offset : int; len : int }
+  | Lock_granted of { op : int; token : int }
+  | Unlock of { token : int }
+  | Control of {
+      op : int;
+      origin : int;
+      tag : string;
+      words : int array;
+      want_reply : bool;
+    }
+  | Control_reply of { op : int; words : int array }
+
+and atomic_kind =
+  | Fetch_add of int
+  | Compare_and_swap of { expected : int; desired : int }
+
+let header_words = 2
+
+let wire_words = function
+  | Put { data; extra_words; _ } ->
+      header_words + Array.length data + extra_words
+  | Put_ack _ -> header_words
+  | Get { extra_words; _ } -> header_words + extra_words
+  | Get_reply { data; extra_words; _ } ->
+      header_words + Array.length data + extra_words
+  | Atomic { extra_words; _ } -> header_words + 2 + extra_words
+  | Atomic_reply _ -> header_words + 1
+  | Lock_request _ -> header_words + 2
+  | Lock_granted _ -> header_words + 1
+  | Unlock _ -> header_words + 1
+  | Control { words; _ } -> header_words + 1 + Array.length words
+  | Control_reply { words; _ } -> header_words + Array.length words
+
+let describe = function
+  | Put { op; origin; offset; data; want_ack; locked; _ } ->
+      Printf.sprintf "put#%d from P%d -> pub[%d..+%d)%s%s" op origin offset
+        (Array.length data)
+        (if locked then "" else " (raw)")
+        (if want_ack then " (acked)" else "")
+  | Put_ack { op } -> Printf.sprintf "put-ack#%d" op
+  | Get { op; origin; offset; len; locked; _ } ->
+      Printf.sprintf "get#%d from P%d of pub[%d..+%d)%s" op origin offset len
+        (if locked then "" else " (raw)")
+  | Get_reply { op; data; _ } ->
+      Printf.sprintf "get-reply#%d (%d words)" op (Array.length data)
+  | Atomic { op; origin; offset; kind; _ } ->
+      let k =
+        match kind with
+        | Fetch_add d -> Printf.sprintf "fetch_add %d" d
+        | Compare_and_swap { expected; desired } ->
+            Printf.sprintf "cas %d->%d" expected desired
+      in
+      Printf.sprintf "atomic#%d from P%d at pub[%d]: %s" op origin offset k
+  | Atomic_reply { op; old_value } ->
+      Printf.sprintf "atomic-reply#%d old=%d" op old_value
+  | Lock_request { op; origin; offset; len } ->
+      Printf.sprintf "lock#%d from P%d of pub[%d..+%d)" op origin offset len
+  | Lock_granted { op; token } ->
+      Printf.sprintf "lock-granted#%d tok=%d" op token
+  | Unlock { token } -> Printf.sprintf "unlock tok=%d" token
+  | Control { op; origin; tag; words; _ } ->
+      Printf.sprintf "control#%d from P%d tag=%s (%d words)" op origin tag
+        (Array.length words)
+  | Control_reply { op; words } ->
+      Printf.sprintf "control-reply#%d (%d words)" op (Array.length words)

@@ -1,0 +1,75 @@
+(** Wire messages exchanged between NIC agents.
+
+    The protocol implements §3.2 of the paper: [Put] carries the data in a
+    single message; [Get]/[Get_reply] form the two-message read. Remote
+    accesses always target the destination's {e public} segment — the
+    private segment is not remotely addressable (Figure 1), so messages
+    carry bare offsets.
+
+    [locked = true] asks the target NIC to take its range lock around the
+    access (the atomicity of §3.2); [locked = false] is the raw data path
+    used inside detector transactions that already hold the locks
+    (Algorithms 1–2).
+
+    [Lock_request]/[Lock_granted]/[Unlock] expose the NIC lock service to
+    remote initiators, and [Control]/[Control_reply] is the extension point
+    upper layers (race-detector metadata, PGAS collectives) use without
+    teaching the NIC their semantics.
+
+    [extra_words] on data messages models piggybacked metadata (e.g.
+    vector clocks): it inflates the wire size without being part of the
+    user payload. *)
+
+type t =
+  | Put of {
+      op : int;
+      origin : int;
+      offset : int;
+      data : int array;
+      extra_words : int;
+      locked : bool;
+      want_ack : bool;
+    }
+  | Put_ack of { op : int }
+  | Get of {
+      op : int;
+      origin : int;
+      offset : int;
+      len : int;
+      extra_words : int;
+      locked : bool;
+    }
+  | Get_reply of { op : int; data : int array; extra_words : int }
+  | Atomic of {
+      op : int;
+      origin : int;
+      offset : int;
+      kind : atomic_kind;
+      extra_words : int;
+    }
+  | Atomic_reply of { op : int; old_value : int }
+  | Lock_request of { op : int; origin : int; offset : int; len : int }
+  | Lock_granted of { op : int; token : int }
+  | Unlock of { token : int }
+  | Control of {
+      op : int;
+      origin : int;
+      tag : string;
+      words : int array;
+      want_reply : bool;
+    }
+  | Control_reply of { op : int; words : int array }
+
+and atomic_kind =
+  | Fetch_add of int
+  | Compare_and_swap of { expected : int; desired : int }
+
+val header_words : int
+(** Fixed per-message header size charged on the wire (routing, op ids). *)
+
+val wire_words : t -> int
+(** Total words the fabric should charge for this message: header plus
+    payload plus [extra_words]. *)
+
+val describe : t -> string
+(** One-line rendering for traces and debugging. *)

@@ -1,0 +1,127 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable events : int;
+  mutable live : int;
+  mutable stopping : bool;
+  heap : (unit -> unit) Heap.t;
+  rng : Prng.t;
+}
+
+exception Process_failure of string * exn
+
+type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
+
+let create ?(seed = 0x5eed) () =
+  {
+    now = 0.;
+    seq = 0;
+    events = 0;
+    live = 0;
+    stopping = false;
+    heap = Heap.create ();
+    rng = Prng.create ~seed;
+  }
+
+let now sim = sim.now
+
+let rng sim = sim.rng
+
+let next_seq sim =
+  let s = sim.seq in
+  sim.seq <- s + 1;
+  s
+
+let schedule_at sim ~at f =
+  if at < sim.now then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.add sim.heap ~time:at ~seq:(next_seq sim) f
+
+let schedule sim ?(delay = 0.) f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at sim ~at:(sim.now +. delay) f
+
+(* Runs [body] under the effect handler that implements Await. The handler
+   converts each Await into a registration of a one-shot resumer; everything
+   after the Await runs when (and only when) that resumer is called. *)
+let start_process sim name body =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> sim.live <- sim.live - 1);
+      exnc =
+        (fun e ->
+          sim.live <- sim.live - 1;
+          raise (Process_failure (name, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Await register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let used = ref false in
+                  let resume v =
+                    if !used then
+                      failwith
+                        (Printf.sprintf
+                           "Engine: process %S resumed twice" name)
+                    else begin
+                      used := true;
+                      continue k v
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  match_with body () handler
+
+let spawn sim ?at ?(name = "process") body =
+  let at = match at with None -> sim.now | Some t -> t in
+  sim.live <- sim.live + 1;
+  schedule_at sim ~at (fun () -> start_process sim name body)
+
+let await _sim register = Effect.perform (Await register)
+
+let sleep sim dt =
+  if dt < 0. then invalid_arg "Engine.sleep: negative duration";
+  await sim (fun resume -> schedule sim ~delay:dt (fun () -> resume ()))
+
+let yield sim = sleep sim 0.
+
+type outcome =
+  | Completed
+  | Blocked of int
+  | Time_limit_reached
+  | Event_limit_reached
+  | Stopped
+
+let stop sim = sim.stopping <- true
+
+let run ?until ?max_events sim =
+  sim.stopping <- false;
+  let budget_exhausted () =
+    match max_events with None -> false | Some m -> sim.events >= m
+  in
+  let horizon_passed t =
+    match until with None -> false | Some h -> t > h
+  in
+  let rec loop () =
+    if sim.stopping then Stopped
+    else if budget_exhausted () then Event_limit_reached
+    else
+      match Heap.pop sim.heap with
+      | None -> if sim.live > 0 then Blocked sim.live else Completed
+      | Some (time, _seq, action) ->
+          if horizon_passed time then Time_limit_reached
+          else begin
+            sim.now <- time;
+            sim.events <- sim.events + 1;
+            action ();
+            loop ()
+          end
+  in
+  loop ()
+
+let events_processed sim = sim.events
+
+let live_processes sim = sim.live

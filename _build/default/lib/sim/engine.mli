@@ -1,0 +1,75 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated processes are ordinary OCaml functions running as effect-based
+    coroutines: they suspend with {!await} / {!sleep} and are resumed by
+    scheduled events. All scheduling is driven by a single event heap keyed
+    by [(time, sequence)], so a simulation is a pure function of its seed
+    and its program — the property every race-detection experiment in this
+    repository relies on for reproducibility.
+
+    The engine knows nothing about networks, memory or clocks; those live in
+    [dsm_net], [dsm_memory], [dsm_rdma]. *)
+
+type t
+
+exception Process_failure of string * exn
+(** Raised out of {!run} when a spawned process raises: carries the process
+    name and the original exception. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is an empty simulation at time 0. The seed (default
+    [0x5eed]) drives {!rng} and everything derived from it. *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val rng : t -> Prng.t
+(** The simulation's root generator. Components should {!Prng.split} it at
+    setup time rather than share it at run time. *)
+
+val schedule : t -> ?delay:float -> (unit -> unit) -> unit
+(** [schedule sim ~delay f] runs [f] at [now sim +. delay] (default [0.],
+    i.e. later in the current instant). Raises [Invalid_argument] on a
+    negative delay. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+(** Absolute-time variant. Raises [Invalid_argument] when [at < now]. *)
+
+val spawn : t -> ?at:float -> ?name:string -> (unit -> unit) -> unit
+(** [spawn sim ~name body] creates a process whose [body] starts at time
+    [at] (default: now). The body may use {!await}, {!sleep} and {!yield}.
+    An exception escaping [body] aborts the simulation with
+    {!Process_failure}. *)
+
+val await : t -> (('a -> unit) -> unit) -> 'a
+(** [await sim register] suspends the calling process. [register] receives
+    a one-shot [resume] function; whoever calls [resume v] (typically an
+    event scheduled by another component) makes [await] return [v].
+    Calling [resume] twice raises [Failure]. Only valid inside a spawned
+    process. *)
+
+val sleep : t -> float -> unit
+(** [sleep sim dt] suspends the calling process for [dt] simulated time. *)
+
+val yield : t -> unit
+(** Suspends and reschedules at the current instant, letting other events
+    at this time fire first. *)
+
+type outcome =
+  | Completed                 (** heap drained, every process finished *)
+  | Blocked of int            (** heap drained with [k] processes suspended
+                                  forever — e.g. a lock deadlock *)
+  | Time_limit_reached        (** stopped at the [until] horizon *)
+  | Event_limit_reached       (** stopped after [max_events] events *)
+  | Stopped                   (** {!stop} was called *)
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** Executes events in order until one of the stop conditions holds. *)
+
+val stop : t -> unit
+(** Makes the current {!run} return {!Stopped} after the current event. *)
+
+val events_processed : t -> int
+
+val live_processes : t -> int
+(** Processes spawned and not yet finished (running or suspended). *)

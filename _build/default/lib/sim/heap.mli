@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The event queue of the discrete-event engine. Ties on simulated time are
+    broken by insertion sequence number, which makes the whole simulation
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [add h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Time of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The simulator must be bit-reproducible across runs and platforms, so it
+    does not use [Stdlib.Random]. Splitmix64 is small, fast, and splittable:
+    {!split} derives an independent stream, which lets each simulated node
+    or workload own a private generator while the whole experiment remains a
+    pure function of one seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator. Distinct seeds give independent
+    streams; the same seed always yields the same sequence. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator statistically
+    independent from [g]'s future output. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2^64 bit patterns. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]].
+    Raises [Invalid_argument] when [lo > hi]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli g ~p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean — used for jittered
+    latency models. Raises [Invalid_argument] when [mean <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

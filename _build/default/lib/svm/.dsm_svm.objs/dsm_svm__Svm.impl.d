@@ -1,0 +1,1 @@
+lib/svm/svm.ml: Addr Array Dsm_memory Dsm_rdma Dsm_sim Hashtbl Ivar List Node_memory Printf Queue

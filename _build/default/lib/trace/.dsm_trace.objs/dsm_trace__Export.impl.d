@@ -1,0 +1,1 @@
+lib/trace/export.ml: Array Buffer Dsm_memory Event Format Hashtbl List Printf String Trace

@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Addr Array Dsm_memory Event Hashtbl List Trace

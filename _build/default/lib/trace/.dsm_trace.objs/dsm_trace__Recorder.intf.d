@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Dsm_memory Event Trace

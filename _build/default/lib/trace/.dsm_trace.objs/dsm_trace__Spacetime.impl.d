@@ -1,0 +1,1 @@
+lib/trace/spacetime.ml: Buffer List Printf String

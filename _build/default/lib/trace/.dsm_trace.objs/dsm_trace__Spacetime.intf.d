@@ -1,0 +1,1 @@
+lib/trace/spacetime.mli:

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Buffer Dsm_clocks Event Format Hashtbl List Printf Queue Vector_clock

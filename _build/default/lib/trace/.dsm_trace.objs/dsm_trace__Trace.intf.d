@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Dsm_clocks Event Format Hashtbl

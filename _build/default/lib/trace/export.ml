@@ -1,0 +1,100 @@
+type summary = {
+  events : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  atomics : int;
+  syncs : int;
+  race_pairs : int;
+  racy_accesses : int;
+  span : float;
+}
+
+let summary t =
+  let events = Trace.events t in
+  let n = Array.length events in
+  let reads = ref 0 and writes = ref 0 and atomics = ref 0 and syncs = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Event.Access { kind = Event.Read; _ } -> incr reads
+      | Event.Access { kind = Event.Write; _ } -> incr writes
+      | Event.Access { kind = Event.Atomic_update; _ } -> incr atomics
+      | Event.Sync _ -> incr syncs)
+    events;
+  let races = Trace.races t in
+  {
+    events = n;
+    accesses = !reads + !writes + !atomics;
+    reads = !reads;
+    writes = !writes;
+    atomics = !atomics;
+    syncs = !syncs;
+    race_pairs = List.length races;
+    racy_accesses = Hashtbl.length (Trace.racy_access_ids t);
+    span =
+      (if n = 0 then 0.
+       else Event.time events.(n - 1) -. Event.time events.(0));
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d events (%d reads, %d writes, %d atomics, %d syncs) over %.2f us; %d race pair(s) touching %d access(es)"
+    s.events s.reads s.writes s.atomics s.syncs s.span s.race_pairs
+    s.racy_accesses
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "id,time,pid,type,kind,node,offset,len,label\n";
+  Array.iter
+    (fun e ->
+      let id = Event.id e and time = Event.time e and pid = Event.pid e in
+      let row =
+        match e with
+        | Event.Access a ->
+            Printf.sprintf "%d,%.6f,%d,access,%s,%d,%d,%d,%s" id time pid
+              (Event.kind_name a.kind) a.target.base.pid a.target.base.offset
+              a.target.len (csv_escape a.label)
+        | Event.Sync (Event.Lock_acquire { lock; _ }) ->
+            Printf.sprintf "%d,%.6f,%d,lock-acquire,,,,,%s" id time pid
+              (csv_escape lock)
+        | Event.Sync (Event.Lock_release { lock; _ }) ->
+            Printf.sprintf "%d,%.6f,%d,lock-release,,,,,%s" id time pid
+              (csv_escape lock)
+        | Event.Sync (Event.Barrier_enter { generation; _ }) ->
+            Printf.sprintf "%d,%.6f,%d,barrier-enter,,,,,%d" id time pid
+              generation
+        | Event.Sync (Event.Barrier_exit { generation; _ }) ->
+            Printf.sprintf "%d,%.6f,%d,barrier-exit,,,,,%d" id time pid
+              generation
+      in
+      Buffer.add_string buf row;
+      Buffer.add_char buf '\n')
+    (Trace.events t);
+  Buffer.contents buf
+
+let races_to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "first_id,second_id,pid1,pid2,node,overlap_lo,overlap_hi\n";
+  List.iter
+    (fun { Trace.first; second } ->
+      let lo =
+        max first.Event.target.base.offset second.Event.target.base.offset
+      in
+      let hi =
+        min
+          (Dsm_memory.Addr.last_offset first.Event.target)
+          (Dsm_memory.Addr.last_offset second.Event.target)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d\n" first.Event.id
+           second.Event.id first.Event.pid second.Event.pid
+           first.Event.target.base.pid lo hi))
+    (Trace.races t);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/workload/locked_counter.ml: Array Dsm_memory Dsm_pgas Dsm_rdma Dsm_sim Env Prng

@@ -1,0 +1,1 @@
+lib/workload/locked_counter.mli: Dsm_pgas

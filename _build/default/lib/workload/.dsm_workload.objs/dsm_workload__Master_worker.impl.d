@@ -1,0 +1,1 @@
+lib/workload/master_worker.ml: Array Collectives Dsm_memory Dsm_pgas Dsm_rdma Dsm_sim Env Printf Prng

@@ -1,0 +1,1 @@
+lib/workload/master_worker.mli: Dsm_pgas

@@ -1,0 +1,1 @@
+lib/workload/pipeline.ml: Array Dsm_memory Dsm_pgas Dsm_rdma Env

@@ -1,0 +1,1 @@
+lib/workload/pipeline.mli: Dsm_pgas

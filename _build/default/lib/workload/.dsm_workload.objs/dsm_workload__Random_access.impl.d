@@ -1,0 +1,1 @@
+lib/workload/random_access.ml: Array Collectives Dsm_memory Dsm_pgas Dsm_rdma Dsm_sim Env List Printf Prng

@@ -1,0 +1,1 @@
+lib/workload/random_access.mli: Dsm_pgas

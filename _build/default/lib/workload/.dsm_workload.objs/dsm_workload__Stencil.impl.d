@@ -1,0 +1,1 @@
+lib/workload/stencil.ml: Array Collectives Dsm_pgas Dsm_rdma Dsm_sim Env Shared_array

@@ -1,0 +1,52 @@
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+
+type params = { increments_per_proc : int; think_mean : float; seed : int }
+
+let default = { increments_per_proc = 5; think_mean = 3.0; seed = 1 }
+
+let counter_name = "locked.counter"
+
+let setup env params =
+  if params.increments_per_proc < 1 then
+    invalid_arg "Locked_counter.setup: increments_per_proc must be positive";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  let counter = Machine.alloc_public m ~pid:0 ~name:counter_name ~len:1 () in
+  Env.register env counter;
+  (* The mutex is a distinct public word: locking the counter's own region
+     would deadlock against the per-operation locks the detector (and the
+     NIC) take on the data — exactly as in real RDMA code, where the lock
+     object and the data it protects are separate. *)
+  let mutex = Machine.alloc_public m ~pid:0 ~name:"locked.mutex" ~len:1 () in
+  for pid = 0 to n - 1 do
+    Machine.spawn m ~pid (fun p ->
+        let g = Prng.create ~seed:(params.seed + (31 * pid)) in
+        let scratch = Machine.alloc_private m ~pid ~len:1 () in
+        for _ = 1 to params.increments_per_proc do
+          Machine.compute p (Prng.exponential g ~mean:params.think_mean);
+          let h = Env.lock env p mutex in
+          Env.get env p ~src:counter ~dst:scratch;
+          let v =
+            (Dsm_memory.Node_memory.read (Machine.node m pid) scratch).(0)
+          in
+          Dsm_memory.Node_memory.write (Machine.node m pid) scratch [| v + 1 |];
+          Env.put env p ~src:scratch ~dst:counter;
+          Env.unlock env p h
+        done)
+  done
+
+let counter_value env =
+  let m = Env.machine env in
+  let node = Machine.node m 0 in
+  match
+    Dsm_memory.Allocator.lookup
+      (Dsm_memory.Node_memory.allocator node Dsm_memory.Addr.Public)
+      counter_name
+  with
+  | None -> failwith "Locked_counter.counter_value: workload was not set up"
+  | Some (offset, len) ->
+      (Dsm_memory.Node_memory.read node
+         (Dsm_memory.Addr.region ~pid:0 ~space:Dsm_memory.Addr.Public ~offset
+            ~len)).(0)

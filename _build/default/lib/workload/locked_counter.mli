@@ -1,0 +1,28 @@
+(** A lock-disciplined shared counter: every process increments a counter
+    hosted on node 0 with a get/modify/put protected by the NIC lock on
+    the counter's region.
+
+    Mutual exclusion makes the program correct — the final count always
+    equals the number of increments — and the lock ordering makes it
+    race-free under a happens-before semantics that understands locks.
+    The paper's clocks do {e not} propagate through locks, so the plain
+    detector floods this workload with false positives; the
+    [Config.lock_aware_clocks] extension removes them. Experiment E11
+    measures all three verdicts (paper clocks, lock-aware clocks,
+    lockset). *)
+
+type params = {
+  increments_per_proc : int;
+  think_mean : float;
+  seed : int;
+}
+
+val default : params
+
+val setup : Dsm_pgas.Env.t -> params -> unit
+(** Spawns one incrementing program per node; the caller runs the
+    machine. *)
+
+val counter_value : Dsm_pgas.Env.t -> int
+(** After the run: the counter's final value (must equal
+    [n * increments_per_proc]). *)

@@ -1,0 +1,89 @@
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+
+type params = {
+  tasks_per_worker : int;
+  work_mean : float;
+  racy : bool;
+  seed : int;
+}
+
+let default = { tasks_per_worker = 5; work_mean = 10.0; racy = true; seed = 1 }
+
+(* The master's accumulator lives at a well-known name on node 0. *)
+let total_name = "mw.total"
+
+let setup env ~collectives params =
+  let m = Env.machine env in
+  let n = Machine.n m in
+  if n < 2 then invalid_arg "Master_worker.setup: need at least 2 nodes";
+  if params.tasks_per_worker < 1 then
+    invalid_arg "Master_worker.setup: tasks_per_worker must be positive";
+  let c = collectives in
+  let result_cell = Machine.alloc_public m ~pid:0 ~name:"mw.result" ~len:1 () in
+  Env.register env result_cell;
+  let slots =
+    Array.init n (fun w ->
+        let r =
+          Machine.alloc_public m ~pid:0
+            ~name:(Printf.sprintf "mw.slot%d" w)
+            ~len:1 ()
+        in
+        Env.register env r;
+        r)
+  in
+  let total = Machine.alloc_public m ~pid:0 ~name:total_name ~len:1 () in
+  Env.register env total;
+  (* Master: waits for the workers, then accumulates. *)
+  Machine.spawn m ~pid:0 (fun p ->
+      let scratch = Machine.alloc_private m ~pid:0 ~len:1 () in
+      let read r =
+        Env.get env p ~src:r ~dst:scratch;
+        (Dsm_memory.Node_memory.read (Machine.node m 0) scratch).(0)
+      in
+      Collectives.barrier c p;
+      (* work phase: the master only waits *)
+      Collectives.barrier c p;
+      let sum = ref 0 in
+      if params.racy then sum := read result_cell
+      else
+        for w = 1 to n - 1 do
+          sum := !sum + read slots.(w)
+        done;
+      let stage = Machine.alloc_private m ~pid:0 ~len:1 () in
+      Dsm_memory.Node_memory.write (Machine.node m 0) stage [| !sum |];
+      Env.put env p ~src:stage ~dst:total);
+  (* Workers. *)
+  for w = 1 to n - 1 do
+    Machine.spawn m ~pid:w (fun p ->
+        let g = Prng.create ~seed:(params.seed + (77 * w)) in
+        let stage = Machine.alloc_private m ~pid:w ~len:1 () in
+        Collectives.barrier c p;
+        let produced = ref 0 in
+        for _ = 1 to params.tasks_per_worker do
+          Machine.compute p (Prng.exponential g ~mean:params.work_mean);
+          incr produced;
+          Dsm_memory.Node_memory.write (Machine.node m w) stage [| !produced |];
+          if params.racy then
+            (* Everyone updates the same master cell: the intentional race
+               of §4.4 — last writer wins, results are lost. *)
+            Env.put env p ~src:stage ~dst:result_cell
+          else Env.put env p ~src:stage ~dst:slots.(w)
+        done;
+        Collectives.barrier c p)
+  done
+
+let master_total env =
+  let m = Env.machine env in
+  let node = Machine.node m 0 in
+  match
+    Dsm_memory.Allocator.lookup
+      (Dsm_memory.Node_memory.allocator node Dsm_memory.Addr.Public)
+      total_name
+  with
+  | None -> failwith "Master_worker.master_total: workload was not set up"
+  | Some (offset, len) ->
+      (Dsm_memory.Node_memory.read node
+         (Dsm_memory.Addr.region ~pid:0 ~space:Dsm_memory.Addr.Public ~offset
+            ~len)).(0)

@@ -1,0 +1,27 @@
+(** The paper's own §4.4 example: a master/worker pattern whose workers
+    race on purpose when they push results to the master.
+
+    In the [racy] variant every worker puts its result into the {e same}
+    cell of the master — the paper's canonical intentional race, which the
+    detector must {e signal} without aborting. In the clean variant each
+    worker writes its own slot, and the master reads after a barrier:
+    nothing may be flagged. The pair is the core of experiment E9's
+    per-workload precision table. *)
+
+type params = {
+  tasks_per_worker : int;
+  work_mean : float;  (** mean simulated task duration *)
+  racy : bool;  (** single shared result cell vs. per-worker slots *)
+  seed : int;
+}
+
+val default : params
+
+val setup :
+  Dsm_pgas.Env.t -> collectives:Dsm_pgas.Collectives.t -> params -> unit
+(** Node 0 is the master; all other nodes are workers. The caller runs the
+    machine afterwards. Requires at least 2 nodes. *)
+
+val master_total : Dsm_pgas.Env.t -> int
+(** After the run: the total the master accumulated (for validating the
+    clean variant: it must equal the number of tasks). *)

@@ -1,0 +1,86 @@
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+
+type params = {
+  ops_per_proc : int;
+  vars : int;
+  var_len : int;
+  read_fraction : float;
+  atomic_fraction : float;
+  think_mean : float;
+  barrier_every : int option;
+  seed : int;
+}
+
+let default =
+  {
+    ops_per_proc = 50;
+    vars = 4;
+    var_len = 4;
+    read_fraction = 0.5;
+    atomic_fraction = 0.0;
+    think_mean = 5.0;
+    barrier_every = None;
+    seed = 1;
+  }
+
+let setup env ?collectives params =
+  if params.ops_per_proc < 0 || params.vars < 1 || params.var_len < 1 then
+    invalid_arg "Random_access.setup: degenerate parameters";
+  (match (params.barrier_every, collectives) with
+  | Some _, None ->
+      invalid_arg "Random_access.setup: barrier_every needs collectives"
+  | _ -> ());
+  let m = Env.machine env in
+  let n = Machine.n m in
+  let variables =
+    Array.init params.vars (fun i ->
+        let r =
+          Machine.alloc_public m ~pid:(i mod n)
+            ~name:(Printf.sprintf "rand.var%d" i)
+            ~len:params.var_len ()
+        in
+        Env.register env r;
+        r)
+  in
+  for pid = 0 to n - 1 do
+    let g = Prng.create ~seed:(params.seed + (1000 * pid)) in
+    (* Pre-draw the op sequence so program behaviour is independent of
+       simulated timing. *)
+    let plan =
+      List.init params.ops_per_proc (fun _ ->
+          let var = variables.(Prng.int g params.vars) in
+          let op =
+            if Prng.bernoulli g ~p:params.atomic_fraction then
+              `Atomic (Prng.int g params.var_len)
+            else if Prng.bernoulli g ~p:params.read_fraction then `Get
+            else `Put
+          in
+          let think = Prng.exponential g ~mean:params.think_mean in
+          (var, op, think))
+    in
+    Machine.spawn m ~pid (fun p ->
+        let buf = Machine.alloc_private m ~pid ~len:params.var_len () in
+        List.iteri
+          (fun k ((var : Dsm_memory.Addr.region), op, think) ->
+            Machine.compute p think;
+            (match op with
+            | `Get -> Env.get env p ~src:var ~dst:buf
+            | `Put -> Env.put env p ~src:buf ~dst:var
+            | `Atomic word ->
+                let target =
+                  Dsm_memory.Addr.global ~pid:var.base.pid
+                    ~space:Dsm_memory.Addr.Public
+                    ~offset:(var.base.offset + word)
+                in
+                ignore (Env.fetch_add env p ~target ~delta:1));
+            match (params.barrier_every, collectives) with
+            | Some every, Some c when (k + 1) mod every = 0 ->
+                Collectives.barrier c p
+            | _ -> ())
+          plan;
+        (* Drain to a common barrier count so SPMD barrier generations
+           stay aligned even if op counts were uneven. *)
+        ())
+  done

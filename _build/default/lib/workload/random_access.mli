@@ -1,0 +1,32 @@
+(** Random one-sided access workloads: the parameter-sweep driver behind
+    experiments E7–E9.
+
+    Every process issues [ops_per_proc] put/get operations against a pool
+    of shared variables, with a tunable read fraction, think time between
+    operations, and optional periodic barriers (which remove races by
+    construction, letting the sweeps separate true races from detector
+    noise). The generator is a pure function of [seed]. *)
+
+type params = {
+  ops_per_proc : int;
+  vars : int;  (** shared variables, allocated round-robin over nodes *)
+  var_len : int;  (** words per variable *)
+  read_fraction : float;  (** probability an op is a get *)
+  atomic_fraction : float;
+      (** probability an op is an atomic fetch-and-add on a random word
+          of a variable (checked under detection; never races with other
+          atomics) *)
+  think_mean : float;  (** mean simulated time between ops (exponential) *)
+  barrier_every : int option;
+      (** insert a barrier after every [k] ops of each process *)
+  seed : int;
+}
+
+val default : params
+(** 50 ops x 4 vars x 4 words, 50% reads, no atomics, 5 us think time,
+    no barriers, seed 1. *)
+
+val setup : Dsm_pgas.Env.t -> ?collectives:Dsm_pgas.Collectives.t -> params -> unit
+(** Allocates the variables and spawns one program per node. The caller
+    then runs the machine. [collectives] is required when [barrier_every]
+    is set (raises [Invalid_argument] otherwise). *)

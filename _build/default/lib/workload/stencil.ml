@@ -1,0 +1,67 @@
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+
+type params = { cells_per_node : int; iterations : int; seed : int }
+
+let default = { cells_per_node = 8; iterations = 4; seed = 3 }
+
+let initial params total =
+  let g = Dsm_sim.Prng.create ~seed:params.seed in
+  Array.init total (fun _ -> Dsm_sim.Prng.int g 100)
+
+(* One Jacobi step with fixed boundary values (integer mean). *)
+let step_row row =
+  let total = Array.length row in
+  Array.init total (fun i ->
+      if i = 0 || i = total - 1 then row.(i)
+      else (row.(i - 1) + row.(i) + row.(i + 1)) / 3)
+
+let setup env ~collectives params =
+  if params.cells_per_node < 2 then
+    invalid_arg "Stencil.setup: need at least 2 cells per node";
+  if params.iterations < 0 then invalid_arg "Stencil.setup: iterations";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  let total = n * params.cells_per_node in
+  let grid = Shared_array.create env ~name:"stencil.grid" ~len:total () in
+  Array.iteri (fun i v -> Shared_array.poke grid i v) (initial params total);
+  let c = collectives in
+  for pid = 0 to n - 1 do
+    Machine.spawn m ~pid (fun p ->
+        let lo = pid * params.cells_per_node in
+        let hi = lo + params.cells_per_node - 1 in
+        let current = Array.make (params.cells_per_node + 2) 0 in
+        for _ = 1 to params.iterations do
+          (* Read phase: own cells plus the neighbours' halo cells. *)
+          for i = lo to hi do
+            current.(i - lo + 1) <- Shared_array.read grid p i
+          done;
+          current.(0) <-
+            (if lo = 0 then Shared_array.peek grid 0 (* fixed boundary *)
+             else Shared_array.read grid p (lo - 1));
+          current.(params.cells_per_node + 1) <-
+            (if hi = total - 1 then Shared_array.peek grid (total - 1)
+             else Shared_array.read grid p (hi + 1));
+          Collectives.barrier c p;
+          (* Write phase: update own cells only. *)
+          for i = lo to hi do
+            let v =
+              if i = 0 || i = total - 1 then current.(i - lo + 1)
+              else
+                (current.(i - lo) + current.(i - lo + 1) + current.(i - lo + 2))
+                / 3
+            in
+            Shared_array.write grid p i v
+          done;
+          Collectives.barrier c p
+        done)
+  done;
+  grid
+
+let reference grid params =
+  let total = Shared_array.length grid in
+  let row = ref (initial params total) in
+  for _ = 1 to params.iterations do
+    row := step_row !row
+  done;
+  !row

@@ -1,0 +1,29 @@
+(** 1-D Jacobi stencil with halo exchange over a block-distributed shared
+    array — a barrier-synchronized bulk-synchronous workload that is
+    race-free by construction.
+
+    Each node owns a contiguous segment; every iteration it reads its
+    neighbours' boundary cells (one-sided gets), computes the 3-point
+    average into its own cells (one-sided puts into its own chunk), and
+    barriers. The detector must stay silent on this workload (precision
+    side of E9), while the overhead sweeps of E7 use it as the
+    communication-heavy "real application". *)
+
+type params = {
+  cells_per_node : int;
+  iterations : int;
+  seed : int;  (** initial condition *)
+}
+
+val default : params
+
+val setup :
+  Dsm_pgas.Env.t -> collectives:Dsm_pgas.Collectives.t -> params ->
+  Dsm_pgas.Shared_array.t
+(** Allocates the grid, initializes it (meta-level), spawns the per-node
+    programs, and returns the grid for post-run validation. *)
+
+val reference : Dsm_pgas.Shared_array.t -> params -> int array
+(** Sequential reference computation on the same initial condition: the
+    expected grid after [iterations] steps. The simulated run must match
+    it exactly (integer arithmetic). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Addr Alcotest Dsm_baselines Dsm_memory Dsm_trace Event List Lockset Recorder Scoring Trace

@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Bytes Codec Dsm_clocks Lamport List Matrix_clock Order Printf QCheck QCheck_alcotest String Vector_clock

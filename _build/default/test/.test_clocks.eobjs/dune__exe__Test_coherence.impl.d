@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Collectives Dsm_core Dsm_memory Dsm_net Dsm_pgas Dsm_rdma Dsm_sim Dsm_workload Engine Env Format List

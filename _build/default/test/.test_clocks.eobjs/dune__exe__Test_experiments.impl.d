@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Dsm_experiments Format List Printf String Test_util

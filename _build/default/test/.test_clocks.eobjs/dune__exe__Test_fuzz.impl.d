@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Addr Alcotest Array Dsm_core Dsm_memory Dsm_net Dsm_rdma Dsm_sim Engine List Node_memory Printf Prng

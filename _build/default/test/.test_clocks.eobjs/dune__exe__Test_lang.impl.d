@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Compile Dsm_core Dsm_lang Dsm_memory Dsm_net Dsm_rdma Dsm_sim Engine Exec Format Ir List Parser Printf QCheck QCheck_alcotest Test_util

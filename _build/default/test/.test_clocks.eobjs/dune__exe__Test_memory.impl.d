@@ -1,0 +1,1 @@
+test/test_memory.ml: Addr Alcotest Allocator Dsm_memory List Lock_table Node_memory QCheck QCheck_alcotest Segment

@@ -1,0 +1,1 @@
+test/test_mpiwin.ml: Alcotest Array Collectives Dsm_core Dsm_memory Dsm_mpiwin Dsm_net Dsm_pgas Dsm_rdma Dsm_sim Engine Env List Test_util Window

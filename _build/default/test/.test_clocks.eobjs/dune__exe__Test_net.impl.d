@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dsm_net Dsm_sim Engine Fabric Format Latency List Printf Prng String Topology

@@ -1,0 +1,1 @@
+test/test_pgas.ml: Alcotest Array Collectives Dsm_core Dsm_memory Dsm_net Dsm_pgas Dsm_rdma Dsm_sim Engine Env Global_ptr Hashtbl List Printf QCheck QCheck_alcotest Shared_array Task_pool

@@ -1,0 +1,1 @@
+test/test_rdma.ml: Addr Alcotest Array Dsm_memory Dsm_net Dsm_rdma Dsm_sim Engine List Machine Node_memory Printf String

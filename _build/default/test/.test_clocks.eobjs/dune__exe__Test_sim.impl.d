@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dsm_sim Engine Heap Ivar List Prng

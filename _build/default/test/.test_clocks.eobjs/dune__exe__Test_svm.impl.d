@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Dsm_net Dsm_rdma Dsm_sim Dsm_svm Engine

@@ -1,0 +1,1 @@
+test/test_trace.ml: Addr Alcotest Dsm_clocks Dsm_memory Dsm_trace Event Export Hashtbl List Recorder Spacetime String Test_util Trace Vector_clock

@@ -1,0 +1,358 @@
+(* Unit and property tests for dsm_clocks: the lattice laws behind Lemma 1. *)
+
+open Dsm_clocks
+
+let order_testable = Alcotest.testable Order.pp Order.equal
+
+let vc_testable =
+  Alcotest.testable Vector_clock.pp (fun a b -> Vector_clock.equal a b)
+
+(* ---------- Order ---------- *)
+
+let test_order_flip () =
+  Alcotest.(check order_testable) "flip before" Order.After (Order.flip Order.Before);
+  Alcotest.(check order_testable) "flip after" Order.Before (Order.flip Order.After);
+  Alcotest.(check order_testable) "flip equal" Order.Equal (Order.flip Order.Equal);
+  Alcotest.(check order_testable)
+    "flip concurrent" Order.Concurrent (Order.flip Order.Concurrent)
+
+let test_order_predicates () =
+  Alcotest.(check bool) "concurrent" true (Order.concurrent Order.Concurrent);
+  Alcotest.(check bool) "not concurrent" false (Order.concurrent Order.Before);
+  Alcotest.(check bool) "ordered eq" true (Order.ordered Order.Equal);
+  Alcotest.(check bool) "ordered conc" false (Order.ordered Order.Concurrent)
+
+(* ---------- Lamport ---------- *)
+
+let test_lamport_tick () =
+  let c = Lamport.create () in
+  Alcotest.(check int) "initial" 0 (Lamport.value c);
+  Alcotest.(check int) "tick 1" 1 (Lamport.tick c);
+  Alcotest.(check int) "tick 2" 2 (Lamport.tick c)
+
+let test_lamport_observe () =
+  let c = Lamport.create () in
+  ignore (Lamport.tick c);
+  Alcotest.(check int) "observe larger" 11 (Lamport.observe c 10);
+  Alcotest.(check int) "observe smaller keeps max+1" 12 (Lamport.observe c 3)
+
+let test_lamport_copy_independent () =
+  let c = Lamport.create () in
+  ignore (Lamport.tick c);
+  let d = Lamport.copy c in
+  ignore (Lamport.tick c);
+  Alcotest.(check int) "copy frozen" 1 (Lamport.value d);
+  Alcotest.(check int) "original moved" 2 (Lamport.value c)
+
+let test_lamport_compare_total () =
+  Alcotest.(check order_testable) "lt" Order.Before (Lamport.compare_values 1 2);
+  Alcotest.(check order_testable) "gt" Order.After (Lamport.compare_values 5 2);
+  Alcotest.(check order_testable) "eq" Order.Equal (Lamport.compare_values 3 3)
+
+(* ---------- Vector clocks: directed cases ---------- *)
+
+let vc l = Vector_clock.of_array (Array.of_list l)
+
+let test_vc_create_zero () =
+  let c = Vector_clock.create ~n:4 in
+  Alcotest.(check bool) "zero" true (Vector_clock.is_zero c);
+  Alcotest.(check int) "dim" 4 (Vector_clock.dim c)
+
+let test_vc_create_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument
+    "Vector_clock.create: dimension must be positive")
+    (fun () -> ignore (Vector_clock.create ~n:0))
+
+let test_vc_of_array_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Vector_clock.of_array: negative entry") (fun () ->
+      ignore (vc [ 1; -1 ]))
+
+let test_vc_tick () =
+  let c = Vector_clock.create ~n:3 in
+  Vector_clock.tick c ~me:1;
+  Vector_clock.tick c ~me:1;
+  Vector_clock.tick c ~me:2;
+  Alcotest.(check vc_testable) "ticked" (vc [ 0; 2; 1 ]) c
+
+let test_vc_compare_cases () =
+  let check name expect a b =
+    Alcotest.(check order_testable) name expect (Vector_clock.compare a b)
+  in
+  check "equal" Order.Equal (vc [ 1; 2 ]) (vc [ 1; 2 ]);
+  check "before" Order.Before (vc [ 1; 2 ]) (vc [ 1; 3 ]);
+  check "after" Order.After (vc [ 4; 2 ]) (vc [ 1; 2 ]);
+  check "concurrent" Order.Concurrent (vc [ 1; 0 ]) (vc [ 0; 1 ])
+
+let test_vc_compare_dim_mismatch () =
+  Alcotest.check_raises "dim"
+    (Invalid_argument "Vector_clock.compare: dimension mismatch") (fun () ->
+      ignore (Vector_clock.compare (vc [ 1 ]) (vc [ 1; 2 ])))
+
+let test_vc_merge () =
+  Alcotest.(check vc_testable) "merge"
+    (vc [ 3; 2; 5 ])
+    (Vector_clock.merge (vc [ 3; 0; 5 ]) (vc [ 1; 2; 4 ]))
+
+let test_vc_merge_into () =
+  let a = vc [ 3; 0; 5 ] in
+  Vector_clock.merge_into ~into:a (vc [ 1; 2; 4 ]);
+  Alcotest.(check vc_testable) "merged in place" (vc [ 3; 2; 5 ]) a
+
+let test_vc_snapshot_independent () =
+  let a = vc [ 1; 1 ] in
+  let s = Vector_clock.snapshot a in
+  Vector_clock.tick a ~me:0;
+  Alcotest.(check vc_testable) "snapshot frozen" (vc [ 1; 1 ]) s
+
+let test_vc_sum_entry () =
+  let a = vc [ 4; 0; 2 ] in
+  Alcotest.(check int) "sum" 6 (Vector_clock.sum a);
+  Alcotest.(check int) "entry" 2 (Vector_clock.entry a 2);
+  Alcotest.(check int) "size_words" 3 (Vector_clock.size_words a)
+
+(* ---------- Vector clocks: properties ---------- *)
+
+let gen_vc n =
+  QCheck.Gen.(array_size (return n) (int_bound 8) >|= Vector_clock.of_array)
+
+let arb_vc_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Vector_clock.to_string a ^ " / " ^ Vector_clock.to_string b)
+    QCheck.Gen.(
+      int_range 1 6 >>= fun n ->
+      pair (gen_vc n) (gen_vc n))
+
+let arb_vc_triple =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      String.concat " / "
+        (List.map Vector_clock.to_string [ a; b; c ]))
+    QCheck.Gen.(
+      int_range 1 6 >>= fun n ->
+      triple (gen_vc n) (gen_vc n) (gen_vc n))
+
+let prop_compare_antisymmetric =
+  QCheck.Test.make ~name:"compare a b = flip (compare b a)" ~count:500
+    arb_vc_pair (fun (a, b) ->
+      Order.equal (Vector_clock.compare a b)
+        (Order.flip (Vector_clock.compare b a)))
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"merge dominates both operands" ~count:500 arb_vc_pair
+    (fun (a, b) ->
+      let m = Vector_clock.merge a b in
+      Vector_clock.leq a m && Vector_clock.leq b m)
+
+let prop_merge_least =
+  QCheck.Test.make ~name:"merge is the least upper bound" ~count:500
+    arb_vc_triple (fun (a, b, c) ->
+      let m = Vector_clock.merge a b in
+      if Vector_clock.leq a c && Vector_clock.leq b c then
+        Vector_clock.leq m c
+      else true)
+
+let prop_merge_commutative_idempotent =
+  QCheck.Test.make ~name:"merge commutative and idempotent" ~count:500
+    arb_vc_pair (fun (a, b) ->
+      Vector_clock.equal (Vector_clock.merge a b) (Vector_clock.merge b a)
+      && Vector_clock.equal (Vector_clock.merge a a) a)
+
+let prop_tick_strictly_after =
+  QCheck.Test.make ~name:"tick moves strictly after" ~count:500 arb_vc_pair
+    (fun (a, _) ->
+      let before = Vector_clock.copy a in
+      Vector_clock.tick a ~me:0;
+      Vector_clock.compare before a = Order.Before)
+
+let prop_leq_transitive =
+  QCheck.Test.make ~name:"leq is transitive" ~count:500 arb_vc_triple
+    (fun (a, b, c) ->
+      if Vector_clock.leq a b && Vector_clock.leq b c then Vector_clock.leq a c
+      else true)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"dense codec roundtrip" ~count:500 arb_vc_pair
+    (fun (a, _) ->
+      Vector_clock.equal a (Codec.decode_vector (Codec.encode_vector a)))
+
+let prop_varint_codec_roundtrip =
+  QCheck.Test.make ~name:"varint codec roundtrip" ~count:500 arb_vc_pair
+    (fun (a, _) ->
+      Vector_clock.equal a
+        (Codec.decode_vector_varint (Codec.encode_vector_varint a)))
+
+let prop_varint_at_least_one_byte_per_entry =
+  QCheck.Test.make ~name:"varint lower bound (>= n+1 bytes)" ~count:500
+    arb_vc_pair (fun (a, _) ->
+      Bytes.length (Codec.encode_vector_varint a) >= Vector_clock.dim a + 1)
+
+let prop_delta_codec_roundtrip =
+  QCheck.Test.make ~name:"delta codec roundtrip" ~count:500 arb_vc_pair
+    (fun (base, v) ->
+      let w = Codec.encode_vector_delta ~since:base v in
+      Vector_clock.equal v (Codec.decode_vector_delta ~base w))
+
+(* ---------- Matrix clocks ---------- *)
+
+let test_mc_create () =
+  let m = Matrix_clock.create ~n:3 ~me:1 in
+  Alcotest.(check int) "dim" 3 (Matrix_clock.dim m);
+  Alcotest.(check int) "owner" 1 (Matrix_clock.owner m);
+  Alcotest.(check bool) "zero own vector" true
+    (Vector_clock.is_zero (Matrix_clock.own_vector m))
+
+let test_mc_tick () =
+  let m = Matrix_clock.create ~n:3 ~me:1 in
+  Matrix_clock.tick m;
+  Matrix_clock.tick m;
+  Alcotest.(check int) "diagonal" 2 (Matrix_clock.entry m 1 1);
+  Alcotest.(check vc_testable) "own row" (vc [ 0; 2; 0 ])
+    (Matrix_clock.own_vector m)
+
+let test_mc_observe () =
+  let a = Matrix_clock.create ~n:2 ~me:0 in
+  let b = Matrix_clock.create ~n:2 ~me:1 in
+  Matrix_clock.tick a;
+  Matrix_clock.tick b;
+  Matrix_clock.tick b;
+  Matrix_clock.observe a b;
+  (* a's principal row absorbs b's principal row. *)
+  Alcotest.(check vc_testable) "a knows b" (vc [ 1; 2 ])
+    (Matrix_clock.own_vector a);
+  (* a's row for b holds b's vector. *)
+  Alcotest.(check vc_testable) "a's view of b" (vc [ 0; 2 ])
+    (Matrix_clock.row a 1)
+
+let test_mc_min_known () =
+  let a = Matrix_clock.create ~n:2 ~me:0 in
+  Matrix_clock.tick a;
+  (* Row 1 still zero: nothing is known to be known by everyone. *)
+  Alcotest.(check int) "min over column 0" 0 (Matrix_clock.min_known a 0)
+
+let test_mc_codec_roundtrip () =
+  let a = Matrix_clock.create ~n:3 ~me:2 in
+  Matrix_clock.tick a;
+  let b = Matrix_clock.create ~n:3 ~me:0 in
+  Matrix_clock.tick b;
+  Matrix_clock.observe a b;
+  let a' = Codec.decode_matrix (Codec.encode_matrix a) in
+  Alcotest.(check int) "owner" (Matrix_clock.owner a) (Matrix_clock.owner a');
+  for i = 0 to 2 do
+    Alcotest.(check vc_testable)
+      (Printf.sprintf "row %d" i)
+      (Matrix_clock.row a i) (Matrix_clock.row a' i)
+  done
+
+let test_mc_of_rows_invalid () =
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Matrix_clock.of_rows: not square") (fun () ->
+      ignore (Matrix_clock.of_rows ~me:0 [| [| 1; 2 |]; [| 3 |] |]))
+
+let test_mc_size_words () =
+  let m = Matrix_clock.create ~n:5 ~me:0 in
+  Alcotest.(check int) "n^2" 25 (Matrix_clock.size_words m)
+
+(* ---------- Codec edges ---------- *)
+
+let test_codec_varint_malformed () =
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Codec.decode_vector_varint: truncated") (fun () ->
+      ignore (Codec.decode_vector_varint (Bytes.of_string "\x02\x01")));
+  Alcotest.check_raises "trailing"
+    (Invalid_argument "Codec.decode_vector_varint: trailing bytes") (fun () ->
+      ignore (Codec.decode_vector_varint (Bytes.of_string "\x01\x01\x01")))
+
+let test_codec_varint_large_values () =
+  let v = Vector_clock.of_array [| 0; 127; 128; 300; 1_000_000 |] in
+  Alcotest.(check bool) "roundtrip big counters" true
+    (Vector_clock.equal v
+       (Codec.decode_vector_varint (Codec.encode_vector_varint v)))
+
+let test_codec_malformed () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Codec.decode_vector: empty buffer") (fun () ->
+      ignore (Codec.decode_vector [||]));
+  Alcotest.check_raises "bad header"
+    (Invalid_argument "Codec.decode_vector: malformed buffer") (fun () ->
+      ignore (Codec.decode_vector [| 3; 1 |]))
+
+let test_codec_matrix_malformed () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Codec.decode_matrix: empty buffer") (fun () ->
+      ignore (Codec.decode_matrix [||]));
+  Alcotest.check_raises "bad owner"
+    (Invalid_argument "Codec.decode_matrix: malformed buffer") (fun () ->
+      ignore (Codec.decode_matrix [| 2; 5; 0; 0; 0; 0 |]))
+
+let test_codec_sizes () =
+  let v = Vector_clock.create ~n:8 in
+  Alcotest.(check int) "dense words" 9 (Array.length (Codec.encode_vector v));
+  Alcotest.(check int) "bytes" 72
+    (Codec.bytes_of_words (Array.length (Codec.encode_vector v)));
+  let w = Codec.encode_vector_delta ~since:v v in
+  Alcotest.(check int) "empty delta" 2 (Array.length w)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [
+    prop_compare_antisymmetric;
+    prop_merge_upper_bound;
+    prop_merge_least;
+    prop_merge_commutative_idempotent;
+    prop_tick_strictly_after;
+    prop_leq_transitive;
+    prop_codec_roundtrip;
+    prop_delta_codec_roundtrip;
+    prop_varint_codec_roundtrip;
+    prop_varint_at_least_one_byte_per_entry;
+  ]
+
+let () =
+  Alcotest.run "clocks"
+    [
+      ( "order",
+        [
+          Alcotest.test_case "flip" `Quick test_order_flip;
+          Alcotest.test_case "predicates" `Quick test_order_predicates;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "tick" `Quick test_lamport_tick;
+          Alcotest.test_case "observe" `Quick test_lamport_observe;
+          Alcotest.test_case "copy" `Quick test_lamport_copy_independent;
+          Alcotest.test_case "compare" `Quick test_lamport_compare_total;
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "create zero" `Quick test_vc_create_zero;
+          Alcotest.test_case "create invalid" `Quick test_vc_create_invalid;
+          Alcotest.test_case "of_array negative" `Quick test_vc_of_array_negative;
+          Alcotest.test_case "tick" `Quick test_vc_tick;
+          Alcotest.test_case "compare cases" `Quick test_vc_compare_cases;
+          Alcotest.test_case "compare mismatch" `Quick test_vc_compare_dim_mismatch;
+          Alcotest.test_case "merge" `Quick test_vc_merge;
+          Alcotest.test_case "merge_into" `Quick test_vc_merge_into;
+          Alcotest.test_case "snapshot" `Quick test_vc_snapshot_independent;
+          Alcotest.test_case "sum/entry/size" `Quick test_vc_sum_entry;
+        ] );
+      ("vector-properties", qsuite);
+      ( "matrix",
+        [
+          Alcotest.test_case "create" `Quick test_mc_create;
+          Alcotest.test_case "tick" `Quick test_mc_tick;
+          Alcotest.test_case "observe" `Quick test_mc_observe;
+          Alcotest.test_case "min_known" `Quick test_mc_min_known;
+          Alcotest.test_case "codec roundtrip" `Quick test_mc_codec_roundtrip;
+          Alcotest.test_case "of_rows invalid" `Quick test_mc_of_rows_invalid;
+          Alcotest.test_case "size_words" `Quick test_mc_size_words;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "malformed" `Quick test_codec_malformed;
+          Alcotest.test_case "varint malformed" `Quick test_codec_varint_malformed;
+          Alcotest.test_case "varint large" `Quick test_codec_varint_large_values;
+          Alcotest.test_case "matrix malformed" `Quick test_codec_matrix_malformed;
+          Alcotest.test_case "sizes" `Quick test_codec_sizes;
+        ] );
+    ]

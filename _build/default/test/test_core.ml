@@ -1,0 +1,624 @@
+(* Tests for dsm_core: the paper's detection algorithm on the figure
+   scenarios of §4, the ablations, and equivalence with the offline
+   ground truth. *)
+
+open Dsm_sim
+open Dsm_memory
+open Dsm_core
+module Machine = Dsm_rdma.Machine
+
+let make ?(n = 3) ?config ?seed () =
+  let sim = Engine.create ?seed () in
+  let m =
+    Machine.create sim ~n ~latency:(Dsm_net.Latency.Constant 1.0) ()
+  in
+  let d = Detector.create m ?config () in
+  (m, d)
+
+let expect_completed m =
+  match Machine.run m with
+  | Engine.Completed -> ()
+  | Engine.Blocked k -> Alcotest.failf "blocked with %d processes" k
+  | _ -> Alcotest.fail "simulation did not complete"
+
+let races d = Report.count (Detector.report d)
+
+(* Write [v] into process [pid]'s fresh private buffer. *)
+let private_buf m ~pid v =
+  let r = Machine.alloc_private m ~pid ~len:(Array.length v) () in
+  Dsm_memory.Node_memory.write (Machine.node m pid) r v;
+  r
+
+(* ---------- Figure 5a: two concurrent puts race ---------- *)
+
+let scenario_5a config =
+  let m, d = make ~config () in
+  let a = Detector.alloc_shared d ~pid:2 ~name:"a" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a);
+  Machine.spawn m ~pid:1 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:1 [| 2 |]) ~dst:a);
+  expect_completed m;
+  d
+
+let test_fig5a_concurrent_puts () =
+  let d = scenario_5a Config.default in
+  Alcotest.(check int) "race detected" 1 (races d)
+
+(* ---------- Figure 5b: causally ordered accesses do not race ---------- *)
+
+let test_fig5b_program_order () =
+  let m, d = make () in
+  let a = Detector.alloc_shared d ~pid:1 ~name:"a" ~len:1 () in
+  Machine.spawn m ~pid:2 (fun p ->
+      (* m1: get a; m3: put a — ordered by program order through the
+         reader's clock. *)
+      let buf = Machine.alloc_private m ~pid:2 ~len:1 () in
+      Detector.get d p ~src:a ~dst:buf;
+      Detector.put d p ~src:buf ~dst:a);
+  expect_completed m;
+  Alcotest.(check int) "no race" 0 (races d)
+
+let test_fig5b_cross_process_via_barrier () =
+  let m, d = make () in
+  let a = Detector.alloc_shared d ~pid:2 ~name:"a" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 5 |]) ~dst:a;
+      (* Model a synchronization point (the PGAS barrier calls this). *)
+      Detector.barrier_sync d);
+  Machine.spawn m ~pid:1 (fun p ->
+      (* Run well after the barrier. *)
+      Machine.compute p 100.0;
+      let buf = Machine.alloc_private m ~pid:1 ~len:1 () in
+      Detector.get d p ~src:a ~dst:buf);
+  expect_completed m;
+  Alcotest.(check int) "ordered through sync" 0 (races d)
+
+(* ---------- Figure 5c: unrelated message does not order puts ---------- *)
+
+let test_fig5c_intermediary_does_not_order () =
+  let m, d = make () in
+  let a = Detector.alloc_shared d ~pid:2 ~name:"a" ~len:1 () in
+  let c = Detector.alloc_shared d ~pid:0 ~name:"c" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      (* m1 *)
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a);
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 10.0;
+      (* m2: P1 writes c on P0 — it never READS anything P0 wrote, so no
+         causal edge towards P1 is created... *)
+      Detector.put d p ~src:(private_buf m ~pid:1 [| 9 |]) ~dst:c;
+      (* ...m3: therefore this put is concurrent with m1: race. *)
+      Detector.put d p ~src:(private_buf m ~pid:1 [| 2 |]) ~dst:a);
+  expect_completed m;
+  Alcotest.(check int) "race detected despite m2" 1 (races d)
+
+(* ---------- Figure 4: concurrent reads ---------- *)
+
+let scenario_fig4 config =
+  let m, d = make ~config () in
+  let a = Detector.alloc_shared d ~pid:0 ~name:"a" ~len:1 () in
+  (* Initialize a before any remote access, from P0 itself. *)
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 42 |]) ~dst:a;
+      Detector.barrier_sync d);
+  let reader pid =
+    Machine.spawn m ~pid (fun p ->
+        Machine.compute p 50.0;
+        let buf = Machine.alloc_private m ~pid ~len:1 () in
+        Detector.get d p ~src:a ~dst:buf)
+  in
+  reader 1;
+  reader 2;
+  expect_completed m;
+  d
+
+let test_fig4_concurrent_reads_no_race_with_w () =
+  let d = scenario_fig4 Config.default in
+  Alcotest.(check int) "write clock: no false positive" 0 (races d)
+
+let test_fig4_false_positive_without_w () =
+  let d = scenario_fig4 { Config.default with Config.use_write_clock = false } in
+  Alcotest.(check bool) "single clock flags read/read" true (races d >= 1);
+  (* And the signals are against the general-purpose clock. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "against V" true
+        (r.Report.against = Report.General_clock))
+    (Report.races (Detector.report d))
+
+(* ---------- write-read race is found even with W ---------- *)
+
+let test_write_read_race_detected () =
+  let m, d = make () in
+  let a = Detector.alloc_shared d ~pid:2 ~name:"a" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a);
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 30.0;
+      (* Later in wall time but causally unordered: still a race. *)
+      let buf = Machine.alloc_private m ~pid:1 ~len:1 () in
+      Detector.get d p ~src:a ~dst:buf);
+  expect_completed m;
+  Alcotest.(check int) "flagged" 1 (races d)
+
+(* ---------- ablation: transports agree ---------- *)
+
+let test_transports_agree_on_verdicts () =
+  let run transport =
+    let d =
+      scenario_5a { Config.default with Config.transport } in
+    races d
+  in
+  let inline = run Config.Inline in
+  let piggy = run Config.Piggyback_txn in
+  let explicit = run Config.Explicit_txn in
+  Alcotest.(check int) "inline = piggyback" piggy inline;
+  Alcotest.(check int) "piggyback = explicit" explicit piggy;
+  Alcotest.(check int) "all detect" 1 piggy
+
+let test_explicit_costs_meta_messages () =
+  let d =
+    scenario_5a { Config.default with Config.transport = Config.Explicit_txn }
+  in
+  Alcotest.(check bool) "clock control messages flowed" true
+    (Detector.meta_messages d > 0);
+  let d' = scenario_5a Config.default in
+  Alcotest.(check int) "piggyback needs none" 0 (Detector.meta_messages d')
+
+let test_piggyback_ships_clock_words () =
+  let d = scenario_5a Config.default in
+  (* two puts, each shipping a dim+1 = 4-word clock *)
+  Alcotest.(check int) "clock words" 8 (Detector.clock_words_shipped d)
+
+(* ---------- ablation: Lamport clocks detect nothing ---------- *)
+
+let test_lamport_misses_races () =
+  let d =
+    scenario_5a { Config.default with Config.clock_mode = Config.Lamport_only }
+  in
+  Alcotest.(check int) "scalar clocks are blind" 0 (races d)
+
+(* ---------- granularity ---------- *)
+
+let test_unregistered_variable_rejected () =
+  let m, d = make () in
+  let a = Machine.alloc_public m ~pid:2 ~len:1 () in
+  (* not registered *)
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a);
+  match Machine.run m with
+  | exception Engine.Process_failure (_, Failure msg) ->
+      Alcotest.(check bool) "explains" true
+        (Test_util.contains msg "unregistered shared data")
+  | _ -> Alcotest.fail "expected a failure about unregistered data"
+
+let test_word_granularity_needs_no_registration () =
+  let m, d =
+    make ~config:{ Config.default with Config.granularity = Config.Word } ()
+  in
+  let a = Machine.alloc_public m ~pid:2 ~len:4 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1; 1; 1; 1 |]) ~dst:a);
+  Machine.spawn m ~pid:1 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:1 [| 2; 2; 2; 2 |]) ~dst:a);
+  expect_completed m;
+  (* 4 overlapping word granules, each signalling once at the second put *)
+  Alcotest.(check int) "four word-level signals" 4 (races d)
+
+let test_block_granularity_false_sharing () =
+  (* Two writes to DISJOINT words race at block granularity but not at
+     word granularity: the classic false-sharing artifact. *)
+  let run granularity =
+    let m, d = make ~config:{ Config.default with Config.granularity } () in
+    let a = Machine.alloc_public m ~pid:2 ~len:8 () in
+    let sub offset =
+      Addr.region ~pid:2 ~space:Addr.Public ~offset ~len:1
+    in
+    Machine.spawn m ~pid:0 (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:(sub 0));
+    Machine.spawn m ~pid:1 (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid:1 [| 2 |]) ~dst:(sub 7));
+    ignore a;
+    expect_completed m;
+    races d
+  in
+  Alcotest.(check int) "word: clean" 0 (run Config.Word);
+  Alcotest.(check int) "block8: false sharing" 1 (run (Config.Block 8))
+
+let test_register_overlap_rejected () =
+  let _, d = make () in
+  let _ = Detector.alloc_shared d ~pid:0 ~len:4 () in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Clock_store.register: overlaps a registered variable")
+    (fun () ->
+      Detector.register d (Addr.region ~pid:0 ~space:Addr.Public ~offset:2 ~len:2))
+
+let test_access_spanning_two_variables () =
+  (* One put covering two registered variables checks both granules. *)
+  let m, d = make () in
+  let x = Detector.alloc_shared d ~pid:2 ~name:"x" ~len:2 () in
+  let _y = Detector.alloc_shared d ~pid:2 ~name:"y" ~len:2 () in
+  let span =
+    Addr.region ~pid:2 ~space:Addr.Public ~offset:x.Addr.base.offset ~len:4
+  in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1; 1; 1; 1 |]) ~dst:span);
+  Machine.spawn m ~pid:1 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:1 [| 2; 2; 2; 2 |]) ~dst:span);
+  expect_completed m;
+  (* the second put signals once per covered variable *)
+  Alcotest.(check int) "one signal per variable" 2 (races d)
+
+let test_partially_registered_access_rejected () =
+  let m, d = make () in
+  let x = Detector.alloc_shared d ~pid:2 ~name:"x" ~len:2 () in
+  ignore (Machine.alloc_public m ~pid:2 ~len:2 ()) (* unregistered hole *);
+  let span =
+    Addr.region ~pid:2 ~space:Addr.Public ~offset:x.Addr.base.offset ~len:4
+  in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1; 1; 1; 1 |]) ~dst:span);
+  match Machine.run m with
+  | exception Engine.Process_failure (_, Failure msg) ->
+      Alcotest.(check bool) "explains" true
+        (Test_util.contains msg "unregistered")
+  | _ -> Alcotest.fail "expected rejection of the partly covered access"
+
+let test_report_csv () =
+  let d = scenario_5a Config.default in
+  let csv = Report.to_csv (Detector.report d) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 1 row" 2 (List.length lines);
+  Alcotest.(check bool) "header columns" true
+    (Test_util.contains (List.hd lines) "accessor_clock");
+  Alcotest.(check bool) "row mentions the writer kind" true
+    (Test_util.contains csv ",write,")
+
+let test_report_suppression () =
+  (* §4.4: intentional races are acknowledged, not silenced wholesale. *)
+  let m, d = make ~n:4 () in
+  let intentional = Detector.alloc_shared d ~pid:3 ~name:"mw" ~len:1 () in
+  let accidental = Detector.alloc_shared d ~pid:3 ~name:"bug" ~len:1 () in
+  Report.suppress (Detector.report d) intentional;
+  for pid = 0 to 2 do
+    Machine.spawn m ~pid (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid [| pid |]) ~dst:intentional;
+        Detector.put d p ~src:(private_buf m ~pid [| pid |]) ~dst:accidental)
+  done;
+  expect_completed m;
+  (* Only the unsuppressed variable counts... *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "signals only on the bug"
+        accidental.Addr.base.offset r.Report.granule.Addr.base.offset)
+    (Report.races (Detector.report d));
+  Alcotest.(check int) "bug signals" 2 (races d);
+  (* ...but the intentional ones are still on record. *)
+  Alcotest.(check int) "suppressed recorded" 2
+    (List.length (Report.suppressed (Detector.report d)))
+
+let test_report_clear () =
+  let d = scenario_5a Config.default in
+  Alcotest.(check int) "had one" 1 (races d);
+  Report.clear (Detector.report d);
+  Alcotest.(check int) "cleared" 0 (races d)
+
+(* ---------- deadlock ablation ---------- *)
+
+let deadlock_scenario ~ordered =
+  let m, d =
+    make ~n:2
+      ~config:{ Config.default with Config.ordered_locking = ordered }
+      ()
+  in
+  let x = Detector.alloc_shared d ~pid:0 ~name:"x" ~len:1 () in
+  let y = Detector.alloc_shared d ~pid:1 ~name:"y" ~len:1 () in
+  (* P0: put x -> y locks x then y (paper order); P1: put y -> x locks y
+     then x. Opposite orders deadlock unless globally ordered. *)
+  Machine.spawn m ~pid:0 (fun p -> Detector.put d p ~src:x ~dst:y);
+  Machine.spawn m ~pid:1 (fun p -> Detector.put d p ~src:y ~dst:x);
+  Machine.run m
+
+let test_paper_lock_order_can_deadlock () =
+  match deadlock_scenario ~ordered:false with
+  | Engine.Blocked 2 -> ()
+  | Engine.Completed ->
+      Alcotest.fail "expected the literal src-then-dst order to deadlock"
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_ordered_locking_avoids_deadlock () =
+  match deadlock_scenario ~ordered:true with
+  | Engine.Completed -> ()
+  | Engine.Blocked k -> Alcotest.failf "deadlocked with %d" k
+  | _ -> Alcotest.fail "unexpected outcome"
+
+(* ---------- counters ---------- *)
+
+let test_counters () =
+  let d = scenario_5a Config.default in
+  Alcotest.(check int) "two checked ops" 2 (Detector.checked_ops d);
+  (* one variable entry (v,w of dim 3) + 3 proc clocks of dim 3 *)
+  Alcotest.(check int) "storage words" ((2 * 3) + (3 * 3))
+    (Detector.storage_words d)
+
+let test_proc_clock_snapshot () =
+  let m, d = make () in
+  let a = Detector.alloc_shared d ~pid:1 ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a);
+  expect_completed m;
+  let c = Detector.proc_clock d 0 in
+  Alcotest.(check int) "ticked once" 1 (Dsm_clocks.Vector_clock.entry c 0);
+  Alcotest.(check int) "others zero" 0 (Dsm_clocks.Vector_clock.entry c 1)
+
+let test_verdict_stable_under_lock_discipline () =
+  (* DESIGN ablation: the NIC's grant discipline reorders lock grants but
+     must not change race verdicts. *)
+  let run discipline =
+    let sim = Engine.create () in
+    let m =
+      Machine.create sim ~n:3 ~latency:(Dsm_net.Latency.Constant 1.0)
+        ~discipline ()
+    in
+    let d = Detector.create m () in
+    let a = Detector.alloc_shared d ~pid:2 ~name:"a" ~len:1 () in
+    Machine.spawn m ~pid:0 (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a);
+    Machine.spawn m ~pid:1 (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid:1 [| 2 |]) ~dst:a);
+    expect_completed m;
+    races d
+  in
+  Alcotest.(check int) "first-fit" 1 (run Dsm_memory.Lock_table.First_fit);
+  Alcotest.(check int) "strict head" 1 (run Dsm_memory.Lock_table.Strict_head)
+
+(* ---------- report grouping ---------- *)
+
+let test_report_grouping () =
+  let m, d = make ~n:4 () in
+  let a = Detector.alloc_shared d ~pid:3 ~name:"a" ~len:1 () in
+  let b = Detector.alloc_shared d ~pid:3 ~name:"b" ~len:1 () in
+  for pid = 0 to 2 do
+    Machine.spawn m ~pid (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid [| pid |]) ~dst:a;
+        Detector.put d p ~src:(private_buf m ~pid [| pid |]) ~dst:b)
+  done;
+  expect_completed m;
+  let groups = Report.grouped (Detector.report d) in
+  Alcotest.(check int) "two raced data" 2 (List.length groups);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "several signals collapsed" true
+        (g.Report.g_count >= 1);
+      Alcotest.(check bool) "accessors sorted" true
+        (g.Report.g_pids = List.sort compare g.Report.g_pids))
+    groups;
+  (* groups ordered by first signal time *)
+  match groups with
+  | [ g1; g2 ] ->
+      Alcotest.(check bool) "time ordered" true
+        (g1.Report.g_first_time <= g2.Report.g_first_time)
+  | _ -> Alcotest.fail "expected two groups"
+
+(* ---------- checked atomics (extension) ---------- *)
+
+let test_atomics_do_not_race_each_other () =
+  let m, d = make ~n:4 () in
+  let counter = Detector.alloc_shared d ~pid:0 ~name:"ctr" ~len:1 () in
+  for pid = 1 to 3 do
+    Machine.spawn m ~pid (fun p ->
+        for _ = 1 to 5 do
+          ignore (Detector.fetch_add d p ~target:counter.Addr.base ~delta:1)
+        done)
+  done;
+  expect_completed m;
+  Alcotest.(check int) "atomics are synchronized" 0 (races d);
+  Alcotest.(check (array int)) "no lost updates" [| 15 |]
+    (Node_memory.read (Machine.node m 0) counter)
+
+let test_atomic_races_with_plain_write () =
+  let m, d = make () in
+  let cell = Detector.alloc_shared d ~pid:2 ~name:"cell" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 7 |]) ~dst:cell);
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 30.0;
+      ignore (Detector.fetch_add d p ~target:cell.Addr.base ~delta:1));
+  expect_completed m;
+  Alcotest.(check int) "atomic vs plain write" 1 (races d)
+
+let test_plain_read_races_with_atomic () =
+  let m, d = make () in
+  let cell = Detector.alloc_shared d ~pid:2 ~name:"cell" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      ignore (Detector.fetch_add d p ~target:cell.Addr.base ~delta:1));
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 30.0;
+      let buf = Machine.alloc_private m ~pid:1 ~len:1 () in
+      Detector.get d p ~src:cell ~dst:buf);
+  expect_completed m;
+  Alcotest.(check int) "plain read vs atomic" 1 (races d)
+
+let test_atomic_synchronizes_causality () =
+  (* P0 writes data, then atomically sets a flag. P1 atomically reads the
+     flag (fetch_add 0), then reads the data: the atomic chain orders the
+     data accesses, so only no races at all are expected once the flag
+     access is itself atomic on both sides. *)
+  let m, d = make () in
+  let data = Detector.alloc_shared d ~pid:2 ~name:"data" ~len:1 () in
+  let flag = Detector.alloc_shared d ~pid:2 ~name:"flag" ~len:1 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 99 |]) ~dst:data;
+      ignore (Detector.fetch_add d p ~target:flag.Addr.base ~delta:1));
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 50.0;
+      (* acquire: atomically observe the flag *)
+      ignore (Detector.fetch_add d p ~target:flag.Addr.base ~delta:0);
+      let buf = Machine.alloc_private m ~pid:1 ~len:1 () in
+      Detector.get d p ~src:data ~dst:buf);
+  expect_completed m;
+  Alcotest.(check int) "atomic flag chain orders the data read" 0 (races d)
+
+(* ---------- detector vs. offline ground truth ---------- *)
+
+(* Random lock-free workloads at word granularity: the set of granules the
+   online detector flags must equal the set of words the offline
+   happens-before analysis proves racy (see the derivation in DESIGN.md
+   §4 notes; this is the E8/E9 soundness core). *)
+let ground_truth_equivalence ~seed =
+  let n = 4 in
+  let config =
+    {
+      Config.default with
+      Config.granularity = Config.Word;
+      Config.record_trace = true;
+    }
+  in
+  let m, d = make ~n ~config ~seed () in
+  (* Three shared arrays of 4 words, on nodes 1, 2, 3. *)
+  let vars =
+    [| Machine.alloc_public m ~pid:1 ~len:4 ();
+       Machine.alloc_public m ~pid:2 ~len:4 ();
+       Machine.alloc_public m ~pid:3 ~len:4 () |]
+  in
+  let g = Dsm_sim.Prng.create ~seed:(seed * 7 + 1) in
+  for pid = 0 to n - 1 do
+    let ops =
+      List.init 12 (fun _ ->
+          let v = vars.(Dsm_sim.Prng.int g 3) in
+          let offset = v.Addr.base.offset + Dsm_sim.Prng.int g 3 in
+          let len = 1 + Dsm_sim.Prng.int g 2 in
+          let sub =
+            Addr.region ~pid:v.Addr.base.pid ~space:Addr.Public ~offset ~len
+          in
+          let op =
+            match Dsm_sim.Prng.int g 5 with
+            | 0 -> `Atomic
+            | 1 | 2 -> `Put
+            | _ -> `Get
+          in
+          let delay = Dsm_sim.Prng.float g 20.0 in
+          (op, sub, len, delay))
+    in
+    Machine.spawn m ~pid (fun p ->
+        List.iter
+          (fun (op, (sub : Addr.region), len, delay) ->
+            Machine.compute p delay;
+            let buf = Machine.alloc_private m ~pid ~len () in
+            match op with
+            | `Put -> Detector.put d p ~src:buf ~dst:sub
+            | `Get -> Detector.get d p ~src:sub ~dst:buf
+            | `Atomic ->
+                ignore (Detector.fetch_add d p ~target:sub.base ~delta:1))
+          ops)
+  done;
+  expect_completed m;
+  let trace =
+    match Detector.trace d with Some t -> t | None -> Alcotest.fail "no trace"
+  in
+  (* Granules flagged online. *)
+  let flagged = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let g = r.Report.granule in
+      Hashtbl.replace flagged (g.Addr.base.pid, g.Addr.base.offset) ())
+    (Report.races (Detector.report d));
+  (* Words racy offline. *)
+  let truth = Hashtbl.create 16 in
+  List.iter
+    (fun { Dsm_trace.Trace.first; second } ->
+      let overlap_words (a : Dsm_trace.Event.access)
+          (b : Dsm_trace.Event.access) =
+        let lo = max a.target.base.offset b.target.base.offset in
+        let hi =
+          min (Addr.last_offset a.target) (Addr.last_offset b.target)
+        in
+        List.init (hi - lo + 1) (fun i -> (a.target.base.pid, lo + i))
+      in
+      List.iter
+        (fun k -> Hashtbl.replace truth k ())
+        (overlap_words first second))
+    (Dsm_trace.Trace.races trace);
+  let to_sorted_list h =
+    Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int)))
+    (Printf.sprintf "flagged = ground truth (seed %d)" seed)
+    (to_sorted_list truth) (to_sorted_list flagged)
+
+let test_ground_truth_seeds () =
+  List.iter (fun seed -> ground_truth_equivalence ~seed) [ 1; 2; 3; 4; 5; 6 ]
+
+(* The same equivalence as a property over arbitrary seeds. *)
+let prop_ground_truth_equivalence =
+  QCheck.Test.make ~name:"online detector = offline HB (random seeds)"
+    ~count:25
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 7 100000))
+    (fun seed ->
+      ground_truth_equivalence ~seed;
+      true)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "5a concurrent puts" `Quick test_fig5a_concurrent_puts;
+          Alcotest.test_case "5b program order" `Quick test_fig5b_program_order;
+          Alcotest.test_case "5b via sync" `Quick test_fig5b_cross_process_via_barrier;
+          Alcotest.test_case "5c intermediary" `Quick test_fig5c_intermediary_does_not_order;
+          Alcotest.test_case "4 reads with W" `Quick test_fig4_concurrent_reads_no_race_with_w;
+          Alcotest.test_case "4 reads without W" `Quick test_fig4_false_positive_without_w;
+          Alcotest.test_case "write-read race" `Quick test_write_read_race_detected;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "transports agree" `Quick test_transports_agree_on_verdicts;
+          Alcotest.test_case "explicit meta messages" `Quick test_explicit_costs_meta_messages;
+          Alcotest.test_case "piggyback words" `Quick test_piggyback_ships_clock_words;
+          Alcotest.test_case "lamport blind" `Quick test_lamport_misses_races;
+        ] );
+      ( "granularity",
+        [
+          Alcotest.test_case "unregistered rejected" `Quick test_unregistered_variable_rejected;
+          Alcotest.test_case "word granularity" `Quick test_word_granularity_needs_no_registration;
+          Alcotest.test_case "false sharing" `Quick test_block_granularity_false_sharing;
+          Alcotest.test_case "register overlap" `Quick test_register_overlap_rejected;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "grouping" `Quick test_report_grouping;
+          Alcotest.test_case "clear" `Quick test_report_clear;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "suppression" `Quick test_report_suppression;
+        ] );
+      ( "granule-coverage",
+        [
+          Alcotest.test_case "spanning access" `Quick test_access_spanning_two_variables;
+          Alcotest.test_case "partial coverage" `Quick test_partially_registered_access_rejected;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "atomic-atomic synchronized" `Quick test_atomics_do_not_race_each_other;
+          Alcotest.test_case "atomic vs plain write" `Quick test_atomic_races_with_plain_write;
+          Alcotest.test_case "plain read vs atomic" `Quick test_plain_read_races_with_atomic;
+          Alcotest.test_case "atomic flag chain" `Quick test_atomic_synchronizes_causality;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "paper order deadlocks" `Quick test_paper_lock_order_can_deadlock;
+          Alcotest.test_case "ordered locking safe" `Quick test_ordered_locking_avoids_deadlock;
+          Alcotest.test_case "discipline-stable verdicts" `Quick test_verdict_stable_under_lock_discipline;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "proc clock" `Quick test_proc_clock_snapshot;
+        ] );
+      ( "ground-truth",
+        [
+          Alcotest.test_case "equivalence on seeds" `Quick test_ground_truth_seeds;
+          QCheck_alcotest.to_alcotest prop_ground_truth_equivalence;
+        ] );
+    ]

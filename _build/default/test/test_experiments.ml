@@ -1,0 +1,85 @@
+(* Smoke and verdict tests for the experiment sections: every E-section
+   must run to completion, and the self-checking tables must not contain
+   a FAIL verdict. *)
+
+module Registry = Dsm_experiments.Registry
+module Harness = Dsm_experiments.Harness
+
+let render e =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.section ppf e;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "ids"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17" ]
+    (List.map (fun e -> e.Harness.id) Registry.all)
+
+let test_find () =
+  (match Registry.find "e7" with
+  | Some e -> Alcotest.(check string) "case-insensitive" "E7" e.Harness.id
+  | None -> Alcotest.fail "E7 not found");
+  Alcotest.(check bool) "unknown" true (Registry.find "E99" = None)
+
+let check_experiment e () =
+  let out = render e in
+  Alcotest.(check bool)
+    (e.Harness.id ^ " produced output")
+    true
+    (String.length out > 100);
+  Alcotest.(check bool) (e.Harness.id ^ " has no FAIL verdict") false
+    (Test_util.contains out "FAIL")
+
+let expected_markers =
+  [
+    ("E1", "rejected: true");
+    ("E2", "put = one message");
+    ("E3", "delay (us)");
+    ("E4", "PASS");
+    ("E5", "RACE SIGNALED");
+    ("E6", "blind, as predicted");
+    ("E7", "piggyback");
+    ("E8", "V+W (paper)");
+    ("E9", "lockset (Eraser)");
+    ("E10", "one-sided");
+    ("E11", "FALSE POSITIVES");
+    ("E12", "fetch-and-add");
+    ("E13", "yes");
+    ("E14", "coherent");
+    ("E15", "both clean");
+    ("E16", "paged SVM");
+    ("E17", "pre-compiler");
+  ]
+
+let test_markers () =
+  List.iter
+    (fun (id, marker) ->
+      match Registry.find id with
+      | None -> Alcotest.failf "%s missing" id
+      | Some e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s mentions %S" id marker)
+            true
+            (Test_util.contains (render e) marker))
+    expected_markers
+
+let () =
+  let per_experiment =
+    List.map
+      (fun e ->
+        Alcotest.test_case (e.Harness.id ^ " runs clean") `Slow
+          (check_experiment e))
+      Registry.all
+  in
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+      ("sections", per_experiment);
+      ("markers", [ Alcotest.test_case "content" `Slow test_markers ]);
+    ]

@@ -1,0 +1,139 @@
+(* Machine fuzzing: random programs over the full operation surface must
+   complete, stay coherent, and be bit-deterministic. *)
+
+open Dsm_sim
+open Dsm_memory
+module Machine = Dsm_rdma.Machine
+module Coherence = Dsm_rdma.Coherence
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Report = Dsm_core.Report
+
+type fingerprint = {
+  races : int;
+  messages : int;
+  words : int;
+  time : float;
+  violations : int;
+  memory : int list; (* final contents of the shared variables *)
+}
+
+(* One random run: 4 processes × [ops] random operations (put / get /
+   fetch_add / cas / mutex-protected RMW) over 3 shared variables. *)
+let run_once ~seed ~ops =
+  let sim = Engine.create ~seed () in
+  let latency =
+    Dsm_net.Latency.Jittered
+      { model = Dsm_net.Latency.Constant 1.0; mean_jitter = 2.0 }
+  in
+  let m = Machine.create sim ~n:4 ~latency () in
+  let checker = Coherence.attach m in
+  let d =
+    Detector.create m
+      ~config:{ Config.default with Config.granularity = Config.Word }
+      ()
+  in
+  let vars =
+    Array.init 3 (fun i ->
+        Machine.alloc_public m ~pid:(i + 1)
+          ~name:(Printf.sprintf "v%d" i)
+          ~len:4 ())
+  in
+  (* One mutex per variable, distinct from the data (cf. Locked_counter). *)
+  let mutexes =
+    Array.init 3 (fun i ->
+        Machine.alloc_public m ~pid:(i + 1)
+          ~name:(Printf.sprintf "m%d" i)
+          ~len:1 ())
+  in
+  for pid = 0 to 3 do
+    let g = Prng.create ~seed:(seed + (97 * pid)) in
+    let plan =
+      List.init ops (fun _ ->
+          (Prng.int g 5, Prng.int g 3, Prng.int g 4, Prng.float g 15.0))
+    in
+    Machine.spawn m ~pid (fun p ->
+        let buf = Machine.alloc_private m ~pid ~len:4 () in
+        List.iter
+          (fun (op, v, word, think) ->
+            Machine.compute p think;
+            let var = vars.(v) in
+            let target =
+              Addr.global ~pid:var.Addr.base.pid ~space:Addr.Public
+                ~offset:(var.Addr.base.offset + word)
+            in
+            match op with
+            | 0 -> Detector.put d p ~src:buf ~dst:var
+            | 1 -> Detector.get d p ~src:var ~dst:buf
+            | 2 -> ignore (Detector.fetch_add d p ~target ~delta:1)
+            | 3 ->
+                ignore
+                  (Detector.cas d p ~target ~expected:0 ~desired:(pid + 1))
+            | _ ->
+                (* mutex-protected read-modify-write on one word *)
+                let h = Detector.lock d p mutexes.(v) in
+                let cell =
+                  Addr.region ~pid:var.Addr.base.pid ~space:Addr.Public
+                    ~offset:(var.Addr.base.offset + word)
+                    ~len:1
+                in
+                let scratch = Machine.alloc_private m ~pid ~len:1 () in
+                Detector.get d p ~src:cell ~dst:scratch;
+                Detector.put d p ~src:scratch ~dst:cell;
+                Detector.unlock d p h)
+          plan)
+  done;
+  (match Machine.run m with
+  | Engine.Completed -> ()
+  | Engine.Blocked k -> Alcotest.failf "seed %d blocked (%d)" seed k
+  | _ -> Alcotest.failf "seed %d did not complete" seed);
+  {
+    races = Report.count (Detector.report d);
+    messages = Machine.fabric_messages m;
+    words = Machine.fabric_words m;
+    time = Engine.now sim;
+    violations = List.length (Coherence.violations checker);
+    memory =
+      Array.to_list vars
+      |> List.concat_map (fun v ->
+             Array.to_list (Node_memory.read (Machine.node m v.Addr.base.pid) v));
+  }
+
+let test_fuzz_completes_and_coherent () =
+  List.iter
+    (fun seed ->
+      let fp = run_once ~seed ~ops:15 in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d coherent" seed)
+        0 fp.violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d made progress" seed)
+        true
+        (fp.messages > 0 && fp.time > 0.))
+    [ 11; 22; 33; 44; 55; 66; 77; 88 ]
+
+let test_fuzz_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = run_once ~seed ~ops:12 in
+      let b = run_once ~seed ~ops:12 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d reproducible" seed)
+        true (a = b))
+    [ 5; 6; 7 ]
+
+let test_fuzz_seed_sensitive () =
+  let a = run_once ~seed:1 ~ops:12 in
+  let b = run_once ~seed:2 ~ops:12 in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "completes + coherent" `Slow test_fuzz_completes_and_coherent;
+          Alcotest.test_case "deterministic" `Slow test_fuzz_deterministic;
+          Alcotest.test_case "seed sensitive" `Quick test_fuzz_seed_sensitive;
+        ] );
+    ]

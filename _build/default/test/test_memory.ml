@@ -1,0 +1,356 @@
+(* Tests for dsm_memory: addressing, segments, allocation, range locks. *)
+
+open Dsm_memory
+
+(* ---------- Addr ---------- *)
+
+let reg ?(pid = 0) ?(space = Addr.Public) offset len =
+  Addr.region ~pid ~space ~offset ~len
+
+let test_addr_smart_constructors () =
+  Alcotest.check_raises "negative pid"
+    (Invalid_argument "Addr.global: negative pid") (fun () ->
+      ignore (Addr.global ~pid:(-1) ~space:Addr.Public ~offset:0));
+  Alcotest.check_raises "empty region"
+    (Invalid_argument "Addr.region: empty region") (fun () ->
+      ignore (reg 0 0))
+
+let test_addr_contains () =
+  let r = reg 10 5 in
+  let g o = Addr.global ~pid:0 ~space:Addr.Public ~offset:o in
+  Alcotest.(check bool) "first" true (Addr.contains r (g 10));
+  Alcotest.(check bool) "last" true (Addr.contains r (g 14));
+  Alcotest.(check bool) "past end" false (Addr.contains r (g 15));
+  Alcotest.(check bool) "before" false (Addr.contains r (g 9));
+  Alcotest.(check bool) "other space" false
+    (Addr.contains r (Addr.global ~pid:0 ~space:Addr.Private ~offset:12))
+
+let test_addr_overlap () =
+  Alcotest.(check bool) "overlapping" true (Addr.overlap (reg 0 10) (reg 5 10));
+  Alcotest.(check bool) "adjacent" false (Addr.overlap (reg 0 10) (reg 10 5));
+  Alcotest.(check bool) "nested" true (Addr.overlap (reg 0 10) (reg 3 2));
+  Alcotest.(check bool) "different pid" false
+    (Addr.overlap (reg ~pid:0 0 10) (reg ~pid:1 0 10));
+  Alcotest.(check bool) "different space" false
+    (Addr.overlap (reg ~space:Addr.Public 0 10) (reg ~space:Addr.Private 0 10))
+
+let test_addr_pp () =
+  Alcotest.(check string) "word" "P2.pub[16]"
+    (Addr.to_string (reg ~pid:2 16 1));
+  Alcotest.(check string) "range" "P2.pub[16..23]"
+    (Addr.to_string (reg ~pid:2 16 8))
+
+(* ---------- Segment ---------- *)
+
+let test_segment_read_write () =
+  let s = Segment.create ~words:8 in
+  Segment.write s ~offset:3 42;
+  Alcotest.(check int) "read back" 42 (Segment.read s ~offset:3);
+  Alcotest.(check int) "zero init" 0 (Segment.read s ~offset:0)
+
+let test_segment_bounds () =
+  let s = Segment.create ~words:4 in
+  Alcotest.check_raises "oob read"
+    (Invalid_argument "Segment.read: [4..+1) outside segment of 4 words")
+    (fun () -> ignore (Segment.read s ~offset:4));
+  Alcotest.check_raises "oob block"
+    (Invalid_argument
+       "Segment.read_block: [2..+3) outside segment of 4 words") (fun () ->
+      ignore (Segment.read_block s ~offset:2 ~len:3))
+
+let test_segment_block_ops () =
+  let s = Segment.create ~words:8 in
+  Segment.write_block s ~offset:2 [| 1; 2; 3 |];
+  Alcotest.(check (array int)) "roundtrip" [| 1; 2; 3 |]
+    (Segment.read_block s ~offset:2 ~len:3);
+  Segment.fill s ~offset:0 ~len:2 9;
+  Alcotest.(check (array int)) "fill" [| 9; 9 |]
+    (Segment.read_block s ~offset:0 ~len:2)
+
+let test_segment_blit () =
+  let a = Segment.create ~words:4 and b = Segment.create ~words:4 in
+  Segment.write_block a ~offset:0 [| 7; 8; 9; 10 |];
+  Segment.blit ~src:a ~src_offset:1 ~dst:b ~dst_offset:2 ~len:2;
+  Alcotest.(check (array int)) "copied" [| 0; 0; 8; 9 |]
+    (Segment.read_block b ~offset:0 ~len:4)
+
+(* ---------- Allocator ---------- *)
+
+let test_allocator_bump () =
+  let a = Allocator.create ~words:100 in
+  let x = Allocator.alloc a ~len:10 () in
+  let y = Allocator.alloc a ~len:5 () in
+  Alcotest.(check int) "first at 0" 0 x;
+  Alcotest.(check int) "second after first" 10 y;
+  Alcotest.(check int) "allocated" 15 (Allocator.allocated a)
+
+let test_allocator_exhaustion () =
+  let a = Allocator.create ~words:8 in
+  ignore (Allocator.alloc a ~len:8 ());
+  Alcotest.check_raises "oom"
+    (Failure "Allocator.alloc: out of memory (8/8 words used, want 1)")
+    (fun () -> ignore (Allocator.alloc a ~len:1 ()))
+
+let test_allocator_names () =
+  let a = Allocator.create ~words:100 in
+  ignore (Allocator.alloc a ~name:"x" ~len:4 ());
+  ignore (Allocator.alloc a ~name:"y" ~len:2 ());
+  Alcotest.(check (option (pair int int))) "lookup x" (Some (0, 4))
+    (Allocator.lookup a "x");
+  Alcotest.(check (option (pair int int))) "lookup y" (Some (4, 2))
+    (Allocator.lookup a "y");
+  Alcotest.(check (option (pair int int))) "missing" None
+    (Allocator.lookup a "z");
+  Alcotest.check_raises "duplicate"
+    (Failure "Allocator.alloc: name \"x\" already bound") (fun () ->
+      ignore (Allocator.alloc a ~name:"x" ~len:1 ()))
+
+let test_allocator_symbols_order () =
+  let a = Allocator.create ~words:100 in
+  ignore (Allocator.alloc a ~name:"one" ~len:1 ());
+  ignore (Allocator.alloc a ~name:"two" ~len:2 ());
+  match Allocator.symbols a with
+  | [ ("one", 0, 1); ("two", 1, 2) ] -> ()
+  | _ -> Alcotest.fail "symbols out of order"
+
+let test_allocator_reset () =
+  let a = Allocator.create ~words:10 in
+  ignore (Allocator.alloc a ~name:"x" ~len:5 ());
+  Allocator.reset a;
+  Alcotest.(check int) "empty again" 0 (Allocator.allocated a);
+  Alcotest.(check (option (pair int int))) "names gone" None
+    (Allocator.lookup a "x")
+
+(* ---------- Lock table ---------- *)
+
+let test_lock_immediate_grant () =
+  let t = Lock_table.create () in
+  let granted = ref false in
+  Lock_table.acquire t ~offset:0 ~len:4 (fun _ -> granted := true);
+  Alcotest.(check bool) "granted" true !granted;
+  Alcotest.(check int) "held" 1 (Lock_table.held_count t)
+
+let test_lock_conflict_waits_until_release () =
+  let t = Lock_table.create () in
+  let id1 = ref None and got2 = ref false in
+  Lock_table.acquire t ~offset:0 ~len:4 (fun id -> id1 := Some id);
+  Lock_table.acquire t ~offset:2 ~len:4 (fun _ -> got2 := true);
+  Alcotest.(check bool) "second waits" false !got2;
+  Alcotest.(check int) "queued" 1 (Lock_table.queued_count t);
+  (match !id1 with
+  | Some id -> Lock_table.release t id
+  | None -> Alcotest.fail "first not granted");
+  Alcotest.(check bool) "granted after release" true !got2;
+  Alcotest.(check int) "queue empty" 0 (Lock_table.queued_count t)
+
+let test_lock_disjoint_ranges_concurrent () =
+  let t = Lock_table.create () in
+  let a = ref false and b = ref false in
+  Lock_table.acquire t ~offset:0 ~len:4 (fun _ -> a := true);
+  Lock_table.acquire t ~offset:4 ~len:4 (fun _ -> b := true);
+  Alcotest.(check bool) "both held" true (!a && !b);
+  Alcotest.(check int) "two held" 2 (Lock_table.held_count t)
+
+let test_lock_fifo_grant_order () =
+  let t = Lock_table.create () in
+  let order = ref [] in
+  let first = ref None in
+  Lock_table.acquire t ~offset:0 ~len:2 (fun id -> first := Some id);
+  Lock_table.acquire t ~offset:0 ~len:2 (fun _ -> order := "a" :: !order);
+  Lock_table.acquire t ~offset:0 ~len:2 (fun _ -> order := "b" :: !order);
+  (* Release head lock; "a" is granted, "b" still conflicts with "a". *)
+  (match !first with Some id -> Lock_table.release t id | None -> ());
+  Alcotest.(check (list string)) "only a granted" [ "a" ] (List.rev !order)
+
+let test_lock_first_fit_skips_blocked_head () =
+  let t = Lock_table.create () in
+  let held0 = ref None and got_far = ref false and got_conflict = ref false in
+  Lock_table.acquire t ~offset:0 ~len:4 (fun id -> held0 := Some id);
+  let held10 = ref None in
+  Lock_table.acquire t ~offset:10 ~len:4 (fun id -> held10 := Some id);
+  (* Queue: first a request conflicting with [10..14) (the future head),
+     then one for a free range. *)
+  Lock_table.acquire t ~offset:10 ~len:4 (fun _ -> got_conflict := true);
+  Lock_table.acquire t ~offset:20 ~len:4 (fun _ -> got_far := true);
+  (* Releasing lock 0 unblocks neither head (10 still held) but first-fit
+     grants the non-conflicting request for 20. *)
+  (match !held0 with Some id -> Lock_table.release t id | None -> ());
+  Alcotest.(check bool) "head still blocked" false !got_conflict;
+  Alcotest.(check bool) "far range granted" true !got_far;
+  (match !held10 with Some id -> Lock_table.release t id | None -> ());
+  Alcotest.(check bool) "head finally granted" true !got_conflict
+
+let test_lock_strict_head_blocks_all () =
+  let t = Lock_table.create ~discipline:Lock_table.Strict_head () in
+  let held0 = ref None and got_far = ref false and got_conflict = ref false in
+  Lock_table.acquire t ~offset:0 ~len:4 (fun id -> held0 := Some id);
+  let held10 = ref None in
+  Lock_table.acquire t ~offset:10 ~len:4 (fun id -> held10 := Some id);
+  Lock_table.acquire t ~offset:10 ~len:4 (fun _ -> got_conflict := true);
+  Lock_table.acquire t ~offset:20 ~len:4 (fun _ -> got_far := true);
+  (match !held0 with Some id -> Lock_table.release t id | None -> ());
+  Alcotest.(check bool) "blocked head blocks everyone" false !got_far;
+  (match !held10 with Some id -> Lock_table.release t id | None -> ());
+  Alcotest.(check bool) "head granted" true !got_conflict;
+  Alcotest.(check bool) "then the rest" true !got_far
+
+let test_lock_try_acquire () =
+  let t = Lock_table.create () in
+  (match Lock_table.try_acquire t ~offset:0 ~len:4 with
+  | None -> Alcotest.fail "should succeed"
+  | Some _ -> ());
+  Alcotest.(check bool) "conflicting try fails" true
+    (Lock_table.try_acquire t ~offset:2 ~len:2 = None)
+
+let test_lock_double_release () =
+  let t = Lock_table.create () in
+  let saved = ref None in
+  Lock_table.acquire t ~offset:0 ~len:1 (fun id -> saved := Some id);
+  (match !saved with
+  | Some id ->
+      Lock_table.release t id;
+      Alcotest.check_raises "double"
+        (Failure "Lock_table.release: unknown or already-released lock")
+        (fun () -> Lock_table.release t id)
+  | None -> Alcotest.fail "not granted")
+
+(* Property: under random acquire/release traffic, no two granted locks
+   ever overlap, and once everything is released nothing stays queued. *)
+let lock_table_random_invariants discipline (ops : (int * int) list) =
+  let t = Lock_table.create ~discipline () in
+  (* granted, not yet released *)
+  let held : (Lock_table.lock_id * (int * int)) list ref = ref [] in
+  let overlap (o1, l1) (o2, l2) = o1 < o2 + l2 && o2 < o1 + l1 in
+  let ok = ref true in
+  let grant range id =
+    (* Invariant: the new grant conflicts with nothing currently held. *)
+    List.iter
+      (fun (_, r) -> if overlap r range then ok := false)
+      !held;
+    held := (id, range) :: !held
+  in
+  List.iter
+    (fun (offset, len) ->
+      let offset = abs offset mod 16 and len = 1 + (abs len mod 4) in
+      Lock_table.acquire t ~offset ~len (grant (offset, len));
+      (* Release about half the time to keep contention high. *)
+      if (offset + len) mod 2 = 0 then
+        match !held with
+        | (id, _) :: rest ->
+            held := rest;
+            Lock_table.release t id
+        | [] -> ())
+    ops;
+  (* Drain: releasing everything must eventually grant and clear all. *)
+  let guard = ref 10000 in
+  while !held <> [] && !guard > 0 do
+    decr guard;
+    (match !held with
+    | (id, _) :: rest ->
+        held := rest;
+        Lock_table.release t id
+    | [] -> ())
+  done;
+  !ok && Lock_table.queued_count t = 0 && Lock_table.held_count t = 0
+
+let prop_lock_table_first_fit =
+  QCheck.Test.make ~name:"lock table invariants (first fit)" ~count:100
+    QCheck.(list (pair small_int small_int))
+    (lock_table_random_invariants Lock_table.First_fit)
+
+let prop_lock_table_strict =
+  QCheck.Test.make ~name:"lock table invariants (strict head)" ~count:100
+    QCheck.(list (pair small_int small_int))
+    (lock_table_random_invariants Lock_table.Strict_head)
+
+(* ---------- Node_memory ---------- *)
+
+let test_node_alloc_and_rw () =
+  let node = Node_memory.create ~pid:3 () in
+  let r = Node_memory.alloc node ~space:Addr.Public ~name:"buf" ~len:4 () in
+  Alcotest.(check string) "region" "P3.pub[0..3]" (Addr.to_string r);
+  Node_memory.write node r [| 1; 2; 3; 4 |];
+  Alcotest.(check (array int)) "readback" [| 1; 2; 3; 4 |]
+    (Node_memory.read node r)
+
+let test_node_rejects_foreign_region () =
+  let node = Node_memory.create ~pid:0 () in
+  let foreign = Addr.region ~pid:1 ~space:Addr.Public ~offset:0 ~len:1 in
+  Alcotest.check_raises "foreign"
+    (Invalid_argument "Node_memory.read: region P1.pub[0] is not on P0")
+    (fun () -> ignore (Node_memory.read node foreign))
+
+let test_node_spaces_are_distinct () =
+  let node = Node_memory.create ~pid:0 () in
+  let pub = Node_memory.alloc node ~space:Addr.Public ~len:1 () in
+  let priv = Node_memory.alloc node ~space:Addr.Private ~len:1 () in
+  Node_memory.write node pub [| 5 |];
+  Node_memory.write node priv [| 6 |];
+  Alcotest.(check (array int)) "public" [| 5 |] (Node_memory.read node pub);
+  Alcotest.(check (array int)) "private" [| 6 |] (Node_memory.read node priv)
+
+let test_node_memory_map () =
+  let node = Node_memory.create ~pid:0 () in
+  ignore (Node_memory.alloc node ~space:Addr.Public ~name:"x" ~len:2 ());
+  ignore (Node_memory.alloc node ~space:Addr.Private ~name:"tmp" ~len:1 ());
+  let map = Node_memory.memory_map node in
+  Alcotest.(check int) "two symbols" 2 (List.length map);
+  Alcotest.(check bool) "x is public" true
+    (List.exists
+       (fun (s, n, _, _) -> s = Addr.Public && n = "x")
+       map)
+
+let test_node_word_ops () =
+  let node = Node_memory.create ~pid:0 () in
+  let g = Addr.global ~pid:0 ~space:Addr.Public ~offset:7 in
+  Node_memory.write_word node g 99;
+  Alcotest.(check int) "word" 99 (Node_memory.read_word node g)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "constructors" `Quick test_addr_smart_constructors;
+          Alcotest.test_case "contains" `Quick test_addr_contains;
+          Alcotest.test_case "overlap" `Quick test_addr_overlap;
+          Alcotest.test_case "pp" `Quick test_addr_pp;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "read/write" `Quick test_segment_read_write;
+          Alcotest.test_case "bounds" `Quick test_segment_bounds;
+          Alcotest.test_case "blocks" `Quick test_segment_block_ops;
+          Alcotest.test_case "blit" `Quick test_segment_blit;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "bump" `Quick test_allocator_bump;
+          Alcotest.test_case "exhaustion" `Quick test_allocator_exhaustion;
+          Alcotest.test_case "names" `Quick test_allocator_names;
+          Alcotest.test_case "symbol order" `Quick test_allocator_symbols_order;
+          Alcotest.test_case "reset" `Quick test_allocator_reset;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "immediate grant" `Quick test_lock_immediate_grant;
+          Alcotest.test_case "conflict waits" `Quick test_lock_conflict_waits_until_release;
+          Alcotest.test_case "disjoint concurrent" `Quick test_lock_disjoint_ranges_concurrent;
+          Alcotest.test_case "fifo order" `Quick test_lock_fifo_grant_order;
+          Alcotest.test_case "first-fit skips" `Quick test_lock_first_fit_skips_blocked_head;
+          Alcotest.test_case "strict head" `Quick test_lock_strict_head_blocks_all;
+          Alcotest.test_case "try_acquire" `Quick test_lock_try_acquire;
+          Alcotest.test_case "double release" `Quick test_lock_double_release;
+        ] );
+      ( "lock-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lock_table_first_fit; prop_lock_table_strict ] );
+      ( "node",
+        [
+          Alcotest.test_case "alloc+rw" `Quick test_node_alloc_and_rw;
+          Alcotest.test_case "foreign region" `Quick test_node_rejects_foreign_region;
+          Alcotest.test_case "spaces distinct" `Quick test_node_spaces_are_distinct;
+          Alcotest.test_case "memory map" `Quick test_node_memory_map;
+          Alcotest.test_case "word ops" `Quick test_node_word_ops;
+        ] );
+    ]

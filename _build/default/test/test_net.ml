@@ -1,0 +1,382 @@
+(* Tests for dsm_net: latency models, topologies, FIFO delivery. *)
+
+open Dsm_sim
+open Dsm_net
+
+let rng () = Prng.create ~seed:1
+
+(* ---------- Latency ---------- *)
+
+let test_latency_constant () =
+  let d = Latency.delay (Latency.Constant 3.0) (rng ()) ~words:100 in
+  Alcotest.(check (float 1e-9)) "constant ignores size" 3.0 d
+
+let test_latency_linear () =
+  let m = Latency.Linear { base = 1.0; per_word = 0.5 } in
+  Alcotest.(check (float 1e-9)) "base+size" 6.0
+    (Latency.delay m (rng ()) ~words:10)
+
+let test_latency_logp () =
+  let m = Latency.Logp { latency = 1.5; overhead = 0.4; gap_per_word = 0.01 } in
+  (* L + 2o + words*G *)
+  Alcotest.(check (float 1e-9)) "logp" (1.5 +. 0.8 +. 0.64)
+    (Latency.delay m (rng ()) ~words:64)
+
+let test_latency_monotone_in_size () =
+  let m = Latency.infiniband_like in
+  let g = rng () in
+  let d1 = Latency.delay m g ~words:1 in
+  let d2 = Latency.delay m g ~words:4096 in
+  Alcotest.(check bool) "larger is slower" true (d2 > d1)
+
+let test_latency_jitter_adds () =
+  let base = Latency.Constant 2.0 in
+  let m = Latency.Jittered { model = base; mean_jitter = 1.0 } in
+  let g = rng () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "jitter positive" true
+      (Latency.delay m g ~words:1 > 2.0)
+  done
+
+let test_latency_negative_size () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Latency.delay: negative size") (fun () ->
+      ignore (Latency.delay (Latency.Constant 1.) (rng ()) ~words:(-1)))
+
+let test_latency_positive_even_at_zero () =
+  let d = Latency.delay (Latency.Constant 0.) (rng ()) ~words:0 in
+  Alcotest.(check bool) "floored above zero" true (d > 0.)
+
+let test_latency_names () =
+  Alcotest.(check string) "logp" "logp" (Latency.name Latency.infiniband_like);
+  Alcotest.(check string) "jittered" "constant+jitter"
+    (Latency.name
+       (Latency.Jittered { model = Latency.Constant 1.; mean_jitter = 1. }));
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" Latency.pp Latency.ethernet_like) > 0)
+
+(* ---------- Topology ---------- *)
+
+let test_topo_full () =
+  let t = Topology.Fully_connected 5 in
+  Alcotest.(check int) "nodes" 5 (Topology.nodes t);
+  Alcotest.(check int) "self" 0 (Topology.hops t ~src:2 ~dst:2);
+  Alcotest.(check int) "one hop" 1 (Topology.hops t ~src:0 ~dst:4);
+  Alcotest.(check int) "diameter" 1 (Topology.diameter t)
+
+let test_topo_ring () =
+  let t = Topology.Ring 6 in
+  Alcotest.(check int) "adjacent" 1 (Topology.hops t ~src:0 ~dst:1);
+  Alcotest.(check int) "wraparound shorter" 1 (Topology.hops t ~src:0 ~dst:5);
+  Alcotest.(check int) "opposite" 3 (Topology.hops t ~src:0 ~dst:3);
+  Alcotest.(check int) "diameter" 3 (Topology.diameter t)
+
+let test_topo_mesh () =
+  let t = Topology.Mesh2d { rows = 3; cols = 4 } in
+  Alcotest.(check int) "nodes" 12 (Topology.nodes t);
+  (* node 0 = (0,0), node 11 = (2,3): manhattan = 5 *)
+  Alcotest.(check int) "corner to corner" 5 (Topology.hops t ~src:0 ~dst:11);
+  Alcotest.(check int) "same row" 2 (Topology.hops t ~src:4 ~dst:6);
+  Alcotest.(check int) "diameter" 5 (Topology.diameter t)
+
+let test_topo_star () =
+  let t = Topology.Star 5 in
+  Alcotest.(check int) "hub to leaf" 1 (Topology.hops t ~src:0 ~dst:3);
+  Alcotest.(check int) "leaf to leaf" 2 (Topology.hops t ~src:1 ~dst:4);
+  Alcotest.(check int) "diameter" 2 (Topology.diameter t)
+
+let test_topo_validate () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Topology.validate: degenerate shape") (fun () ->
+      ignore (Topology.validate (Topology.Ring 0)))
+
+let test_topo_out_of_range () =
+  Alcotest.check_raises "src range"
+    (Invalid_argument "Topology.hops: src out of range") (fun () ->
+      ignore (Topology.hops (Topology.Ring 3) ~src:3 ~dst:0))
+
+let test_topo_torus () =
+  let t = Topology.Torus2d { rows = 4; cols = 4 } in
+  Alcotest.(check int) "nodes" 16 (Topology.nodes t);
+  (* corner to corner wraps: (0,0) -> (3,3) is 1+1 hops *)
+  Alcotest.(check int) "wraparound" 2 (Topology.hops t ~src:0 ~dst:15);
+  Alcotest.(check int) "half way" 4 (Topology.hops t ~src:0 ~dst:10);
+  Alcotest.(check int) "diameter" 4 (Topology.diameter t)
+
+let test_topo_hypercube () =
+  let t = Topology.Hypercube 4 in
+  Alcotest.(check int) "nodes" 16 (Topology.nodes t);
+  Alcotest.(check int) "one bit" 1 (Topology.hops t ~src:0 ~dst:8);
+  Alcotest.(check int) "all bits" 4 (Topology.hops t ~src:0 ~dst:15);
+  Alcotest.(check int) "hamming" 2 (Topology.hops t ~src:5 ~dst:6);
+  Alcotest.(check int) "diameter" 4 (Topology.diameter t)
+
+let test_topo_symmetry () =
+  let topos =
+    [
+      Topology.Fully_connected 7;
+      Topology.Ring 7;
+      Topology.Mesh2d { rows = 2; cols = 4 };
+      Topology.Star 7;
+      Topology.Torus2d { rows = 3; cols = 3 };
+      Topology.Hypercube 3;
+    ]
+  in
+  List.iter
+    (fun t ->
+      let n = Topology.nodes t in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "%s hops %d->%d symmetric" (Topology.name t) i j)
+            (Topology.hops t ~src:i ~dst:j)
+            (Topology.hops t ~src:j ~dst:i)
+        done
+      done)
+    topos
+
+let test_topo_metric_properties () =
+  (* hops is a metric bounded by the diameter on every topology. *)
+  let topos =
+    [
+      Topology.Fully_connected 6;
+      Topology.Ring 8;
+      Topology.Mesh2d { rows = 3; cols = 3 };
+      Topology.Star 6;
+      Topology.Torus2d { rows = 3; cols = 4 };
+      Topology.Hypercube 3;
+    ]
+  in
+  List.iter
+    (fun t ->
+      let n = Topology.nodes t in
+      let d = Topology.diameter t in
+      for i = 0 to n - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s self" (Topology.name t))
+          0
+          (Topology.hops t ~src:i ~dst:i);
+        for j = 0 to n - 1 do
+          let hij = Topology.hops t ~src:i ~dst:j in
+          if i <> j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s positive" (Topology.name t))
+              true (hij >= 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bounded by diameter" (Topology.name t))
+            true (hij <= d);
+          for k = 0 to n - 1 do
+            let hik = Topology.hops t ~src:i ~dst:k in
+            let hjk = Topology.hops t ~src:j ~dst:k in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s triangle" (Topology.name t))
+              true
+              (hik <= hij + hjk)
+          done
+        done
+      done)
+    topos
+
+(* ---------- Fabric ---------- *)
+
+let make_fabric ?(fifo = true) ?(latency = Latency.Constant 1.0) sim n =
+  Fabric.create sim ~topology:(Topology.Fully_connected n) ~latency ~fifo ()
+
+let test_fabric_delivers () =
+  let sim = Engine.create () in
+  let fab = make_fabric sim 2 in
+  let got = ref None in
+  Fabric.register fab ~node:1 (fun ~src msg -> got := Some (src, msg));
+  Fabric.register fab ~node:0 (fun ~src:_ _ -> ());
+  Fabric.send fab ~src:0 ~dst:1 ~words:4 "hello";
+  ignore (Engine.run sim);
+  Alcotest.(check (option (pair int string))) "delivered" (Some (0, "hello"))
+    !got
+
+let test_fabric_latency_applied () =
+  let sim = Engine.create () in
+  let fab = make_fabric ~latency:(Latency.Constant 2.5) sim 2 in
+  let at = ref 0. in
+  Fabric.register fab ~node:1 (fun ~src:_ () -> at := Engine.now sim);
+  Fabric.send fab ~src:0 ~dst:1 ~words:1 ();
+  ignore (Engine.run sim);
+  Alcotest.(check (float 1e-9)) "arrives at 2.5" 2.5 !at
+
+let test_fabric_fifo_ordering () =
+  (* With jitter, later sends could overtake earlier ones; FIFO must
+     prevent that on a single channel. *)
+  let sim = Engine.create ~seed:7 () in
+  let latency =
+    Latency.Jittered { model = Latency.Constant 1.0; mean_jitter = 5.0 }
+  in
+  let fab = make_fabric ~latency sim 2 in
+  let log = ref [] in
+  Fabric.register fab ~node:1 (fun ~src:_ i -> log := i :: !log);
+  for i = 1 to 20 do
+    Fabric.send fab ~src:0 ~dst:1 ~words:1 i
+  done;
+  ignore (Engine.run sim);
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1))
+    (List.rev !log)
+
+let test_fabric_no_fifo_can_reorder () =
+  let sim = Engine.create ~seed:3 () in
+  let latency =
+    Latency.Jittered { model = Latency.Constant 1.0; mean_jitter = 10.0 }
+  in
+  let fab = make_fabric ~fifo:false ~latency sim 2 in
+  let log = ref [] in
+  Fabric.register fab ~node:1 (fun ~src:_ i -> log := i :: !log);
+  for i = 1 to 50 do
+    Fabric.send fab ~src:0 ~dst:1 ~words:1 i
+  done;
+  ignore (Engine.run sim);
+  Alcotest.(check bool) "some reordering occurred" true
+    (List.rev !log <> List.init 50 (fun i -> i + 1))
+
+let test_fabric_hops_scale_delay () =
+  let sim = Engine.create () in
+  let fab =
+    Fabric.create sim ~topology:(Topology.Ring 6)
+      ~latency:(Latency.Constant 1.0) ()
+  in
+  let t1 = ref 0. and t3 = ref 0. in
+  Fabric.register fab ~node:1 (fun ~src:_ () -> t1 := Engine.now sim);
+  Fabric.register fab ~node:3 (fun ~src:_ () -> t3 := Engine.now sim);
+  Fabric.send fab ~src:0 ~dst:1 ~words:1 ();
+  Fabric.send fab ~src:0 ~dst:3 ~words:1 ();
+  ignore (Engine.run sim);
+  Alcotest.(check (float 1e-9)) "1 hop" 1.0 !t1;
+  Alcotest.(check (float 1e-9)) "3 hops" 3.0 !t3
+
+let test_fabric_self_send () =
+  let sim = Engine.create () in
+  let fab = make_fabric sim 2 in
+  let got = ref false in
+  Fabric.register fab ~node:0 (fun ~src () ->
+      got := true;
+      Alcotest.(check int) "src is self" 0 src);
+  Fabric.send fab ~src:0 ~dst:0 ~words:1 ();
+  ignore (Engine.run sim);
+  Alcotest.(check bool) "delivered to self" true !got;
+  Alcotest.(check bool) "fast loopback" true (Engine.now sim < 0.2)
+
+let test_fabric_counters () =
+  let sim = Engine.create () in
+  let fab = make_fabric sim 2 in
+  Fabric.register fab ~node:1 (fun ~src:_ () -> ());
+  Fabric.send fab ~src:0 ~dst:1 ~words:10 ();
+  Fabric.send fab ~src:0 ~dst:1 ~words:5 ();
+  Alcotest.(check int) "messages" 2 (Fabric.messages_sent fab);
+  Alcotest.(check int) "words" 15 (Fabric.words_sent fab);
+  Fabric.reset_counters fab;
+  Alcotest.(check int) "reset" 0 (Fabric.messages_sent fab);
+  ignore (Engine.run sim)
+
+let test_fabric_double_register () =
+  let sim = Engine.create () in
+  let fab = make_fabric sim 2 in
+  Fabric.register fab ~node:0 (fun ~src:_ () -> ());
+  Alcotest.check_raises "double"
+    (Invalid_argument "Fabric.register: handler already registered")
+    (fun () -> Fabric.register fab ~node:0 (fun ~src:_ () -> ()))
+
+let test_fabric_unregistered_delivery_fails () =
+  let sim = Engine.create () in
+  let fab = make_fabric sim 2 in
+  Fabric.send fab ~src:0 ~dst:1 ~words:1 ();
+  Alcotest.check_raises "no handler"
+    (Failure "Fabric: node 1 has no handler") (fun () ->
+      ignore (Engine.run sim))
+
+(* ---------- fault injection ---------- *)
+
+let test_fabric_drop_rate () =
+  let sim = Engine.create ~seed:21 () in
+  let fab =
+    Fabric.create sim ~topology:(Topology.Fully_connected 2)
+      ~latency:(Latency.Constant 1.0) ~drop_probability:0.3 ()
+  in
+  let received = ref 0 in
+  Fabric.register fab ~node:1 (fun ~src:_ () -> incr received);
+  for _ = 1 to 1000 do
+    Fabric.send fab ~src:0 ~dst:1 ~words:1 ()
+  done;
+  ignore (Engine.run sim);
+  let dropped = Fabric.messages_dropped fab in
+  Alcotest.(check int) "conservation" 1000 (!received + dropped);
+  Alcotest.(check bool) "rate plausible" true (dropped > 200 && dropped < 400)
+
+let test_fabric_duplicates () =
+  let sim = Engine.create ~seed:22 () in
+  let fab =
+    Fabric.create sim ~topology:(Topology.Fully_connected 2)
+      ~latency:(Latency.Constant 1.0) ~duplicate_probability:0.5 ()
+  in
+  let received = ref 0 in
+  Fabric.register fab ~node:1 (fun ~src:_ () -> incr received);
+  for _ = 1 to 200 do
+    Fabric.send fab ~src:0 ~dst:1 ~words:1 ()
+  done;
+  ignore (Engine.run sim);
+  Alcotest.(check int) "each duplicate delivered" (200 + Fabric.messages_duplicated fab)
+    !received;
+  Alcotest.(check bool) "some duplicates" true
+    (Fabric.messages_duplicated fab > 50)
+
+let test_fabric_bad_probability () =
+  let sim = Engine.create () in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Fabric.create: drop_probability out of range")
+    (fun () ->
+      ignore
+        (Fabric.create sim ~topology:(Topology.Fully_connected 2)
+           ~latency:(Latency.Constant 1.0) ~drop_probability:1.5 ()
+          : unit Fabric.t))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "constant" `Quick test_latency_constant;
+          Alcotest.test_case "linear" `Quick test_latency_linear;
+          Alcotest.test_case "logp" `Quick test_latency_logp;
+          Alcotest.test_case "monotone" `Quick test_latency_monotone_in_size;
+          Alcotest.test_case "jitter" `Quick test_latency_jitter_adds;
+          Alcotest.test_case "negative size" `Quick test_latency_negative_size;
+          Alcotest.test_case "positive floor" `Quick test_latency_positive_even_at_zero;
+          Alcotest.test_case "names" `Quick test_latency_names;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "full" `Quick test_topo_full;
+          Alcotest.test_case "ring" `Quick test_topo_ring;
+          Alcotest.test_case "mesh" `Quick test_topo_mesh;
+          Alcotest.test_case "star" `Quick test_topo_star;
+          Alcotest.test_case "torus" `Quick test_topo_torus;
+          Alcotest.test_case "hypercube" `Quick test_topo_hypercube;
+          Alcotest.test_case "validate" `Quick test_topo_validate;
+          Alcotest.test_case "out of range" `Quick test_topo_out_of_range;
+          Alcotest.test_case "symmetry" `Quick test_topo_symmetry;
+          Alcotest.test_case "metric properties" `Quick test_topo_metric_properties;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "delivers" `Quick test_fabric_delivers;
+          Alcotest.test_case "latency applied" `Quick test_fabric_latency_applied;
+          Alcotest.test_case "fifo ordering" `Quick test_fabric_fifo_ordering;
+          Alcotest.test_case "no-fifo reorders" `Quick test_fabric_no_fifo_can_reorder;
+          Alcotest.test_case "hops scale delay" `Quick test_fabric_hops_scale_delay;
+          Alcotest.test_case "self send" `Quick test_fabric_self_send;
+          Alcotest.test_case "counters" `Quick test_fabric_counters;
+          Alcotest.test_case "double register" `Quick test_fabric_double_register;
+          Alcotest.test_case "unregistered fails" `Quick test_fabric_unregistered_delivery_fails;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop rate" `Quick test_fabric_drop_rate;
+          Alcotest.test_case "duplicates" `Quick test_fabric_duplicates;
+          Alcotest.test_case "bad probability" `Quick test_fabric_bad_probability;
+        ] );
+    ]

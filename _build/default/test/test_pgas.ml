@@ -1,0 +1,518 @@
+(* Tests for dsm_pgas: shared arrays, collectives, and the §5.2 one-sided
+   reduction, plain and under detection. *)
+
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Report = Dsm_core.Report
+
+let make_plain ?(n = 4) () =
+  let sim = Engine.create () in
+  let m = Machine.create sim ~n ~latency:(Dsm_net.Latency.Constant 1.0) () in
+  (m, Env.plain m)
+
+let make_checked ?(n = 4) ?config () =
+  let sim = Engine.create () in
+  let m = Machine.create sim ~n ~latency:(Dsm_net.Latency.Constant 1.0) () in
+  let d = Detector.create m ?config () in
+  (m, Env.checked d, d)
+
+let expect_completed m =
+  match Machine.run m with
+  | Engine.Completed -> ()
+  | Engine.Blocked k -> Alcotest.failf "blocked (%d)" k
+  | _ -> Alcotest.fail "did not complete"
+
+(* ---------- shared arrays ---------- *)
+
+let test_array_layouts () =
+  let _, env = make_plain ~n:4 () in
+  let block = Shared_array.create env ~name:"b" ~len:8 () in
+  let cyclic = Shared_array.create env ~name:"c" ~len:8 ~layout:Shared_array.Cyclic () in
+  let hosted =
+    Shared_array.create env ~name:"h" ~len:8 ~layout:(Shared_array.On_node 2) ()
+  in
+  Alcotest.(check (list int)) "block owners"
+    [ 0; 0; 1; 1; 2; 2; 3; 3 ]
+    (List.init 8 (Shared_array.owner block));
+  Alcotest.(check (list int)) "cyclic owners"
+    [ 0; 1; 2; 3; 0; 1; 2; 3 ]
+    (List.init 8 (Shared_array.owner cyclic));
+  Alcotest.(check (list int)) "hosted owners"
+    [ 2; 2; 2; 2; 2; 2; 2; 2 ]
+    (List.init 8 (Shared_array.owner hosted))
+
+let test_array_my_indices () =
+  let _, env = make_plain ~n:4 () in
+  let a = Shared_array.create env ~name:"a" ~len:10 ~layout:Shared_array.Cyclic () in
+  Alcotest.(check (list int)) "pid 1 cyclic" [ 1; 5; 9 ]
+    (Shared_array.my_indices a ~pid:1)
+
+let test_array_write_read_roundtrip () =
+  let m, env = make_plain ~n:3 () in
+  let a = Shared_array.create env ~name:"a" ~len:9 () in
+  Machine.spawn m ~pid:0 (fun p ->
+      for i = 0 to 8 do
+        Shared_array.write a p i (i * i)
+      done;
+      for i = 0 to 8 do
+        Alcotest.(check int) (Printf.sprintf "a[%d]" i) (i * i)
+          (Shared_array.read a p i)
+      done);
+  expect_completed m
+
+let test_array_poke_peek () =
+  let _, env = make_plain ~n:2 () in
+  let a = Shared_array.create env ~name:"a" ~len:4 () in
+  Shared_array.poke a 3 42;
+  Alcotest.(check int) "meta roundtrip" 42 (Shared_array.peek a 3)
+
+let test_array_bounds () =
+  let _, env = make_plain ~n:2 () in
+  let a = Shared_array.create env ~name:"a" ~len:4 () in
+  Alcotest.check_raises "oob" (Invalid_argument "Shared_array: index out of bounds")
+    (fun () -> ignore (Shared_array.owner a 4))
+
+let test_array_checked_access_is_registered () =
+  let m, env, d = make_checked ~n:2 () in
+  let a = Shared_array.create env ~name:"a" ~len:4 () in
+  Machine.spawn m ~pid:0 (fun p -> Shared_array.write a p 3 7);
+  expect_completed m;
+  Alcotest.(check int) "no signal on single access" 0
+    (Report.count (Detector.report d));
+  Alcotest.(check int) "value arrived" 7 (Shared_array.peek a 3)
+
+let test_wide_elements_roundtrip () =
+  let m, env = make_plain ~n:3 () in
+  let a =
+    Shared_array.create env ~name:"rec" ~len:5 ~elem_words:3
+      ~layout:Shared_array.Cyclic ()
+  in
+  Alcotest.(check int) "width" 3 (Shared_array.elem_words a);
+  Machine.spawn m ~pid:0 (fun p ->
+      for i = 0 to 4 do
+        Shared_array.write_elem a p i [| i; 10 * i; 100 * i |]
+      done;
+      for i = 0 to 4 do
+        Alcotest.(check (array int))
+          (Printf.sprintf "rec[%d]" i)
+          [| i; 10 * i; 100 * i |]
+          (Shared_array.read_elem a p i)
+      done);
+  expect_completed m;
+  Alcotest.(check (array int)) "peek_elem" [| 4; 40; 400 |]
+    (Shared_array.peek_elem a 4)
+
+let test_wide_elements_reject_word_api () =
+  let _, env = make_plain ~n:2 () in
+  let a = Shared_array.create env ~name:"rec" ~len:2 ~elem_words:2 () in
+  Alcotest.check_raises "read"
+    (Invalid_argument
+       "Shared_array.read: elements of \"rec\" are 2 words wide; use read_elem")
+    (fun () ->
+      ignore
+        (Shared_array.read a (Machine.proc (Env.machine env) ~pid:0) 0))
+
+let test_wide_elements_one_clock_per_element () =
+  (* Two writers to DIFFERENT words of the SAME element race (one clock
+     pair covers the record), while different elements do not. *)
+  let m, env, d = make_checked ~n:3 () in
+  let a = Shared_array.create env ~name:"rec" ~len:2 ~elem_words:2 () in
+  Machine.spawn m ~pid:0 (fun p -> Shared_array.write_elem a p 0 [| 1; 1 |]);
+  Machine.spawn m ~pid:1 (fun p -> Shared_array.write_elem a p 1 [| 2; 2 |]);
+  expect_completed m;
+  Alcotest.(check int) "distinct elements: clean" 0
+    (Report.count (Detector.report d))
+
+(* Property: under every layout, each index has exactly one owner and a
+   distinct global word. *)
+let prop_layout_bijection =
+  QCheck.Test.make ~name:"layout maps indices to distinct words" ~count:100
+    (QCheck.make
+       ~print:(fun (n, len, which) ->
+         Printf.sprintf "n=%d len=%d layout=%d" n len which)
+       QCheck.Gen.(triple (int_range 1 6) (int_range 1 24) (int_range 0 2)))
+    (fun (n, len, which) ->
+      let sim = Engine.create () in
+      let m = Machine.create sim ~n () in
+      let env = Env.plain m in
+      let layout =
+        match which with
+        | 0 -> Shared_array.Block
+        | 1 -> Shared_array.Cyclic
+        | _ -> Shared_array.On_node (len mod n)
+      in
+      let a = Shared_array.create env ~name:"p" ~len ~layout () in
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        let owner = Shared_array.owner a i in
+        if owner < 0 || owner >= n then ok := false;
+        let r = Shared_array.region_of a i in
+        if r.Dsm_memory.Addr.base.pid <> owner then ok := false;
+        let key = (r.Dsm_memory.Addr.base.pid, r.Dsm_memory.Addr.base.offset) in
+        if Hashtbl.mem seen key then ok := false;
+        Hashtbl.add seen key ()
+      done;
+      !ok)
+
+(* ---------- global pointers ---------- *)
+
+let test_ptr_arithmetic () =
+  let _, env = make_plain ~n:4 () in
+  let a = Shared_array.create env ~name:"a" ~len:8 ~layout:Shared_array.Cyclic () in
+  let p0 = Global_ptr.of_array a 0 in
+  let p5 = Global_ptr.advance p0 5 in
+  Alcotest.(check int) "index" 5 (Global_ptr.index p5);
+  Alcotest.(check int) "affinity cyclic" 1 (Global_ptr.affinity p5);
+  Alcotest.(check int) "diff" 5 (Global_ptr.diff p5 p0);
+  Alcotest.(check int) "back" 3 (Global_ptr.index (Global_ptr.advance p5 (-2)));
+  Alcotest.check_raises "walk off" (Invalid_argument
+    "Global_ptr.of_array: index out of bounds")
+    (fun () -> ignore (Global_ptr.advance p5 5))
+
+let test_ptr_deref_assign () =
+  let m, env = make_plain ~n:2 () in
+  let a = Shared_array.create env ~name:"a" ~len:4 () in
+  let seen = ref 0 in
+  Machine.spawn m ~pid:0 (fun p ->
+      let ptr = Global_ptr.of_array a 3 in
+      Alcotest.(check bool) "remote element" false (Global_ptr.is_local ptr p);
+      Global_ptr.assign ptr p 77;
+      seen := Global_ptr.deref ptr p);
+  expect_completed m;
+  Alcotest.(check int) "roundtrip through the fabric" 77 !seen;
+  Alcotest.(check int) "really stored remotely" 77 (Shared_array.peek a 3)
+
+let test_ptr_diff_different_arrays_rejected () =
+  let _, env = make_plain ~n:2 () in
+  let a = Shared_array.create env ~name:"a" ~len:2 () in
+  let b = Shared_array.create env ~name:"b" ~len:2 () in
+  Alcotest.check_raises "different arrays"
+    (Invalid_argument "Global_ptr.diff: pointers into different arrays")
+    (fun () ->
+      ignore (Global_ptr.diff (Global_ptr.of_array a 0) (Global_ptr.of_array b 0)))
+
+(* ---------- barrier ---------- *)
+
+let test_barrier_releases_everyone () =
+  let m, env = make_plain ~n:4 () in
+  let c = Collectives.create env in
+  let released = ref 0 in
+  Machine.spawn_all m (fun p ->
+      Machine.compute p (float_of_int (Machine.pid p) *. 10.);
+      Collectives.barrier c p;
+      incr released);
+  expect_completed m;
+  Alcotest.(check int) "all released" 4 !released;
+  for pid = 0 to 3 do
+    Alcotest.(check int) "generation advanced" 1 (Collectives.generation c ~pid)
+  done
+
+let test_barrier_waits_for_slowest () =
+  let m, env = make_plain ~n:2 () in
+  let c = Collectives.create env in
+  let t0 = ref 0. and t1 = ref 0. in
+  Machine.spawn m ~pid:0 (fun p ->
+      Collectives.barrier c p;
+      t0 := Engine.now (Machine.sim m));
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 100.;
+      Collectives.barrier c p;
+      t1 := Engine.now (Machine.sim m));
+  expect_completed m;
+  Alcotest.(check bool) "p0 released after p1 arrived" true (!t0 >= 100.);
+  Alcotest.(check bool) "releases close together" true (abs_float (!t0 -. !t1) < 5.)
+
+let test_barrier_repeated_generations () =
+  let m, env = make_plain ~n:3 () in
+  let c = Collectives.create env in
+  let log = ref [] in
+  Machine.spawn_all m (fun p ->
+      for round = 1 to 3 do
+        Machine.compute p (float_of_int (Machine.pid p + round));
+        Collectives.barrier c p;
+        if Machine.pid p = 0 then log := round :: !log
+      done);
+  expect_completed m;
+  Alcotest.(check (list int)) "three rounds" [ 1; 2; 3 ] (List.rev !log)
+
+(* ---------- broadcast ---------- *)
+
+let test_broadcast_delivers_root_value () =
+  let m, env = make_plain ~n:4 () in
+  let c = Collectives.create env in
+  let got = Array.make 4 0 in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      let v = Collectives.broadcast c p ~root:2 (if pid = 2 then Some 99 else None) in
+      got.(pid) <- v);
+  expect_completed m;
+  Alcotest.(check (array int)) "everyone has 99" [| 99; 99; 99; 99 |] got
+
+let test_broadcast_validates_root () =
+  let m, env = make_plain ~n:2 () in
+  let c = Collectives.create env in
+  let failed = ref false in
+  Machine.spawn m ~pid:0 (fun p ->
+      try ignore (Collectives.broadcast c p ~root:0 None)
+      with Invalid_argument _ -> failed := true);
+  ignore (Machine.run m);
+  Alcotest.(check bool) "root must supply value" true !failed
+
+let test_broadcast_clean_under_detection () =
+  let m, env, d = make_checked ~n:3 () in
+  let c = Collectives.create env in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      ignore (Collectives.broadcast c p ~root:0 (if pid = 0 then Some 7 else None)));
+  expect_completed m;
+  Alcotest.(check int) "no false positives" 0 (Report.count (Detector.report d))
+
+(* ---------- reductions ---------- *)
+
+let test_reduce_gather_sums () =
+  let m, env = make_plain ~n:4 () in
+  let c = Collectives.create env in
+  let at_root = ref None in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      match Collectives.reduce_gather c p ~root:1 ~value:(pid + 1) with
+      | Some sum -> at_root := Some (pid, sum)
+      | None -> ());
+  expect_completed m;
+  Alcotest.(check (option (pair int int))) "sum at root" (Some (1, 10)) !at_root
+
+let test_reduce_gather_clean_under_detection () =
+  let m, env, d = make_checked ~n:4 () in
+  let c = Collectives.create env in
+  Machine.spawn_all m (fun p ->
+      ignore (Collectives.reduce_gather c p ~root:0 ~value:1));
+  expect_completed m;
+  Alcotest.(check int) "no false positives" 0 (Report.count (Detector.report d))
+
+let test_allreduce_everyone_gets_sum () =
+  let m, env = make_plain ~n:4 () in
+  let c = Collectives.create env in
+  let got = Array.make 4 0 in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      got.(pid) <- Collectives.allreduce c p ~value:(10 * (pid + 1)));
+  expect_completed m;
+  Alcotest.(check (array int)) "sum everywhere" [| 100; 100; 100; 100 |] got
+
+let test_scatter_distributes () =
+  let m, env = make_plain ~n:4 () in
+  let c = Collectives.create env in
+  let got = Array.make 4 0 in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      got.(pid) <-
+        Collectives.scatter c p ~root:1
+          (if pid = 1 then Some [| 10; 20; 30; 40 |] else None));
+  expect_completed m;
+  Alcotest.(check (array int)) "each got its slice" [| 10; 20; 30; 40 |] got
+
+let test_scatter_validates () =
+  let m, env = make_plain ~n:2 () in
+  let c = Collectives.create env in
+  let failed = ref false in
+  Machine.spawn m ~pid:0 (fun p ->
+      try ignore (Collectives.scatter c p ~root:0 (Some [| 1 |]))
+      with Invalid_argument _ -> failed := true);
+  ignore (Machine.run m);
+  Alcotest.(check bool) "wrong length rejected" true !failed
+
+let test_gather_collects () =
+  let m, env = make_plain ~n:4 () in
+  let c = Collectives.create env in
+  let at_root = ref None in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      match Collectives.gather c p ~root:2 ~value:(pid * pid) with
+      | Some arr -> at_root := Some arr
+      | None -> ());
+  expect_completed m;
+  Alcotest.(check (option (array int))) "contributions in pid order"
+    (Some [| 0; 1; 4; 9 |])
+    !at_root
+
+let test_alltoall_exchanges () =
+  let m, env = make_plain ~n:3 () in
+  let c = Collectives.create env in
+  let got = Array.make_matrix 3 3 0 in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      (* process i sends 10*i + j to process j *)
+      got.(pid) <-
+        Collectives.alltoall c p
+          ~values:(Array.init 3 (fun j -> (10 * pid) + j)));
+  expect_completed m;
+  (* process j receives 10*i + j from each i *)
+  for j = 0 to 2 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "row %d" j)
+      (Array.init 3 (fun i -> (10 * i) + j))
+      got.(j)
+  done
+
+let test_new_collectives_clean_under_detection () =
+  let m, env, d = make_checked ~n:4 () in
+  let c = Collectives.create env in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      ignore (Collectives.allreduce c p ~value:pid);
+      ignore
+        (Collectives.scatter c p ~root:0
+           (if pid = 0 then Some [| 1; 2; 3; 4 |] else None));
+      ignore (Collectives.gather c p ~root:3 ~value:pid);
+      ignore (Collectives.alltoall c p ~values:(Array.make 4 pid)));
+  expect_completed m;
+  Alcotest.(check int) "collectives are race-free" 0
+    (Report.count (Detector.report d))
+
+let test_reduce_onesided_no_participation () =
+  (* The §5.2 scenario: contributions are pre-published; only node 0 runs
+     a program during the reduction. *)
+  let m, env = make_plain ~n:4 () in
+  let slots =
+    Shared_array.create env ~name:"contrib" ~len:4 ~layout:Shared_array.Cyclic ()
+  in
+  for i = 0 to 3 do
+    Shared_array.poke slots i (10 * (i + 1))
+  done;
+  let c = Collectives.create env in
+  let sum = ref 0 in
+  Machine.spawn m ~pid:0 (fun p ->
+      sum := Collectives.reduce_onesided_sum c p slots);
+  expect_completed m;
+  Alcotest.(check int) "sum" 100 !sum
+
+let test_reduce_onesided_flags_unsynchronized () =
+  (* Owners write their slots and the root reduces with no synchronization:
+     the detector must signal the write/read races. *)
+  let m, env, d = make_checked ~n:3 () in
+  let slots =
+    Shared_array.create env ~name:"contrib" ~len:3 ~layout:Shared_array.Cyclic ()
+  in
+  let c = Collectives.create env in
+  for pid = 1 to 2 do
+    Machine.spawn m ~pid (fun p -> Shared_array.write slots p pid (pid * 5))
+  done;
+  Machine.spawn m ~pid:0 (fun p ->
+      Machine.compute p 50.;
+      Shared_array.write slots p 0 5;
+      ignore (Collectives.reduce_onesided_sum c p slots));
+  expect_completed m;
+  Alcotest.(check bool) "unsynchronized one-sided reduce races" true
+    (Report.count (Detector.report d) >= 2)
+
+let test_reduce_onesided_clean_after_barrier () =
+  let m, env, d = make_checked ~n:3 () in
+  let slots =
+    Shared_array.create env ~name:"contrib" ~len:3 ~layout:Shared_array.Cyclic ()
+  in
+  let c = Collectives.create env in
+  let sum = ref 0 in
+  Machine.spawn_all m (fun p ->
+      let pid = Machine.pid p in
+      Shared_array.write slots p pid (pid + 1);
+      Collectives.barrier c p;
+      if pid = 0 then sum := Collectives.reduce_onesided_sum c p slots);
+  expect_completed m;
+  Alcotest.(check int) "sum" 6 !sum;
+  Alcotest.(check int) "clean after barrier" 0 (Report.count (Detector.report d))
+
+(* ---------- task pool ---------- *)
+
+let test_task_pool_executes_everything () =
+  let m, env, d = make_checked ~n:4 () in
+  let c = Collectives.create env in
+  let pool = Task_pool.create env ~collectives:c ~name:"pool" ~capacity_per_node:16 in
+  (* Unbalanced seeding: node 0 has almost all the work. *)
+  Task_pool.seed_tasks pool ~pid:0 (List.init 12 (fun i -> i));
+  Task_pool.seed_tasks pool ~pid:1 [ 100 ];
+  let done_tasks = ref [] in
+  Machine.spawn_all m (fun p ->
+      Task_pool.run_worker pool p ~work:(fun task ->
+          Machine.compute p 5.0;
+          done_tasks := task :: !done_tasks));
+  expect_completed m;
+  Alcotest.(check (list int)) "every task ran exactly once"
+    (List.sort compare (100 :: List.init 12 (fun i -> i)))
+    (List.sort compare !done_tasks);
+  let per_worker = Task_pool.executed pool in
+  Alcotest.(check int) "counts add up" 13 (Array.fold_left ( + ) 0 per_worker);
+  (* With 5us tasks and unbalanced seeding, stealing must spread work. *)
+  Alcotest.(check bool) "idle nodes stole work" true
+    (Array.to_list per_worker |> List.filter (fun c -> c > 0) |> List.length >= 3);
+  Alcotest.(check int) "lock-free pool is race-free" 0
+    (Report.count (Detector.report d))
+
+let test_task_pool_overflow_rejected () =
+  let _, env, _ = make_checked ~n:2 () in
+  let c = Collectives.create env in
+  let pool = Task_pool.create env ~collectives:c ~name:"pool" ~capacity_per_node:2 in
+  Alcotest.check_raises "overflow" (Failure "Task_pool.seed_tasks: queue overflow")
+    (fun () -> Task_pool.seed_tasks pool ~pid:0 [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "pgas"
+    [
+      ( "shared-array",
+        [
+          Alcotest.test_case "layouts" `Quick test_array_layouts;
+          Alcotest.test_case "my_indices" `Quick test_array_my_indices;
+          Alcotest.test_case "write/read" `Quick test_array_write_read_roundtrip;
+          Alcotest.test_case "poke/peek" `Quick test_array_poke_peek;
+          Alcotest.test_case "bounds" `Quick test_array_bounds;
+          Alcotest.test_case "checked access" `Quick test_array_checked_access_is_registered;
+          Alcotest.test_case "wide elements" `Quick test_wide_elements_roundtrip;
+          Alcotest.test_case "wide rejects word api" `Quick test_wide_elements_reject_word_api;
+          Alcotest.test_case "wide clock granularity" `Quick test_wide_elements_one_clock_per_element;
+        ] );
+      ("layout-properties", [ QCheck_alcotest.to_alcotest prop_layout_bijection ]);
+      ( "global-ptr",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_ptr_arithmetic;
+          Alcotest.test_case "deref/assign" `Quick test_ptr_deref_assign;
+          Alcotest.test_case "diff arrays" `Quick test_ptr_diff_different_arrays_rejected;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "releases everyone" `Quick test_barrier_releases_everyone;
+          Alcotest.test_case "waits for slowest" `Quick test_barrier_waits_for_slowest;
+          Alcotest.test_case "repeated" `Quick test_barrier_repeated_generations;
+        ] );
+      ( "broadcast",
+        [
+          Alcotest.test_case "delivers" `Quick test_broadcast_delivers_root_value;
+          Alcotest.test_case "validates" `Quick test_broadcast_validates_root;
+          Alcotest.test_case "clean under detection" `Quick test_broadcast_clean_under_detection;
+        ] );
+      ( "collectives",
+        [
+          Alcotest.test_case "allreduce" `Quick test_allreduce_everyone_gets_sum;
+          Alcotest.test_case "scatter" `Quick test_scatter_distributes;
+          Alcotest.test_case "scatter validates" `Quick test_scatter_validates;
+          Alcotest.test_case "gather" `Quick test_gather_collects;
+          Alcotest.test_case "alltoall" `Quick test_alltoall_exchanges;
+          Alcotest.test_case "clean under detection" `Quick
+            test_new_collectives_clean_under_detection;
+        ] );
+      ( "task-pool",
+        [
+          Alcotest.test_case "steals and completes" `Quick test_task_pool_executes_everything;
+          Alcotest.test_case "overflow" `Quick test_task_pool_overflow_rejected;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "gather sums" `Quick test_reduce_gather_sums;
+          Alcotest.test_case "gather clean" `Quick test_reduce_gather_clean_under_detection;
+          Alcotest.test_case "one-sided (5.2)" `Quick test_reduce_onesided_no_participation;
+          Alcotest.test_case "one-sided races" `Quick test_reduce_onesided_flags_unsynchronized;
+          Alcotest.test_case "one-sided after barrier" `Quick test_reduce_onesided_clean_after_barrier;
+        ] );
+    ]

@@ -1,0 +1,382 @@
+(* Tests for dsm_sim: determinism, scheduling order, coroutine semantics. *)
+
+open Dsm_sim
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done;
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_prng_int_in () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in g ~lo:(-3) ~hi:3 in
+    Alcotest.(check bool) "in range" true (x >= -3 && x <= 3)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0. && x < 2.5)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:3 in
+  let h = Prng.split g in
+  let xs = List.init 10 (fun _ -> Prng.next_int64 g) in
+  let ys = List.init 10 (fun _ -> Prng.next_int64 h) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_shuffle_is_permutation () =
+  let g = Prng.create ~seed:5 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_bernoulli_extremes () =
+  let g = Prng.create ~seed:9 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1" true (Prng.bernoulli g ~p:1.0);
+    Alcotest.(check bool) "p=0" false (Prng.bernoulli g ~p:0.0)
+  done
+
+let test_prng_exponential_positive () =
+  let g = Prng.create ~seed:13 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Prng.exponential g ~mean:2.0 > 0.)
+  done
+
+(* ---------- Heap ---------- *)
+
+let test_heap_orders_by_time () =
+  let h = Heap.create () in
+  Heap.add h ~time:3. ~seq:0 "c";
+  Heap.add h ~time:1. ~seq:1 "a";
+  Heap.add h ~time:2. ~seq:2 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> "EMPTY"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_ties_by_seq () =
+  let h = Heap.create () in
+  Heap.add h ~time:1. ~seq:5 "second";
+  Heap.add h ~time:1. ~seq:2 "first";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> "EMPTY"
+  in
+  let first = pop () in
+  let second = pop () in
+  Alcotest.(check (list string)) "fifo at same time" [ "first"; "second" ]
+    [ first; second ]
+
+let test_heap_stress_sorted_drain () =
+  let h = Heap.create () in
+  let g = Prng.create ~seed:17 in
+  for i = 0 to 999 do
+    Heap.add h ~time:(Prng.float g 100.) ~seq:i i
+  done;
+  let last = ref neg_infinity in
+  let ok = ref true in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (t, _, _) ->
+        if t < !last then ok := false;
+        last := t;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "drained in order" true !ok;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_time_order () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  Engine.schedule sim ~delay:2.0 (fun () -> log := "late" :: !log);
+  Engine.schedule sim ~delay:1.0 (fun () -> log := "early" :: !log);
+  let outcome = Engine.run sim in
+  Alcotest.(check bool) "completed" true (outcome = Engine.Completed);
+  Alcotest.(check (list string)) "order" [ "early"; "late" ] (List.rev !log)
+
+let test_engine_now_advances () =
+  let sim = Engine.create () in
+  let seen = ref 0. in
+  Engine.schedule sim ~delay:5.5 (fun () -> seen := Engine.now sim);
+  ignore (Engine.run sim);
+  Alcotest.(check (float 1e-9)) "time at event" 5.5 !seen
+
+let test_engine_spawn_sleep () =
+  let sim = Engine.create () in
+  let wake = ref 0. in
+  Engine.spawn sim (fun () ->
+      Engine.sleep sim 3.0;
+      wake := Engine.now sim);
+  let outcome = Engine.run sim in
+  Alcotest.(check bool) "completed" true (outcome = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "woke at 3" 3.0 !wake
+
+let test_engine_yield_interleaves () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  let proc name =
+    Engine.spawn sim (fun () ->
+        log := (name ^ "1") :: !log;
+        Engine.yield sim;
+        log := (name ^ "2") :: !log)
+  in
+  proc "a";
+  proc "b";
+  ignore (Engine.run sim);
+  Alcotest.(check (list string)) "interleaved" [ "a1"; "b1"; "a2"; "b2" ]
+    (List.rev !log)
+
+let test_engine_blocked_detection () =
+  let sim = Engine.create () in
+  let iv : unit Ivar.t = Ivar.create () in
+  Engine.spawn sim (fun () -> Ivar.read sim iv);
+  let outcome = Engine.run sim in
+  Alcotest.(check bool) "blocked 1" true (outcome = Engine.Blocked 1)
+
+let test_engine_process_failure () =
+  let sim = Engine.create () in
+  Engine.spawn sim ~name:"boom" (fun () -> failwith "kaboom");
+  Alcotest.check_raises "wrapped"
+    (Engine.Process_failure ("boom", Failure "kaboom")) (fun () ->
+      ignore (Engine.run sim))
+
+let test_engine_event_limit () =
+  let sim = Engine.create () in
+  let rec forever () =
+    Engine.sleep sim 1.0;
+    forever ()
+  in
+  Engine.spawn sim forever;
+  let outcome = Engine.run ~max_events:10 sim in
+  Alcotest.(check bool) "limited" true (outcome = Engine.Event_limit_reached)
+
+let test_engine_until_horizon () =
+  let sim = Engine.create () in
+  let count = ref 0 in
+  let rec tickloop () =
+    Engine.sleep sim 1.0;
+    incr count;
+    tickloop ()
+  in
+  Engine.spawn sim tickloop;
+  let outcome = Engine.run ~until:5.5 sim in
+  Alcotest.(check bool) "horizon" true (outcome = Engine.Time_limit_reached);
+  Alcotest.(check int) "five wakes" 5 !count
+
+let test_engine_stop () =
+  let sim = Engine.create () in
+  let after_stop = ref false in
+  Engine.schedule sim ~delay:1.0 (fun () -> Engine.stop sim);
+  Engine.schedule sim ~delay:2.0 (fun () -> after_stop := true);
+  let outcome = Engine.run sim in
+  Alcotest.(check bool) "stopped" true (outcome = Engine.Stopped);
+  Alcotest.(check bool) "later event not run" false !after_stop
+
+let test_engine_negative_delay_rejected () =
+  let sim = Engine.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule sim ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_deterministic_trace () =
+  let run_once () =
+    let sim = Engine.create ~seed:99 () in
+    let g = Prng.split (Engine.rng sim) in
+    let log = ref [] in
+    for i = 0 to 20 do
+      Engine.schedule sim ~delay:(Prng.float g 10.) (fun () ->
+          log := (i, Engine.now sim) :: !log)
+    done;
+    ignore (Engine.run sim);
+    List.rev !log
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check bool) "identical traces" true (a = b)
+
+let test_engine_live_processes () =
+  let sim = Engine.create () in
+  Engine.spawn sim (fun () -> Engine.sleep sim 1.0);
+  Engine.spawn sim (fun () -> Engine.sleep sim 2.0);
+  Alcotest.(check int) "two live" 2 (Engine.live_processes sim);
+  ignore (Engine.run sim);
+  Alcotest.(check int) "none live" 0 (Engine.live_processes sim)
+
+let test_engine_nested_spawn () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  Engine.spawn sim (fun () ->
+      log := "parent" :: !log;
+      Engine.spawn sim (fun () ->
+          Engine.sleep sim 1.0;
+          log := "child" :: !log);
+      Engine.sleep sim 2.0;
+      log := "parent-end" :: !log);
+  ignore (Engine.run sim);
+  Alcotest.(check (list string)) "nesting works"
+    [ "parent"; "child"; "parent-end" ]
+    (List.rev !log)
+
+let test_engine_schedule_at_past_rejected () =
+  let sim = Engine.create () in
+  Engine.schedule sim ~delay:5.0 (fun () ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+          Engine.schedule_at sim ~at:1.0 (fun () -> ())));
+  ignore (Engine.run sim)
+
+let test_engine_counts_events () =
+  let sim = Engine.create () in
+  for _ = 1 to 7 do
+    Engine.schedule sim ~delay:1.0 (fun () -> ())
+  done;
+  ignore (Engine.run sim);
+  Alcotest.(check int) "seven events" 7 (Engine.events_processed sim)
+
+let test_engine_sleep_negative_rejected () =
+  let sim = Engine.create () in
+  Engine.spawn sim (fun () ->
+      Alcotest.check_raises "negative"
+        (Invalid_argument "Engine.sleep: negative duration") (fun () ->
+          Engine.sleep sim (-1.0)));
+  ignore (Engine.run sim)
+
+(* ---------- Ivar ---------- *)
+
+let test_ivar_fill_then_read () =
+  let sim = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  Ivar.fill sim iv 42;
+  Engine.spawn sim (fun () -> got := Ivar.read sim iv);
+  ignore (Engine.run sim);
+  Alcotest.(check int) "read value" 42 !got
+
+let test_ivar_read_then_fill () =
+  let sim = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 and fill_time = ref 0. in
+  Engine.spawn sim (fun () ->
+      got := Ivar.read sim iv;
+      fill_time := Engine.now sim);
+  Engine.schedule sim ~delay:4.0 (fun () -> Ivar.fill sim iv 7);
+  ignore (Engine.run sim);
+  Alcotest.(check int) "read value" 7 !got;
+  Alcotest.(check (float 1e-9)) "resumed at fill" 4.0 !fill_time
+
+let test_ivar_multiple_waiters_in_order () =
+  let sim = Engine.create () in
+  let iv = Ivar.create () in
+  let log = ref [] in
+  let reader name =
+    Engine.spawn sim (fun () ->
+        ignore (Ivar.read sim iv);
+        log := name :: !log)
+  in
+  reader "a";
+  reader "b";
+  reader "c";
+  Engine.schedule sim ~delay:1.0 (fun () -> Ivar.fill sim iv ());
+  ignore (Engine.run sim);
+  Alcotest.(check (list string)) "registration order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_ivar_double_fill () =
+  let sim = Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill sim iv 1;
+  Alcotest.check_raises "double" (Failure "Ivar.fill: already filled")
+    (fun () -> Ivar.fill sim iv 2)
+
+let test_ivar_peek_waiters () =
+  let sim = Engine.create () in
+  let iv = Ivar.create () in
+  Alcotest.(check (option int)) "empty" None (Ivar.peek iv);
+  Alcotest.(check int) "no waiters" 0 (Ivar.waiters iv);
+  Engine.spawn sim (fun () -> ignore (Ivar.read sim iv));
+  ignore (Engine.run ~max_events:1 sim);
+  Alcotest.(check int) "one waiter" 1 (Ivar.waiters iv);
+  Ivar.fill sim iv 5;
+  Alcotest.(check (option int)) "filled" (Some 5) (Ivar.peek iv);
+  ignore (Engine.run sim)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_prng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_is_permutation;
+          Alcotest.test_case "bernoulli" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "exponential" `Quick test_prng_exponential_positive;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "time order" `Quick test_heap_orders_by_time;
+          Alcotest.test_case "tie by seq" `Quick test_heap_ties_by_seq;
+          Alcotest.test_case "stress drain" `Quick test_heap_stress_sorted_drain;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "now advances" `Quick test_engine_now_advances;
+          Alcotest.test_case "spawn+sleep" `Quick test_engine_spawn_sleep;
+          Alcotest.test_case "yield interleaves" `Quick test_engine_yield_interleaves;
+          Alcotest.test_case "blocked detection" `Quick test_engine_blocked_detection;
+          Alcotest.test_case "process failure" `Quick test_engine_process_failure;
+          Alcotest.test_case "event limit" `Quick test_engine_event_limit;
+          Alcotest.test_case "until horizon" `Quick test_engine_until_horizon;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
+          Alcotest.test_case "deterministic trace" `Quick test_engine_deterministic_trace;
+          Alcotest.test_case "live processes" `Quick test_engine_live_processes;
+          Alcotest.test_case "nested spawn" `Quick test_engine_nested_spawn;
+          Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past_rejected;
+          Alcotest.test_case "event count" `Quick test_engine_counts_events;
+          Alcotest.test_case "negative sleep" `Quick test_engine_sleep_negative_rejected;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read then fill" `Quick test_ivar_read_then_fill;
+          Alcotest.test_case "waiter order" `Quick test_ivar_multiple_waiters_in_order;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "peek/waiters" `Quick test_ivar_peek_waiters;
+        ] );
+    ]
