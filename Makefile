@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json experiments examples clean outputs
 
 all: build
 
@@ -12,6 +12,15 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Fast CI-friendly pass over the micro-benchmarks only (small iteration
+# budget; numbers are indicative, not for the record).
+bench-smoke:
+	dune exec bench/main.exe -- --micro-only --smoke
+
+# Full detector hot-path micro-benchmarks, written to BENCH_detector.json.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_detector.json
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

@@ -8,12 +8,17 @@
      dune exec bench/main.exe -- --list       # list experiments
      dune exec bench/main.exe -- --only E7    # one experiment section
      dune exec bench/main.exe -- --micro-only # only the Bechamel benches
-     dune exec bench/main.exe -- --no-micro   # only the E-sections *)
+     dune exec bench/main.exe -- --no-micro   # only the E-sections
+     dune exec bench/main.exe -- --json       # detector hot-path benches,
+                                              # written to BENCH_detector.json
+     dune exec bench/main.exe -- --smoke ...  # tiny iteration budget
+                                              # (regression smoke test) *)
 
 open Bechamel
 open Toolkit
 module Registry = Dsm_experiments.Registry
 module Harness = Dsm_experiments.Harness
+module Config = Dsm_core.Config
 
 (* ---------- micro-benchmark subjects ---------- *)
 
@@ -25,17 +30,52 @@ let vc_pair n seed =
   in
   (mk (), mk ())
 
+(* A pair of single-writer clocks, as left behind by a process that never
+   absorbed another process's history: the epoch fast path. *)
+let vc_epoch_pair n =
+  let mk pid k =
+    let c = Dsm_clocks.Vector_clock.create ~n in
+    for _ = 1 to k do
+      Dsm_clocks.Vector_clock.tick c ~me:pid
+    done;
+    c
+  in
+  (mk 0 17, mk (n - 1) 23)
+
 let bench_vc_compare n =
   let a, b = vc_pair n 1 in
   Test.make
     ~name:(Printf.sprintf "vc_compare_n%d" n)
     (Staged.stage (fun () -> ignore (Dsm_clocks.Vector_clock.compare a b)))
 
+let bench_vc_compare_epoch n =
+  let a, b = vc_epoch_pair n in
+  Test.make
+    ~name:(Printf.sprintf "vc_compare_epoch_n%d" n)
+    (Staged.stage (fun () -> ignore (Dsm_clocks.Vector_clock.compare a b)))
+
+let bench_vc_compare_mixed n =
+  (* epoch accessor against a promoted (dense) datum clock *)
+  let e, _ = vc_epoch_pair n in
+  let _, v = vc_pair n 4 in
+  Test.make
+    ~name:(Printf.sprintf "vc_compare_mixed_n%d" n)
+    (Staged.stage (fun () -> ignore (Dsm_clocks.Vector_clock.compare e v)))
+
 let bench_vc_merge n =
   let a, b = vc_pair n 2 in
   Test.make
     ~name:(Printf.sprintf "vc_merge_n%d" n)
     (Staged.stage (fun () -> ignore (Dsm_clocks.Vector_clock.merge a b)))
+
+let bench_vc_merge_epoch_into_vec n =
+  let _, v = vc_pair n 6 in
+  let e, _ = vc_epoch_pair n in
+  let tgt = Dsm_clocks.Vector_clock.copy v in
+  Test.make
+    ~name:(Printf.sprintf "vc_merge_epoch_into_vec_n%d" n)
+    (Staged.stage (fun () ->
+         Dsm_clocks.Vector_clock.merge_into ~into:tgt e))
 
 let bench_codec n =
   let a, _ = vc_pair n 3 in
@@ -77,27 +117,78 @@ let bench_engine_events =
          ignore (Dsm_sim.Engine.run sim)))
 
 (* End-to-end cost of checked operations: a fresh 4-node machine running
-   16 checked puts, per transport. Wall-clock per sample covers the full
-   simulation stack (locks, messages, clocks, report). *)
+   16 checked puts (or gets), per transport × granularity × clock
+   representation. Wall-clock per sample covers the full simulation
+   stack (locks, messages, clocks, report). *)
+let checked_workload ~op ~len ~config () =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d = Dsm_core.Detector.create m ~config () in
+  let a = Dsm_core.Detector.alloc_shared d ~pid:3 ~name:"a" ~len () in
+  for pid = 0 to 1 do
+    Dsm_rdma.Machine.spawn m ~pid (fun p ->
+        let buf = Dsm_rdma.Machine.alloc_private m ~pid ~len () in
+        for _ = 1 to 8 do
+          match op with
+          | `Put -> Dsm_core.Detector.put d p ~src:buf ~dst:a
+          | `Get -> Dsm_core.Detector.get d p ~src:a ~dst:buf
+        done)
+  done;
+  Harness.run_to_completion m
+
 let bench_checked_ops name transport =
+  (* The seed's historical shape (len-1 variable), kept name-compatible
+     so the trajectory across PRs stays comparable. *)
   Test.make
     ~name:(Printf.sprintf "checked_16_puts_%s" name)
+    (Staged.stage
+       (checked_workload ~op:`Put ~len:1
+          ~config:{ Config.default with Config.transport }))
+
+let bench_checked ~op ~transport ~granularity ~clock_rep =
+  let opname = match op with `Put -> "put" | `Get -> "get" in
+  let name =
+    Printf.sprintf "checked_%s_%s_%s%s" opname
+      (Config.transport_name transport)
+      (Config.granularity_name granularity)
+      (match clock_rep with
+      | Config.Epoch_adaptive -> ""
+      | Config.Dense_vector -> "_dense")
+  in
+  (* len-4 accesses so block/word granularity exercises multi-granule
+     walks (4 granules per access under [Word]). *)
+  Test.make ~name
+    (Staged.stage
+       (checked_workload ~op ~len:4
+          ~config:
+            { Config.default with Config.transport; granularity; clock_rep }))
+
+(* The paper's common case: one producer repeatedly publishing into a
+   shared variable nobody else touches. Every clock involved stays an
+   epoch, so the whole check is O(1) comparisons with no allocation —
+   the ablation pins clocks dense to measure what the epoch buys. *)
+let bench_single_writer ~n ~clock_rep =
+  let name =
+    Printf.sprintf "single_writer_64_puts_n%d%s" n
+      (match clock_rep with
+      | Config.Epoch_adaptive -> ""
+      | Config.Dense_vector -> "_dense")
+  in
+  Test.make ~name
     (Staged.stage (fun () ->
-         let m = Harness.fresh_machine ~n:4 () in
+         let m = Harness.fresh_machine ~n () in
          let d =
            Dsm_core.Detector.create m
-             ~config:
-               { Dsm_core.Config.default with Dsm_core.Config.transport }
+             ~config:{ Config.default with Config.clock_rep }
              ()
          in
-         let a = Dsm_core.Detector.alloc_shared d ~pid:3 ~name:"a" ~len:1 () in
-         for pid = 0 to 1 do
-           Dsm_rdma.Machine.spawn m ~pid (fun p ->
-               let buf = Dsm_rdma.Machine.alloc_private m ~pid ~len:1 () in
-               for _ = 1 to 8 do
-                 Dsm_core.Detector.put d p ~src:buf ~dst:a
-               done)
-         done;
+         let a =
+           Dsm_core.Detector.alloc_shared d ~pid:(n - 1) ~name:"a" ~len:1 ()
+         in
+         Dsm_rdma.Machine.spawn m ~pid:0 (fun p ->
+             let buf = Dsm_rdma.Machine.alloc_private m ~pid:0 ~len:1 () in
+             for _ = 1 to 64 do
+               Dsm_core.Detector.put d p ~src:buf ~dst:a
+             done);
          Harness.run_to_completion m))
 
 let bench_plain_ops =
@@ -211,9 +302,9 @@ let micro_tests =
       bench_heap;
       bench_engine_events;
       bench_plain_ops;
-      bench_checked_ops "inline" Dsm_core.Config.Inline;
-      bench_checked_ops "piggyback" Dsm_core.Config.Piggyback_txn;
-      bench_checked_ops "explicit" Dsm_core.Config.Explicit_txn;
+      bench_checked_ops "inline" Config.Inline;
+      bench_checked_ops "piggyback" Config.Piggyback_txn;
+      bench_checked_ops "explicit" Config.Explicit_txn;
       bench_trace_races;
       bench_lockset;
       bench_barrier 4;
@@ -223,44 +314,145 @@ let micro_tests =
       bench_task_pool;
     ]
 
-let run_micro () =
-  print_newline ();
-  print_endline "=== Micro-benchmarks (wall clock, Bechamel OLS ns/run) ===";
-  print_newline ();
+(* The detector hot-path suite: the numbers tracked across PRs in
+   BENCH_detector.json. Covers the clock-level fast paths, checked
+   puts/gets per transport × granularity, and the epoch vs always-vector
+   ablation on the workloads where each matters. *)
+let detector_tests =
+  let transports = [ Config.Inline; Config.Piggyback_txn; Config.Explicit_txn ]
+  and granularities = [ Config.Variable; Config.Block 2; Config.Word ] in
+  Test.make_grouped ~name:"detector"
+    ([
+       bench_vc_compare_epoch 4;
+       bench_vc_compare_epoch 64;
+       bench_vc_compare_mixed 64;
+       bench_vc_merge_epoch_into_vec 64;
+       bench_single_writer ~n:4 ~clock_rep:Config.Epoch_adaptive;
+       bench_single_writer ~n:4 ~clock_rep:Config.Dense_vector;
+       bench_single_writer ~n:16 ~clock_rep:Config.Epoch_adaptive;
+       bench_single_writer ~n:16 ~clock_rep:Config.Dense_vector;
+       bench_checked ~op:`Get ~transport:Config.Piggyback_txn
+         ~granularity:Config.Variable ~clock_rep:Config.Epoch_adaptive;
+       bench_checked ~op:`Get ~transport:Config.Piggyback_txn
+         ~granularity:Config.Variable ~clock_rep:Config.Dense_vector;
+       bench_checked ~op:`Put ~transport:Config.Piggyback_txn
+         ~granularity:Config.Variable ~clock_rep:Config.Dense_vector;
+     ]
+    @ List.concat_map
+        (fun transport ->
+          List.map
+            (fun granularity ->
+              bench_checked ~op:`Put ~transport ~granularity
+                ~clock_rep:Config.Epoch_adaptive)
+            granularities)
+        transports)
+
+(* ---------- measurement, table and JSON output ---------- *)
+
+let measure ~smoke tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if smoke then
+      Benchmark.cfg ~limit:150 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
-  let raw = Benchmark.all cfg instances micro_tests in
+  let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.sort compare rows
+
+let row_estimates (_, v) =
+  let ns =
+    match Analyze.OLS.estimates v with Some (e :: _) -> Some e | _ -> None
+  in
+  (ns, Analyze.OLS.r_square v)
+
+let print_rows rows =
   let table =
     Dsm_stats.Table.create ~headers:[ "benchmark"; "ns/run"; "r^2" ]
   in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
   List.iter
-    (fun (name, v) ->
-      let estimate =
-        match Analyze.OLS.estimates v with
-        | Some (e :: _) -> Printf.sprintf "%.1f" e
-        | Some [] | None -> "-"
-      in
-      let r2 =
-        match Analyze.OLS.r_square v with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      Dsm_stats.Table.add_row table [ name; estimate; r2 ])
-    (List.sort compare rows);
+    (fun ((name, _) as row) ->
+      let ns, r2 = row_estimates row in
+      let fmt f = function Some x -> Printf.sprintf f x | None -> "-" in
+      Dsm_stats.Table.add_row table
+        [ name; fmt "%.1f" ns; fmt "%.4f" r2 ])
+    rows;
   Dsm_stats.Table.print table
 
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"dsmcheck-bench-detector/1\",\n";
+  output_string oc "  \"unit\": \"ns_per_run\",\n";
+  output_string oc "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i ((name, _) as row) ->
+      let ns, r2 = row_estimates row in
+      let num = function
+        | Some x when Float.is_finite x -> Printf.sprintf "%.2f" x
+        | _ -> "null"
+      in
+      output_string oc
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s }%s\n"
+           (json_escape name) (num ns) (num r2)
+           (if i = last then "" else ",")))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks)\n%!" path (List.length rows)
+
+let run_micro ~smoke () =
+  print_newline ();
+  print_endline "=== Micro-benchmarks (wall clock, Bechamel OLS ns/run) ===";
+  print_newline ();
+  print_rows (measure ~smoke micro_tests);
+  print_newline ();
+  print_endline "=== Detector hot path (see BENCH_detector.json via --json) ===";
+  print_newline ();
+  print_rows (measure ~smoke detector_tests)
+
+let run_json ~smoke path =
+  (* Fail before spending the measurement budget on an unwritable path. *)
+  (match open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path with
+  | oc -> close_out oc
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1);
+  let rows = measure ~smoke detector_tests in
+  print_rows rows;
+  write_json path rows
+
 (* ---------- driver ---------- *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--list | --only E<k> | --micro-only | --no-micro | \
+     --json [file]] [--smoke]";
+  exit 1
 
 let () =
   let ppf = Format.std_formatter in
   let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--smoke") args in
   match args with
   | [ "--list" ] ->
       List.iter
@@ -273,12 +465,11 @@ let () =
       | Error msg ->
           prerr_endline msg;
           exit 1)
-  | [ "--micro-only" ] -> run_micro ()
+  | [ "--micro-only" ] -> run_micro ~smoke ()
+  | [ "--json" ] -> run_json ~smoke "BENCH_detector.json"
+  | [ "--json"; path ] -> run_json ~smoke path
   | [ "--no-micro" ] -> Registry.run_all ppf
   | [] ->
       Registry.run_all ppf;
-      run_micro ()
-  | _ ->
-      prerr_endline
-        "usage: main.exe [--list | --only E<k> | --micro-only | --no-micro]";
-      exit 1
+      run_micro ~smoke ()
+  | _ -> usage ()

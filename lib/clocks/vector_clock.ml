@@ -1,81 +1,310 @@
-type t = int array
+(* Adaptive representation: a clock that has only ever been advanced by a
+   single process is kept as a compact {e epoch} — the FastTrack-style
+   [(pid, count)] pair, denoting the vector that is [count] at [pid] and 0
+   elsewhere — and is promoted to a dense [int array] on the first
+   cross-process merge or tick. The common single-writer access then
+   costs O(1) and allocates nothing, while the abstract value (and hence
+   every detection verdict) is identical to the dense representation.
 
-let create ~n =
+   [vec == no_vec] (physical equality against a shared sentinel) marks
+   epoch mode. [adaptive = false] pins the clock to the dense
+   representation forever — the always-vector ablation baseline. The
+   canonical zero epoch is [count = 0] with [pid = 0]. *)
+
+type t = {
+  mutable pid : int;  (* epoch owner; meaningful only in epoch mode *)
+  mutable count : int;  (* epoch count; 0 = the zero clock *)
+  dim : int;
+  mutable vec : int array;  (* == no_vec while in epoch mode *)
+  adaptive : bool;
+}
+
+let no_vec : int array = [||]
+
+let is_epoch t = t.vec == no_vec
+
+let make ~dense n =
   if n <= 0 then invalid_arg "Vector_clock.create: dimension must be positive";
-  Array.make n 0
+  {
+    pid = 0;
+    count = 0;
+    dim = n;
+    vec = (if dense then Array.make n 0 else no_vec);
+    adaptive = not dense;
+  }
 
-let dim = Array.length
+let create ~n = make ~dense:false n
 
-let copy = Array.copy
+let create_dense ~n = make ~dense:true n
 
-let of_array a =
-  if Array.length a = 0 then invalid_arg "Vector_clock.of_array: empty";
-  Array.iter
-    (fun x -> if x < 0 then invalid_arg "Vector_clock.of_array: negative entry")
-    a;
-  Array.copy a
+let dim t = t.dim
 
-let to_array = Array.copy
+(* Promotion is one-way: once dense, a clock never re-epochs (except
+   through [reset] / [load_words], which re-derive the representation). *)
+let promote t =
+  if is_epoch t then begin
+    let v = Array.make t.dim 0 in
+    if t.count > 0 then v.(t.pid) <- t.count;
+    t.vec <- v
+  end
+
+let copy t =
+  {
+    pid = t.pid;
+    count = t.count;
+    dim = t.dim;
+    vec = (if is_epoch t then no_vec else Array.copy t.vec);
+    adaptive = t.adaptive;
+  }
+
+let of_array ?(dense = false) a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Vector_clock.of_array: empty";
+  let nonzeros = ref 0 and last = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) < 0 then invalid_arg "Vector_clock.of_array: negative entry";
+    if a.(i) <> 0 then begin
+      incr nonzeros;
+      last := i
+    end
+  done;
+  if (not dense) && !nonzeros <= 1 then
+    {
+      pid = (if !nonzeros = 1 then !last else 0);
+      count = (if !nonzeros = 1 then a.(!last) else 0);
+      dim = n;
+      vec = no_vec;
+      adaptive = true;
+    }
+  else
+    { pid = 0; count = 0; dim = n; vec = Array.copy a; adaptive = not dense }
+
+let to_array t =
+  if is_epoch t then
+    Array.init t.dim (fun i -> if i = t.pid then t.count else 0)
+  else Array.copy t.vec
 
 let entry c i =
-  if i < 0 || i >= Array.length c then invalid_arg "Vector_clock.entry";
-  c.(i)
+  if i < 0 || i >= c.dim then invalid_arg "Vector_clock.entry";
+  if is_epoch c then (if i = c.pid then c.count else 0) else c.vec.(i)
 
-let is_zero c = Array.for_all (fun x -> x = 0) c
+let is_zero c =
+  if is_epoch c then c.count = 0 else Array.for_all (fun x -> x = 0) c.vec
 
 let tick c ~me =
-  if me < 0 || me >= Array.length c then invalid_arg "Vector_clock.tick";
-  c.(me) <- c.(me) + 1
+  if me < 0 || me >= c.dim then invalid_arg "Vector_clock.tick";
+  if is_epoch c then
+    if c.count = 0 then begin
+      c.pid <- me;
+      c.count <- 1
+    end
+    else if c.pid = me then c.count <- c.count + 1
+    else begin
+      promote c;
+      c.vec.(me) <- c.vec.(me) + 1
+    end
+  else c.vec.(me) <- c.vec.(me) + 1
 
 let check_dim a b name =
-  if Array.length a <> Array.length b then
+  if a.dim <> b.dim then
     invalid_arg (Printf.sprintf "Vector_clock.%s: dimension mismatch" name)
 
 let merge_into ~into src =
   check_dim into src "merge_into";
-  for i = 0 to Array.length into - 1 do
-    if src.(i) > into.(i) then into.(i) <- src.(i)
-  done
+  if is_epoch src then begin
+    if src.count > 0 then
+      if is_epoch into then
+        if into.count = 0 then begin
+          into.pid <- src.pid;
+          into.count <- src.count
+        end
+        else if into.pid = src.pid then begin
+          if src.count > into.count then into.count <- src.count
+        end
+        else begin
+          promote into;
+          if src.count > into.vec.(src.pid) then
+            into.vec.(src.pid) <- src.count
+        end
+      else if src.count > into.vec.(src.pid) then
+        into.vec.(src.pid) <- src.count
+  end
+  else begin
+    promote into;
+    let v = into.vec and s = src.vec in
+    for i = 0 to into.dim - 1 do
+      if s.(i) > v.(i) then v.(i) <- s.(i)
+    done
+  end
 
 let merge a b =
   check_dim a b "merge";
-  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+  let r = copy a in
+  merge_into ~into:r b;
+  r
 
-(* Algorithm 3: componentwise comparison, decided in a single pass by
-   tracking whether some component of [a] is below [b] and some above. *)
-let compare a b : Order.t =
-  check_dim a b "compare";
-  let some_lt = ref false and some_gt = ref false in
-  for i = 0 to Array.length a - 1 do
-    if a.(i) < b.(i) then some_lt := true
-    else if a.(i) > b.(i) then some_gt := true
-  done;
-  match (!some_lt, !some_gt) with
+let order_of ~some_lt ~some_gt : Order.t =
+  match (some_lt, some_gt) with
   | false, false -> Order.Equal
   | true, false -> Order.Before
   | false, true -> Order.After
   | true, true -> Order.Concurrent
 
+(* Algorithm 3: componentwise comparison, decided in a single pass by
+   tracking whether some component of [a] is below [b] and some above —
+   with an early exit as soon as both are set (the verdict is already
+   [Concurrent]), and O(1) decisions whenever an epoch operand allows. *)
+let compare a b : Order.t =
+  check_dim a b "compare";
+  match (is_epoch a, is_epoch b) with
+  | true, true ->
+      if a.count = 0 && b.count = 0 then Order.Equal
+      else if a.count = 0 then Order.Before
+      else if b.count = 0 then Order.After
+      else if a.pid = b.pid then
+        if a.count = b.count then Order.Equal
+        else if a.count < b.count then Order.Before
+        else Order.After
+      else Order.Concurrent
+  | true, false ->
+      (* [a] is [a.count] at [a.pid] and 0 elsewhere: [a] exceeds [b] only
+         at [a.pid]; [a] is below [b] wherever [b] is nonzero elsewhere. *)
+      let v = b.vec in
+      let some_gt = a.count > v.(a.pid) in
+      let some_lt = ref (a.count < v.(a.pid)) in
+      let i = ref 0 in
+      while (not !some_lt) && !i < b.dim do
+        if !i <> a.pid && v.(!i) > 0 then some_lt := true;
+        incr i
+      done;
+      order_of ~some_lt:!some_lt ~some_gt
+  | false, true ->
+      let v = a.vec in
+      let some_lt = b.count > v.(b.pid) in
+      let some_gt = ref (b.count < v.(b.pid)) in
+      let i = ref 0 in
+      while (not !some_gt) && !i < a.dim do
+        if !i <> b.pid && v.(!i) > 0 then some_gt := true;
+        incr i
+      done;
+      order_of ~some_lt ~some_gt:!some_gt
+  | false, false ->
+      let va = a.vec and vb = b.vec in
+      let some_lt = ref false and some_gt = ref false in
+      let i = ref 0 in
+      while !i < a.dim && not (!some_lt && !some_gt) do
+        let x = va.(!i) and y = vb.(!i) in
+        if x < y then some_lt := true else if x > y then some_gt := true;
+        incr i
+      done;
+      order_of ~some_lt:!some_lt ~some_gt:!some_gt
+
 let leq a b =
-  match compare a b with
-  | Order.Equal | Order.Before -> true
-  | Order.After | Order.Concurrent -> false
+  check_dim a b "leq";
+  if is_epoch a then
+    if a.count = 0 then true
+    else if is_epoch b then a.pid = b.pid && a.count <= b.count
+    else a.count <= b.vec.(a.pid)
+  else
+    match compare a b with
+    | Order.Equal | Order.Before -> true
+    | Order.After | Order.Concurrent -> false
 
 let concurrent a b = Order.concurrent (compare a b)
 
 let equal a b = compare a b = Order.Equal
 
-let sum c = Array.fold_left ( + ) 0 c
+let sum c =
+  if is_epoch c then c.count else Array.fold_left ( + ) 0 c.vec
 
-let size_words = Array.length
+(* Wire/storage accounting is representation-independent: a clock always
+   costs [dim] words on the wire and in the §5.1 storage model. *)
+let size_words t = t.dim
 
 let snapshot = copy
 
+let reset t =
+  if t.adaptive then begin
+    t.pid <- 0;
+    t.count <- 0;
+    t.vec <- no_vec
+  end
+  else Array.fill t.vec 0 t.dim 0
+
+let check_slice t w off name =
+  if off < 0 || off + t.dim > Array.length w then
+    invalid_arg (Printf.sprintf "Vector_clock.%s: slice out of bounds" name)
+
+let load_words t w ~off =
+  check_slice t w off "load_words";
+  let nonzeros = ref 0 and last = ref 0 in
+  for i = 0 to t.dim - 1 do
+    let x = w.(off + i) in
+    if x < 0 then invalid_arg "Vector_clock.load_words: negative entry";
+    if x <> 0 then begin
+      incr nonzeros;
+      last := i
+    end
+  done;
+  if t.adaptive && !nonzeros <= 1 then begin
+    t.vec <- no_vec;
+    t.pid <- (if !nonzeros = 1 then !last else 0);
+    t.count <- (if !nonzeros = 1 then w.(off + !last) else 0)
+  end
+  else begin
+    if is_epoch t then t.vec <- Array.make t.dim 0;
+    Array.blit w off t.vec 0 t.dim
+  end
+
+let store_words t w ~off =
+  check_slice t w off "store_words";
+  if is_epoch t then begin
+    Array.fill w off t.dim 0;
+    if t.count > 0 then w.(off + t.pid) <- t.count
+  end
+  else Array.blit t.vec 0 w off t.dim
+
+let merge_words ~into w ~off =
+  check_slice into w off "merge_words";
+  let nonzeros = ref 0 and last = ref 0 in
+  for i = 0 to into.dim - 1 do
+    let x = w.(off + i) in
+    if x < 0 then invalid_arg "Vector_clock.merge_words: negative entry";
+    if x <> 0 then begin
+      incr nonzeros;
+      last := i
+    end
+  done;
+  if !nonzeros = 0 then ()
+  else if !nonzeros = 1 && is_epoch into then begin
+    let pid = !last and count = w.(off + !last) in
+    if into.count = 0 then begin
+      into.pid <- pid;
+      into.count <- count
+    end
+    else if into.pid = pid then begin
+      if count > into.count then into.count <- count
+    end
+    else begin
+      promote into;
+      if count > into.vec.(pid) then into.vec.(pid) <- count
+    end
+  end
+  else begin
+    promote into;
+    let v = into.vec in
+    for i = 0 to into.dim - 1 do
+      if w.(off + i) > v.(i) then v.(i) <- w.(off + i)
+    done
+  end
+
 let pp ppf c =
-  Format.fprintf ppf "<%a>"
-    (Format.pp_print_iter ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-       (fun f c -> Array.iter f c)
-       Format.pp_print_int)
-    c
+  Format.pp_print_char ppf '<';
+  for i = 0 to c.dim - 1 do
+    if i > 0 then Format.pp_print_char ppf ',';
+    Format.pp_print_int ppf
+      (if is_epoch c then (if i = c.pid then c.count else 0) else c.vec.(i))
+  done;
+  Format.pp_print_char ppf '>'
 
 let to_string c = Format.asprintf "%a" pp c

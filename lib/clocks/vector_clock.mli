@@ -9,20 +9,37 @@
     Values are mutable: the simulator's processes and the per-datum clocks
     of the detector update them in place while holding the region lock, as
     prescribed by §4.2. Use {!copy} / {!snapshot} when a value must escape
-    the critical section (e.g. into a trace). *)
+    the critical section (e.g. into a trace).
+
+    {2 Representation}
+
+    The representation is {e adaptive}: a clock that has only ever been
+    advanced by a single process is held as a compact FastTrack-style
+    {e epoch} — a [(pid, count)] pair denoting the vector that is [count]
+    at [pid] and zero elsewhere — and is promoted to a dense array on the
+    first cross-process merge or tick. Epoch operands give {!tick},
+    {!merge_into}, {!compare} and {!leq} O(1), allocation-free fast
+    paths; the abstract value, and therefore every detection verdict, is
+    identical to the dense representation. Pass [~dense:true] to pin a
+    clock to the dense array from birth (the always-vector ablation
+    baseline; see {!Config.clock_rep} in [dsm_core]). *)
 
 type t
 
 val create : n:int -> t
 (** [create ~n] is the zero clock of dimension [n] (all entries 0 —
-    the paper's initial value, §4.2). *)
+    the paper's initial value, §4.2), in the adaptive representation. *)
+
+val create_dense : n:int -> t
+(** Like {!create}, but pinned to the dense array representation for the
+    clock's whole lifetime. *)
 
 val dim : t -> int
 (** Number of processes the clock covers. *)
 
 val copy : t -> t
 
-val of_array : int array -> t
+val of_array : ?dense:bool -> int array -> t
 (** [of_array a] wraps a copy of [a]. Raises [Invalid_argument] if [a] is
     empty or contains a negative entry. *)
 
@@ -34,6 +51,10 @@ val entry : t -> int -> int
     of bounds. *)
 
 val is_zero : t -> bool
+
+val is_epoch : t -> bool
+(** True while the clock is held in the compact epoch representation
+    (introspection for tests, benchmarks and storage statistics). *)
 
 val tick : t -> me:int -> unit
 (** [tick c ~me] increments component [me]: the paper's
@@ -52,10 +73,14 @@ val compare : t -> t -> Order.t
     {!Order.Equal} when all components agree, {!Order.Before} when
     [a <= b] componentwise with at least one strict, {!Order.After} for the
     converse, and {!Order.Concurrent} when neither dominates — the race
-    verdict of Lemma 1. Raises [Invalid_argument] on dimension mismatch. *)
+    verdict of Lemma 1. The scan exits early once both a lower and a
+    higher component have been seen (the verdict is already
+    [Concurrent]), and is O(1) when both operands are epochs.
+    Raises [Invalid_argument] on dimension mismatch. *)
 
 val leq : t -> t -> bool
-(** [leq a b] iff [compare a b] is [Equal] or [Before]. *)
+(** [leq a b] iff [compare a b] is [Equal] or [Before]. O(1) when [a] is
+    an epoch. *)
 
 val concurrent : t -> t -> bool
 (** [concurrent a b] iff no causal order exists between [a] and [b]. *)
@@ -67,11 +92,33 @@ val sum : t -> int
 
 val size_words : t -> int
 (** Words needed on the wire (the §4.3 linear-in-[n] cost measured by
-    experiment E6). *)
+    experiment E6). Representation-independent: always {!dim}. *)
 
 val snapshot : t -> t
 (** Alias for {!copy}, named for its use when capturing a clock into an
     immutable trace record. *)
+
+val reset : t -> unit
+(** Zero every component in place, restoring the compact epoch
+    representation when the clock is adaptive. O(1) for adaptive clocks;
+    the scratch-buffer discipline of the detector's hot path
+    ([Detector.check_access]) relies on this being cheap. *)
+
+val load_words : t -> int array -> off:int -> unit
+(** [load_words c w ~off] overwrites [c] with the [dim c] words at
+    [w.(off) ..] — the allocation-free counterpart of {!of_array} used to
+    decode clocks arriving on the wire into a scratch clock. Re-derives
+    the compact representation when the clock is adaptive. Raises
+    [Invalid_argument] on a short slice or negative entry. *)
+
+val store_words : t -> int array -> off:int -> unit
+(** [store_words c w ~off] writes the [dim c] components into [w] at
+    [off] — the allocation-free counterpart of {!to_array}. *)
+
+val merge_words : into:t -> int array -> off:int -> unit
+(** [merge_words ~into w ~off] merges the clock encoded in the slice
+    directly into [into] — {!merge_into} without materializing the
+    source ({!Detector}'s explicit-transport update path). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [<a,b,c>]. *)

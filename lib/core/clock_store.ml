@@ -3,17 +3,46 @@ open Dsm_clocks
 
 type entry = { v : Vector_clock.t; w : Vector_clock.t; s : Vector_clock.t }
 
+(* Granule identity within one node's public segment is (offset, len);
+   the hot path keys the table by the pair packed into a single
+   immediate int so lookups hash an unboxed key with an int-specialized
+   table — no tuple allocation, no polymorphic comparison. *)
+let len_bits = 21
+
+let max_len = (1 lsl len_bits) - 1
+
+let pack_key ~offset ~len =
+  if len < 0 || len > max_len || offset < 0 || offset > 1 lsl 40 then
+    invalid_arg "Clock_store: granule outside packable range";
+  (offset lsl len_bits) lor len
+
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
 type t = {
   node : int;
   clock_dim : int;
   granularity : Config.granularity;
+  dense_clocks : bool;
   mutable registered : Addr.region list; (* address-sorted *)
-  table : (int * int, entry) Hashtbl.t; (* (offset, len) -> clocks *)
+  table : entry Int_tbl.t; (* pack_key ~offset ~len -> clocks *)
 }
 
-let create ~node ~clock_dim ~granularity () =
+let create ~node ~clock_dim ~granularity ?(dense_clocks = false) () =
   if clock_dim < 1 then invalid_arg "Clock_store.create: clock_dim";
-  { node; clock_dim; granularity; registered = []; table = Hashtbl.create 64 }
+  {
+    node;
+    clock_dim;
+    granularity;
+    dense_clocks;
+    registered = [];
+    table = Int_tbl.create 64;
+  }
 
 let node t = t.node
 
@@ -33,58 +62,88 @@ let register t (r : Addr.region) =
             compare a.base.offset b.base.offset)
           (r :: t.registered)
 
-let block_granules t (r : Addr.region) k =
-  let first = r.base.offset / k in
-  let last = Addr.last_offset r / k in
-  List.init (last - first + 1) (fun i ->
-      Addr.region ~pid:t.node ~space:Addr.Public ~offset:((first + i) * k)
-        ~len:k)
+(* Under [Variable] granularity every accessed word must fall inside a
+   registered variable; checked before any granule is visited so a
+   failing access signals nothing. The registered list is walked twice —
+   no intermediate list is built. *)
+let check_covered t (r : Addr.region) =
+  let covered_words =
+    List.fold_left
+      (fun acc (v : Addr.region) ->
+        if Addr.overlap r v then
+          let lo = max v.base.offset r.base.offset in
+          let hi = min (Addr.last_offset v) (Addr.last_offset r) in
+          acc + (hi - lo + 1)
+        else acc)
+      0 t.registered
+  in
+  if covered_words < r.len then
+    failwith
+      (Printf.sprintf "Clock_store: access to %s touches unregistered shared data"
+         (Addr.to_string r))
 
-let granules t (r : Addr.region) =
+let iter_granules t (r : Addr.region) ~f =
   if r.base.pid <> t.node then invalid_arg "Clock_store.granules: wrong node";
   match t.granularity with
-  | Config.Word -> block_granules t r 1
-  | Config.Block k -> block_granules t r k
+  | Config.Word ->
+      for offset = r.base.offset to Addr.last_offset r do
+        f ~offset ~len:1
+      done
+  | Config.Block k ->
+      let first = r.base.offset / k and last = Addr.last_offset r / k in
+      for b = first to last do
+        f ~offset:(b * k) ~len:k
+      done
   | Config.Variable ->
-      let covering = List.filter (fun v -> Addr.overlap r v) t.registered in
-      let covered_words =
-        List.fold_left
-          (fun acc (v : Addr.region) ->
-            let lo = max v.base.offset r.base.offset in
-            let hi = min (Addr.last_offset v) (Addr.last_offset r) in
-            acc + (hi - lo + 1))
-          0 covering
-      in
-      if covered_words < r.len then
-        failwith
-          (Printf.sprintf
-             "Clock_store: access to %s touches unregistered shared data"
-             (Addr.to_string r));
-      covering
+      check_covered t r;
+      List.iter
+        (fun (v : Addr.region) ->
+          if Addr.overlap r v then f ~offset:v.base.offset ~len:v.len)
+        t.registered
 
-let entry t (g : Addr.region) =
-  let key = (g.base.offset, g.len) in
-  match Hashtbl.find_opt t.table key with
+let granules t (r : Addr.region) =
+  let acc = ref [] in
+  iter_granules t r ~f:(fun ~offset ~len ->
+      acc :=
+        Addr.region ~pid:t.node ~space:Addr.Public ~offset ~len :: !acc);
+  List.rev !acc
+
+let entry_at t ~offset ~len =
+  let key = pack_key ~offset ~len in
+  match Int_tbl.find_opt t.table key with
   | Some e -> e
   | None ->
-      let e =
-        {
-          v = Vector_clock.create ~n:t.clock_dim;
-          w = Vector_clock.create ~n:t.clock_dim;
-          s = Vector_clock.create ~n:t.clock_dim;
-        }
+      let mk () =
+        if t.dense_clocks then Vector_clock.create_dense ~n:t.clock_dim
+        else Vector_clock.create ~n:t.clock_dim
       in
-      Hashtbl.add t.table key e;
+      let e = { v = mk (); w = mk (); s = mk () } in
+      Int_tbl.add t.table key e;
       e
 
-let entries t = Hashtbl.length t.table
+let entry t (g : Addr.region) = entry_at t ~offset:g.base.offset ~len:g.len
+
+let entries t = Int_tbl.length t.table
 
 (* The paper's accounting (§5.1): V plus the W refinement = 2 clocks per
    datum. The sync clock is an extension and is only charged once an
-   atomic has actually touched the datum. *)
+   atomic has actually touched the datum. Representation-independent:
+   an epoch still models a dimension-[clock_dim] vector. *)
 let storage_words t =
-  Hashtbl.fold
+  Int_tbl.fold
     (fun _ e acc ->
       acc + (2 * t.clock_dim)
       + (if Vector_clock.is_zero e.s then 0 else t.clock_dim))
+    t.table 0
+
+(* How many of the materialized clocks are still compact epochs — the
+   fraction the E7-style storage model could exploit; reported by the
+   detector benchmarks. *)
+let epoch_clocks t =
+  Int_tbl.fold
+    (fun _ e acc ->
+      acc
+      + (if Vector_clock.is_epoch e.v then 1 else 0)
+      + (if Vector_clock.is_epoch e.w then 1 else 0)
+      + if Vector_clock.is_epoch e.s then 1 else 0)
     t.table 0

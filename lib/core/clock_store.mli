@@ -8,7 +8,13 @@
 
     Entries are created lazily with zero clocks — the paper's initial
     value — and updated in place while the NIC lock on the covering
-    region is held (§4.2's no-self-race argument). *)
+    region is held (§4.2's no-self-race argument).
+
+    The table is keyed by the granule's [(offset, len)] packed into a
+    single immediate [int] and hashed by an int-specialized hashtable, so
+    the per-access lookup neither allocates nor runs polymorphic
+    comparison; {!iter_granules} walks the granules of an access without
+    building a list. *)
 
 type entry = {
   v : Dsm_clocks.Vector_clock.t;
@@ -25,9 +31,15 @@ type entry = {
 type t
 
 val create :
-  node:int -> clock_dim:int -> granularity:Config.granularity -> unit -> t
+  node:int ->
+  clock_dim:int ->
+  granularity:Config.granularity ->
+  ?dense_clocks:bool ->
+  unit ->
+  t
 (** [clock_dim] is the vector dimension ([n], or 1 in the Lamport
-    ablation). *)
+    ablation). [dense_clocks] (default [false]) pins every lazily created
+    clock to the dense representation ({!Config.Dense_vector}). *)
 
 val node : t -> int
 
@@ -37,19 +49,34 @@ val register : t -> Dsm_memory.Addr.region -> unit
     must not overlap a previously registered variable.
     No-op under block/word granularity. *)
 
+val iter_granules :
+  t -> Dsm_memory.Addr.region -> f:(offset:int -> len:int -> unit) -> unit
+(** [iter_granules t r ~f] calls [f] once per granule covering an access
+    to [r], in address order, without materializing regions or lists —
+    the detector's hot path. Under {!Config.Variable}, raises [Failure]
+    {e before} visiting any granule if an accessed word falls outside
+    every registered variable — shared data must be declared. *)
+
 val granules : t -> Dsm_memory.Addr.region -> Dsm_memory.Addr.region list
-(** The granules covering an access to [region], in address order.
-    Under {!Config.Variable}, raises [Failure] if any accessed word
-    falls outside every registered variable — shared data must be
-    declared. *)
+(** List-building convenience over {!iter_granules} (tests, tooling). *)
+
+val entry_at : t -> offset:int -> len:int -> entry
+(** The clock triple of one granule identified by its raw coordinates
+    (as passed to {!iter_granules}'s callback); lazily zero-initialized.
+    Allocation-free on the hit path. *)
 
 val entry : t -> Dsm_memory.Addr.region -> entry
-(** The clock pair of one granule (as returned by {!granules});
-    lazily zero-initialized. *)
+(** {!entry_at} keyed by a region (control-plane convenience). *)
 
 val entries : t -> int
 (** Number of granules that have materialized clocks. *)
 
 val storage_words : t -> int
 (** Total words of clock metadata held: [entries × 2 × clock_dim] — the
-    §5.1 storage-overhead numerator measured in E7. *)
+    §5.1 storage-overhead numerator measured in E7. Representation-
+    independent (an epoch still models a full vector). *)
+
+val epoch_clocks : t -> int
+(** How many of the materialized clocks (3 per entry) are currently held
+    in the compact epoch representation — introspection for benchmarks
+    and tests. *)

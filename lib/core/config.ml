@@ -4,11 +4,14 @@ type clock_mode = Vector | Lamport_only
 
 type granularity = Variable | Block of int | Word
 
+type clock_rep = Epoch_adaptive | Dense_vector
+
 type t = {
   use_write_clock : bool;
   transport : transport;
   clock_mode : clock_mode;
   granularity : granularity;
+  clock_rep : clock_rep;
   record_trace : bool;
   trace_reads_from : [ `All_writers | `Last_writer ];
   ordered_locking : bool;
@@ -21,6 +24,7 @@ let default =
     transport = Piggyback_txn;
     clock_mode = Vector;
     granularity = Variable;
+    clock_rep = Epoch_adaptive;
     record_trace = false;
     trace_reads_from = `All_writers;
     ordered_locking = true;
@@ -38,11 +42,12 @@ let granularity_name = function
   | Word -> "word"
 
 let name t =
-  Printf.sprintf "%s%s/%s/%s"
+  Printf.sprintf "%s%s/%s/%s%s"
     (match t.clock_mode with Vector -> "vector" | Lamport_only -> "lamport")
     (if t.use_write_clock then "+W" else "")
     (transport_name t.transport)
     (granularity_name t.granularity)
+    (match t.clock_rep with Epoch_adaptive -> "" | Dense_vector -> "/dense")
 
 let validate t =
   (match t.granularity with

@@ -33,6 +33,17 @@ type granularity =
   | Block of int      (** one clock pair per aligned block of [k] words *)
   | Word              (** one clock pair per word: finest, costliest *)
 
+type clock_rep =
+  | Epoch_adaptive
+      (** clocks start as compact FastTrack-style [(pid, count)] epochs
+          and promote to dense vectors on the first cross-process merge:
+          the common single-writer access costs O(1) and allocates
+          nothing. Semantically transparent — detection results are
+          identical to {!Dense_vector} *)
+  | Dense_vector
+      (** always-vector ablation baseline: every clock is a dense
+          dimension-[n] array from birth, as in the paper's cost model *)
+
 type t = {
   use_write_clock : bool;
       (** §4.4: keep a separate write clock [W]; reads are checked against
@@ -40,6 +51,9 @@ type t = {
   transport : transport;
   clock_mode : clock_mode;
   granularity : granularity;
+  clock_rep : clock_rep;
+      (** representation of every clock the detector owns (process,
+          per-datum, per-lock, scratch); see {!clock_rep} *)
   record_trace : bool;
       (** also feed a [Dsm_trace.Recorder] for offline ground truth *)
   trace_reads_from : [ `All_writers | `Last_writer ];
@@ -63,7 +77,12 @@ type t = {
 val default : t
 
 val name : t -> string
-(** Compact descriptor for bench tables, e.g. ["vector+W/piggyback/var"]. *)
+(** Compact descriptor for bench tables, e.g. ["vector+W/piggyback/var"];
+    the {!clock_rep} ablation appends ["/dense"]. *)
+
+val transport_name : transport -> string
+
+val granularity_name : granularity -> string
 
 val validate : t -> t
 (** Checks internal consistency (e.g. positive block size); returns the

@@ -4,6 +4,15 @@ module Machine = Dsm_rdma.Machine
 module Event = Dsm_trace.Event
 module Recorder = Dsm_trace.Recorder
 
+(* The per-access path is allocation-free: granule walks are iterated
+   (no lists), store lookups hash a packed-int key, clock comparisons
+   and merges run on adaptive epoch/vector clocks in place, and every
+   intermediate clock value lives in a per-process scratch buffer owned
+   by the detector. Scratch is keyed by accessor pid because the
+   explicit transport blocks inside an access (control round trip) and
+   the simulator may interleave another process's access meanwhile; a
+   single process's accesses never nest, so per-pid buffers are safe. *)
+
 type t = {
   machine : Machine.t;
   config : Config.t;
@@ -12,9 +21,17 @@ type t = {
   procs : Vector_clock.t array;
   stores : Clock_store.t array;
   recorder : Recorder.t option;
-  (* clock per user-level lock, keyed by the locked region's identity;
-     only consulted when [lock_aware_clocks] is set *)
-  lock_clocks : (int * int * int, Vector_clock.t) Hashtbl.t;
+  (* clock per user-level lock, keyed by the locked region's full
+     identity (pid, space, offset, len); only consulted when
+     [lock_aware_clocks] is set *)
+  lock_clocks : (Addr.region, Vector_clock.t) Hashtbl.t;
+  (* per-pid scratch clocks for the hot path *)
+  scratch_absorb : Vector_clock.t array;
+  scratch_datum : Vector_clock.t array;
+  scratch_fv : Vector_clock.t array;
+  scratch_fw : Vector_clock.t array;
+  scratch_fs : Vector_clock.t array;
+  scratch_barrier : Vector_clock.t;
   mutable checked_ops : int;
   mutable meta_messages : int;
   mutable clock_words_shipped : int;
@@ -47,27 +64,25 @@ let merge_entry (e : Clock_store.entry) cls clock =
 let install_control_plane t =
   Machine.set_control_handler t.machine ~tag:vget_tag
     (fun ~node ~origin:_ words ->
-      let g =
-        Addr.region ~pid:node ~space:Addr.Public ~offset:words.(0)
-          ~len:words.(1)
+      let e =
+        Clock_store.entry_at t.stores.(node) ~offset:words.(0) ~len:words.(1)
       in
-      let e = Clock_store.entry t.stores.(node) g in
-      Some
-        (Array.concat
-           [
-             Vector_clock.to_array e.v;
-             Vector_clock.to_array e.w;
-             Vector_clock.to_array e.s;
-           ]));
+      let reply = Array.make (3 * t.dim) 0 in
+      Vector_clock.store_words e.v reply ~off:0;
+      Vector_clock.store_words e.w reply ~off:t.dim;
+      Vector_clock.store_words e.s reply ~off:(2 * t.dim);
+      Some reply);
   Machine.set_control_handler t.machine ~tag:vput_tag
     (fun ~node ~origin:_ words ->
-      let g =
-        Addr.region ~pid:node ~space:Addr.Public ~offset:words.(0)
-          ~len:words.(1)
+      let e =
+        Clock_store.entry_at t.stores.(node) ~offset:words.(0) ~len:words.(1)
       in
-      let cls = class_of_code words.(2) in
-      let clock = Vector_clock.of_array (Array.sub words 3 t.dim) in
-      merge_entry (Clock_store.entry t.stores.(node) g) cls clock;
+      (match class_of_code words.(2) with
+      | Plain_read -> Vector_clock.merge_words ~into:e.v words ~off:3
+      | Plain_write ->
+          Vector_clock.merge_words ~into:e.v words ~off:3;
+          Vector_clock.merge_words ~into:e.w words ~off:3
+      | Atomic_rmw -> Vector_clock.merge_words ~into:e.s words ~off:3);
       None)
 
 let create machine ?(config = Config.default) ?(verbose = false) () =
@@ -78,18 +93,30 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
     | Config.Vector -> n
     | Config.Lamport_only -> 1
   in
+  let dense = config.Config.clock_rep = Config.Dense_vector in
+  let mk () =
+    if dense then Vector_clock.create_dense ~n:dim
+    else Vector_clock.create ~n:dim
+  in
+  let clock_array () = Array.init n (fun _ -> mk ()) in
   let t =
     {
       machine;
       config;
       report = Report.create ~verbose ();
       dim;
-      procs = Array.init n (fun _ -> Vector_clock.create ~n:dim);
+      procs = clock_array ();
       stores =
         Array.init n (fun node ->
             Clock_store.create ~node ~clock_dim:dim
-              ~granularity:config.Config.granularity ());
+              ~granularity:config.Config.granularity ~dense_clocks:dense ());
       lock_clocks = Hashtbl.create 16;
+      scratch_absorb = clock_array ();
+      scratch_datum = clock_array ();
+      scratch_fv = clock_array ();
+      scratch_fw = clock_array ();
+      scratch_fs = clock_array ();
+      scratch_barrier = mk ();
       recorder =
         (if config.Config.record_trace then
            let reads_from =
@@ -137,109 +164,122 @@ let record_access t p ~kind ~target =
         (Recorder.access rec_ ~time:(now t) ~pid:(Machine.pid p) ~kind ~target
            ())
 
-(* One granule's clocks plus the way to push a merge back, per transport.
-   Under Inline/Piggyback the store is manipulated directly (the exchange
-   rides the data messages); under Explicit each remote granule costs a
-   control round trip to read and an async control message to update —
-   Algorithm 5 taken literally. *)
-type fetched = {
-  fv : Vector_clock.t;
-  fw : Vector_clock.t;
-  fs : Vector_clock.t;
-  push : access_class -> Vector_clock.t -> unit;
-}
-
-let fetch_entry t p (g : Addr.region) =
-  let node = g.base.pid in
-  let direct () =
-    let e = Clock_store.entry t.stores.(node) g in
-    { fv = e.v; fw = e.w; fs = e.s; push = (fun cls c -> merge_entry e cls c) }
-  in
-  match t.config.Config.transport with
-  | Config.Inline | Config.Piggyback_txn -> direct ()
-  | Config.Explicit_txn ->
-      if node = Machine.pid p then direct ()
-      else begin
-        let words =
-          Machine.control p ~target:node ~tag:vget_tag
-            ~words:[| g.base.offset; g.len |]
-        in
-        t.meta_messages <- t.meta_messages + 2;
-        t.clock_words_shipped <- t.clock_words_shipped + Array.length words;
-        let fv = Vector_clock.of_array (Array.sub words 0 t.dim) in
-        let fw = Vector_clock.of_array (Array.sub words t.dim t.dim) in
-        let fs = Vector_clock.of_array (Array.sub words (2 * t.dim) t.dim) in
-        {
-          fv;
-          fw;
-          fs;
-          push =
-            (fun cls clock ->
-              let payload =
-                Array.concat
-                  [
-                    [| g.base.offset; g.len; class_code cls |];
-                    Vector_clock.to_array clock;
-                  ]
-              in
-              t.meta_messages <- t.meta_messages + 1;
-              t.clock_words_shipped <- t.clock_words_shipped + t.dim;
-              Machine.control_async p ~target:node ~tag:vput_tag
-                ~words:payload);
-        }
-      end
-
 let kind_of_class = function
   | Plain_read -> Event.Read
   | Plain_write -> Event.Write
   | Atomic_rmw -> Event.Atomic_update
 
+(* Cold path: a race was found; materialize the granule region and the
+   clock snapshots for the report. *)
+let signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against =
+  Report.signal t.report
+    {
+      Report.event_id;
+      time = now t;
+      accessor = pid;
+      kind = kind_of_class cls;
+      granule = Addr.region ~pid:node ~space:Addr.Public ~offset ~len;
+      accessor_clock = Vector_clock.snapshot v0;
+      datum_clock = Vector_clock.snapshot datum;
+      against;
+    }
+
+(* Check the accessor's clock [v0] against one granule's clocks
+   [fv]/[fw]/[fs] and fold the clocks a read or atomic observes into
+   [absorb]. What this access must be ordered against:
+   - a plain read races with concurrent plain writes and atomics
+     (or with any access in the no-write-clock ablation);
+   - a plain write races with any concurrent access;
+   - an atomic races with concurrent plain accesses only (atomics
+     are serialized by the target NIC). *)
+let check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw ~fs
+    ~absorb =
+  let datum = t.scratch_datum.(pid) in
+  Vector_clock.reset datum;
+  let against =
+    match cls with
+    | Plain_read ->
+        if t.config.Config.use_write_clock then begin
+          Vector_clock.merge_into ~into:datum fw;
+          Vector_clock.merge_into ~into:datum fs;
+          Report.Write_clock
+        end
+        else begin
+          Vector_clock.merge_into ~into:datum fv;
+          Vector_clock.merge_into ~into:datum fs;
+          Report.General_clock
+        end
+    | Plain_write ->
+        Vector_clock.merge_into ~into:datum fv;
+        Vector_clock.merge_into ~into:datum fs;
+        Report.General_clock
+    | Atomic_rmw ->
+        Vector_clock.merge_into ~into:datum fv;
+        Report.General_clock
+  in
+  if Vector_clock.concurrent v0 datum then
+    signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against;
+  match cls with
+  | Plain_read | Atomic_rmw ->
+      Vector_clock.merge_into ~into:absorb fw;
+      Vector_clock.merge_into ~into:absorb fs
+  | Plain_write -> ()
+
 (* Check one access (already ticked clock [v0]) against every granule it
    covers, signal incomparabilities, merge [v0] into the granules, and
-   return the union of the clocks the accessor absorbs (the causal
-   history of the writes/atomics a read or an atomic observed). *)
+   return (in the accessor's scratch buffer) the union of the clocks the
+   accessor absorbs — the causal history of the writes/atomics a read or
+   an atomic observed.
+
+   Under Inline/Piggyback the store is manipulated directly (the
+   exchange rides the data messages); under Explicit each remote granule
+   costs a control round trip to read and an async control message to
+   update — Algorithm 5 taken literally. *)
 let check_access t p ~(region : Addr.region) ~cls ~v0 ~event_id =
-  let store = t.stores.(region.base.pid) in
-  let gs = Clock_store.granules store region in
-  let absorb_union = Vector_clock.create ~n:t.dim in
-  List.iter
-    (fun g ->
-      let f = fetch_entry t p g in
-      (* What this access must be ordered against:
-         - a plain read races with concurrent plain writes and atomics
-           (or with any access in the no-write-clock ablation);
-         - a plain write races with any concurrent access;
-         - an atomic races with concurrent plain accesses only (atomics
-           are serialized by the target NIC). *)
-      let datum_clock, against =
-        match cls with
-        | Plain_read ->
-            if t.config.Config.use_write_clock then
-              (Vector_clock.merge f.fw f.fs, Report.Write_clock)
-            else (Vector_clock.merge f.fv f.fs, Report.General_clock)
-        | Plain_write -> (Vector_clock.merge f.fv f.fs, Report.General_clock)
-        | Atomic_rmw -> (Vector_clock.snapshot f.fv, Report.General_clock)
-      in
-      if Vector_clock.concurrent v0 datum_clock then
-        Report.signal t.report
-          {
-            Report.event_id;
-            time = now t;
-            accessor = Machine.pid p;
-            kind = kind_of_class cls;
-            granule = g;
-            accessor_clock = Vector_clock.snapshot v0;
-            datum_clock;
-            against;
-          };
-      (match cls with
-      | Plain_read | Atomic_rmw ->
-          Vector_clock.merge_into ~into:absorb_union f.fw;
-          Vector_clock.merge_into ~into:absorb_union f.fs
-      | Plain_write -> ());
-      f.push cls (Vector_clock.snapshot v0))
-    gs;
-  absorb_union
+  let node = region.base.pid in
+  let store = t.stores.(node) in
+  let pid = Machine.pid p in
+  let absorb = t.scratch_absorb.(pid) in
+  Vector_clock.reset absorb;
+  let remote_explicit =
+    match t.config.Config.transport with
+    | Config.Explicit_txn -> node <> pid
+    | Config.Inline | Config.Piggyback_txn -> false
+  in
+  Clock_store.iter_granules store region ~f:(fun ~offset ~len ->
+      if remote_explicit then begin
+        let words =
+          Machine.control p ~target:node ~tag:vget_tag
+            ~words:[| offset; len |]
+        in
+        t.meta_messages <- t.meta_messages + 2;
+        t.clock_words_shipped <- t.clock_words_shipped + Array.length words;
+        let fv = t.scratch_fv.(pid)
+        and fw = t.scratch_fw.(pid)
+        and fs = t.scratch_fs.(pid) in
+        Vector_clock.load_words fv words ~off:0;
+        Vector_clock.load_words fw words ~off:t.dim;
+        Vector_clock.load_words fs words ~off:(2 * t.dim);
+        check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw
+          ~fs ~absorb;
+        (* The async update message retains its payload until delivery,
+           so this one allocation is irreducible here. *)
+        let payload = Array.make (3 + t.dim) 0 in
+        payload.(0) <- offset;
+        payload.(1) <- len;
+        payload.(2) <- class_code cls;
+        Vector_clock.store_words v0 payload ~off:3;
+        t.meta_messages <- t.meta_messages + 1;
+        t.clock_words_shipped <- t.clock_words_shipped + t.dim;
+        Machine.control_async p ~target:node ~tag:vput_tag ~words:payload
+      end
+      else begin
+        let e = Clock_store.entry_at store ~offset ~len in
+        check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv:e.v
+          ~fw:e.w ~fs:e.s ~absorb;
+        merge_entry e cls v0
+      end);
+  absorb
 
 (* Piggybacked clock words on a data message: a dense-encoded vector. *)
 let piggyback_words t =
@@ -247,20 +287,16 @@ let piggyback_words t =
   | Config.Inline | Config.Piggyback_txn -> t.dim + 1
   | Config.Explicit_txn -> 0
 
-let lock_regions t p regions =
-  let regions =
-    if t.config.Config.ordered_locking then
-      List.sort
-        (fun (a : Addr.region) (b : Addr.region) ->
-          compare
-            (a.base.pid, a.base.space, a.base.offset)
-            (b.base.pid, b.base.space, b.base.offset))
-        regions
-    else regions
-  in
-  List.map (fun r -> Machine.lock p r) regions
+(* Global (pid, space, offset) lock order, decided without building or
+   sorting lists: [Private] ranks below [Public], matching the
+   constructor order the seed's polymorphic compare used. *)
+let space_rank = function Addr.Private -> 0 | Addr.Public -> 1
 
-let unlock_all p tokens = List.iter (Machine.unlock p) (List.rev tokens)
+let region_before (a : Addr.region) (b : Addr.region) =
+  a.base.pid < b.base.pid
+  || (a.base.pid = b.base.pid
+     && (space_rank a.base.space < space_rank b.base.space
+        || (a.base.space = b.base.space && a.base.offset < b.base.offset)))
 
 (* The shared body of Algorithms 1 and 2: tick, read-side check and
    absorption, write-side check, then the transfer provided by [transfer].
@@ -271,9 +307,7 @@ let checked_op t p ~read_region ~write_region ~transfer =
   let body () =
     Vector_clock.tick v0 ~me:(me t p);
     if Addr.is_public read_region then begin
-      let event_id =
-        record_access t p ~kind:Event.Read ~target:read_region
-      in
+      let event_id = record_access t p ~kind:Event.Read ~target:read_region in
       let absorbed =
         check_access t p ~region:read_region ~cls:Plain_read ~v0 ~event_id
       in
@@ -293,9 +327,18 @@ let checked_op t p ~read_region ~write_region ~transfer =
   match t.config.Config.transport with
   | Config.Inline -> body ()
   | Config.Piggyback_txn | Config.Explicit_txn ->
-      let tokens = lock_regions t p [ read_region; write_region ] in
+      let first, second =
+        if
+          t.config.Config.ordered_locking
+          && region_before write_region read_region
+        then (write_region, read_region)
+        else (read_region, write_region)
+      in
+      let tk1 = Machine.lock p first in
+      let tk2 = Machine.lock p second in
       body ();
-      unlock_all p tokens
+      Machine.unlock p tk2;
+      Machine.unlock p tk1
 
 let count_shipped t msgs =
   t.clock_words_shipped <- t.clock_words_shipped + (piggyback_words t * msgs)
@@ -364,45 +407,46 @@ let record_lock t ~pid ~phase ~lock ~time =
    causality: release publishes the holder's clock into the lock's
    clock, acquire absorbs it — the classic release/acquire discipline
    the paper's algorithm lacks (experiment E11). *)
-type lock_handle = {
-  token : Machine.token;
-  lock_key : int * int * int;
-  lock_name : string;
-}
+type lock_handle = { token : Machine.token; lock_region : Addr.region }
 
-let lock_clock t key =
-  match Hashtbl.find_opt t.lock_clocks key with
+let lock_clock t (r : Addr.region) =
+  match Hashtbl.find_opt t.lock_clocks r with
   | Some c -> c
   | None ->
-      let c = Vector_clock.create ~n:t.dim in
-      Hashtbl.add t.lock_clocks key c;
+      let c =
+        match t.config.Config.clock_rep with
+        | Config.Dense_vector -> Vector_clock.create_dense ~n:t.dim
+        | Config.Epoch_adaptive -> Vector_clock.create ~n:t.dim
+      in
+      Hashtbl.add t.lock_clocks r c;
       c
 
 let lock t p (r : Addr.region) =
   let token = Machine.lock p r in
-  let lock_key = (r.base.pid, r.base.offset, r.len) in
-  let lock_name = Addr.to_string r in
-  record_lock t ~pid:(Machine.pid p) ~phase:`Acquire ~lock:lock_name
-    ~time:(now t);
+  if t.recorder <> None then
+    record_lock t ~pid:(Machine.pid p) ~phase:`Acquire
+      ~lock:(Addr.to_string r) ~time:(now t);
   if t.config.Config.lock_aware_clocks then begin
     let v0 = t.procs.(Machine.pid p) in
     Vector_clock.tick v0 ~me:(me t p);
-    Vector_clock.merge_into ~into:v0 (lock_clock t lock_key)
+    Vector_clock.merge_into ~into:v0 (lock_clock t r)
   end;
-  { token; lock_key; lock_name }
+  { token; lock_region = r }
 
 let unlock t p h =
   if t.config.Config.lock_aware_clocks then begin
     let v0 = t.procs.(Machine.pid p) in
     Vector_clock.tick v0 ~me:(me t p);
-    Vector_clock.merge_into ~into:(lock_clock t h.lock_key) v0
+    Vector_clock.merge_into ~into:(lock_clock t h.lock_region) v0
   end;
-  record_lock t ~pid:(Machine.pid p) ~phase:`Release ~lock:h.lock_name
-    ~time:(now t);
+  if t.recorder <> None then
+    record_lock t ~pid:(Machine.pid p) ~phase:`Release
+      ~lock:(Addr.to_string h.lock_region) ~time:(now t);
   Machine.unlock p h.token
 
 let barrier_sync t =
-  let merged = Vector_clock.create ~n:t.dim in
+  let merged = t.scratch_barrier in
+  Vector_clock.reset merged;
   Array.iter (fun c -> Vector_clock.merge_into ~into:merged c) t.procs;
   Array.iter (fun c -> Vector_clock.merge_into ~into:c merged) t.procs
 
@@ -427,3 +471,9 @@ let clock_words_shipped t = t.clock_words_shipped
 let storage_words t =
   Array.fold_left (fun acc s -> acc + Clock_store.storage_words s) 0 t.stores
   + Array.fold_left (fun acc c -> acc + Vector_clock.size_words c) 0 t.procs
+
+let epoch_clocks t =
+  Array.fold_left (fun acc s -> acc + Clock_store.epoch_clocks s) 0 t.stores
+  + Array.fold_left
+      (fun acc c -> acc + if Vector_clock.is_epoch c then 1 else 0)
+      0 t.procs

@@ -138,4 +138,10 @@ val clock_words_shipped : t -> int
 
 val storage_words : t -> int
 (** Clock storage held across all nodes and processes: the §5.1 memory
-    overhead. *)
+    overhead. Representation-independent (an epoch clock is still
+    charged as a full vector — the paper's cost model). *)
+
+val epoch_clocks : t -> int
+(** How many clocks (per-datum and per-process) are currently held in
+    the compact epoch representation — the fraction of the clock
+    population the {!Config.Epoch_adaptive} fast path is winning on. *)

@@ -111,6 +111,118 @@ let test_vc_sum_entry () =
   Alcotest.(check int) "entry" 2 (Vector_clock.entry a 2);
   Alcotest.(check int) "size_words" 3 (Vector_clock.size_words a)
 
+(* ---------- Vector clocks: epoch representation ---------- *)
+
+(* The adaptive clock must keep the compact epoch form through
+   single-writer histories and promote exactly on the first
+   cross-process advance — while remaining abstractly identical to the
+   dense representation throughout. *)
+
+let test_epoch_lifecycle () =
+  let c = Vector_clock.create ~n:4 in
+  Alcotest.(check bool) "born epoch" true (Vector_clock.is_epoch c);
+  Vector_clock.tick c ~me:2;
+  Vector_clock.tick c ~me:2;
+  Alcotest.(check bool) "single-writer ticks stay epoch" true
+    (Vector_clock.is_epoch c);
+  Alcotest.(check vc_testable) "epoch value" (vc [ 0; 0; 2; 0 ]) c;
+  Vector_clock.tick c ~me:0;
+  Alcotest.(check bool) "second pid promotes" false (Vector_clock.is_epoch c);
+  Alcotest.(check vc_testable) "promoted value" (vc [ 1; 0; 2; 0 ]) c
+
+let test_epoch_dense_pinned () =
+  let c = Vector_clock.create_dense ~n:3 in
+  Alcotest.(check bool) "create_dense is dense" false (Vector_clock.is_epoch c);
+  Vector_clock.reset c;
+  Alcotest.(check bool) "reset keeps dense pinned" false
+    (Vector_clock.is_epoch c);
+  Alcotest.(check bool) "reset zeroes" true (Vector_clock.is_zero c)
+
+let test_epoch_reset_reepochs () =
+  let c = Vector_clock.create ~n:3 in
+  Vector_clock.tick c ~me:0;
+  Vector_clock.tick c ~me:1;
+  Alcotest.(check bool) "promoted" false (Vector_clock.is_epoch c);
+  Vector_clock.reset c;
+  Alcotest.(check bool) "reset re-epochs adaptive" true
+    (Vector_clock.is_epoch c);
+  Alcotest.(check bool) "reset zeroes" true (Vector_clock.is_zero c)
+
+let test_epoch_of_array () =
+  Alcotest.(check bool) "one nonzero -> epoch" true
+    (Vector_clock.is_epoch (vc [ 0; 7; 0 ]));
+  Alcotest.(check bool) "all zero -> epoch" true
+    (Vector_clock.is_epoch (vc [ 0; 0; 0 ]));
+  Alcotest.(check bool) "two nonzeros -> dense" false
+    (Vector_clock.is_epoch (vc [ 1; 7; 0 ]));
+  Alcotest.(check bool) "~dense pins" false
+    (Vector_clock.is_epoch (Vector_clock.of_array ~dense:true [| 0; 7; 0 |]))
+
+let test_epoch_merge_transitions () =
+  (* epoch <- epoch, same owner: stays epoch, takes the max. *)
+  let a = vc [ 0; 3; 0 ] in
+  Vector_clock.merge_into ~into:a (vc [ 0; 5; 0 ]);
+  Alcotest.(check bool) "same-owner merge stays epoch" true
+    (Vector_clock.is_epoch a);
+  Alcotest.(check vc_testable) "same-owner merge value" (vc [ 0; 5; 0 ]) a;
+  (* epoch <- epoch, different owner: promotes, merges correctly. *)
+  let b = vc [ 0; 3; 0 ] in
+  Vector_clock.merge_into ~into:b (vc [ 2; 0; 0 ]);
+  Alcotest.(check bool) "cross-owner merge promotes" false
+    (Vector_clock.is_epoch b);
+  Alcotest.(check vc_testable) "cross-owner merge value" (vc [ 2; 3; 0 ]) b;
+  (* zero epoch <- epoch: adopts the source epoch without promoting. *)
+  let z = Vector_clock.create ~n:3 in
+  Vector_clock.merge_into ~into:z (vc [ 0; 0; 9 ]);
+  Alcotest.(check bool) "zero absorbs epoch compactly" true
+    (Vector_clock.is_epoch z);
+  Alcotest.(check vc_testable) "absorbed value" (vc [ 0; 0; 9 ]) z;
+  (* dense <- epoch: O(1) single-slot update, no representation change. *)
+  let d = vc [ 4; 1; 0 ] in
+  Vector_clock.merge_into ~into:d (vc [ 0; 6; 0 ]);
+  Alcotest.(check vc_testable) "vec absorbs epoch" (vc [ 4; 6; 0 ]) d
+
+let test_epoch_compare_cases () =
+  let check name expect a b =
+    Alcotest.(check order_testable) name expect (Vector_clock.compare a b)
+  in
+  (* epoch/epoch, all O(1) decisions *)
+  check "zero = zero" Order.Equal (vc [ 0; 0 ]) (vc [ 0; 0 ]);
+  check "zero before epoch" Order.Before (vc [ 0; 0 ]) (vc [ 0; 3 ]);
+  check "epoch after zero" Order.After (vc [ 0; 3 ]) (vc [ 0; 0 ]);
+  check "same owner ordered" Order.Before (vc [ 0; 2 ]) (vc [ 0; 5 ]);
+  check "same owner equal" Order.Equal (vc [ 4; 0 ]) (vc [ 4; 0 ]);
+  check "different owners concurrent" Order.Concurrent (vc [ 3; 0 ]) (vc [ 0; 1 ]);
+  (* epoch vs dense, both directions *)
+  check "epoch below vec" Order.Before (vc [ 0; 2; 0 ]) (vc [ 1; 2; 0 ]);
+  check "epoch above vec" Order.After (vc [ 0; 9; 0 ]) (vc [ 0; 2; 0 ]);
+  check "epoch concurrent vec" Order.Concurrent (vc [ 0; 9; 0 ]) (vc [ 1; 2; 0 ]);
+  check "vec above epoch" Order.After (vc [ 1; 2; 0 ]) (vc [ 0; 2; 0 ]);
+  (* leq epoch fast path *)
+  Alcotest.(check bool) "zero leq anything" true
+    (Vector_clock.leq (vc [ 0; 0 ]) (vc [ 0; 1 ]));
+  Alcotest.(check bool) "epoch leq vec" true
+    (Vector_clock.leq (vc [ 0; 2 ]) (vc [ 5; 2 ]));
+  Alcotest.(check bool) "epoch not leq" false
+    (Vector_clock.leq (vc [ 0; 3 ]) (vc [ 5; 2 ]))
+
+let test_epoch_words_roundtrip () =
+  let w = Array.make 6 99 in
+  let c = vc [ 0; 7; 0 ] in
+  Vector_clock.store_words c w ~off:2;
+  Alcotest.(check (array int)) "stored slice" [| 99; 99; 0; 7; 0; 99 |] w;
+  let c' = Vector_clock.create ~n:3 in
+  Vector_clock.load_words c' w ~off:2;
+  Alcotest.(check bool) "loaded compactly" true (Vector_clock.is_epoch c');
+  Alcotest.(check vc_testable) "roundtrip" c c';
+  (* merge_words = merge_into of the decoded slice *)
+  let m = vc [ 1; 2; 3 ] in
+  Vector_clock.merge_words ~into:m w ~off:2;
+  Alcotest.(check vc_testable) "merge_words" (vc [ 1; 7; 3 ]) m;
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Vector_clock.load_words: slice out of bounds")
+    (fun () -> Vector_clock.load_words c' w ~off:4)
+
 (* ---------- Vector clocks: properties ---------- *)
 
 let gen_vc n =
@@ -187,6 +299,77 @@ let prop_varint_at_least_one_byte_per_entry =
   QCheck.Test.make ~name:"varint lower bound (>= n+1 bytes)" ~count:500
     arb_vc_pair (fun (a, _) ->
       Bytes.length (Codec.encode_vector_varint a) >= Vector_clock.dim a + 1)
+
+(* Adaptive ≡ dense: the same random history applied to an adaptive and a
+   dense clock yields abstractly equal clocks at every step, and the two
+   representations of the same value compare identically against any
+   third clock — representation must never leak into a verdict. *)
+
+type clock_op = Tick of int | Merge of int array | Reset
+
+let gen_ops n =
+  QCheck.Gen.(
+    list_size (int_range 1 12)
+      (frequency
+         [
+           (4, int_bound (n - 1) >|= fun p -> Tick p);
+           (3, array_size (return n) (int_bound 5) >|= fun a -> Merge a);
+           (1, return Reset);
+         ]))
+
+let arb_history =
+  let print (n, ops) =
+    Printf.sprintf "n=%d " n
+    ^ String.concat ";"
+      (List.map
+         (function
+           | Tick p -> Printf.sprintf "tick %d" p
+           | Merge a ->
+               "merge "
+               ^ String.concat ","
+                   (Array.to_list (Array.map string_of_int a))
+           | Reset -> "reset")
+         ops)
+  in
+  QCheck.make ~print
+    QCheck.Gen.(int_range 1 6 >>= fun n -> pair (return n) (gen_ops n))
+
+let apply_op c = function
+  | Tick p -> Vector_clock.tick c ~me:p
+  | Merge a -> Vector_clock.merge_into ~into:c (Vector_clock.of_array a)
+  | Reset -> Vector_clock.reset c
+
+let prop_adaptive_equals_dense =
+  QCheck.Test.make ~name:"adaptive history = dense history" ~count:500
+    arb_history (fun (n, ops) ->
+      let a = Vector_clock.create ~n in
+      let d = Vector_clock.create_dense ~n in
+      List.for_all
+        (fun op ->
+          apply_op a op;
+          apply_op d op;
+          Vector_clock.equal a d
+          && Vector_clock.to_array a = Vector_clock.to_array d)
+        ops)
+
+let prop_representation_blind_compare =
+  QCheck.Test.make ~name:"compare blind to representation" ~count:500
+    arb_vc_pair (fun (x, y) ->
+      let dense v = Vector_clock.of_array ~dense:true (Vector_clock.to_array v) in
+      let expected = Vector_clock.compare (dense x) (dense y) in
+      Order.equal expected (Vector_clock.compare x y)
+      && Order.equal expected (Vector_clock.compare x (dense y))
+      && Order.equal expected (Vector_clock.compare (dense x) y)
+      && Vector_clock.leq x y = Vector_clock.leq (dense x) (dense y))
+
+let prop_words_roundtrip =
+  QCheck.Test.make ~name:"store_words/load_words roundtrip" ~count:500
+    arb_vc_pair (fun (x, _) ->
+      let w = Array.make (Vector_clock.dim x + 2) 0 in
+      Vector_clock.store_words x w ~off:1;
+      let c = Vector_clock.create ~n:(Vector_clock.dim x) in
+      Vector_clock.load_words c w ~off:1;
+      Vector_clock.equal x c)
 
 let prop_delta_codec_roundtrip =
   QCheck.Test.make ~name:"delta codec roundtrip" ~count:500 arb_vc_pair
@@ -302,6 +485,9 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prop_merge_commutative_idempotent;
     prop_tick_strictly_after;
     prop_leq_transitive;
+    prop_adaptive_equals_dense;
+    prop_representation_blind_compare;
+    prop_words_roundtrip;
     prop_codec_roundtrip;
     prop_delta_codec_roundtrip;
     prop_varint_codec_roundtrip;
@@ -335,6 +521,17 @@ let () =
           Alcotest.test_case "merge_into" `Quick test_vc_merge_into;
           Alcotest.test_case "snapshot" `Quick test_vc_snapshot_independent;
           Alcotest.test_case "sum/entry/size" `Quick test_vc_sum_entry;
+        ] );
+      ( "vector-epoch",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_epoch_lifecycle;
+          Alcotest.test_case "dense pinned" `Quick test_epoch_dense_pinned;
+          Alcotest.test_case "reset re-epochs" `Quick test_epoch_reset_reepochs;
+          Alcotest.test_case "of_array" `Quick test_epoch_of_array;
+          Alcotest.test_case "merge transitions" `Quick
+            test_epoch_merge_transitions;
+          Alcotest.test_case "compare cases" `Quick test_epoch_compare_cases;
+          Alcotest.test_case "words roundtrip" `Quick test_epoch_words_roundtrip;
         ] );
       ("vector-properties", qsuite);
       ( "matrix",

@@ -460,6 +460,35 @@ let test_atomic_synchronizes_causality () =
   expect_completed m;
   Alcotest.(check int) "atomic flag chain orders the data read" 0 (races d)
 
+(* Regression: lock clocks must be keyed by the lock region's full
+   identity, space included. Keyed by bare (pid, offset, len), P0's
+   private region aliases the public mutex at the same coordinates, so a
+   lock/unlock of the private region would publish P0's clock into the
+   shared mutex's clock and falsely order P1's write after P0's —
+   hiding a real race. *)
+let test_lock_clock_space_collision () =
+  let config = { Config.default with Config.lock_aware_clocks = true } in
+  let m, d = make ~config () in
+  let a = Detector.alloc_shared d ~pid:2 ~name:"a" ~len:1 () in
+  (* First allocation on node 0 in each space: identical coordinates. *)
+  let priv = Machine.alloc_private m ~pid:0 ~len:1 () in
+  let mutex = Machine.alloc_public m ~pid:0 ~name:"mutex" ~len:1 () in
+  Alcotest.(check int) "aliasing coordinates" priv.Addr.base.offset
+    mutex.Addr.base.offset;
+  Machine.spawn m ~pid:0 (fun p ->
+      Detector.put d p ~src:(private_buf m ~pid:0 [| 1 |]) ~dst:a;
+      (* Locking one's own private region is a mutual-exclusion no-op;
+         it must also be invisible to the public mutex's clock. *)
+      let h = Detector.lock d p priv in
+      Detector.unlock d p h);
+  Machine.spawn m ~pid:1 (fun p ->
+      Machine.compute p 50.0;
+      let h = Detector.lock d p mutex in
+      Detector.put d p ~src:(private_buf m ~pid:1 [| 2 |]) ~dst:a;
+      Detector.unlock d p h);
+  expect_completed m;
+  Alcotest.(check int) "private lock does not order the puts" 1 (races d)
+
 (* ---------- detector vs. offline ground truth ---------- *)
 
 (* Random lock-free workloads at word granularity: the set of granules the
@@ -610,6 +639,7 @@ let () =
           Alcotest.test_case "paper order deadlocks" `Quick test_paper_lock_order_can_deadlock;
           Alcotest.test_case "ordered locking safe" `Quick test_ordered_locking_avoids_deadlock;
           Alcotest.test_case "discipline-stable verdicts" `Quick test_verdict_stable_under_lock_discipline;
+          Alcotest.test_case "lock-clock space collision" `Quick test_lock_clock_space_collision;
         ] );
       ( "introspection",
         [

@@ -11,6 +11,8 @@ module Report = Dsm_core.Report
 
 type fingerprint = {
   races : int;
+  race_csv : string;
+      (* every signal rendered with both clocks: the exact race set *)
   messages : int;
   words : int;
   time : float;
@@ -20,7 +22,7 @@ type fingerprint = {
 
 (* One random run: 4 processes × [ops] random operations (put / get /
    fetch_add / cas / mutex-protected RMW) over 3 shared variables. *)
-let run_once ~seed ~ops =
+let run_once ?(clock_rep = Config.Epoch_adaptive) ~seed ~ops () =
   let sim = Engine.create ~seed () in
   let latency =
     Dsm_net.Latency.Jittered
@@ -30,7 +32,8 @@ let run_once ~seed ~ops =
   let checker = Coherence.attach m in
   let d =
     Detector.create m
-      ~config:{ Config.default with Config.granularity = Config.Word }
+      ~config:
+        { Config.default with Config.granularity = Config.Word; clock_rep }
       ()
   in
   let vars =
@@ -89,6 +92,7 @@ let run_once ~seed ~ops =
   | _ -> Alcotest.failf "seed %d did not complete" seed);
   {
     races = Report.count (Detector.report d);
+    race_csv = Report.to_csv (Detector.report d);
     messages = Machine.fabric_messages m;
     words = Machine.fabric_words m;
     time = Engine.now sim;
@@ -102,7 +106,7 @@ let run_once ~seed ~ops =
 let test_fuzz_completes_and_coherent () =
   List.iter
     (fun seed ->
-      let fp = run_once ~seed ~ops:15 in
+      let fp = run_once ~seed ~ops:15 () in
       Alcotest.(check int)
         (Printf.sprintf "seed %d coherent" seed)
         0 fp.violations;
@@ -115,17 +119,40 @@ let test_fuzz_completes_and_coherent () =
 let test_fuzz_deterministic () =
   List.iter
     (fun seed ->
-      let a = run_once ~seed ~ops:12 in
-      let b = run_once ~seed ~ops:12 in
+      let a = run_once ~seed ~ops:12 () in
+      let b = run_once ~seed ~ops:12 () in
       Alcotest.(check bool)
         (Printf.sprintf "seed %d reproducible" seed)
         true (a = b))
     [ 5; 6; 7 ]
 
 let test_fuzz_seed_sensitive () =
-  let a = run_once ~seed:1 ~ops:12 in
-  let b = run_once ~seed:2 ~ops:12 in
+  let a = run_once ~seed:1 ~ops:12 () in
+  let b = run_once ~seed:2 ~ops:12 () in
   Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+(* The epoch fast path must be invisible: the always-vector ablation run
+   of the same program yields a bit-identical fingerprint — including the
+   rendered race set with both clocks of every signal. *)
+let test_fuzz_epoch_dense_equivalent () =
+  List.iter
+    (fun seed ->
+      let a = run_once ~clock_rep:Config.Epoch_adaptive ~seed ~ops:14 () in
+      let b = run_once ~clock_rep:Config.Dense_vector ~seed ~ops:14 () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d race set" seed)
+        b.race_csv a.race_csv;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d full fingerprint" seed)
+        true (a = b))
+    [ 3; 14; 15; 92; 65; 35 ]
+
+let prop_epoch_dense_equivalent =
+  QCheck.Test.make ~name:"epoch = dense on random traces" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 101 1_000_000))
+    (fun seed ->
+      run_once ~clock_rep:Config.Epoch_adaptive ~seed ~ops:10 ()
+      = run_once ~clock_rep:Config.Dense_vector ~seed ~ops:10 ())
 
 let () =
   Alcotest.run "fuzz"
@@ -135,5 +162,11 @@ let () =
           Alcotest.test_case "completes + coherent" `Slow test_fuzz_completes_and_coherent;
           Alcotest.test_case "deterministic" `Slow test_fuzz_deterministic;
           Alcotest.test_case "seed sensitive" `Quick test_fuzz_seed_sensitive;
+        ] );
+      ( "clock-rep",
+        [
+          Alcotest.test_case "epoch = dense (directed seeds)" `Quick
+            test_fuzz_epoch_dense_equivalent;
+          QCheck_alcotest.to_alcotest prop_epoch_dense_equivalent;
         ] );
     ]
