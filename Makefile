@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke experiments examples clean outputs
 
 all: build
 
@@ -21,6 +21,19 @@ bench-smoke:
 # Full detector hot-path micro-benchmarks, written to BENCH_detector.json.
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_detector.json
+
+# Schedule-explorer throughput (ns per explored schedule), written to
+# BENCH_explore.json.
+bench-explore:
+	dune exec bench/main.exe -- --json-explore BENCH_explore.json
+
+# Time-boxed schedule exploration of the example programs plus the
+# built-in get/put scenario. A smaller version of the racy/pingpong
+# sweeps also runs as part of `dune runtest`.
+explore-smoke:
+	dune exec bin/dsmcheck.exe -- explore prog:programs/racy.dsm -n 3 --runs 25 --max-events 100000
+	dune exec bin/dsmcheck.exe -- explore prog:programs/pingpong.dsm -n 2 --runs 25 --max-events 100000
+	dune exec bin/dsmcheck.exe -- explore getput --runs 50
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

@@ -11,6 +11,9 @@
      dune exec bench/main.exe -- --no-micro   # only the E-sections
      dune exec bench/main.exe -- --json       # detector hot-path benches,
                                               # written to BENCH_detector.json
+     dune exec bench/main.exe -- --json-explore # schedule-explorer
+                                              # throughput, written to
+                                              # BENCH_explore.json
      dune exec bench/main.exe -- --smoke ...  # tiny iteration budget
                                               # (regression smoke test) *)
 
@@ -347,6 +350,65 @@ let detector_tests =
             granularities)
         transports)
 
+(* ---------- schedule-exploration throughput ---------- *)
+
+(* One "run" is one fully executed schedule — randomized walk (or scripted
+   replay), invariant checks included — so ns/run here is the reciprocal
+   of explorer throughput in schedules/sec. Tracked across PRs in
+   BENCH_explore.json. *)
+
+module Explore = Dsm_explore.Explore
+
+let explore_spec ?(scenario = "getput") ?(n = 2) ?(faults = "none")
+    ?(reliable = false) () =
+  {
+    Explore.default_spec with
+    scenario;
+    n;
+    seed = 42;
+    faults = Dsm_net.Fault.of_string faults;
+    reliable;
+  }
+
+let bench_explore name spec =
+  let salt = ref 0 in
+  Test.make ~name:("explore walk " ^ name)
+    (Staged.stage (fun () ->
+         incr salt;
+         ignore (Explore.run_once spec (Explore.Walk !salt))))
+
+(* Scripted re-execution of one recorded schedule: the replay path a
+   minimized repro token exercises. *)
+let bench_explore_replay name spec =
+  let probe = Explore.run_once spec (Explore.Walk 1) in
+  let ds = probe.Explore.decisions in
+  Test.make ~name:("explore replay " ^ name)
+    (Staged.stage (fun () ->
+         ignore (Explore.run_once spec (Explore.Script ds))))
+
+let racy_path =
+  List.find_opt Sys.file_exists
+    [ "programs/racy.dsm"; "../programs/racy.dsm" ]
+
+let explore_tests =
+  Test.make_grouped ~name:"explore"
+    ([
+       bench_explore "getput" (explore_spec ());
+       bench_explore "getput lossy+reliable"
+         (explore_spec ~faults:"drop=0.1,dup=0.05" ~reliable:true ());
+       bench_explore "workload:random"
+         (explore_spec ~scenario:"workload:random" ~n:3 ());
+       bench_explore_replay "getput" (explore_spec ());
+     ]
+    @
+    match racy_path with
+    | Some p ->
+        [
+          bench_explore "prog:racy"
+            (explore_spec ~scenario:("prog:" ^ p) ~n:3 ());
+        ]
+    | None -> [])
+
 (* ---------- measurement, table and JSON output ---------- *)
 
 let measure ~smoke tests =
@@ -395,10 +457,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path rows =
+let write_json ?(schema = "dsmcheck-bench-detector/1") path rows =
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"dsmcheck-bench-detector/1\",\n";
+  output_string oc (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
   output_string oc "  \"unit\": \"ns_per_run\",\n";
   output_string oc "  \"results\": [\n";
   let last = List.length rows - 1 in
@@ -427,25 +489,30 @@ let run_micro ~smoke () =
   print_newline ();
   print_endline "=== Detector hot path (see BENCH_detector.json via --json) ===";
   print_newline ();
-  print_rows (measure ~smoke detector_tests)
+  print_rows (measure ~smoke detector_tests);
+  print_newline ();
+  print_endline
+    "=== Schedule explorer (see BENCH_explore.json via --json-explore) ===";
+  print_newline ();
+  print_rows (measure ~smoke explore_tests)
 
-let run_json ~smoke path =
+let run_json ~smoke ?schema tests path =
   (* Fail before spending the measurement budget on an unwritable path. *)
   (match open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path with
   | oc -> close_out oc
   | exception Sys_error msg ->
       Printf.eprintf "cannot write %s: %s\n" path msg;
       exit 1);
-  let rows = measure ~smoke detector_tests in
+  let rows = measure ~smoke tests in
   print_rows rows;
-  write_json path rows
+  write_json ?schema path rows
 
 (* ---------- driver ---------- *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [--list | --only E<k> | --micro-only | --no-micro | \
-     --json [file]] [--smoke]";
+     --json [file] | --json-explore [file]] [--smoke]";
   exit 1
 
 let () =
@@ -466,8 +533,13 @@ let () =
           prerr_endline msg;
           exit 1)
   | [ "--micro-only" ] -> run_micro ~smoke ()
-  | [ "--json" ] -> run_json ~smoke "BENCH_detector.json"
-  | [ "--json"; path ] -> run_json ~smoke path
+  | [ "--json" ] -> run_json ~smoke detector_tests "BENCH_detector.json"
+  | [ "--json"; path ] -> run_json ~smoke detector_tests path
+  | [ "--json-explore" ] ->
+      run_json ~smoke ~schema:"dsmcheck-bench-explore/1" explore_tests
+        "BENCH_explore.json"
+  | [ "--json-explore"; path ] ->
+      run_json ~smoke ~schema:"dsmcheck-bench-explore/1" explore_tests path
   | [ "--no-micro" ] -> Registry.run_all ppf
   | [] ->
       Registry.run_all ppf;

@@ -332,6 +332,164 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run_program $ path $ n $ instrument $ detect $ verbose))
 
+(* ---------- explore ---------- *)
+
+module Explore = Dsm_explore.Explore
+module Token = Dsm_explore.Token
+
+let print_violations r =
+  List.iter
+    (fun v -> Format.printf "violation      : %a@." Explore.pp_violation v)
+    r.Explore.violations
+
+let run_explore scenario n seed runs depth faults reliable bug max_events
+    replay no_minimize verbose =
+  setup_logs verbose;
+  match replay with
+  | Some token_str -> (
+      match Token.of_string token_str with
+      | Error msg -> `Error (false, msg)
+      | Ok token ->
+          let r = Explore.replay token in
+          Format.printf "@[<v>%a@]@." Explore.pp_result r;
+          print_violations r;
+          if r.Explore.violations = [] then begin
+            Format.printf "replay         : no invariant violated@.";
+            `Ok ()
+          end
+          else `Ok ())
+  | None -> (
+      let faults =
+        match faults with
+        | None -> Dsm_net.Fault.none
+        | Some s -> Dsm_net.Fault.of_string s
+      in
+      let spec =
+        {
+          Explore.scenario;
+          n;
+          seed;
+          faults;
+          reliable;
+          bug;
+          max_events;
+        }
+      in
+      let stats =
+        match depth with
+        | Some depth -> Explore.explore_exhaustive spec ~depth ~max_runs:runs
+        | None -> Explore.explore_random spec ~runs
+      in
+      Format.printf "schedules      : %d explored, %d violating@."
+        stats.Explore.runs stats.Explore.violated;
+      match stats.Explore.first with
+      | None ->
+          Format.printf "invariants     : all held@.";
+          `Ok ()
+      | Some (_, r) ->
+          print_violations r;
+          let decisions =
+            if no_minimize then Token.trim_trailing_zeros r.Explore.decisions
+            else Explore.minimize spec r.Explore.decisions
+          in
+          let token = Explore.token_of spec decisions in
+          Format.printf "repro          : %s@." (Token.to_string token);
+          `Error (false, "invariant violated (see repro token)"))
+
+let explore_cmd =
+  let doc = "Explore schedules and injected faults, checking protocol invariants." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a scenario under many scheduler interleavings (randomized \
+         walks by default, bounded-exhaustive with $(b,--depth)), \
+         optionally under an injected fault plan, and checks protocol \
+         invariants after every run: completion, operation/lock \
+         quiescence, memory coherence, detector clock monotonicity, and \
+         per-schedule determinism.";
+      `P
+        "On a violation it prints a compact repro token; $(b,--replay) \
+         re-executes a token deterministically.";
+      `P
+        (Printf.sprintf "Scenarios: %s."
+           (String.concat ", " Dsm_explore.Scenario.known));
+    ]
+  in
+  let scenario =
+    Arg.(
+      value & pos 0 string "getput"
+      & info [] ~docv:"SCENARIO"
+          ~doc:"getput, prog:FILE.dsm, or workload:NAME.")
+  in
+  let n =
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Engine seed.") in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~doc:"Schedules to explore (cap, in --depth mode).")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Bounded-exhaustive mode: enumerate all deviations within the \
+             first $(docv) choice points instead of random walks.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan, e.g. 'drop=0.2,dup=0.1' or '0>1:reorder=0.5' \
+             (see the DESIGN notes for the grammar).")
+  in
+  let reliable =
+    Arg.(
+      value & flag
+      & info [ "reliable" ]
+          ~doc:"Enable the retry/ack transport so faults are survivable.")
+  in
+  let bug =
+    Arg.(
+      value & flag
+      & info [ "bug" ]
+          ~doc:
+            "Plant the Skip_get_dst_lock protocol bug (for exercising the \
+             explorer itself).")
+  in
+  let max_events =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-events" ] ~doc:"Per-run event budget.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TOKEN"
+          ~doc:"Re-execute a repro token deterministically.")
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:"Skip schedule-prefix minimization of the repro token.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+  in
+  Cmd.v (Cmd.info "explore" ~doc ~man)
+    Term.(
+      ret
+        (const run_explore $ scenario $ n $ seed $ runs $ depth $ faults
+       $ reliable $ bug $ max_events $ replay $ no_minimize $ verbose))
+
 (* ---------- scenario ---------- *)
 
 let scenario_cmd =
@@ -369,6 +527,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "dsmcheck" ~version:"1.0.0" ~doc)
-    [ list_cmd; experiment_cmd; scenario_cmd; workload_cmd; run_cmd ]
+    [ list_cmd; experiment_cmd; scenario_cmd; workload_cmd; run_cmd; explore_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -149,6 +149,9 @@ let to_csv t =
     (races t);
   Buffer.contents buf
 
+let fingerprint t =
+  Digest.to_hex (Digest.string (to_csv t))
+
 let pp_summary ppf t =
   if t.count = 0 then Format.fprintf ppf "no race condition signaled"
   else

@@ -70,6 +70,12 @@ val to_csv : t -> string
     [time,accessor,kind,node,offset,len,against,accessor_clock,datum_clock]
     — the machine-readable companion of [Dsm_trace.Export]. *)
 
+val fingerprint : t -> string
+(** Hex digest of {!to_csv}: two runs produced the same signals (same
+    order, times, granules and clocks) iff their fingerprints match.
+    The schedule explorer compares these to check per-schedule detector
+    determinism and to validate replays. *)
+
 val pp_race : Format.formatter -> race -> unit
 
 val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type policy = Random of Dsm_sim.Prng.t | Scripted of int array
+
+type t = {
+  policy : policy;
+  mutable trace_rev : (int * int) list;
+  mutable taken : int;
+}
+
+let random rng = { policy = Random rng; trace_rev = []; taken = 0 }
+
+let scripted decisions =
+  { policy = Scripted (Array.of_list decisions); trace_rev = []; taken = 0 }
+
+let fn t ready =
+  let k =
+    match t.policy with
+    | Random rng -> Dsm_sim.Prng.int rng ready
+    | Scripted s ->
+        if t.taken < Array.length s then
+          let k = s.(t.taken) in
+          if k < 0 then 0 else if k >= ready then ready - 1 else k
+        else 0
+  in
+  t.taken <- t.taken + 1;
+  t.trace_rev <- (ready, k) :: t.trace_rev;
+  k
+
+let decisions t = List.rev_map (fun (_, k) -> k) t.trace_rev
+
+let trace t = List.rev t.trace_rev
+
+let choice_points t = t.taken

@@ -1,0 +1,31 @@
+(** Decision policies for the engine's scheduler choice points.
+
+    A chooser is handed to [Dsm_sim.Engine.set_chooser]; whenever [k >= 2]
+    events are ready at the same simulated instant, it picks which one
+    fires. Every decision taken is recorded, so a randomized walk can be
+    replayed exactly by re-running the same decision list in scripted
+    mode — the foundation of the replay tokens. *)
+
+type t
+
+val random : Dsm_sim.Prng.t -> t
+(** Uniform choice among the ready events, drawn from the given stream
+    (independent from the engine's own PRNG). *)
+
+val scripted : int list -> t
+(** Follow a recorded decision list. Decisions past the end of the list
+    pick 0 (the default (time, seq) schedule order); out-of-range
+    decisions are clamped. This makes every decision prefix a valid
+    script, which prefix minimization relies on. *)
+
+val fn : t -> int -> int
+(** The function to install with [Engine.set_chooser]. *)
+
+val decisions : t -> int list
+(** The choices actually taken so far, in order (after clamping). *)
+
+val trace : t -> (int * int) list
+(** [(ready, chosen)] per choice point, in order — the exhaustive
+    explorer reads the ready counts to enumerate the untaken branches. *)
+
+val choice_points : t -> int

@@ -1,0 +1,349 @@
+module Engine = Dsm_sim.Engine
+module Prng = Dsm_sim.Prng
+module Machine = Dsm_rdma.Machine
+module Coherence = Dsm_rdma.Coherence
+module Detector = Dsm_core.Detector
+module Report = Dsm_core.Report
+module Vector_clock = Dsm_clocks.Vector_clock
+
+type spec = {
+  scenario : string;
+  n : int;
+  seed : int;
+  faults : Dsm_net.Fault.t;
+  reliable : bool;
+  bug : bool;
+  max_events : int;
+}
+
+let default_spec =
+  {
+    scenario = "getput";
+    n = 2;
+    seed = 1;
+    faults = Dsm_net.Fault.none;
+    reliable = false;
+    bug = false;
+    max_events = 200_000;
+  }
+
+type outcome = Completed | Blocked of int | Event_limit | Crashed of string
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Blocked k -> Printf.sprintf "blocked(%d)" k
+  | Event_limit -> "event-limit"
+  | Crashed msg -> Printf.sprintf "crashed: %s" msg
+
+type violation = { invariant : string; detail : string }
+
+type run_result = {
+  outcome : outcome;
+  sim_time : float;
+  events : int;
+  decisions : int list;
+  choices : (int * int) list;
+  fingerprint : string;
+  races : int;
+  retransmits : int;
+  violations : violation list;
+}
+
+type mode = Walk of int | Script of int list
+
+(* How often (in events) the detector's per-process clocks are sampled
+   for the monotonicity invariant. *)
+let clock_stride = 256
+
+let mix_seed seed salt =
+  (* splitmix-style avalanche so walk i and walk i+1 share nothing *)
+  let h = (seed * 0x9E3779B1) lxor ((salt + 1) * 0x85EBCA77) in
+  (h lxor (h lsr 13)) land max_int
+
+(* Run one schedule to its end, sampling detector clocks along the way.
+   Returns the engine outcome (or the crash) — invariants are judged by
+   the caller. *)
+let execute spec (built : Scenario.built) =
+  let sim = Machine.sim built.Scenario.machine in
+  let mono = ref [] in
+  let prev =
+    Array.init spec.n (fun _ -> None)
+  in
+  let sample () =
+    match built.detector with
+    | None -> ()
+    | Some d ->
+        for pid = 0 to spec.n - 1 do
+          let cur = Vector_clock.snapshot (Detector.proc_clock d pid) in
+          (match prev.(pid) with
+          | Some old when not (Vector_clock.leq old cur) ->
+              mono :=
+                Printf.sprintf
+                  "P%d clock went backwards at t=%.3f: %s then %s" pid
+                  (Engine.now sim)
+                  (Vector_clock.to_string old)
+                  (Vector_clock.to_string cur)
+                :: !mono
+          | _ -> ());
+          prev.(pid) <- Some cur
+        done
+  in
+  let rec step () =
+    let budget = min (Engine.events_processed sim + clock_stride) spec.max_events in
+    match Engine.run ~max_events:budget sim with
+    | Engine.Completed -> Completed
+    | Engine.Blocked k -> Blocked k
+    | Engine.Stopped -> Crashed "engine stopped"
+    | Engine.Time_limit_reached -> Crashed "unexpected time limit"
+    | Engine.Event_limit_reached ->
+        sample ();
+        if Engine.events_processed sim >= spec.max_events then Event_limit
+        else step ()
+    | exception e -> Crashed (Printexc.to_string e)
+  in
+  let outcome = step () in
+  sample ();
+  (outcome, List.rev !mono)
+
+let check_invariants spec (built : Scenario.built) outcome mono =
+  let v = ref [] in
+  let add invariant detail = v := { invariant; detail } :: !v in
+  let expect_complete = Dsm_net.Fault.is_none spec.faults || spec.reliable in
+  (match outcome with
+  | Completed ->
+      let pending = Machine.pending_ops built.machine in
+      if pending > 0 then
+        add "quiescence"
+          (Printf.sprintf "%d operation(s) still awaiting replies" pending);
+      if not (Machine.locks_quiescent built.machine) then
+        add "lock-quiescence" "a NIC lock table still holds or queues a range"
+  | other ->
+      if expect_complete then
+        add "completion"
+          (Printf.sprintf "run ended %s under %s"
+             (outcome_to_string other)
+             (if spec.reliable then "reliable transport"
+              else "a fault-free fabric")));
+  if not (Coherence.is_clean built.coherence) then
+    add "coherence"
+      (String.concat "; "
+         (List.map
+            (Format.asprintf "%a" Coherence.pp_violation)
+            (Coherence.violations built.coherence)));
+  List.iter (fun m -> add "clock-monotonicity" m) mono;
+  List.iter (fun (name, detail) -> add name detail) (built.monitor ());
+  List.rev !v
+
+let fingerprint_of spec (built : Scenario.built) outcome ~races ~monitor_report
+    =
+  let sim = Machine.sim built.machine in
+  let report_fp =
+    match (built.detector : Detector.t option) with
+    | Some d -> Report.fingerprint (Detector.report d)
+    | None -> "-"
+  in
+  let payload =
+    Printf.sprintf "%s|%.9f|%d|%d|%s|%d|%s" (outcome_to_string outcome)
+      (Engine.now sim)
+      (Engine.events_processed sim)
+      races report_fp
+      (List.length (Coherence.violations built.coherence))
+      (String.concat ";"
+         (List.map (fun (a, b) -> a ^ "=" ^ b) monitor_report))
+  in
+  (* spec so that tokens for different scenarios never collide *)
+  Digest.to_hex (Digest.string (spec.scenario ^ "\x00" ^ payload))
+
+let run_raw spec mode =
+  let sim = Engine.create ~seed:spec.seed () in
+  let built =
+    Scenario.build sim ~spec:spec.scenario ~n:spec.n ~seed:spec.seed
+      ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
+  in
+  let chooser =
+    match mode with
+    | Walk salt -> Chooser.random (Prng.create ~seed:(mix_seed spec.seed salt))
+    | Script ds -> Chooser.scripted ds
+  in
+  Engine.set_chooser sim (Some (Chooser.fn chooser));
+  let outcome, mono = execute spec built in
+  Engine.set_chooser sim None;
+  let violations = check_invariants spec built outcome mono in
+  let races =
+    match built.detector with
+    | Some d -> Report.count (Detector.report d)
+    | None -> 0
+  in
+  let monitor_report = built.monitor () in
+  {
+    outcome;
+    sim_time = Engine.now sim;
+    events = Engine.events_processed sim;
+    decisions = Chooser.decisions chooser;
+    choices = Chooser.trace chooser;
+    fingerprint = fingerprint_of spec built outcome ~races ~monitor_report;
+    races;
+    retransmits = Machine.transport_retransmits built.machine;
+    violations;
+  }
+
+let run_once ?(check_determinism = false) spec mode =
+  let r = run_raw spec mode in
+  if not check_determinism then r
+  else
+    let r2 = run_raw spec (Script r.decisions) in
+    if String.equal r2.fingerprint r.fingerprint then r
+    else
+      {
+        r with
+        violations =
+          r.violations
+          @ [
+              {
+                invariant = "determinism";
+                detail =
+                  Printf.sprintf
+                    "same schedule, different fingerprints (%s vs %s)"
+                    r.fingerprint r2.fingerprint;
+              };
+            ];
+      }
+
+type stats = {
+  runs : int;
+  violated : int;
+  first : (mode * run_result) option;
+}
+
+let explore_random ?(check_determinism = true) ?(stop_on_first = true) spec
+    ~runs =
+  let rec loop i executed violated first =
+    if i >= runs || (stop_on_first && first <> None) then
+      { runs = executed; violated; first }
+    else
+      let r = run_once ~check_determinism spec (Walk i) in
+      let bad = r.violations <> [] in
+      let first =
+        match first with
+        | Some _ -> first
+        | None -> if bad then Some (Walk i, r) else None
+      in
+      loop (i + 1) (executed + 1) (violated + if bad then 1 else 0) first
+  in
+  loop 0 0 0 None
+
+let take k l =
+  let rec go k = function
+    | x :: rest when k > 0 -> x :: go (k - 1) rest
+    | _ -> []
+  in
+  go k l
+
+(* Bounded-exhaustive DFS over decision prefixes: run the scripted
+   prefix, read the (ready, chosen) trace it actually produced, and push
+   one child per untaken branch at every choice point past the prefix
+   (up to [depth] choice points into the run). First-deviation order —
+   the classic stateless-model-checking enumeration. *)
+let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) spec
+    ~depth =
+  let stack = ref [ [] ] in
+  let executed = ref 0 in
+  let violated = ref 0 in
+  let first = ref None in
+  let continue_ () = !stack <> [] && !executed < max_runs && !first = None in
+  while continue_ () do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        let r = run_once ~check_determinism spec (Script prefix) in
+        incr executed;
+        if r.violations <> [] then begin
+          incr violated;
+          if !first = None then first := Some (Script prefix, r)
+        end;
+        let plen = List.length prefix in
+        let choices = Array.of_list r.choices in
+        let horizon = min depth (Array.length choices) in
+        (* push deeper positions first so DFS explores near deviations
+           before far ones when popping *)
+        for p = horizon - 1 downto plen do
+          let ready, _ = choices.(p) in
+          let base = take p r.decisions in
+          for k = ready - 1 downto 1 do
+            stack := (base @ [ k ]) :: !stack
+          done
+        done
+  done;
+  { runs = !executed; violated = !violated; first = !first }
+
+let violates spec ds =
+  let r = run_raw spec (Script ds) in
+  r.violations <> []
+
+(* Greedy minimization: find a short violating decision prefix by
+   binary-searching the prefix length (violations here are usually
+   prefix-closed; the search only ever lands on a verified-violating
+   length), then try zeroing each remaining nonzero decision. *)
+let minimize spec decisions =
+  let ds = Array.of_list (Token.trim_trailing_zeros decisions) in
+  let len = Array.length ds in
+  let prefix l = Array.to_list (Array.sub ds 0 l) in
+  if len = 0 then []
+  else begin
+    let lo = ref 0 and hi = ref len in
+    (* invariant: prefix !hi violates *)
+    if violates spec [] then hi := 0
+    else
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if violates spec (prefix mid) then hi := mid else lo := mid + 1
+      done;
+    let kept = Array.sub ds 0 !hi in
+    for i = 0 to Array.length kept - 1 do
+      if kept.(i) <> 0 then begin
+        let saved = kept.(i) in
+        kept.(i) <- 0;
+        if not (violates spec (Array.to_list kept)) then kept.(i) <- saved
+      end
+    done;
+    Token.trim_trailing_zeros (Array.to_list kept)
+  end
+
+let token_of spec decisions =
+  {
+    Token.scenario = spec.scenario;
+    n = spec.n;
+    seed = spec.seed;
+    faults = spec.faults;
+    reliable = spec.reliable;
+    bug = spec.bug;
+    max_events = spec.max_events;
+    decisions = Token.trim_trailing_zeros decisions;
+  }
+
+let spec_of_token (t : Token.t) =
+  {
+    scenario = t.scenario;
+    n = t.n;
+    seed = t.seed;
+    faults = t.faults;
+    reliable = t.reliable;
+    bug = t.bug;
+    max_events = t.max_events;
+  }
+
+let replay (t : Token.t) = run_raw (spec_of_token t) (Script t.decisions)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: %s" v.invariant v.detail
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>outcome      : %s@,sim time     : %.2f us@,events       : %d@,\
+     choice points: %d@,races        : %d@,retransmits  : %d@,\
+     fingerprint  : %s@]"
+    (outcome_to_string r.outcome)
+    r.sim_time r.events
+    (List.length r.choices)
+    r.races r.retransmits r.fingerprint

@@ -1,0 +1,104 @@
+(** The schedule explorer: systematic testing of the coherence protocol
+    and the detector on top of [Dsm_sim.Engine].
+
+    A run is a pure function of [(spec, schedule decisions)]: the engine
+    seed fixes every PRNG stream (latency jitter, fault draws, workload
+    generators), and the decision list fixes which of the same-instant
+    ready events fires at each scheduler choice point
+    ([Engine.set_chooser]). The explorer drives many such runs —
+    randomized walks or a bounded-exhaustive enumeration of decision
+    prefixes — and checks protocol invariants after each:
+
+    - {b completion}: a run under a fault-free fabric, or under the
+      reliable transport, must complete (no wedged protocol);
+    - {b quiescence}: on completion no operation still awaits a reply
+      and every NIC region lock has been released;
+    - {b coherence}: the shadow-memory checker stays clean;
+    - {b clock-monotonicity}: sampled per-process detector clocks only
+      ever grow ([Vector_clock.leq]);
+    - {b determinism}: replaying the recorded decisions reproduces the
+      run fingerprint bit-identically;
+    - plus any scenario-specific monitor (e.g. ["getput"]'s
+      get-window atomicity).
+
+    A violation is condensed into a {!Token.t} that {!replay} re-executes
+    deterministically, after {!minimize} has shrunk the schedule prefix. *)
+
+type spec = {
+  scenario : string;  (** see {!Scenario} *)
+  n : int;
+  seed : int;
+  faults : Dsm_net.Fault.t;
+  reliable : bool;
+  bug : bool;
+  max_events : int;
+}
+
+val default_spec : spec
+(** ["getput"], 2 processes, seed 1, no faults, 200k events. *)
+
+type outcome = Completed | Blocked of int | Event_limit | Crashed of string
+
+val outcome_to_string : outcome -> string
+
+type violation = { invariant : string; detail : string }
+
+type run_result = {
+  outcome : outcome;
+  sim_time : float;
+  events : int;
+  decisions : int list;  (** the schedule actually taken, replayable *)
+  choices : (int * int) list;  (** [(ready, chosen)] per choice point *)
+  fingerprint : string;
+      (** digest of outcome, times, detector report and monitor output —
+          equal iff two runs are observably identical *)
+  races : int;
+  retransmits : int;
+  violations : violation list;  (** empty = all invariants held *)
+}
+
+type mode = Walk of int | Script of int list
+(** [Walk i] draws decisions from a PRNG derived from [(seed, i)];
+    [Script ds] follows a recorded decision list (0 past its end). *)
+
+val run_once : ?check_determinism:bool -> spec -> mode -> run_result
+(** One run. With [check_determinism] (default false) the run is
+    re-executed from its recorded decisions and a ["determinism"]
+    violation is added if the fingerprints differ. *)
+
+type stats = {
+  runs : int;  (** schedules executed *)
+  violated : int;
+  first : (mode * run_result) option;  (** first violating run, if any *)
+}
+
+val explore_random :
+  ?check_determinism:bool -> ?stop_on_first:bool -> spec -> runs:int -> stats
+(** Randomized-walk exploration: up to [runs] schedules, each under an
+    independent decision stream. [check_determinism] defaults to [true]
+    here (it doubles the cost but every schedule is cheap);
+    [stop_on_first] (default [true]) returns at the first violation. *)
+
+val explore_exhaustive :
+  ?check_determinism:bool -> ?max_runs:int -> spec -> depth:int -> stats
+(** Bounded-exhaustive enumeration: DFS over all decision prefixes that
+    deviate from the default schedule within the first [depth] choice
+    points, capped at [max_runs] (default 500) schedules. Stops at the
+    first violation. *)
+
+val minimize : spec -> int list -> int list
+(** Greedy shrink of a violating decision list: binary-search the
+    shortest violating prefix, then zero individual decisions, keeping
+    every change under which the spec still violates. The result is
+    guaranteed to still violate. *)
+
+val replay : Token.t -> run_result
+(** Deterministic re-execution of a token's run. *)
+
+val token_of : spec -> int list -> Token.t
+
+val spec_of_token : Token.t -> spec
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_result : Format.formatter -> run_result -> unit

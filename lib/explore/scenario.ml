@@ -1,0 +1,158 @@
+module Machine = Dsm_rdma.Machine
+module Message = Dsm_rdma.Message
+module Coherence = Dsm_rdma.Coherence
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Env = Dsm_pgas.Env
+module Collectives = Dsm_pgas.Collectives
+
+type built = {
+  machine : Machine.t;
+  detector : Detector.t option;
+  coherence : Coherence.t;
+  monitor : unit -> (string * string) list;
+}
+
+let known =
+  [
+    "getput";
+    "prog:FILE.dsm";
+    "workload:random";
+    "workload:master-worker";
+    "workload:master-worker-racy";
+    "workload:stencil";
+    "workload:pipeline";
+    "workload:locked-counter";
+  ]
+
+let no_monitor () = []
+
+let make_machine sim ~n ~faults ~reliable ~bug =
+  Machine.create sim ~n ~faults
+    ?reliability:(if reliable then Some (Machine.reliability ()) else None)
+    ~protocol_bugs:(if bug then [ Machine.Skip_get_dst_lock ] else [])
+    ()
+
+(* The built-in scenario behind the planted-bug acceptance test: P0
+   repeatedly gets a remote region into its own public region A while P1
+   puts into A. Figure 3 makes each get atomic — A stays locked for the
+   whole round trip — so a put may never be applied to A inside an open
+   get window. The monitor watches exactly that; it can only fire when
+   [Skip_get_dst_lock] is planted. *)
+let build_getput sim ~n ~faults ~reliable ~bug =
+  let n = max 2 n in
+  let machine = make_machine sim ~n ~faults ~reliable ~bug in
+  let coherence = Coherence.attach machine in
+  let a = Machine.alloc_public machine ~pid:0 ~name:"A" ~len:4 () in
+  let b = Machine.alloc_public machine ~pid:1 ~name:"B" ~len:4 () in
+  let open_gets : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let bad = ref [] in
+  let a_lo = a.Dsm_memory.Addr.base.offset in
+  let a_len = a.Dsm_memory.Addr.len in
+  Machine.add_observer machine (function
+    | Machine.Sent { src = 0; msg = Message.Get { op; _ }; _ } ->
+        Hashtbl.replace open_gets op ()
+    | Machine.Delivered { dst = 0; msg = Message.Get_reply { op; _ }; _ } ->
+        Hashtbl.remove open_gets op
+    | Machine.Write_applied { node = 0; offset; data; origin; time } ->
+        let len = Array.length data in
+        let overlaps = offset < a_lo + a_len && a_lo < offset + len in
+        if overlaps && origin <> 0 && Hashtbl.length open_gets > 0 then
+          bad :=
+            Printf.sprintf
+              "put by P%d applied to A at t=%.3f inside P0's open get window"
+              origin time
+            :: !bad
+    | _ -> ());
+  let iters = 3 in
+  Machine.spawn machine ~pid:0 ~name:"getter" (fun p ->
+      for _ = 1 to iters do
+        Machine.get p ~src:b ~dst:a ();
+        Machine.compute p 0.5
+      done);
+  let payload = Machine.alloc_private machine ~pid:1 ~name:"payload" ~len:4 () in
+  Dsm_memory.Node_memory.write (Machine.node machine 1) payload [| 7; 7; 7; 7 |];
+  Machine.spawn machine ~pid:1 ~name:"putter" (fun p ->
+      for _ = 1 to iters do
+        Machine.put p ~src:payload ~dst:a ();
+        Machine.compute p 0.3
+      done);
+  let monitor () =
+    List.rev_map (fun m -> ("get-window-atomicity", m)) !bad
+  in
+  { machine; detector = None; coherence; monitor }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let build_prog sim ~path ~n ~faults ~reliable ~bug =
+  let source = read_file path in
+  match Dsm_lang.Parser.parse source with
+  | Error msg -> invalid_arg (Printf.sprintf "Scenario %s: %s" path msg)
+  | Ok prog -> (
+      match Dsm_lang.Compile.lower ~instrument:true prog with
+      | Error msg -> invalid_arg (Printf.sprintf "Scenario %s: %s" path msg)
+      | Ok ir ->
+          let machine = make_machine sim ~n ~faults ~reliable ~bug in
+          let coherence = Coherence.attach machine in
+          let detector = Detector.create machine () in
+          let (_ : Dsm_lang.Exec.runtime) =
+            Dsm_lang.Exec.setup machine ~detector ir
+          in
+          { machine; detector = Some detector; coherence; monitor = no_monitor })
+
+let build_workload sim ~name ~n ~seed ~faults ~reliable ~bug =
+  let machine = make_machine sim ~n ~faults ~reliable ~bug in
+  let coherence = Coherence.attach machine in
+  let detector = Detector.create machine () in
+  let env = Env.checked detector in
+  let collectives = Collectives.create env in
+  (match name with
+  | "random" ->
+      Dsm_workload.Random_access.setup env ~collectives
+        {
+          Dsm_workload.Random_access.default with
+          ops_per_proc = 6;
+          think_mean = 1.0;
+          seed;
+        }
+  | "master-worker" | "master-worker-racy" ->
+      Dsm_workload.Master_worker.setup env ~collectives
+        {
+          Dsm_workload.Master_worker.default with
+          tasks_per_worker = 3;
+          racy = name = "master-worker-racy";
+          seed;
+        }
+  | "stencil" ->
+      ignore
+        (Dsm_workload.Stencil.setup env ~collectives
+           { Dsm_workload.Stencil.cells_per_node = 4; iterations = 2; seed })
+  | "pipeline" ->
+      Dsm_workload.Pipeline.setup env
+        { Dsm_workload.Pipeline.default with batches = 3; seed }
+  | "locked-counter" ->
+      Dsm_workload.Locked_counter.setup env
+        {
+          Dsm_workload.Locked_counter.increments_per_proc = 3;
+          think_mean = 1.0;
+          seed;
+        }
+  | _ -> invalid_arg (Printf.sprintf "Scenario: unknown workload %S" name));
+  { machine; detector = Some detector; coherence; monitor = no_monitor }
+
+let build sim ~spec ~n ~seed ~faults ~reliable ~bug =
+  match String.index_opt spec ':' with
+  | None when spec = "getput" -> build_getput sim ~n ~faults ~reliable ~bug
+  | None -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec)
+  | Some colon -> (
+      let kind = String.sub spec 0 colon in
+      let arg = String.sub spec (colon + 1) (String.length spec - colon - 1) in
+      match kind with
+      | "prog" -> build_prog sim ~path:arg ~n ~faults ~reliable ~bug
+      | "workload" ->
+          build_workload sim ~name:arg ~n ~seed ~faults ~reliable ~bug
+      | _ -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec))

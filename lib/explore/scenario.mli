@@ -1,0 +1,44 @@
+(** Named programs the explorer can drive.
+
+    A scenario spec is a short string carried inside replay tokens:
+
+    - ["getput"] — the built-in two-process get/put collision used by the
+      planted-bug acceptance test. It installs a machine observer that
+      flags any put applied to P0's region A inside an open get window —
+      impossible under Figure 3's semantics, reachable only when the
+      [Skip_get_dst_lock] protocol bug is planted.
+    - ["prog:FILE.dsm"] — a mini-language program run instrumented under
+      the detector, like [dsmcheck run].
+    - ["workload:NAME"] — one of the [dsm_workload] programs (random,
+      master-worker, master-worker-racy, stencil, pipeline,
+      locked-counter), scaled down for fast exploration.
+
+    Building a scenario allocates the machine, attaches the coherence
+    checker, spawns the processes, and returns without running: the
+    explorer owns the run loop. *)
+
+type built = {
+  machine : Dsm_rdma.Machine.t;
+  detector : Dsm_core.Detector.t option;
+  coherence : Dsm_rdma.Coherence.t;
+  monitor : unit -> (string * string) list;
+      (** scenario-specific invariant violations observed during the run,
+          as [(invariant, detail)] pairs; call after the run *)
+}
+
+val known : string list
+(** Spec forms, for help text. *)
+
+val build :
+  Dsm_sim.Engine.t ->
+  spec:string ->
+  n:int ->
+  seed:int ->
+  faults:Dsm_net.Fault.t ->
+  reliable:bool ->
+  bug:bool ->
+  built
+(** Raises [Invalid_argument] on an unknown spec or an unparsable
+    program. [seed] parameterizes workload generators (the engine owns
+    its own seed); [reliable] enables the retry/ack transport; [bug]
+    plants [Skip_get_dst_lock]. *)

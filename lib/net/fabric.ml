@@ -5,8 +5,7 @@ type 'msg t = {
   topo : Topology.t;
   model : Latency.t;
   fifo : bool;
-  drop_probability : float;
-  duplicate_probability : float;
+  faults : Fault.t;
   rng : Prng.t;
   handlers : (src:int -> 'msg -> unit) option array;
   last_delivery : float array array;
@@ -14,25 +13,34 @@ type 'msg t = {
   mutable words : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable reordered : int;
 }
 
 let loopback_delay = 0.05 (* us: memcpy through the local NIC *)
 
 let create sim ~topology ~latency ?(fifo = true) ?(drop_probability = 0.)
-    ?(duplicate_probability = 0.) () =
+    ?(duplicate_probability = 0.) ?faults () =
   let topology = Topology.validate topology in
   if drop_probability < 0. || drop_probability > 1. then
     invalid_arg "Fabric.create: drop_probability out of range";
   if duplicate_probability < 0. || duplicate_probability > 1. then
     invalid_arg "Fabric.create: duplicate_probability out of range";
+  let faults =
+    match faults with
+    | Some plan -> plan
+    | None ->
+        if drop_probability = 0. && duplicate_probability = 0. then Fault.none
+        else
+          Fault.uniform ~drop:drop_probability
+            ~duplicate:duplicate_probability ()
+  in
   let n = Topology.nodes topology in
   {
     sim;
     topo = topology;
     model = latency;
     fifo;
-    drop_probability;
-    duplicate_probability;
+    faults;
     rng = Prng.split (Engine.rng sim);
     handlers = Array.make n None;
     last_delivery = Array.make_matrix n n 0.;
@@ -40,11 +48,14 @@ let create sim ~topology ~latency ?(fifo = true) ?(drop_probability = 0.)
     words = 0;
     dropped = 0;
     duplicated = 0;
+    reordered = 0;
   }
 
 let nodes t = Array.length t.handlers
 
 let topology t = t.topo
+
+let faults t = t.faults
 
 let register t ~node f =
   if node < 0 || node >= nodes t then invalid_arg "Fabric.register: node";
@@ -57,11 +68,12 @@ let deliver t ~src ~dst msg () =
   | None -> failwith (Printf.sprintf "Fabric: node %d has no handler" dst)
   | Some f -> f ~src msg
 
-let schedule_delivery t ~src ~dst msg ~arrival =
+let schedule_delivery t ~src ~dst ~in_order msg ~arrival =
   let arrival =
-    if t.fifo then begin
+    if t.fifo && in_order then begin
       (* FIFO channel: never deliver before an earlier send on the same
-         (src, dst) pair. *)
+         (src, dst) pair. Reordered messages skip both the floor and the
+         floor update — they overtake and are overtaken. *)
       let floor = t.last_delivery.(src).(dst) in
       let a = if arrival <= floor then floor +. 1e-9 else arrival in
       t.last_delivery.(src).(dst) <- a;
@@ -77,6 +89,7 @@ let send t ~src ~dst ~words msg =
   if dst < 0 || dst >= nodes t then invalid_arg "Fabric.send: dst";
   t.messages <- t.messages + 1;
   t.words <- t.words + words;
+  let lf = Fault.link t.faults ~src ~dst in
   let now = Engine.now t.sim in
   let arrival =
     if src = dst then now +. loopback_delay
@@ -86,22 +99,39 @@ let send t ~src ~dst ~words msg =
       now +. (d *. float_of_int (max 1 hops))
     end
   in
-  if t.drop_probability > 0. && Prng.bernoulli t.rng ~p:t.drop_probability
-  then t.dropped <- t.dropped + 1
+  let arrival =
+    if lf.Fault.jitter > 0. then
+      arrival +. Prng.exponential t.rng ~mean:lf.Fault.jitter
+    else arrival
+  in
+  if lf.Fault.drop > 0. && Prng.bernoulli t.rng ~p:lf.Fault.drop then
+    t.dropped <- t.dropped + 1
   else begin
-    schedule_delivery t ~src ~dst msg ~arrival;
+    let reorder =
+      lf.Fault.reorder > 0. && Prng.bernoulli t.rng ~p:lf.Fault.reorder
+    in
+    let arrival, in_order =
+      if reorder then begin
+        t.reordered <- t.reordered + 1;
+        (arrival +. Prng.float t.rng lf.Fault.reorder_window, false)
+      end
+      else (arrival, true)
+    in
+    schedule_delivery t ~src ~dst ~in_order msg ~arrival;
     if
-      t.duplicate_probability > 0.
-      && Prng.bernoulli t.rng ~p:t.duplicate_probability
+      lf.Fault.duplicate > 0.
+      && Prng.bernoulli t.rng ~p:lf.Fault.duplicate
     then begin
       t.duplicated <- t.duplicated + 1;
-      schedule_delivery t ~src ~dst msg ~arrival:(arrival +. 1e-9)
+      schedule_delivery t ~src ~dst ~in_order msg ~arrival:(arrival +. 1e-9)
     end
   end
 
 let messages_dropped t = t.dropped
 
 let messages_duplicated t = t.duplicated
+
+let messages_reordered t = t.reordered
 
 let messages_sent t = t.messages
 

@@ -27,9 +27,48 @@ type observation =
       origin : int;
     }
 
+(* ---------- wire frames ----------
+
+   What actually travels on the fabric. Without the reliable transport a
+   frame is a bare protocol message ([link_seq = -1]) delivered directly —
+   the paper's assumption of a reliable in-order fabric, bit-identical to
+   the historical behavior. With reliability enabled every data frame
+   carries a per-(src,dst)-link sequence number; the receiving NIC acks
+   each frame, resequences out-of-order arrivals, drops duplicates, and
+   the sender retransmits unacked frames on a timeout — an RC-style
+   transport that lets the coherence protocol ride out a faulty fabric
+   (see [Dsm_net.Fault]) instead of hanging. *)
+
+type frame = { link_seq : int; body : frame_body }
+
+and frame_body = Msg of Message.t | Frame_ack of int
+
+type reliability = { timeout : float; max_retries : int }
+
+let reliability ?(timeout = 25.0) ?(max_retries = 30) () =
+  if timeout <= 0. then invalid_arg "Machine.reliability: timeout";
+  if max_retries < 1 then invalid_arg "Machine.reliability: max_retries";
+  { timeout; max_retries }
+
+type unacked = { u_msg : Message.t; u_words : int; mutable u_tries : int }
+
+type rel_state = {
+  cfg : reliability;
+  next_seq : int array array; (* sender: [src].(dst) next seq to assign *)
+  expected : int array array; (* receiver: [dst].(src) next seq to deliver *)
+  held_back : (int * int * int, Message.t) Hashtbl.t;
+      (* (src, dst, seq) -> frame that arrived ahead of its turn *)
+  unacked : (int * int * int, unacked) Hashtbl.t;
+  mutable retransmits : int;
+}
+
+type protocol_bug = Skip_get_dst_lock
+
 type t = {
   sim : Engine.t;
-  fabric : Message.t Dsm_net.Fabric.t;
+  fabric : frame Dsm_net.Fabric.t;
+  rel : rel_state option;
+  bugs : protocol_bug list;
   nodes : Node_memory.t array;
   mutable next_op : int;
   pending_acks : (int, unit Ivar.t) Hashtbl.t;
@@ -148,13 +187,84 @@ and fill_pending : 'a. (int, 'a Ivar.t) Hashtbl.t -> int -> 'a -> t -> unit =
 
 and transmit m ~src ~dst msg =
   notify m (Sent { time = Engine.now m.sim; src; dst; msg });
-  Dsm_net.Fabric.send m.fabric ~src ~dst ~words:(Message.wire_words msg) msg
+  match m.rel with
+  | None ->
+      Dsm_net.Fabric.send m.fabric ~src ~dst ~words:(Message.wire_words msg)
+        { link_seq = -1; body = Msg msg }
+  | Some r ->
+      let seq = r.next_seq.(src).(dst) in
+      r.next_seq.(src).(dst) <- seq + 1;
+      let words = Message.wire_words msg in
+      Hashtbl.replace r.unacked (src, dst, seq)
+        { u_msg = msg; u_words = words; u_tries = 0 };
+      Dsm_net.Fabric.send m.fabric ~src ~dst ~words
+        { link_seq = seq; body = Msg msg };
+      arm_retransmit m r ~src ~dst ~seq
+
+(* Sender half of the reliable transport: while a frame is unacked, keep
+   resending it every [timeout]; give up loudly (the run aborts rather
+   than silently hangs) once the retry budget is burnt — a link with
+   drop probability 1 is dead, not slow. *)
+and arm_retransmit m r ~src ~dst ~seq =
+  Engine.schedule m.sim ~delay:r.cfg.timeout (fun () ->
+      match Hashtbl.find_opt r.unacked (src, dst, seq) with
+      | None -> ()
+      | Some u ->
+          u.u_tries <- u.u_tries + 1;
+          if u.u_tries > r.cfg.max_retries then
+            failwith
+              (Printf.sprintf
+                 "Machine: P%d->P%d frame #%d undeliverable after %d \
+                  retransmits (%s)"
+                 src dst seq r.cfg.max_retries
+                 (Message.describe u.u_msg))
+          else begin
+            r.retransmits <- r.retransmits + 1;
+            Dsm_net.Fabric.send m.fabric ~src ~dst ~words:u.u_words
+              { link_seq = seq; body = Msg u.u_msg };
+            arm_retransmit m r ~src ~dst ~seq
+          end)
+
+(* Receiver half: ack every data frame (the previous ack may itself have
+   been dropped), drop duplicates, and resequence — a frame ahead of its
+   turn is held back until the gap closes, restoring the in-order
+   delivery the coherence protocol assumes. *)
+and handle_frame m ~node ~src fr =
+  match (fr.body, m.rel) with
+  | Msg msg, None -> handle m ~node ~src msg
+  | Msg msg, Some r ->
+      if fr.link_seq < 0 then handle m ~node ~src msg
+      else begin
+        Dsm_net.Fabric.send m.fabric ~src:node ~dst:src ~words:1
+          { link_seq = -1; body = Frame_ack fr.link_seq };
+        let exp = r.expected.(node).(src) in
+        if fr.link_seq < exp then () (* duplicate of a delivered frame *)
+        else if fr.link_seq > exp then
+          Hashtbl.replace r.held_back (src, node, fr.link_seq) msg
+        else begin
+          r.expected.(node).(src) <- exp + 1;
+          handle m ~node ~src msg;
+          drain_held m r ~node ~src
+        end
+      end
+  | Frame_ack seq, Some r -> Hashtbl.remove r.unacked (node, src, seq)
+  | Frame_ack _, None -> ()
+
+and drain_held m r ~node ~src =
+  let exp = r.expected.(node).(src) in
+  match Hashtbl.find_opt r.held_back (src, node, exp) with
+  | None -> ()
+  | Some msg ->
+      Hashtbl.remove r.held_back (src, node, exp);
+      r.expected.(node).(src) <- exp + 1;
+      handle m ~node ~src msg;
+      drain_held m r ~node ~src
 
 and notify m obs = List.iter (fun f -> f obs) m.observers
 
 let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
     ?private_words ?public_words ?discipline ?drop_probability
-    ?duplicate_probability () =
+    ?duplicate_probability ?faults ?reliability ?(protocol_bugs = []) () =
   if n < 1 then invalid_arg "Machine.create: need at least one node";
   let topology =
     match topology with
@@ -166,12 +276,28 @@ let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
   in
   let fabric =
     Dsm_net.Fabric.create sim ~topology ~latency ?drop_probability
-      ?duplicate_probability ()
+      ?duplicate_probability ?faults ()
+  in
+  let rel =
+    match reliability with
+    | None -> None
+    | Some cfg ->
+        Some
+          {
+            cfg;
+            next_seq = Array.make_matrix n n 0;
+            expected = Array.make_matrix n n 0;
+            held_back = Hashtbl.create 32;
+            unacked = Hashtbl.create 32;
+            retransmits = 0;
+          }
   in
   let m =
     {
       sim;
       fabric;
+      rel;
+      bugs = protocol_bugs;
       nodes =
         Array.init n (fun pid ->
             Node_memory.create ~pid ?private_words ?public_words ?discipline ());
@@ -188,8 +314,8 @@ let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
     }
   in
   for node = 0 to n - 1 do
-    Dsm_net.Fabric.register fabric ~node (fun ~src msg ->
-        handle m ~node ~src msg)
+    Dsm_net.Fabric.register fabric ~node (fun ~src fr ->
+        handle_frame m ~node ~src fr)
   done;
   m
 
@@ -204,6 +330,25 @@ let node m pid =
 let fabric_messages m = Dsm_net.Fabric.messages_sent m.fabric
 
 let fabric_words m = Dsm_net.Fabric.words_sent m.fabric
+
+let fabric_faults m = Dsm_net.Fabric.faults m.fabric
+
+let transport_retransmits m =
+  match m.rel with None -> 0 | Some r -> r.retransmits
+
+let pending_ops m =
+  Hashtbl.length m.pending_acks
+  + Hashtbl.length m.pending_data
+  + Hashtbl.length m.pending_atomic
+  + Hashtbl.length m.pending_lock
+  + Hashtbl.length m.pending_control
+
+let locks_quiescent m =
+  Array.for_all
+    (fun nm ->
+      let locks = Node_memory.locks nm in
+      Lock_table.held_count locks = 0 && Lock_table.queued_count locks = 0)
+    m.nodes
 
 let reset_traffic_counters m = Dsm_net.Fabric.reset_counters m.fabric
 
@@ -326,9 +471,12 @@ let get p ~src ~(dst : Addr.region) ?(extra_words = 0) () =
   check_local p dst "get";
   check_same_len src dst "get";
   (* Figure 3: the destination region stays locked for the whole round
-     trip, so a concurrent put to it is delayed until the get finishes. *)
+     trip, so a concurrent put to it is delayed until the get finishes.
+     [Skip_get_dst_lock] plants the protocol bug the explorer's
+     acceptance test hunts for: eliding this lock lets a concurrent put
+     land inside the get window. *)
   let dst_lock =
-    if Addr.is_public dst then
+    if Addr.is_public dst && not (List.mem Skip_get_dst_lock p.m.bugs) then
       Some (await_local_lock p ~offset:dst.base.offset ~len:dst.len)
     else None
   in

@@ -28,6 +28,27 @@ type t
 type proc
 (** A program's handle on the machine: its pid plus the machine itself. *)
 
+type reliability
+(** Configuration of the RC-style reliable transport: every protocol
+    message is framed with a per-link sequence number; the receiving NIC
+    acks each frame, drops duplicates and resequences out-of-order
+    arrivals, and the sender retransmits unacked frames every [timeout]
+    simulated microseconds, giving up (with [Failure]) after
+    [max_retries] attempts. With it, the coherence protocol survives a
+    faulty fabric (see [Dsm_net.Fault]) instead of hanging. *)
+
+val reliability : ?timeout:float -> ?max_retries:int -> unit -> reliability
+(** Defaults: [timeout = 25.0] us (a few fabric round trips),
+    [max_retries = 30]. Raises [Invalid_argument] on a non-positive
+    timeout or retry budget. *)
+
+type protocol_bug = Skip_get_dst_lock
+    (** Deliberately plantable protocol bugs, used by the schedule
+        explorer's acceptance tests. [Skip_get_dst_lock] elides the
+        Figure 3 destination-region lock during a {!get}'s round trip,
+        so a concurrent put can land inside the get window — exactly the
+        atomicity violation §3.2 exists to prevent. *)
+
 val create :
   Dsm_sim.Engine.t ->
   n:int ->
@@ -38,14 +59,19 @@ val create :
   ?discipline:Dsm_memory.Lock_table.discipline ->
   ?drop_probability:float ->
   ?duplicate_probability:float ->
+  ?faults:Dsm_net.Fault.t ->
+  ?reliability:reliability ->
+  ?protocol_bugs:protocol_bug list ->
   unit ->
   t
 (** Defaults: fully-connected topology over [n], {!Dsm_net.Latency.infiniband_like},
     4096-word segments, first-fit NIC locks, reliable fabric. The fault
-    probabilities are forwarded to [Dsm_net.Fabric] for robustness
-    testing: the one-sided protocols assume reliable delivery, so drops
-    surface as blocked operations. Raises [Invalid_argument] if [n]
-    disagrees with an explicit topology's node count or [n < 1]. *)
+    probabilities (and the richer [faults] plan, which supersedes them)
+    are forwarded to [Dsm_net.Fabric] for robustness testing: the
+    one-sided protocols assume reliable delivery, so without
+    [reliability] drops surface as blocked operations. [protocol_bugs]
+    defaults to none. Raises [Invalid_argument] if [n] disagrees with an
+    explicit topology's node count or [n < 1]. *)
 
 val sim : t -> Dsm_sim.Engine.t
 
@@ -59,6 +85,21 @@ val fabric_messages : t -> int
 (** Messages the fabric carried so far (see [Dsm_net.Fabric]). *)
 
 val fabric_words : t -> int
+
+val fabric_faults : t -> Dsm_net.Fault.t
+(** The fault plan the underlying fabric runs with. *)
+
+val transport_retransmits : t -> int
+(** Frames resent by the reliable transport so far (0 when disabled). *)
+
+val pending_ops : t -> int
+(** Operations still waiting for a reply (acks, data, atomics, locks,
+    control). Nonzero after a run means the protocol wedged — the
+    explorer checks this invariant after every schedule. *)
+
+val locks_quiescent : t -> bool
+(** [true] iff no NIC lock table holds or queues any range — every
+    region lock taken during the run was released. *)
 
 val reset_traffic_counters : t -> unit
 

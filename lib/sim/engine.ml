@@ -4,6 +4,13 @@ type t = {
   mutable events : int;
   mutable live : int;
   mutable stopping : bool;
+  mutable failed : (string * exn) option;
+      (* first process failure inside the current event; raised as
+         Process_failure by the run loop once the event action has
+         finished, so a failure never truncates sibling callbacks (lock
+         grants, ivar waiters) scheduled within the same event *)
+  mutable chooser : (int -> int) option;
+      (* schedule-exploration hook: picks among same-time ready events *)
   heap : (unit -> unit) Heap.t;
   rng : Prng.t;
 }
@@ -19,6 +26,8 @@ let create ?(seed = 0x5eed) () =
     events = 0;
     live = 0;
     stopping = false;
+    failed = None;
+    chooser = None;
     heap = Heap.create ();
     rng = Prng.create ~seed;
   }
@@ -43,6 +52,9 @@ let schedule sim ?(delay = 0.) f =
 (* Runs [body] under the effect handler that implements Await. The handler
    converts each Await into a registration of a one-shot resumer; everything
    after the Await runs when (and only when) that resumer is called. *)
+let record_failure sim name e =
+  if sim.failed = None then sim.failed <- Some (name, e)
+
 let start_process sim name body =
   let open Effect.Deep in
   let handler =
@@ -50,8 +62,13 @@ let start_process sim name body =
       retc = (fun () -> sim.live <- sim.live - 1);
       exnc =
         (fun e ->
+          (* Record rather than raise: raising here would unwind through
+             whatever resumed the process (a lock-grant loop, an ivar
+             fill), truncating the callbacks of its siblings and leaving
+             locks granted to nobody. The run loop raises once the
+             current event action has returned. *)
           sim.live <- sim.live - 1;
-          raise (Process_failure (name, e)));
+          record_failure sim name e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -69,7 +86,16 @@ let start_process sim name body =
                       continue k v
                     end
                   in
-                  register resume)
+                  match register resume with
+                  | () -> ()
+                  | exception e ->
+                      (* A register function that raises before handing
+                         the resumer off would otherwise leak the
+                         suspended process (live never decremented, heap
+                         intact): feed the exception back into the
+                         process at the await point so exnc settles the
+                         accounting. *)
+                      if !used then raise e else discontinue k e)
           | _ -> None);
     }
   in
@@ -97,6 +123,21 @@ type outcome =
 
 let stop sim = sim.stopping <- true
 
+let set_chooser sim f = sim.chooser <- f
+
+(* One scheduling decision: with no chooser installed this is exactly
+   [Heap.pop] — (time, seq) order, the deterministic production path.
+   With a chooser, ties on simulated time become explicit choice points:
+   the chooser picks which of the ready events fires next. *)
+let pop_next sim =
+  match sim.chooser with
+  | None -> Heap.pop sim.heap
+  | Some choose -> (
+      match Heap.ready_count sim.heap with
+      | 0 -> None
+      | 1 -> Heap.pop sim.heap
+      | r -> Heap.pop_kth sim.heap (choose r))
+
 let run ?until ?max_events sim =
   sim.stopping <- false;
   let budget_exhausted () =
@@ -105,11 +146,18 @@ let run ?until ?max_events sim =
   let horizon_passed t =
     match until with None -> false | Some h -> t > h
   in
+  let check_failed () =
+    match sim.failed with
+    | Some (name, e) ->
+        sim.failed <- None;
+        raise (Process_failure (name, e))
+    | None -> ()
+  in
   let rec loop () =
     if sim.stopping then Stopped
     else if budget_exhausted () then Event_limit_reached
     else
-      match Heap.pop sim.heap with
+      match pop_next sim with
       | None -> if sim.live > 0 then Blocked sim.live else Completed
       | Some (time, _seq, action) ->
           if horizon_passed time then Time_limit_reached
@@ -117,6 +165,7 @@ let run ?until ?max_events sim =
             sim.now <- time;
             sim.events <- sim.events + 1;
             action ();
+            check_failed ();
             loop ()
           end
   in

@@ -64,7 +64,22 @@ type outcome =
   | Stopped                   (** {!stop} was called *)
 
 val run : ?until:float -> ?max_events:int -> t -> outcome
-(** Executes events in order until one of the stop conditions holds. *)
+(** Executes events in order until one of the stop conditions holds.
+
+    A process body that raises surfaces as {!Process_failure} — raised by
+    the run loop {e after} the current event action has finished, so
+    sibling callbacks fired by the same event (queued lock grants, other
+    ivar waiters) still run and the heap stays consistent: the engine can
+    keep being {!run} after catching the failure. *)
+
+val set_chooser : t -> (int -> int) option -> unit
+(** [set_chooser sim (Some f)] turns ties on simulated time into explicit
+    scheduler choice points: whenever [k >= 2] events are ready at the
+    next instant, [f k] picks which fires (0 is the default
+    schedule-order event; out-of-range picks are clamped). The hook of
+    the [dsm_explore] schedule explorer. [None] (the default) restores
+    the deterministic [(time, seq)] order — the production path is
+    untouched. *)
 
 val stop : t -> unit
 (** Makes the current {!run} return {!Stopped} after the current event. *)

@@ -60,6 +60,50 @@ let pop h =
     Some (top.time, top.seq, top.value)
   end
 
+(* Remove the entry at array index [i]: swap in the last element and
+   restore the heap property in whichever direction it was broken. *)
+let remove_index h i =
+  h.size <- h.size - 1;
+  if i < h.size then begin
+    h.data.(i) <- h.data.(h.size);
+    sift_down h i;
+    sift_up h i
+  end
+
+let ready_count h =
+  if h.size = 0 then 0
+  else begin
+    let tmin = h.data.(0).time in
+    let c = ref 0 in
+    for i = 0 to h.size - 1 do
+      if h.data.(i).time = tmin then incr c
+    done;
+    !c
+  end
+
+let pop_kth h k =
+  if h.size = 0 then None
+  else begin
+    let tmin = h.data.(0).time in
+    (* Collect the ready set — every entry at the minimum time — as
+       (seq, index) pairs, then select the k-th in seq order. The scan is
+       O(size); exploration runs are small by construction. *)
+    let ready = ref [] and count = ref 0 in
+    for i = h.size - 1 downto 0 do
+      if h.data.(i).time = tmin then begin
+        ready := (h.data.(i).seq, i) :: !ready;
+        incr count
+      end
+    done;
+    let arr = Array.of_list !ready in
+    Array.sort compare arr;
+    let k = if k < 0 then 0 else if k >= !count then !count - 1 else k in
+    let _, i = arr.(k) in
+    let e = h.data.(i) in
+    remove_index h i;
+    Some (e.time, e.seq, e.value)
+  end
+
 let peek_time h = if h.size = 0 then None else Some h.data.(0).time
 
 let clear h = h.size <- 0

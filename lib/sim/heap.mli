@@ -19,6 +19,17 @@ val add : 'a t -> time:float -> seq:int -> 'a -> unit
 val pop : 'a t -> (float * int * 'a) option
 (** Removes and returns the minimum element, or [None] when empty. *)
 
+val ready_count : 'a t -> int
+(** Number of entries sharing the minimum time — the {e ready set} at the
+    current instant, i.e. the branching factor of the scheduler's next
+    choice point (see [Engine.set_chooser]). 0 when empty. *)
+
+val pop_kth : 'a t -> int -> (float * int * 'a) option
+(** [pop_kth h k] removes and returns the entry with the [k]-th smallest
+    sequence number among the ready set. [k] is clamped to the ready set,
+    so [pop_kth h 0] is {!pop}. O(n) — meant for schedule exploration, not
+    the production run loop. *)
+
 val peek_time : 'a t -> float option
 (** Time of the minimum element without removing it. *)
 

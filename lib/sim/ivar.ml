@@ -18,6 +18,11 @@ let fill sim iv v =
         (fun resume -> Engine.schedule sim (fun () -> resume v))
         (List.rev waiters)
 
+let upon sim iv f =
+  match iv.state with
+  | Filled v -> Engine.schedule sim (fun () -> f v)
+  | Empty waiters -> iv.state <- Empty (f :: waiters)
+
 let read sim iv =
   match iv.state with
   | Filled v -> v

@@ -371,6 +371,46 @@ let prop_words_roundtrip =
       Vector_clock.load_words c w ~off:1;
       Vector_clock.equal x c)
 
+(* Word slices embedded at an arbitrary position inside a larger buffer —
+   the layout Clock_store entries and piggybacked NIC frames rely on.
+   Words outside the slice must survive the store untouched. *)
+let arb_vc_pair_off =
+  QCheck.make
+    ~print:(fun ((a, b), off) ->
+      Printf.sprintf "%s / %s @ %d" (Vector_clock.to_string a)
+        (Vector_clock.to_string b) off)
+    QCheck.Gen.(
+      int_range 1 6 >>= fun n ->
+      pair (pair (gen_vc n) (gen_vc n)) (int_range 0 9))
+
+let prop_slice_roundtrip_mid_buffer =
+  QCheck.Test.make ~name:"store/load_words mid-buffer, frame intact"
+    ~count:500 arb_vc_pair_off (fun ((x, _), off) ->
+      let n = Vector_clock.dim x in
+      let sentinel = -12345 in
+      let w = Array.make (off + n + 3) sentinel in
+      Vector_clock.store_words x w ~off;
+      let frame_ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if (i < off || i >= off + n) && v <> sentinel then frame_ok := false)
+        w;
+      let c = Vector_clock.create ~n in
+      Vector_clock.load_words c w ~off;
+      !frame_ok && Vector_clock.equal x c)
+
+let prop_merge_words_equals_merge_into =
+  QCheck.Test.make ~name:"merge_words = merge_into of decoded slice"
+    ~count:500 arb_vc_pair_off (fun ((x, y), off) ->
+      let n = Vector_clock.dim x in
+      let w = Array.make (off + n) 0 in
+      Vector_clock.store_words y w ~off;
+      let via_words = Vector_clock.copy x in
+      Vector_clock.merge_words ~into:via_words w ~off;
+      let via_merge = Vector_clock.copy x in
+      Vector_clock.merge_into ~into:via_merge y;
+      Vector_clock.equal via_words via_merge)
+
 let prop_delta_codec_roundtrip =
   QCheck.Test.make ~name:"delta codec roundtrip" ~count:500 arb_vc_pair
     (fun (base, v) ->
@@ -488,6 +528,8 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prop_adaptive_equals_dense;
     prop_representation_blind_compare;
     prop_words_roundtrip;
+    prop_slice_roundtrip_mid_buffer;
+    prop_merge_words_equals_merge_into;
     prop_codec_roundtrip;
     prop_delta_codec_roundtrip;
     prop_varint_codec_roundtrip;

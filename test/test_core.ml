@@ -579,6 +579,79 @@ let ground_truth_equivalence ~seed =
 let test_ground_truth_seeds () =
   List.iter (fun seed -> ground_truth_equivalence ~seed) [ 1; 2; 3; 4; 5; 6 ]
 
+(* ---------- Clock_store packed keys ---------- *)
+
+(* The store keys granules by (offset, len) packed into one immediate
+   int. Packing must be injective over the documented range — a
+   collision would silently share one clock pair between two unrelated
+   granules — and anything outside the range must be rejected, not
+   wrapped around into a valid-looking key. *)
+
+let cs_max_len = (1 lsl 21) - 1
+let cs_max_off = 1 lsl 40
+
+let gen_granule =
+  QCheck.Gen.(
+    let off =
+      oneof
+        [
+          int_range 0 4096;
+          int_range 0 cs_max_off;
+          (* overflow-adjacent: right at the top of the packable range *)
+          map (fun k -> cs_max_off - k) (int_range 0 64);
+        ]
+    in
+    let len =
+      oneof
+        [
+          int_range 0 64;
+          int_range 0 cs_max_len;
+          map (fun k -> cs_max_len - k) (int_range 0 64);
+        ]
+    in
+    pair off len)
+
+let arb_granule_pair =
+  QCheck.make
+    ~print:(fun ((o1, l1), (o2, l2)) ->
+      Printf.sprintf "(%d,%d) / (%d,%d)" o1 l1 o2 l2)
+    QCheck.Gen.(pair gen_granule gen_granule)
+
+let prop_packed_key_injective =
+  QCheck.Test.make ~name:"packed keys: distinct granule = distinct entry"
+    ~count:1000 arb_granule_pair (fun ((o1, l1), (o2, l2)) ->
+      let store =
+        Clock_store.create ~node:0 ~clock_dim:3 ~granularity:Config.Word ()
+      in
+      let e1 = Clock_store.entry_at store ~offset:o1 ~len:l1 in
+      let e2 = Clock_store.entry_at store ~offset:o2 ~len:l2 in
+      (e1 == e2) = (o1 = o2 && l1 = l2))
+
+let arb_bad_granule =
+  QCheck.make
+    ~print:(fun (o, l) -> Printf.sprintf "(%d,%d)" o l)
+    QCheck.Gen.(
+      oneof
+        [
+          pair (int_range (-4096) (-1)) (int_range 0 64);
+          pair (int_range 0 4096) (int_range (-64) (-1));
+          pair (int_range 0 4096)
+            (map (fun k -> cs_max_len + 1 + k) (int_range 0 64));
+          pair
+            (map (fun k -> cs_max_off + 1 + k) (int_range 0 64))
+            (int_range 0 64);
+        ])
+
+let prop_packed_key_rejects_out_of_range =
+  QCheck.Test.make ~name:"packed keys: out-of-range granules rejected"
+    ~count:500 arb_bad_granule (fun (offset, len) ->
+      let store =
+        Clock_store.create ~node:0 ~clock_dim:3 ~granularity:Config.Word ()
+      in
+      match Clock_store.entry_at store ~offset ~len with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+
 (* The same equivalence as a property over arbitrary seeds. *)
 let prop_ground_truth_equivalence =
   QCheck.Test.make ~name:"online detector = offline HB (random seeds)"
@@ -645,6 +718,11 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "proc clock" `Quick test_proc_clock_snapshot;
+        ] );
+      ( "clock-store-keys",
+        [
+          QCheck_alcotest.to_alcotest prop_packed_key_injective;
+          QCheck_alcotest.to_alcotest prop_packed_key_rejects_out_of_range;
         ] );
       ( "ground-truth",
         [

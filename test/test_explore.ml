@@ -1,0 +1,368 @@
+(* The schedule-exploration and fault-injection harness: replay tokens,
+   the planted-bug acceptance path, invariant checking, and the
+   differential vector-clock vs. lockset comparison across explored
+   schedules. *)
+
+open Dsm_sim
+module Explore = Dsm_explore.Explore
+module Token = Dsm_explore.Token
+module Chooser = Dsm_explore.Chooser
+module Machine = Dsm_rdma.Machine
+module Detector = Dsm_core.Detector
+module Config = Dsm_core.Config
+module Report = Dsm_core.Report
+module Env = Dsm_pgas.Env
+module Collectives = Dsm_pgas.Collectives
+module Fault = Dsm_net.Fault
+
+(* ---------- tokens ---------- *)
+
+let test_token_roundtrip () =
+  let t =
+    {
+      Token.scenario = "getput";
+      n = 3;
+      seed = 42;
+      faults = Fault.of_string "drop=0.2,dup=0.1,0>1:reorder=0.5";
+      reliable = true;
+      bug = true;
+      max_events = 50_000;
+      decisions = [ 1; 0; 2; 0; 3 ];
+    }
+  in
+  match Token.of_string (Token.to_string t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' ->
+      Alcotest.(check string) "token" (Token.to_string t) (Token.to_string t')
+
+let test_token_rejects_garbage () =
+  (match Token.of_string "nonsense" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  (match Token.of_string "dsm1|s=getput|n=x" with
+  | Ok _ -> Alcotest.fail "accepted bad integer"
+  | Error _ -> ());
+  match Token.of_string "dsm1|weird" with
+  | Ok _ -> Alcotest.fail "accepted field without '='"
+  | Error _ -> ()
+
+let test_trim_trailing_zeros () =
+  Alcotest.(check (list int))
+    "trim" [ 1; 0; 2 ]
+    (Token.trim_trailing_zeros [ 1; 0; 2; 0; 0 ]);
+  Alcotest.(check (list int)) "all zeros" [] (Token.trim_trailing_zeros [ 0; 0 ])
+
+(* ---------- chooser ---------- *)
+
+let test_chooser_scripted_clamps () =
+  let c = Chooser.scripted [ 5; -1; 1 ] in
+  (* ready counts 3, 4, 2 — and one decision past the script's end *)
+  Alcotest.(check int) "clamped high" 2 (Chooser.fn c 3);
+  Alcotest.(check int) "clamped low" 0 (Chooser.fn c 4);
+  Alcotest.(check int) "in range" 1 (Chooser.fn c 2);
+  Alcotest.(check int) "past end" 0 (Chooser.fn c 7);
+  Alcotest.(check (list int)) "recorded" [ 2; 0; 1; 0 ] (Chooser.decisions c);
+  Alcotest.(check int) "points" 4 (Chooser.choice_points c)
+
+(* ---------- invariants on clean scenarios ---------- *)
+
+let test_getput_clean_schedules () =
+  let spec = { Explore.default_spec with Explore.seed = 3 } in
+  let stats = Explore.explore_random spec ~runs:25 in
+  Alcotest.(check int) "runs" 25 stats.Explore.runs;
+  Alcotest.(check int) "violations" 0 stats.Explore.violated
+
+let test_workloads_clean_schedules () =
+  List.iter
+    (fun scenario ->
+      let spec =
+        { Explore.default_spec with Explore.scenario; n = 3; seed = 5 }
+      in
+      let stats = Explore.explore_random spec ~runs:8 in
+      Alcotest.(check int) (scenario ^ " violations") 0 stats.Explore.violated)
+    [
+      "workload:random";
+      "workload:master-worker-racy";
+      "workload:pipeline";
+      "workload:locked-counter";
+    ]
+
+let test_exhaustive_clean () =
+  let spec = { Explore.default_spec with Explore.seed = 2 } in
+  let stats = Explore.explore_exhaustive spec ~depth:6 ~max_runs:50 in
+  Alcotest.(check int) "violations" 0 stats.Explore.violated;
+  Alcotest.(check bool) "explored something" true (stats.Explore.runs >= 1)
+
+(* ---------- determinism ---------- *)
+
+let test_walk_replay_identical () =
+  List.iter
+    (fun scenario ->
+      let spec =
+        { Explore.default_spec with Explore.scenario; n = 3; seed = 9 }
+      in
+      let r = Explore.run_once spec (Explore.Walk 4) in
+      let r' = Explore.run_once spec (Explore.Script r.Explore.decisions) in
+      Alcotest.(check string)
+        (scenario ^ " fingerprint") r.Explore.fingerprint
+        r'.Explore.fingerprint)
+    [ "getput"; "workload:random"; "workload:pipeline" ]
+
+(* ---------- fault injection and the reliable transport ---------- *)
+
+let lossy = Fault.of_string "drop=0.3,dup=0.15,reorder=0.2"
+
+let test_reliable_transport_survives_faults () =
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.seed = 13;
+      faults = lossy;
+      reliable = true;
+    }
+  in
+  let r = Explore.run_once spec (Explore.Script []) in
+  Alcotest.(check bool) "completed" true (r.Explore.outcome = Explore.Completed);
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> v.Explore.invariant ^ ": " ^ v.Explore.detail)
+       r.Explore.violations);
+  Alcotest.(check bool) "retransmitted" true (r.Explore.retransmits > 0)
+
+let test_unreliable_faults_degrade_without_wedging () =
+  (* Without the transport, heavy loss may block the protocol — but each
+     run must still terminate cleanly and never crash the engine. *)
+  let spec =
+    { Explore.default_spec with Explore.seed = 17; faults = Fault.of_string "drop=0.6" }
+  in
+  for i = 0 to 9 do
+    let r = Explore.run_once spec (Explore.Walk i) in
+    (match r.Explore.outcome with
+    | Explore.Completed | Explore.Blocked _ -> ()
+    | o ->
+        Alcotest.failf "run %d ended %s" i (Explore.outcome_to_string o));
+    Alcotest.(check (list string)) "no violations" []
+      (List.map (fun v -> v.Explore.invariant) r.Explore.violations)
+  done
+
+let test_fault_plan_changes_runs () =
+  let base = { Explore.default_spec with Explore.seed = 21 } in
+  let clean = Explore.run_once base (Explore.Script []) in
+  let faulty =
+    Explore.run_once
+      { base with Explore.faults = lossy; reliable = true }
+      (Explore.Script [])
+  in
+  Alcotest.(check bool) "distinct fingerprints" true
+    (clean.Explore.fingerprint <> faulty.Explore.fingerprint)
+
+(* ---------- the planted-bug acceptance path ---------- *)
+
+(* ISSUE 2 acceptance: a seeded, fault-injected run of a scenario with a
+   known protocol bug planted behind a config flag must violate an
+   invariant; the minimized replay token must reproduce the violation
+   with a bit-identical fingerprint on two consecutive replays. *)
+let test_planted_bug_found_minimized_replayed () =
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.seed = 7;
+      faults = Fault.of_string "drop=0.2,dup=0.1";
+      reliable = true;
+      bug = true;
+    }
+  in
+  let stats = Explore.explore_random spec ~runs:50 in
+  match stats.Explore.first with
+  | None -> Alcotest.fail "planted bug not found within 50 schedules"
+  | Some (_, r) ->
+      Alcotest.(check bool) "monitor fired" true
+        (List.exists
+           (fun v -> v.Explore.invariant = "get-window-atomicity")
+           r.Explore.violations);
+      let minimized = Explore.minimize spec r.Explore.decisions in
+      Alcotest.(check bool) "minimized no longer than original" true
+        (List.length minimized
+        <= List.length (Token.trim_trailing_zeros r.Explore.decisions));
+      let token = Explore.token_of spec minimized in
+      (* the token survives its own wire format *)
+      let token =
+        match Token.of_string (Token.to_string token) with
+        | Ok t -> t
+        | Error msg -> Alcotest.fail msg
+      in
+      let r1 = Explore.replay token in
+      let r2 = Explore.replay token in
+      Alcotest.(check bool) "replay violates" true
+        (r1.Explore.violations <> []);
+      Alcotest.(check string) "bit-identical fingerprints"
+        r1.Explore.fingerprint r2.Explore.fingerprint
+
+let test_no_bug_no_monitor_violation () =
+  (* Same spec without the planted bug: the monitor must stay silent —
+     the violation really is the bug, not the harness. *)
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.seed = 7;
+      faults = Fault.of_string "drop=0.2,dup=0.1";
+      reliable = true;
+    }
+  in
+  let stats = Explore.explore_random spec ~runs:25 in
+  Alcotest.(check int) "violations" 0 stats.Explore.violated
+
+let test_exhaustive_finds_planted_bug () =
+  let spec = { Explore.default_spec with Explore.seed = 1; bug = true } in
+  let stats = Explore.explore_exhaustive spec ~depth:4 ~max_runs:100 in
+  Alcotest.(check bool) "found" true (stats.Explore.first <> None)
+
+(* ---------- differential: vector clocks vs. lockset ---------- *)
+
+type which_workload = Random_w | Master_clean | Master_racy | Pipeline_w
+
+let workload_name = function
+  | Random_w -> "random"
+  | Master_clean -> "master-worker"
+  | Master_racy -> "master-worker-racy"
+  | Pipeline_w -> "pipeline"
+
+let setup_workload which env collectives ~seed =
+  match which with
+  | Random_w ->
+      Dsm_workload.Random_access.setup env ~collectives
+        {
+          Dsm_workload.Random_access.default with
+          ops_per_proc = 5;
+          think_mean = 1.0;
+          seed;
+        }
+  | Master_clean | Master_racy ->
+      Dsm_workload.Master_worker.setup env ~collectives
+        {
+          Dsm_workload.Master_worker.default with
+          tasks_per_worker = 2;
+          racy = which = Master_racy;
+          seed;
+        }
+  | Pipeline_w ->
+      Dsm_workload.Pipeline.setup env
+        { Dsm_workload.Pipeline.default with batches = 2; seed }
+
+(* One explored schedule of one workload, with tracing on: every READ the
+   vector-clock detector flags must be corroborated either by ground
+   truth (an unordered conflicting pair on that granule — which always
+   involves a write) or by lockset. A read flag with neither would be a
+   read/read false positive the W-clock refinement (§4.4) exists to
+   prevent. *)
+let differential_one which ~schedule =
+  let sim = Engine.create ~seed:11 () in
+  let machine = Machine.create sim ~n:3 () in
+  let config =
+    {
+      Config.default with
+      Config.record_trace = true;
+      granularity = Config.Word;
+    }
+  in
+  let detector = Detector.create machine ~config () in
+  let env = Env.checked detector in
+  let collectives = Collectives.create env in
+  setup_workload which env collectives ~seed:23;
+  let chooser = Chooser.random (Prng.create ~seed:((schedule * 2654435761) + 97)) in
+  Engine.set_chooser sim (Some (Chooser.fn chooser));
+  (match Machine.run machine with
+  | Engine.Completed -> ()
+  | o ->
+      Alcotest.failf "%s schedule %d did not complete: %s"
+        (workload_name which) schedule
+        (match o with
+        | Engine.Blocked k -> Printf.sprintf "blocked(%d)" k
+        | _ -> "?"));
+  let trace =
+    match Detector.trace detector with
+    | Some t -> t
+    | None -> Alcotest.fail "trace recording was on"
+  in
+  let ground_truth = Dsm_trace.Trace.races trace in
+  let lockset_words = Dsm_baselines.Lockset.racy_words trace in
+  let granule_has_ground_truth (g : Dsm_memory.Addr.region) =
+    List.exists
+      (fun { Dsm_trace.Trace.first; second } ->
+        Dsm_memory.Addr.overlap g first.Dsm_trace.Event.target
+        || Dsm_memory.Addr.overlap g second.Dsm_trace.Event.target)
+      ground_truth
+  in
+  let granule_in_lockset (g : Dsm_memory.Addr.region) =
+    let node = g.Dsm_memory.Addr.base.pid in
+    let lo = g.Dsm_memory.Addr.base.offset in
+    let hi = lo + g.Dsm_memory.Addr.len in
+    List.exists
+      (fun (n, w) -> n = node && w >= lo && w < hi)
+      lockset_words
+  in
+  List.iter
+    (fun (r : Report.race) ->
+      if r.Report.kind = Dsm_trace.Event.Read then
+        let g = r.Report.granule in
+        if not (granule_has_ground_truth g || granule_in_lockset g) then
+          Alcotest.failf
+            "%s schedule %d: read flagged at %s with no ground-truth race \
+             and no lockset verdict"
+            (workload_name which) schedule
+            (Format.asprintf "%a" Dsm_memory.Addr.pp_region g))
+    (Report.races (Detector.report detector))
+
+let test_differential_50_schedules () =
+  (* 50 explored schedules spread over the workload programs (the ISSUE 2
+     differential satellite): 14+12+12+12. *)
+  List.iter
+    (fun (which, schedules) ->
+      for schedule = 0 to schedules - 1 do
+        differential_one which ~schedule
+      done)
+    [ (Random_w, 14); (Master_clean, 12); (Master_racy, 12); (Pipeline_w, 12) ]
+
+(* ---------- registration ---------- *)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "token",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_token_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_token_rejects_garbage;
+          Alcotest.test_case "trim zeros" `Quick test_trim_trailing_zeros;
+        ] );
+      ( "chooser",
+        [ Alcotest.test_case "scripted clamps" `Quick test_chooser_scripted_clamps ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "getput clean" `Quick test_getput_clean_schedules;
+          Alcotest.test_case "workloads clean" `Slow test_workloads_clean_schedules;
+          Alcotest.test_case "exhaustive clean" `Quick test_exhaustive_clean;
+          Alcotest.test_case "walk = replay" `Quick test_walk_replay_identical;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "reliable survives" `Quick
+            test_reliable_transport_survives_faults;
+          Alcotest.test_case "unreliable degrades" `Quick
+            test_unreliable_faults_degrade_without_wedging;
+          Alcotest.test_case "plan changes run" `Quick test_fault_plan_changes_runs;
+        ] );
+      ( "planted-bug",
+        [
+          Alcotest.test_case "found, minimized, replayed" `Quick
+            test_planted_bug_found_minimized_replayed;
+          Alcotest.test_case "absent without flag" `Quick
+            test_no_bug_no_monitor_violation;
+          Alcotest.test_case "exhaustive finds it" `Quick
+            test_exhaustive_finds_planted_bug;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "clocks vs lockset, 50 schedules" `Slow
+            test_differential_50_schedules;
+        ] );
+    ]

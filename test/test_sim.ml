@@ -172,6 +172,48 @@ let test_engine_process_failure () =
     (Engine.Process_failure ("boom", Failure "kaboom")) (fun () ->
       ignore (Engine.run sim))
 
+(* A process that raises after resuming from an await must not wedge the
+   heap or the lock table: waiters granted by the same release still run,
+   and a second [run] on the same engine drains cleanly instead of
+   deadlocking. *)
+let test_engine_failure_spares_siblings () =
+  let module L = Dsm_memory.Lock_table in
+  let sim = Engine.create () in
+  let locks = L.create () in
+  let survivor_done = ref false in
+  Engine.spawn sim ~name:"holder" (fun () ->
+      let held = ref None in
+      L.acquire locks ~offset:0 ~len:10 (fun l -> held := Some l);
+      Engine.sleep sim 5.0;
+      match !held with
+      | Some l -> L.release locks l
+      | None -> Alcotest.fail "holder never granted");
+  (* queued behind holder; granted at t=5, then blows up *)
+  Engine.spawn sim ~at:1.0 ~name:"crasher" (fun () ->
+      let got = Ivar.create () in
+      L.acquire locks ~offset:0 ~len:2 (fun l -> Ivar.fill sim got l);
+      let l = Ivar.read sim got in
+      L.release locks l;
+      failwith "crash mid-run");
+  (* disjoint range, but also queued behind holder's [0,10) *)
+  Engine.spawn sim ~at:2.0 ~name:"survivor" (fun () ->
+      let got = Ivar.create () in
+      L.acquire locks ~offset:5 ~len:2 (fun l -> Ivar.fill sim got l);
+      let l = Ivar.read sim got in
+      Engine.sleep sim 1.0;
+      L.release locks l;
+      survivor_done := true);
+  (match Engine.run sim with
+  | exception Engine.Process_failure (name, Failure _) ->
+      Alcotest.(check string) "crasher failed" "crasher" name
+  | _ -> Alcotest.fail "expected crasher's Process_failure");
+  (* same engine, same heap: the leftover events must still drain *)
+  Alcotest.(check bool) "second run completes" true
+    (Engine.run sim = Engine.Completed);
+  Alcotest.(check bool) "survivor finished" true !survivor_done;
+  Alcotest.(check int) "no held locks" 0 (L.held_count locks);
+  Alcotest.(check int) "no queued locks" 0 (L.queued_count locks)
+
 let test_engine_event_limit () =
   let sim = Engine.create () in
   let rec forever () =
@@ -360,6 +402,8 @@ let () =
           Alcotest.test_case "yield interleaves" `Quick test_engine_yield_interleaves;
           Alcotest.test_case "blocked detection" `Quick test_engine_blocked_detection;
           Alcotest.test_case "process failure" `Quick test_engine_process_failure;
+          Alcotest.test_case "failure spares siblings" `Quick
+            test_engine_failure_spares_siblings;
           Alcotest.test_case "event limit" `Quick test_engine_event_limit;
           Alcotest.test_case "until horizon" `Quick test_engine_until_horizon;
           Alcotest.test_case "stop" `Quick test_engine_stop;
