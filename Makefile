@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke experiments examples clean outputs
 
 all: build
 
@@ -34,6 +34,13 @@ explore-smoke:
 	dune exec bin/dsmcheck.exe -- explore prog:programs/racy.dsm -n 3 --runs 25 --max-events 100000
 	dune exec bin/dsmcheck.exe -- explore prog:programs/pingpong.dsm -n 2 --runs 25 --max-events 100000
 	dune exec bin/dsmcheck.exe -- explore getput --runs 50
+
+# Domain-parallel walk batches (findings are bit-identical to --jobs 1;
+# a 2-domain batch also runs inside `dune runtest`). The second batch
+# must find the retry-exhaustion violation — exit 124 — on 2 domains.
+explore-par-smoke:
+	dune exec bin/dsmcheck.exe -- explore getput --runs 40 --jobs 2
+	dune exec bin/dsmcheck.exe -- explore getput --seed 1 --faults drop=0.65 --reliable --runs 25 --jobs 2; test $$? -eq 124
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

@@ -342,22 +342,24 @@ let print_violations r =
     (fun v -> Format.printf "violation      : %a@." Explore.pp_violation v)
     r.Explore.violations
 
-let run_explore scenario n seed runs depth faults reliable bug max_events
+let run_explore scenario n seed runs depth jobs faults reliable bug max_events
     replay no_minimize verbose =
   setup_logs verbose;
   match replay with
   | Some token_str -> (
       match Token.of_string token_str with
       | Error msg -> `Error (false, msg)
-      | Ok token ->
-          let r = Explore.replay token in
-          Format.printf "@[<v>%a@]@." Explore.pp_result r;
-          print_violations r;
-          if r.Explore.violations = [] then begin
-            Format.printf "replay         : no invariant violated@.";
-            `Ok ()
-          end
-          else `Ok ())
+      | Ok token -> (
+          match Explore.replay token with
+          | Error msg -> `Error (false, msg)
+          | Ok r ->
+              Format.printf "@[<v>%a@]@." Explore.pp_result r;
+              print_violations r;
+              if r.Explore.violations = [] then begin
+                Format.printf "replay         : no invariant violated@.";
+                `Ok ()
+              end
+              else `Ok ()))
   | None -> (
       let faults =
         match faults with
@@ -375,26 +377,35 @@ let run_explore scenario n seed runs depth faults reliable bug max_events
           max_events;
         }
       in
-      let stats =
+      (* Parallel.* with jobs <= 1 delegates to the sequential explorer,
+         and for jobs > 1 its merge is bit-identical to it — so one call
+         site covers every --jobs value. *)
+      match
         match depth with
-        | Some depth -> Explore.explore_exhaustive spec ~depth ~max_runs:runs
-        | None -> Explore.explore_random spec ~runs
-      in
-      Format.printf "schedules      : %d explored, %d violating@."
-        stats.Explore.runs stats.Explore.violated;
-      match stats.Explore.first with
-      | None ->
-          Format.printf "invariants     : all held@.";
-          `Ok ()
-      | Some (_, r) ->
-          print_violations r;
-          let decisions =
-            if no_minimize then Token.trim_trailing_zeros r.Explore.decisions
-            else Explore.minimize spec r.Explore.decisions
-          in
-          let token = Explore.token_of spec decisions in
-          Format.printf "repro          : %s@." (Token.to_string token);
-          `Error (false, "invariant violated (see repro token)"))
+        | Some depth ->
+            Dsm_explore.Parallel.explore_exhaustive ~jobs spec ~depth
+              ~max_runs:runs
+        | None -> Dsm_explore.Parallel.explore_random ~jobs spec ~runs
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Sys_error msg -> `Error (false, msg)
+      | stats -> (
+          Format.printf "schedules      : %d explored, %d violating@."
+            stats.Explore.runs stats.Explore.violated;
+          match stats.Explore.first with
+          | None ->
+              Format.printf "invariants     : all held@.";
+              `Ok ()
+          | Some (_, r) ->
+              print_violations r;
+              let decisions =
+                if no_minimize then
+                  Token.trim_trailing_zeros r.Explore.decisions
+                else Explore.minimize spec r.Explore.decisions
+              in
+              let token = Explore.token_of spec decisions in
+              Format.printf "repro          : %s@." (Token.to_string token);
+              `Error (false, "invariant violated (see repro token)")))
 
 let explore_cmd =
   let doc = "Explore schedules and injected faults, checking protocol invariants." in
@@ -439,6 +450,15 @@ let explore_cmd =
           ~doc:
             "Bounded-exhaustive mode: enumerate all deviations within the \
              first $(docv) choice points instead of random walks.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains to explore with. Findings are bit-identical \
+             for every $(docv) — parallelism only changes wall-clock \
+             time.")
   in
   let faults =
     Arg.(
@@ -487,8 +507,9 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc ~man)
     Term.(
       ret
-        (const run_explore $ scenario $ n $ seed $ runs $ depth $ faults
-       $ reliable $ bug $ max_events $ replay $ no_minimize $ verbose))
+        (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
+       $ faults $ reliable $ bug $ max_events $ replay $ no_minimize
+       $ verbose))
 
 (* ---------- scenario ---------- *)
 

@@ -60,20 +60,70 @@ let mix_seed seed salt =
   let h = (seed * 0x9E3779B1) lxor ((salt + 1) * 0x85EBCA77) in
   (h lxor (h lsr 13)) land max_int
 
+(* A reusable exploration arena. Everything heavyweight is built once —
+   the engine, the machine (lazily, on the first run), the scenario plan
+   (program parsed and compiled once), the decision-recording buffers,
+   the clock-sampling scratch — and reset in place between runs, so a
+   worker executing thousands of schedules rebuilds nothing. A run in a
+   reused ctx is bit-identical to one in a fresh ctx (the reset layer
+   reproduces construction state exactly, including PRNG stream
+   positions); the test suite holds us to that. *)
+type ctx = {
+  spec : spec;
+  plan : Scenario.plan;
+  sim : Engine.t;
+  mutable machine : Machine.t option;
+  walk_rng : Prng.t;  (* decision stream for Walk runs, reseeded per run *)
+  chooser : Chooser.t;  (* records the schedule of the current run *)
+  replay_chooser : Chooser.t;  (* scripted re-run for the determinism check *)
+  prev : Vector_clock.t option array;  (* clock-monotonicity scratch *)
+}
+
+let create_ctx spec =
+  let plan =
+    Scenario.prepare ~spec:spec.scenario ~n:spec.n ~seed:spec.seed
+      ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
+  in
+  {
+    spec;
+    plan;
+    sim = Engine.create ~seed:spec.seed ();
+    machine = None;
+    walk_rng = Prng.create ~seed:0;
+    chooser = Chooser.scripted [];
+    replay_chooser = Chooser.scripted [];
+    prev = Array.make (Scenario.procs plan) None;
+  }
+
+let decision_capacity ctx = Chooser.capacity ctx.chooser
+
+(* Reset the arena and populate it for the next run. Order matters:
+   [Engine.reset] first (restores the root PRNG), then the machine reset
+   inside [repopulate] re-splits the fabric stream from the same root
+   position as construction did. *)
+let fresh_built ctx =
+  Engine.reset ~seed:ctx.spec.seed ctx.sim;
+  match ctx.machine with
+  | None ->
+      let b = Scenario.instantiate ctx.plan ctx.sim in
+      ctx.machine <- Some b.Scenario.machine;
+      b
+  | Some m -> Scenario.repopulate ctx.plan m
+
 (* Run one schedule to its end, sampling detector clocks along the way.
    Returns the engine outcome (or the crash) — invariants are judged by
    the caller. *)
-let execute spec (built : Scenario.built) =
+let execute ctx (built : Scenario.built) =
+  let spec = ctx.spec in
   let sim = Machine.sim built.Scenario.machine in
   let mono = ref [] in
-  let prev =
-    Array.init spec.n (fun _ -> None)
-  in
+  let prev = ctx.prev in
+  Array.fill prev 0 (Array.length prev) None;
   let sample () =
     match built.detector with
     | None -> ()
     | Some d ->
-        for pid = 0 to spec.n - 1 do
+        for pid = 0 to Array.length prev - 1 do
           let cur = Vector_clock.snapshot (Detector.proc_clock d pid) in
           (match prev.(pid) with
           | Some old when not (Vector_clock.leq old cur) ->
@@ -89,7 +139,9 @@ let execute spec (built : Scenario.built) =
         done
   in
   let rec step () =
-    let budget = min (Engine.events_processed sim + clock_stride) spec.max_events in
+    let budget =
+      min (Engine.events_processed sim + clock_stride) spec.max_events
+    in
     match Engine.run ~max_events:budget sim with
     | Engine.Completed -> Completed
     | Engine.Blocked k -> Blocked k
@@ -154,21 +206,28 @@ let fingerprint_of spec (built : Scenario.built) outcome ~races ~monitor_report
   (* spec so that tokens for different scenarios never collide *)
   Digest.to_hex (Digest.string (spec.scenario ^ "\x00" ^ payload))
 
-let run_raw spec mode =
-  let sim = Engine.create ~seed:spec.seed () in
-  let built =
-    Scenario.build sim ~spec:spec.scenario ~n:spec.n ~seed:spec.seed
-      ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
-  in
-  let chooser =
-    match mode with
-    | Walk salt -> Chooser.random (Prng.create ~seed:(mix_seed spec.seed salt))
-    | Script ds -> Chooser.scripted ds
-  in
-  Engine.set_chooser sim (Some (Chooser.fn chooser));
-  let outcome, mono = execute spec built in
-  Engine.set_chooser sim None;
-  let violations = check_invariants spec built outcome mono in
+(* The allocation-tight per-run summary: everything a caller needs to
+   classify a run, with the schedule itself left in the ctx's reusable
+   buffers. [result_of] materializes the full {!run_result} for the rare
+   runs that get surfaced. *)
+type raw = {
+  r_outcome : outcome;
+  r_sim_time : float;
+  r_events : int;
+  r_races : int;
+  r_retransmits : int;
+  r_violations : violation list;
+  r_fingerprint : string;
+}
+
+let raw_violating r = r.r_violations <> []
+
+let exec_with ctx chooser =
+  let built = fresh_built ctx in
+  Engine.set_chooser ctx.sim (Some (Chooser.fn chooser));
+  let outcome, mono = execute ctx built in
+  Engine.set_chooser ctx.sim None;
+  let violations = check_invariants ctx.spec built outcome mono in
   let races =
     match built.detector with
     | Some d -> Report.count (Detector.report d)
@@ -176,38 +235,68 @@ let run_raw spec mode =
   in
   let monitor_report = built.monitor () in
   {
-    outcome;
-    sim_time = Engine.now sim;
-    events = Engine.events_processed sim;
-    decisions = Chooser.decisions chooser;
-    choices = Chooser.trace chooser;
-    fingerprint = fingerprint_of spec built outcome ~races ~monitor_report;
-    races;
-    retransmits = Machine.transport_retransmits built.machine;
-    violations;
+    r_outcome = outcome;
+    r_sim_time = Engine.now ctx.sim;
+    r_events = Engine.events_processed ctx.sim;
+    r_races = races;
+    r_retransmits = Machine.transport_retransmits built.machine;
+    r_violations = violations;
+    r_fingerprint = fingerprint_of ctx.spec built outcome ~races ~monitor_report;
   }
 
-let run_once ?(check_determinism = false) spec mode =
-  let r = run_raw spec mode in
+let exec_mode ctx mode =
+  (match mode with
+  | Walk salt ->
+      Prng.reseed ctx.walk_rng ~seed:(mix_seed ctx.spec.seed salt);
+      Chooser.reset_random ctx.chooser ctx.walk_rng
+  | Script ds -> Chooser.reset_scripted ctx.chooser ds);
+  exec_with ctx ctx.chooser
+
+(* Determinism check: replay the decisions just recorded (shared buffer,
+   no copy) through the second chooser, leaving the original recording
+   intact for [result_of]. *)
+let exec_checked ?(check_determinism = false) ctx mode =
+  let r = exec_mode ctx mode in
   if not check_determinism then r
-  else
-    let r2 = run_raw spec (Script r.decisions) in
-    if String.equal r2.fingerprint r.fingerprint then r
+  else begin
+    Chooser.reset_replay_of ctx.replay_chooser ~src:ctx.chooser;
+    let r2 = exec_with ctx ctx.replay_chooser in
+    if String.equal r2.r_fingerprint r.r_fingerprint then r
     else
       {
         r with
-        violations =
-          r.violations
+        r_violations =
+          r.r_violations
           @ [
               {
                 invariant = "determinism";
                 detail =
                   Printf.sprintf
                     "same schedule, different fingerprints (%s vs %s)"
-                    r.fingerprint r2.fingerprint;
+                    r.r_fingerprint r2.r_fingerprint;
               };
             ];
       }
+  end
+
+let result_of ctx (r : raw) =
+  {
+    outcome = r.r_outcome;
+    sim_time = r.r_sim_time;
+    events = r.r_events;
+    decisions = Chooser.decisions ctx.chooser;
+    choices = Chooser.trace ctx.chooser;
+    fingerprint = r.r_fingerprint;
+    races = r.r_races;
+    retransmits = r.r_retransmits;
+    violations = r.r_violations;
+  }
+
+let run_once_in ?(check_determinism = false) ctx mode =
+  result_of ctx (exec_checked ~check_determinism ctx mode)
+
+let run_once ?(check_determinism = false) spec mode =
+  run_once_in ~check_determinism (create_ctx spec) mode
 
 type stats = {
   runs : int;
@@ -215,36 +304,52 @@ type stats = {
   first : (mode * run_result) option;
 }
 
-let explore_random ?(check_determinism = true) ?(stop_on_first = true) spec
+let explore_random_in ?(check_determinism = true) ?(stop_on_first = true) ctx
     ~runs =
   let rec loop i executed violated first =
     if i >= runs || (stop_on_first && first <> None) then
       { runs = executed; violated; first }
     else
-      let r = run_once ~check_determinism spec (Walk i) in
-      let bad = r.violations <> [] in
+      let r = exec_checked ~check_determinism ctx (Walk i) in
+      let bad = raw_violating r in
       let first =
         match first with
         | Some _ -> first
-        | None -> if bad then Some (Walk i, r) else None
+        | None -> if bad then Some (Walk i, result_of ctx r) else None
       in
       loop (i + 1) (executed + 1) (violated + if bad then 1 else 0) first
   in
   loop 0 0 0 None
 
-let take k l =
-  let rec go k = function
-    | x :: rest when k > 0 -> x :: go (k - 1) rest
-    | _ -> []
-  in
-  go k l
+let explore_random ?(check_determinism = true) ?(stop_on_first = true) spec
+    ~runs =
+  explore_random_in ~check_determinism ~stop_on_first (create_ctx spec) ~runs
+
+(* Decision prefixes deviating from the run most recently executed in
+   [ctx], in canonical order: deviation position ascending, then branch
+   ascending. Both the sequential DFS and the parallel driver's subtree
+   partition enumerate children through this one function — that shared
+   canonical order is what makes the parallel merge bit-identical to the
+   sequential search. *)
+let last_children ctx ~plen ~depth =
+  let c = ctx.chooser in
+  let horizon = min depth (Chooser.choice_points c) in
+  let acc = ref [] in
+  for p = horizon - 1 downto plen do
+    let ready = Chooser.ready_at c p in
+    let base = List.init p (Chooser.chosen_at c) in
+    for k = ready - 1 downto 1 do
+      acc := (base @ [ k ]) :: !acc
+    done
+  done;
+  !acc
 
 (* Bounded-exhaustive DFS over decision prefixes: run the scripted
    prefix, read the (ready, chosen) trace it actually produced, and push
    one child per untaken branch at every choice point past the prefix
    (up to [depth] choice points into the run). First-deviation order —
    the classic stateless-model-checking enumeration. *)
-let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) spec
+let explore_exhaustive_in ?(check_determinism = false) ?(max_runs = 500) ctx
     ~depth =
   let stack = ref [ [] ] in
   let executed = ref 0 in
@@ -256,36 +361,28 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) spec
     | [] -> ()
     | prefix :: rest ->
         stack := rest;
-        let r = run_once ~check_determinism spec (Script prefix) in
+        let r = exec_checked ~check_determinism ctx (Script prefix) in
         incr executed;
-        if r.violations <> [] then begin
+        if raw_violating r then begin
           incr violated;
-          if !first = None then first := Some (Script prefix, r)
+          if !first = None then first := Some (Script prefix, result_of ctx r)
         end;
-        let plen = List.length prefix in
-        let choices = Array.of_list r.choices in
-        let horizon = min depth (Array.length choices) in
-        (* push deeper positions first so DFS explores near deviations
-           before far ones when popping *)
-        for p = horizon - 1 downto plen do
-          let ready, _ = choices.(p) in
-          let base = take p r.decisions in
-          for k = ready - 1 downto 1 do
-            stack := (base @ [ k ]) :: !stack
-          done
-        done
+        stack := last_children ctx ~plen:(List.length prefix) ~depth @ !stack
   done;
   { runs = !executed; violated = !violated; first = !first }
 
-let violates spec ds =
-  let r = run_raw spec (Script ds) in
-  r.violations <> []
+let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) spec
+    ~depth =
+  explore_exhaustive_in ~check_determinism ~max_runs (create_ctx spec) ~depth
 
 (* Greedy minimization: find a short violating decision prefix by
    binary-searching the prefix length (violations here are usually
    prefix-closed; the search only ever lands on a verified-violating
-   length), then try zeroing each remaining nonzero decision. *)
+   length), then try zeroing each remaining nonzero decision. All probe
+   runs share one arena. *)
 let minimize spec decisions =
+  let ctx = create_ctx spec in
+  let violates ds = raw_violating (exec_mode ctx (Script ds)) in
   let ds = Array.of_list (Token.trim_trailing_zeros decisions) in
   let len = Array.length ds in
   let prefix l = Array.to_list (Array.sub ds 0 l) in
@@ -293,18 +390,18 @@ let minimize spec decisions =
   else begin
     let lo = ref 0 and hi = ref len in
     (* invariant: prefix !hi violates *)
-    if violates spec [] then hi := 0
+    if violates [] then hi := 0
     else
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in
-        if violates spec (prefix mid) then hi := mid else lo := mid + 1
+        if violates (prefix mid) then hi := mid else lo := mid + 1
       done;
     let kept = Array.sub ds 0 !hi in
     for i = 0 to Array.length kept - 1 do
       if kept.(i) <> 0 then begin
         let saved = kept.(i) in
         kept.(i) <- 0;
-        if not (violates spec (Array.to_list kept)) then kept.(i) <- saved
+        if not (violates (Array.to_list kept)) then kept.(i) <- saved
       end
     done;
     Token.trim_trailing_zeros (Array.to_list kept)
@@ -333,7 +430,11 @@ let spec_of_token (t : Token.t) =
     max_events = t.max_events;
   }
 
-let replay (t : Token.t) = run_raw (spec_of_token t) (Script t.decisions)
+let replay (t : Token.t) =
+  match create_ctx (spec_of_token t) with
+  | ctx -> Ok (run_once_in ctx (Script t.decisions))
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
 
 let pp_violation ppf v =
   Format.fprintf ppf "%s: %s" v.invariant v.detail

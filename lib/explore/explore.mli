@@ -61,6 +61,30 @@ type mode = Walk of int | Script of int list
 (** [Walk i] draws decisions from a PRNG derived from [(seed, i)];
     [Script ds] follows a recorded decision list (0 past its end). *)
 
+(** {2 Reusable arenas}
+
+    A {!ctx} owns everything a sequence of runs of one spec needs — the
+    engine, the machine (built on the first run), the compiled scenario
+    plan, the decision-recording buffers — and resets it in place
+    between runs instead of rebuilding. A run in a reused ctx is
+    bit-identical to one in a fresh ctx. Each ctx belongs to one domain;
+    the parallel driver ({!Parallel}) gives every worker its own. *)
+
+type ctx
+
+val create_ctx : spec -> ctx
+(** Prepares the scenario (parsing/compiling a [prog:FILE] once) and the
+    arena. Raises [Invalid_argument] ([Sys_error] for an unreadable
+    program file) on an invalid spec — including a process count below
+    the scenario's minimum. *)
+
+val run_once_in : ?check_determinism:bool -> ctx -> mode -> run_result
+(** {!run_once} in a reusable arena. *)
+
+val decision_capacity : ctx -> int
+(** Capacity of the arena's decision-recording buffers — exposed so the
+    no-per-run-leak test can assert it stabilizes across runs. *)
+
 val run_once : ?check_determinism:bool -> spec -> mode -> run_result
 (** One run. With [check_determinism] (default false) the run is
     re-executed from its recorded decisions and a ["determinism"]
@@ -79,6 +103,13 @@ val explore_random :
     here (it doubles the cost but every schedule is cheap);
     [stop_on_first] (default [true]) returns at the first violation. *)
 
+val explore_random_in :
+  ?check_determinism:bool -> ?stop_on_first:bool -> ctx -> runs:int -> stats
+(** {!explore_random} over an existing arena. The walk loop is
+    allocation-tight: per-run results are kept in the arena's reusable
+    buffers and a full {!run_result} is only materialized for the first
+    violating run. *)
+
 val explore_exhaustive :
   ?check_determinism:bool -> ?max_runs:int -> spec -> depth:int -> stats
 (** Bounded-exhaustive enumeration: DFS over all decision prefixes that
@@ -86,18 +117,52 @@ val explore_exhaustive :
     points, capped at [max_runs] (default 500) schedules. Stops at the
     first violation. *)
 
+val explore_exhaustive_in :
+  ?check_determinism:bool -> ?max_runs:int -> ctx -> depth:int -> stats
+(** {!explore_exhaustive} over an existing arena. *)
+
 val minimize : spec -> int list -> int list
 (** Greedy shrink of a violating decision list: binary-search the
     shortest violating prefix, then zero individual decisions, keeping
     every change under which the spec still violates. The result is
     guaranteed to still violate. *)
 
-val replay : Token.t -> run_result
-(** Deterministic re-execution of a token's run. *)
+val replay : Token.t -> (run_result, string) result
+(** Deterministic re-execution of a token's run. [Error msg] — instead
+    of an exception — when the token cannot be instantiated: unknown
+    scenario, unreadable program file, or a declared process count below
+    the scenario's minimum (e.g. a hand-edited [n=1] on [getput]). *)
 
 val token_of : spec -> int list -> Token.t
 
 val spec_of_token : Token.t -> spec
+
+(** {2 Exploration internals}
+
+    The raw per-run interface shared with {!Parallel}: a run summary
+    whose schedule stays in the arena's buffers. Not intended for
+    end-user code — the stable surface is {!run_once} / {!explore_random}
+    / {!explore_exhaustive} above. *)
+
+type raw
+(** Outcome, fingerprint, violations of the latest run; the decision
+    trace lives in the ctx until the next run. *)
+
+val exec_checked : ?check_determinism:bool -> ctx -> mode -> raw
+(** One run in the arena ([check_determinism] defaults to [false]). *)
+
+val raw_violating : raw -> bool
+
+val result_of : ctx -> raw -> run_result
+(** Materialize the full result — decisions and choices are read from
+    the arena, so only valid before the ctx's next run. *)
+
+val last_children : ctx -> plen:int -> depth:int -> int list list
+(** Decision prefixes deviating from the ctx's most recent run at choice
+    points [plen, depth), in canonical order (deviation position
+    ascending, then branch ascending). Both the sequential DFS and the
+    parallel subtree partition enumerate through this one function; the
+    shared order is what makes the parallel merge bit-identical. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

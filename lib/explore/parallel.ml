@@ -1,0 +1,290 @@
+(* Domain-parallel schedule exploration.
+
+   Stateless exploration of a deterministic seeded simulator is
+   embarrassingly parallel: every run is a pure function of
+   (spec, decision source), so workers never share simulation state —
+   each domain owns a private [Explore.ctx] arena and the only shared
+   data are a few atomics, a mutex-protected "best finding" slot, and
+   the task queue. The delicate part is not the parallelism but the
+   merge: [explore ~jobs:n] must report bit-identically what the
+   sequential explorer reports, for every n. Both drivers below achieve
+   that by agreeing with the sequential search on a canonical order —
+   walk index for random walks, canonical subtree rank (deviation
+   position ascending, branch ascending; see [Explore.last_children])
+   for the DFS — and reducing findings to the minimum under that order.
+
+   OCaml 5.1, no domainslib: a Mutex/Condition work-sharing queue and
+   [Domain.spawn] are all this needs. The spawning domain participates
+   as worker 0, so [jobs] counts total domains, not extra ones. *)
+
+(* ---------- work-sharing queue ---------- *)
+
+module Wsq = struct
+  type 'a t = {
+    m : Mutex.t;
+    c : Condition.t;
+    q : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { m = Mutex.create (); c = Condition.create (); q = Queue.create ();
+      closed = false }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.push x t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  (* Blocking pop; [None] once the queue is closed and drained. *)
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      if not (Queue.is_empty t.q) then begin
+        let x = Queue.pop t.q in
+        Mutex.unlock t.m;
+        Some x
+      end
+      else if t.closed then begin
+        Mutex.unlock t.m;
+        None
+      end
+      else begin
+        Condition.wait t.c t.m;
+        wait ()
+      end
+    in
+    wait ()
+end
+
+(* ---------- pool ---------- *)
+
+(* Run [worker] on [jobs] domains (the caller is worker 0). Every domain
+   is always joined; the first exception, if any, is re-raised after the
+   joins so no domain outlives the call. *)
+let run_pool ~jobs worker =
+  let spawned =
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  let first_exn = ref None in
+  let note = function
+    | None -> ()
+    | Some _ as e -> if !first_exn = None then first_exn := e
+  in
+  note (try worker 0; None with e -> Some e);
+  Array.iter
+    (fun d -> note (try Domain.join d; None with e -> Some e))
+    spawned;
+  match !first_exn with Some e -> raise e | None -> ()
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+(* ---------- random walks ---------- *)
+
+(* Walk indices are claimed from a shared counter; each is a pure
+   function of (spec, index), so ownership does not matter. The merge
+   order is the walk index itself:
+
+   - [stop_on_first = true]: the sequential explorer returns the walk
+     with the lowest violating index i*, having executed exactly
+     i* + 1 runs. Workers CAS-min a shared best index; a worker that
+     claims an index above the current best stops (the claim counter is
+     monotone, so everything it would claim later is above it too).
+     Every index below the final i* is claimed and executed by someone
+     — a violation there would have lowered i* — so the minimum is
+     exact, and indices above i* that raced ahead are discarded.
+   - [stop_on_first = false]: no index is ever skipped; the violation
+     count is exact and the reported first violation is again the
+     index minimum. *)
+let explore_random ?(check_determinism = true) ?(stop_on_first = true) ~jobs
+    spec ~runs =
+  let jobs = max 1 jobs in
+  if jobs = 1 || runs <= 1 then
+    Explore.explore_random_in ~check_determinism ~stop_on_first
+      (Explore.create_ctx spec) ~runs
+  else begin
+    let next = Atomic.make 0 in
+    let best = Atomic.make max_int in
+    let violated = Atomic.make 0 in
+    let mu = Mutex.create () in
+    let best_found = ref None in
+    let record i r =
+      Mutex.lock mu;
+      (match !best_found with
+      | Some (j, _) when j <= i -> ()
+      | _ -> best_found := Some (i, r));
+      Mutex.unlock mu;
+      atomic_min best i
+    in
+    let worker _wid =
+      let ctx = Explore.create_ctx spec in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < runs && not (stop_on_first && i > Atomic.get best) then begin
+          let raw = Explore.exec_checked ~check_determinism ctx (Walk i) in
+          if Explore.raw_violating raw then begin
+            Atomic.incr violated;
+            record i (Explore.result_of ctx raw)
+          end;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    run_pool ~jobs worker;
+    match !best_found with
+    | Some (i, r) when stop_on_first ->
+        { Explore.runs = i + 1; violated = 1; first = Some (Explore.Walk i, r) }
+    | Some (i, r) ->
+        { Explore.runs; violated = Atomic.get violated;
+          first = Some (Explore.Walk i, r) }
+    | None -> { Explore.runs; violated = 0; first = None }
+  end
+
+(* ---------- bounded-exhaustive DFS ---------- *)
+
+(* One task = one subtree of the DFS, identified by a first-level
+   decision prefix. The sequential search visits the first-level
+   children of the root in canonical order and explores each subtree
+   completely (same DFS, same child order) before the next, so its
+   global run sequence is: root, subtree 0, subtree 1, ... Workers
+   explore subtrees independently; the merge replays that sequence from
+   the per-subtree summaries, applying the [max_runs] cap and the
+   stop-at-first-violation rule exactly where the sequential search
+   would. A subtree may be skipped or aborted only when a
+   strictly-lower-ranked subtree has already violated — and the merge
+   provably never reads past the lowest violating rank, so skipped
+   summaries are never consumed. *)
+
+type subtree =
+  | Complete of int  (* violation-free; number of runs in the subtree *)
+  | Violating of int * int list * Explore.run_result
+      (* position within the subtree's own run sequence (1-based) of its
+         first violation, the violating prefix, and that run
+         materialized *)
+  | Skipped
+
+let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ~jobs
+    spec ~depth =
+  let jobs = max 1 jobs in
+  if jobs = 1 then
+    Explore.explore_exhaustive_in ~check_determinism ~max_runs
+      (Explore.create_ctx spec) ~depth
+  else begin
+    let ctx0 = Explore.create_ctx spec in
+    let root = Explore.exec_checked ~check_determinism ctx0 (Script []) in
+    if Explore.raw_violating root then
+      {
+        Explore.runs = 1;
+        violated = 1;
+        first = Some (Explore.Script [], Explore.result_of ctx0 root);
+      }
+    else begin
+      let children =
+        Array.of_list (Explore.last_children ctx0 ~plen:0 ~depth)
+      in
+      let k = Array.length children in
+      if max_runs <= 1 || k = 0 then
+        { Explore.runs = 1; violated = 0; first = None }
+      else begin
+        let q = Wsq.create () in
+        Array.iteri (fun rank prefix -> Wsq.push q (rank, prefix)) children;
+        Wsq.close q;
+        let best_rank = Atomic.make max_int in
+        (* one slot per rank, written exactly once by the worker that
+           claimed that rank from the queue *)
+        let outcomes = Array.make k Skipped in
+        let explore_subtree ctx ~rank prefix0 =
+          let stack = ref [ prefix0 ] in
+          let count = ref 0 in
+          let found = ref None in
+          let aborted = ref false in
+          let continue_ () =
+            !stack <> [] && !found = None && (not !aborted)
+            && !count < max_runs
+          in
+          while continue_ () do
+            if Atomic.get best_rank < rank then aborted := true
+            else
+              match !stack with
+              | [] -> ()
+              | prefix :: rest ->
+                  stack := rest;
+                  let raw =
+                    Explore.exec_checked ~check_determinism ctx (Script prefix)
+                  in
+                  incr count;
+                  if Explore.raw_violating raw then begin
+                    atomic_min best_rank rank;
+                    found := Some (!count, prefix, Explore.result_of ctx raw)
+                  end
+                  else
+                    stack :=
+                      Explore.last_children ctx ~plen:(List.length prefix)
+                        ~depth
+                      @ !stack
+          done;
+          match !found with
+          | Some (pos, prefix, r) -> Violating (pos, prefix, r)
+          | None -> if !aborted then Skipped else Complete !count
+        in
+        let worker wid =
+          (* worker 0 reuses the arena that ran the root *)
+          let ctx = if wid = 0 then ctx0 else Explore.create_ctx spec in
+          let rec drain () =
+            match Wsq.pop q with
+            | None -> ()
+            | Some (rank, prefix) ->
+                if rank > Atomic.get best_rank then
+                  outcomes.(rank) <- Skipped
+                else outcomes.(rank) <- explore_subtree ctx ~rank prefix;
+                drain ()
+          in
+          drain ()
+        in
+        run_pool ~jobs worker;
+        (* Deterministic merge: replay the sequential visit order. *)
+        let runs = ref 1 in
+        let violated = ref 0 in
+        let first = ref None in
+        (try
+           for rank = 0 to k - 1 do
+             match outcomes.(rank) with
+             | Complete c ->
+                 if !runs + c >= max_runs then begin
+                   runs := max_runs;
+                   raise Exit
+                 end
+                 else runs := !runs + c
+             | Violating (pos, prefix, r) ->
+                 if !runs + pos <= max_runs then begin
+                   runs := !runs + pos;
+                   violated := 1;
+                   first := Some (Explore.Script prefix, r);
+                   raise Exit
+                 end
+                 else begin
+                   runs := max_runs;
+                   raise Exit
+                 end
+             | Skipped ->
+                 (* unreachable: a rank is only skipped when a lower
+                    rank violated, and the merge exits at that lower
+                    rank (or at the cap) first *)
+                 failwith
+                   "Parallel.explore_exhaustive: merge read a skipped subtree"
+           done
+         with Exit -> ());
+        { Explore.runs = !runs; violated = !violated; first = !first }
+      end
+    end
+  end

@@ -1,0 +1,53 @@
+(** Domain-parallel schedule exploration.
+
+    Stateless exploration of the deterministic seeded simulator is
+    embarrassingly parallel: a run is a pure function of
+    [(spec, decision source)], so worker domains share no simulation
+    state — each owns a private [Explore.ctx] arena (engine, machine,
+    buffers all reused across its runs) and coordination is a handful of
+    atomics plus a small Mutex/Condition work queue. No domainslib.
+
+    {b Determinism guarantee}: for a fixed spec, every [~jobs] value —
+    including 1, which delegates to the sequential explorer — produces
+    the same [Explore.stats]: same run count, same violation count, same
+    first violation (mode, fingerprint, decisions). Random walks merge
+    on the minimum violating walk index; the DFS partitions the search
+    into first-level subtrees and merges per-subtree summaries in the
+    sequential visit order (canonical child order, see
+    [Explore.last_children]), applying the run cap exactly where the
+    sequential search would. Scheduling races affect only which
+    already-doomed work gets discarded, never the reported result.
+
+    Repro tokens harvested from a parallel exploration replay
+    single-threaded ([Explore.replay]) by construction — a token never
+    records how it was found. *)
+
+val explore_random :
+  ?check_determinism:bool ->
+  ?stop_on_first:bool ->
+  jobs:int ->
+  Explore.spec ->
+  runs:int ->
+  Explore.stats
+(** Random walks [0, runs) fanned out over [jobs] domains, walk indices
+    claimed from a shared counter. Defaults match
+    [Explore.explore_random] ([check_determinism = true],
+    [stop_on_first = true]). With [stop_on_first], workers stop claiming
+    once their next index exceeds the best violating index found so far;
+    the reported stats are those of the lowest violating index, exactly
+    as the sequential loop reports. [jobs <= 1] runs sequentially. *)
+
+val explore_exhaustive :
+  ?check_determinism:bool ->
+  ?max_runs:int ->
+  jobs:int ->
+  Explore.spec ->
+  depth:int ->
+  Explore.stats
+(** Bounded-exhaustive DFS with the first-level decision subtrees handed
+    to worker domains ([check_determinism] defaults to [false],
+    [max_runs] to 500, as sequentially). Workers abort a subtree early
+    when a lower-ranked subtree has already violated; the merge replays
+    the sequential visit order over the per-subtree summaries, so the
+    result — including the [max_runs] cutoff — is bit-identical to
+    [Explore.explore_exhaustive]. [jobs <= 1] runs sequentially. *)

@@ -13,6 +13,17 @@ type built = {
   monitor : unit -> (string * string) list;
 }
 
+(* A prepared scenario: everything seed-independent (spec parsing,
+   program compilation, process-count validation) is done once; what
+   remains is populating a machine — fresh ([instantiate]) or recycled
+   in place ([repopulate]). Per-run work is then proportional to the
+   scenario's live state, not to machine construction. *)
+type plan = {
+  procs : int;
+  mk_machine : Dsm_sim.Engine.t -> Machine.t;
+  populate : Machine.t -> built;
+}
+
 let known =
   [
     "getput";
@@ -39,12 +50,11 @@ let make_machine sim ~n ~faults ~reliable ~bug =
    whole round trip — so a put may never be applied to A inside an open
    get window. The monitor watches exactly that; it can only fire when
    [Skip_get_dst_lock] is planted. *)
-let build_getput sim ~n ~faults ~reliable ~bug =
-  let n = max 2 n in
-  let machine = make_machine sim ~n ~faults ~reliable ~bug in
+let populate_getput machine =
   let coherence = Coherence.attach machine in
   let a = Machine.alloc_public machine ~pid:0 ~name:"A" ~len:4 () in
   let b = Machine.alloc_public machine ~pid:1 ~name:"B" ~len:4 () in
+  ignore (b : Dsm_memory.Addr.region);
   let open_gets : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let bad = ref [] in
   let a_lo = a.Dsm_memory.Addr.base.offset in
@@ -88,24 +98,24 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let build_prog sim ~path ~n ~faults ~reliable ~bug =
+(* Parsing and lowering happen at [prepare] time; per run we only attach
+   the detector and spawn the compiled program. *)
+let compile_prog path =
   let source = read_file path in
   match Dsm_lang.Parser.parse source with
   | Error msg -> invalid_arg (Printf.sprintf "Scenario %s: %s" path msg)
   | Ok prog -> (
       match Dsm_lang.Compile.lower ~instrument:true prog with
       | Error msg -> invalid_arg (Printf.sprintf "Scenario %s: %s" path msg)
-      | Ok ir ->
-          let machine = make_machine sim ~n ~faults ~reliable ~bug in
-          let coherence = Coherence.attach machine in
-          let detector = Detector.create machine () in
-          let (_ : Dsm_lang.Exec.runtime) =
-            Dsm_lang.Exec.setup machine ~detector ir
-          in
-          { machine; detector = Some detector; coherence; monitor = no_monitor })
+      | Ok ir -> ir)
 
-let build_workload sim ~name ~n ~seed ~faults ~reliable ~bug =
-  let machine = make_machine sim ~n ~faults ~reliable ~bug in
+let populate_prog ir machine =
+  let coherence = Coherence.attach machine in
+  let detector = Detector.create machine () in
+  let (_ : Dsm_lang.Exec.runtime) = Dsm_lang.Exec.setup machine ~detector ir in
+  { machine; detector = Some detector; coherence; monitor = no_monitor }
+
+let populate_workload ~name ~seed machine =
   let coherence = Coherence.attach machine in
   let detector = Detector.create machine () in
   let env = Env.checked detector in
@@ -144,15 +154,42 @@ let build_workload sim ~name ~n ~seed ~faults ~reliable ~bug =
   | _ -> invalid_arg (Printf.sprintf "Scenario: unknown workload %S" name));
   { machine; detector = Some detector; coherence; monitor = no_monitor }
 
-let build sim ~spec ~n ~seed ~faults ~reliable ~bug =
+let prepare ~spec ~n ~seed ~faults ~reliable ~bug =
+  let plan ~min_procs populate =
+    if n < min_procs then
+      invalid_arg
+        (Printf.sprintf
+           "Scenario %s: needs at least %d processes, token/spec declares %d"
+           spec min_procs n);
+    {
+      procs = n;
+      mk_machine = (fun sim -> make_machine sim ~n ~faults ~reliable ~bug);
+      populate;
+    }
+  in
   match String.index_opt spec ':' with
-  | None when spec = "getput" -> build_getput sim ~n ~faults ~reliable ~bug
+  | None when spec = "getput" -> plan ~min_procs:2 populate_getput
   | None -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec)
   | Some colon -> (
       let kind = String.sub spec 0 colon in
       let arg = String.sub spec (colon + 1) (String.length spec - colon - 1) in
       match kind with
-      | "prog" -> build_prog sim ~path:arg ~n ~faults ~reliable ~bug
+      | "prog" ->
+          let ir = compile_prog arg in
+          plan ~min_procs:1 (populate_prog ir)
       | "workload" ->
-          build_workload sim ~name:arg ~n ~seed ~faults ~reliable ~bug
+          if not (List.mem ("workload:" ^ arg) known) then
+            invalid_arg (Printf.sprintf "Scenario: unknown workload %S" arg);
+          plan ~min_procs:2 (populate_workload ~name:arg ~seed)
       | _ -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec))
+
+let procs plan = plan.procs
+
+let instantiate plan sim = plan.populate (plan.mk_machine sim)
+
+let repopulate plan machine =
+  Machine.reset machine;
+  plan.populate machine
+
+let build sim ~spec ~n ~seed ~faults ~reliable ~bug =
+  instantiate (prepare ~spec ~n ~seed ~faults ~reliable ~bug) sim

@@ -29,6 +29,42 @@ type built = {
 val known : string list
 (** Spec forms, for help text. *)
 
+type plan
+(** A prepared scenario: spec parsed, program (for [prog:FILE]) read and
+    compiled, process count validated — everything seed- and
+    machine-independent done once. The explorer prepares a plan per
+    worker and then populates a machine per run, fresh or recycled. *)
+
+val prepare :
+  spec:string ->
+  n:int ->
+  seed:int ->
+  faults:Dsm_net.Fault.t ->
+  reliable:bool ->
+  bug:bool ->
+  plan
+(** Raises [Invalid_argument] on an unknown spec, an unparsable program,
+    or a process count below the scenario's minimum ([getput] and the
+    workloads need at least 2; programs at least 1) — the validation that
+    lets [dsmcheck explore --replay] reject a token whose declared
+    process count mismatches the scenario instead of misbehaving. *)
+
+val procs : plan -> int
+(** The effective process count (equal to [n] passed to {!prepare}). *)
+
+val instantiate : plan -> Dsm_sim.Engine.t -> built
+(** Build a fresh machine on [sim] and populate it: allocate, attach the
+    coherence checker (and detector where the scenario uses one), spawn
+    the processes. Returns without running — the explorer owns the run
+    loop. *)
+
+val repopulate : plan -> Dsm_rdma.Machine.t -> built
+(** Arena reuse: [Machine.reset] the machine from a previous run of the
+    same plan, then populate it exactly as {!instantiate} does. Must be
+    called {e after} [Engine.reset] on the owning engine (see
+    [Machine.reset]); the result is bit-identical to a fresh
+    instantiation. *)
+
 val build :
   Dsm_sim.Engine.t ->
   spec:string ->

@@ -85,3 +85,11 @@ let release t id =
 let held_count t = Hashtbl.length t.held
 
 let queued_count t = List.length t.queue
+
+(* Arena reuse: drop every held lock and queued waiter (their grant
+   continuations are unreachable once the owning simulation is reset)
+   and restart token numbering, as in [create]. *)
+let reset t =
+  t.next_id <- 0;
+  Hashtbl.reset t.held;
+  t.queue <- []

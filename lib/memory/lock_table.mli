@@ -47,3 +47,9 @@ val held_count : t -> int
 val queued_count : t -> int
 (** Requests currently waiting — non-zero here at quiescence is how tests
     detect a lock leak or deadlock. *)
+
+val reset : t -> unit
+(** [reset t] forgets every held lock and queued waiter and restarts
+    token numbering — the [create] state, reached in place. Only sound
+    when the owning simulation has itself been reset: queued grant
+    continuations are dropped, never called. *)

@@ -21,6 +21,18 @@ let create ~pid ?(private_words = 4096) ?(public_words = 4096) ?discipline ()
 
 let pid t = t.pid
 
+(* Arena reuse: zero only the allocated prefix of each segment (the rest
+   never left its [create]-time zero state), then forget allocations and
+   locks. Cost is proportional to live data, not capacity. *)
+let reset t =
+  Segment.fill t.private_seg ~offset:0
+    ~len:(Allocator.allocated t.private_alloc) 0;
+  Segment.fill t.public_seg ~offset:0
+    ~len:(Allocator.allocated t.public_alloc) 0;
+  Allocator.reset t.private_alloc;
+  Allocator.reset t.public_alloc;
+  Lock_table.reset t.locks
+
 let segment t = function
   | Addr.Private -> t.private_seg
   | Addr.Public -> t.public_seg

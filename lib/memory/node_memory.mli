@@ -18,6 +18,12 @@ val create :
 
 val pid : t -> int
 
+val reset : t -> unit
+(** [reset t] returns the node to its freshly-[create]d state in place:
+    the allocated prefix of each segment is zeroed (untouched words are
+    already zero, so cost scales with live data, not capacity), both
+    allocators forget their symbols, and the lock table is cleared. *)
+
 val segment : t -> Addr.space -> Segment.t
 
 val allocator : t -> Addr.space -> Allocator.t

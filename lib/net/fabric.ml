@@ -140,3 +140,18 @@ let words_sent t = t.words
 let reset_counters t =
   t.messages <- 0;
   t.words <- 0
+
+(* Arena reuse: restore the [create] state while keeping handlers
+   registered. Must run after [Engine.reset] so that re-splitting the
+   fabric generator consumes the same draw of the engine's root stream
+   as [create] did — making a reset fabric bit-identical to a fresh
+   one. *)
+let reset t =
+  Prng.resplit (Engine.rng t.sim) ~into:t.rng;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.)
+    t.last_delivery;
+  t.messages <- 0;
+  t.words <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  t.reordered <- 0

@@ -72,3 +72,12 @@ val words_sent : 'msg t -> int
     overhead ratios in E6/E7. *)
 
 val reset_counters : 'msg t -> unit
+
+val reset : 'msg t -> unit
+(** [reset t] restores the fabric to its just-[create]d state in place:
+    FIFO delivery floors and all counters are zeroed and the fabric's
+    generator is re-split from the owning engine's root stream, exactly
+    as [create] split it. Handlers stay registered. Must be called
+    {e after} [Engine.reset] on the owning engine so the split consumes
+    the same root-stream draw as construction did; a reset fabric is then
+    bit-identical to a fresh one. *)

@@ -319,6 +319,34 @@ let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
   done;
   m
 
+(* Arena reuse: back to the [create] state without reallocating. Fabric
+   handlers stay registered (create installs them once); everything the
+   previous run accumulated — node memory, pending operations, transport
+   state, control handlers, observers — is dropped. Must run after
+   [Engine.reset] on the owning engine so [Fabric.reset] re-splits its
+   generator from the same root-stream position as construction. *)
+let reset m =
+  Dsm_net.Fabric.reset m.fabric;
+  (match m.rel with
+  | None -> ()
+  | Some r ->
+      Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) r.next_seq;
+      Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) r.expected;
+      Hashtbl.reset r.held_back;
+      Hashtbl.reset r.unacked;
+      r.retransmits <- 0);
+  Array.iter Node_memory.reset m.nodes;
+  m.next_op <- 0;
+  Hashtbl.reset m.pending_acks;
+  Hashtbl.reset m.pending_data;
+  Hashtbl.reset m.pending_atomic;
+  Hashtbl.reset m.pending_lock;
+  Hashtbl.reset m.pending_control;
+  Hashtbl.reset m.remote_locks;
+  Hashtbl.reset m.control_handlers;
+  m.observers <- [];
+  m.ops <- 0
+
 let sim m = m.sim
 
 let n m = Array.length m.nodes

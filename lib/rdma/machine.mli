@@ -73,6 +73,17 @@ val create :
     defaults to none. Raises [Invalid_argument] if [n] disagrees with an
     explicit topology's node count or [n < 1]. *)
 
+val reset : t -> unit
+(** [reset m] returns the machine to its freshly-[create]d state in
+    place — the arena-reuse path of the schedule explorer's per-run cost
+    attack. Node memories, pending operations, remote-lock bookkeeping,
+    reliable-transport state, control handlers and observers are all
+    cleared; fabric handlers stay registered. Must be called {e after}
+    [Dsm_sim.Engine.reset] on the owning engine: the fabric re-splits its
+    generator from the engine's root stream exactly as construction did,
+    so a reset machine is bit-identical to a fresh one. Upper layers
+    (detector control planes, coherence observers) must re-attach. *)
+
 val sim : t -> Dsm_sim.Engine.t
 
 val n : t -> int

@@ -32,6 +32,23 @@ let create ?(seed = 0x5eed) () =
     rng = Prng.create ~seed;
   }
 
+(* Arena-style reuse: put an engine back in the [create ~seed ()] state
+   without reallocating. The heap keeps its capacity ([Heap.clear]), the
+   generator object is reseeded in place, and any suspended process
+   continuations from the previous run are simply dropped with the heap
+   entries that would have resumed them — they are unreachable and get
+   collected. *)
+let reset ?(seed = 0x5eed) sim =
+  sim.now <- 0.;
+  sim.seq <- 0;
+  sim.events <- 0;
+  sim.live <- 0;
+  sim.stopping <- false;
+  sim.failed <- None;
+  sim.chooser <- None;
+  Heap.clear sim.heap;
+  Prng.reseed sim.rng ~seed
+
 let now sim = sim.now
 
 let rng sim = sim.rng

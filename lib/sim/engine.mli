@@ -20,6 +20,15 @@ val create : ?seed:int -> unit -> t
 (** [create ~seed ()] is an empty simulation at time 0. The seed (default
     [0x5eed]) drives {!rng} and everything derived from it. *)
 
+val reset : ?seed:int -> t -> unit
+(** [reset ~seed sim] puts [sim] back in the [create ~seed ()] state
+    without reallocating: time, counters and the failure slot are zeroed,
+    the chooser is uninstalled, the event heap is emptied (capacity kept),
+    and {!rng} is reseeded in place. Suspended processes from the previous
+    run are dropped along with their pending events. The arena-reuse hook
+    of the [dsm_explore] driver: a fresh [create] and a [reset] engine are
+    observationally identical. *)
+
 val now : t -> float
 (** Current simulated time. *)
 

@@ -6,6 +6,8 @@ let create ~seed = { state = Int64.of_int seed }
 
 let copy g = { state = g.state }
 
+let reseed g ~seed = g.state <- Int64.of_int seed
+
 (* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
@@ -21,6 +23,12 @@ let next_int64 g =
 let split g =
   let seed = next_int64 g in
   { state = mix seed }
+
+(* In-place [split]: after [resplit src ~into], [into] is in exactly the
+   state a fresh [split src] would have returned, and [src] has advanced
+   by the same one step — so a long-lived component can reuse its
+   generator object across arena resets bit-identically. *)
+let resplit src ~into = into.state <- mix (next_int64 src)
 
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

@@ -14,9 +14,19 @@ val create : seed:int -> t
 
 val copy : t -> t
 
+val reseed : t -> seed:int -> unit
+(** [reseed g ~seed] resets [g] in place to the state of
+    [create ~seed] — the arena-reuse path of [Engine.reset]. *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator statistically
     independent from [g]'s future output. *)
+
+val resplit : t -> into:t -> unit
+(** [resplit src ~into] is [split src] performed in place: [into] ends in
+    exactly the state a fresh [split src] would have, [src] advances one
+    step. Lets a component reuse its generator object across resets while
+    reproducing the fresh-construction stream bit-identically. *)
 
 val next_int64 : t -> int64
 (** Uniform over all 2^64 bit patterns. *)

@@ -191,8 +191,13 @@ let test_planted_bug_found_minimized_replayed () =
         | Ok t -> t
         | Error msg -> Alcotest.fail msg
       in
-      let r1 = Explore.replay token in
-      let r2 = Explore.replay token in
+      let replay_exn token =
+        match Explore.replay token with
+        | Ok r -> r
+        | Error msg -> Alcotest.fail ("replay rejected: " ^ msg)
+      in
+      let r1 = replay_exn token in
+      let r2 = replay_exn token in
       Alcotest.(check bool) "replay violates" true
         (r1.Explore.violations <> []);
       Alcotest.(check string) "bit-identical fingerprints"
@@ -323,6 +328,218 @@ let test_differential_50_schedules () =
       done)
     [ (Random_w, 14); (Master_clean, 12); (Master_racy, 12); (Pipeline_w, 12) ]
 
+(* ---------- reusable arenas ---------- *)
+
+(* A run in a reused ctx must be bit-identical to one in a fresh engine +
+   machine, including after runs that ended early (Blocked, Event_limit)
+   and could leave half-finished protocol state behind for the reset to
+   clean up. *)
+let test_ctx_reuse_bit_identical () =
+  List.iter
+    (fun (label, spec) ->
+      let ctx = Explore.create_ctx spec in
+      for i = 0 to 7 do
+        let reused = Explore.run_once_in ctx (Explore.Walk i) in
+        let fresh = Explore.run_once spec (Explore.Walk i) in
+        Alcotest.(check string)
+          (Printf.sprintf "%s walk %d outcome" label i)
+          (Explore.outcome_to_string fresh.Explore.outcome)
+          (Explore.outcome_to_string reused.Explore.outcome);
+        Alcotest.(check string)
+          (Printf.sprintf "%s walk %d fingerprint" label i)
+          fresh.Explore.fingerprint reused.Explore.fingerprint
+      done)
+    [
+      ("clean", { Explore.default_spec with Explore.seed = 9 });
+      ( "lossy, may block",
+        {
+          Explore.default_spec with
+          Explore.seed = 17;
+          faults = Fault.of_string "drop=0.6";
+        } );
+      ( "event-limit",
+        { Explore.default_spec with Explore.seed = 5; max_events = 300 } );
+    ]
+
+(* The walk loop reuses the arena's decision buffers: after a warm-up
+   batch their capacity must stop growing, and a batch of runs must not
+   allocate more than the identical batch before it (runs are
+   deterministic, so any growth is a per-run leak). *)
+let test_no_per_run_leak () =
+  let spec = { Explore.default_spec with Explore.seed = 3 } in
+  let ctx = Explore.create_ctx spec in
+  let batch () =
+    for i = 0 to 19 do
+      ignore (Explore.run_once_in ctx (Explore.Walk (i mod 5)))
+    done
+  in
+  batch ();
+  let cap = Explore.decision_capacity ctx in
+  let a0 = Gc.allocated_bytes () in
+  batch ();
+  let a1 = Gc.allocated_bytes () in
+  batch ();
+  let a2 = Gc.allocated_bytes () in
+  Alcotest.(check int) "decision buffers stabilized" cap
+    (Explore.decision_capacity ctx);
+  let b1 = a1 -. a0 and b2 = a2 -. a1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-batch allocation growth (%.0f then %.0f bytes)" b1
+       b2)
+    true
+    (b2 <= b1 +. 4096.)
+
+(* ---------- determinism under parallelism ---------- *)
+
+module Parallel = Dsm_explore.Parallel
+
+let mode_str = function
+  | Explore.Walk i -> Printf.sprintf "walk %d" i
+  | Explore.Script ds ->
+      "script " ^ String.concat "," (List.map string_of_int ds)
+
+let check_stats_equal label (a : Explore.stats) (b : Explore.stats) =
+  Alcotest.(check int) (label ^ ": runs") a.Explore.runs b.Explore.runs;
+  Alcotest.(check int)
+    (label ^ ": violated")
+    a.Explore.violated b.Explore.violated;
+  match (a.Explore.first, b.Explore.first) with
+  | None, None -> ()
+  | Some (m, r), Some (m', r') ->
+      Alcotest.(check string) (label ^ ": first mode") (mode_str m)
+        (mode_str m');
+      Alcotest.(check (list int))
+        (label ^ ": first decisions")
+        r.Explore.decisions r'.Explore.decisions;
+      Alcotest.(check string)
+        (label ^ ": first fingerprint")
+        r.Explore.fingerprint r'.Explore.fingerprint
+  | Some _, None -> Alcotest.fail (label ^ ": parallel lost the violation")
+  | None, Some _ -> Alcotest.fail (label ^ ": parallel invented a violation")
+
+let minimized_token spec (stats : Explore.stats) =
+  match stats.Explore.first with
+  | None -> Alcotest.fail "expected a violation to minimize"
+  | Some (_, r) ->
+      Token.to_string
+        (Explore.token_of spec (Explore.minimize spec r.Explore.decisions))
+
+(* Under a reliable transport at drop=0.65, seed 1's walk 15 is the
+   first whose retransmission schedule exhausts a frame's retry budget:
+   a violation deep in the batch, so jobs claiming indices out of order
+   must still agree on the minimum. *)
+let late_violation_spec =
+  {
+    Explore.default_spec with
+    Explore.seed = 1;
+    faults = Fault.of_string "drop=0.65";
+    reliable = true;
+  }
+
+let planted_bug_spec =
+  {
+    Explore.default_spec with
+    Explore.seed = 7;
+    faults = Fault.of_string "drop=0.2,dup=0.1";
+    reliable = true;
+    bug = true;
+  }
+
+let test_parallel_walks_identical () =
+  List.iter
+    (fun (label, spec, runs) ->
+      let seq = Explore.explore_random spec ~runs in
+      let tok =
+        if seq.Explore.violated > 0 then Some (minimized_token spec seq)
+        else None
+      in
+      List.iter
+        (fun jobs ->
+          let par = Parallel.explore_random ~jobs spec ~runs in
+          check_stats_equal (Printf.sprintf "%s, jobs %d" label jobs) seq par;
+          match tok with
+          | Some t ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s, jobs %d: minimized token" label jobs)
+                t
+                (minimized_token spec par)
+          | None -> ())
+        [ 1; 2; 4 ])
+    [
+      ("clean", { Explore.default_spec with Explore.seed = 3 }, 25);
+      ("planted bug", planted_bug_spec, 50);
+      ("late violation", late_violation_spec, 25);
+    ]
+
+let test_parallel_walks_full_batch () =
+  (* stop_on_first off: every index executes; the violation count and the
+     minimum violating index must agree with the sequential sweep. *)
+  List.iter
+    (fun jobs ->
+      let seq =
+        Explore.explore_random ~stop_on_first:false late_violation_spec
+          ~runs:25
+      in
+      let par =
+        Parallel.explore_random ~stop_on_first:false ~jobs late_violation_spec
+          ~runs:25
+      in
+      Alcotest.(check bool) "found violations" true (seq.Explore.violated > 0);
+      check_stats_equal (Printf.sprintf "full batch, jobs %d" jobs) seq par)
+    [ 2; 4 ]
+
+let test_parallel_exhaustive_identical () =
+  List.iter
+    (fun (label, spec, depth, max_runs) ->
+      let seq = Explore.explore_exhaustive spec ~depth ~max_runs in
+      List.iter
+        (fun jobs ->
+          let par = Parallel.explore_exhaustive ~jobs spec ~depth ~max_runs in
+          check_stats_equal (Printf.sprintf "%s, jobs %d" label jobs) seq par)
+        [ 1; 2; 4 ])
+    [
+      ("clean", { Explore.default_spec with Explore.seed = 2 }, 6, 50);
+      ( "planted bug",
+        { Explore.default_spec with Explore.seed = 1; bug = true },
+        4,
+        100 );
+      ("deep violation", late_violation_spec, 6, 100);
+      ( "cap-limited",
+        {
+          Explore.default_spec with
+          Explore.seed = 4;
+          faults = Fault.of_string "drop=0.64";
+          reliable = true;
+        },
+        10,
+        120 );
+    ]
+
+(* ---------- replay rejects a mismatched token ---------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_replay_rejects_undersized_token () =
+  (* A hand-edited token declaring fewer processes than the scenario
+     needs must come back as a clean [Error], not an exception. *)
+  match
+    Token.of_string "dsm1|s=getput|n=1|seed=7|f=none|r=0|b=1|me=200000|d=1,2"
+  with
+  | Error msg -> Alcotest.fail ("token should parse: " ^ msg)
+  | Ok t -> (
+      match Explore.replay t with
+      | Ok _ -> Alcotest.fail "replay accepted an n=1 getput token"
+      | Error msg ->
+          Alcotest.(check bool)
+            ("error names the minimum: " ^ msg)
+            true
+            (contains msg "at least 2"))
+
 (* ---------- registration ---------- *)
 
 let () =
@@ -359,6 +576,26 @@ let () =
             test_no_bug_no_monitor_violation;
           Alcotest.test_case "exhaustive finds it" `Quick
             test_exhaustive_finds_planted_bug;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "ctx reuse bit-identical" `Quick
+            test_ctx_reuse_bit_identical;
+          Alcotest.test_case "no per-run leak" `Quick test_no_per_run_leak;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "walks identical across jobs" `Quick
+            test_parallel_walks_identical;
+          Alcotest.test_case "full batch identical across jobs" `Quick
+            test_parallel_walks_full_batch;
+          Alcotest.test_case "exhaustive identical across jobs" `Quick
+            test_parallel_exhaustive_identical;
+        ] );
+      ( "replay-mismatch",
+        [
+          Alcotest.test_case "rejects undersized token" `Quick
+            test_replay_rejects_undersized_token;
         ] );
       ( "differential",
         [
