@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke experiments examples clean outputs
 
 all: build
 
@@ -41,6 +41,15 @@ explore-smoke:
 explore-par-smoke:
 	dune exec bin/dsmcheck.exe -- explore getput --runs 40 --jobs 2
 	dune exec bin/dsmcheck.exe -- explore getput --seed 1 --faults drop=0.65 --reliable --runs 25 --jobs 2; test $$? -eq 124
+
+# Observability smoke: a figure scenario exported as a Perfetto trace
+# (the CLI re-validates the written JSON against the trace-event schema
+# and exits nonzero on a bad export) plus metrics dumps from the run and
+# explore paths. A smaller version also runs inside `dune runtest`.
+obs-smoke:
+	dune exec bin/dsmcheck.exe -- run --scenario fig4 --trace-out /tmp/dsmcheck_fig4_trace.json --metrics
+	dune exec bin/dsmcheck.exe -- run --scenario fig5a --trace-out /tmp/dsmcheck_fig5a_trace.json
+	dune exec bin/dsmcheck.exe -- explore getput --runs 25 --jobs 2 --metrics
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

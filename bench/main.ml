@@ -558,6 +558,142 @@ let parallel_json_rows ~smoke () =
         ] ))
     timed
 
+(* ---------- probe overhead and metrics rows ---------- *)
+
+(* The telemetry layer's no-cost claim, measured head-on. [guard_ns] is
+   the marginal cost of one disabled emit site — a field load plus an
+   untaken branch on a silent bus — obtained by differencing two
+   hand-timed loops that differ only in the guard. [sites_per_op] counts
+   how many emit sites one checked put actually visits (a counting sink
+   on the same workload), and [op_ns] is that put's end-to-end cost with
+   the bus silent. The blessed claim, gated in the --json run:
+   guard_ns * sites_per_op <= 3% of op_ns. Hand-timed rows carry no r²
+   and are exempt from the confidence gate. *)
+
+let single_writer_workload ?(on_machine = fun (_ : Dsm_rdma.Machine.t) -> ())
+    () =
+  let m = Harness.fresh_machine ~n:4 () in
+  on_machine m;
+  let d = Dsm_core.Detector.create m () in
+  let a = Dsm_core.Detector.alloc_shared d ~pid:3 ~name:"a" ~len:1 () in
+  Dsm_rdma.Machine.spawn m ~pid:0 (fun p ->
+      let buf = Dsm_rdma.Machine.alloc_private m ~pid:0 ~len:1 () in
+      for _ = 1 to 64 do
+        Dsm_core.Detector.put d p ~src:buf ~dst:a
+      done);
+  Harness.run_to_completion m
+
+let probe_overhead ~smoke () =
+  let bus = Dsm_obs.Probe.create () in
+  let iters = if smoke then 100_000 else 20_000_000 in
+  let reps = if smoke then 1 else 5 in
+  let acc = ref 0 in
+  let timed body =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Monotonic_clock.get () in
+      body ();
+      let dt = Monotonic_clock.get () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best /. float_of_int iters
+  in
+  let guarded () =
+    for i = 1 to iters do
+      if bus.Dsm_obs.Probe.on then
+        Dsm_obs.Probe.emit bus (Dsm_obs.Probe.Engine_step { time = 0.0 });
+      acc := !acc + i
+    done
+  in
+  let plain () =
+    for i = 1 to iters do
+      acc := !acc + i
+    done
+  in
+  let guard_ns = Float.max 0.0 (timed guarded -. timed plain) in
+  ignore !acc;
+  let sites = ref 0 in
+  single_writer_workload
+    ~on_machine:(fun m ->
+      Dsm_obs.Probe.attach
+        (Dsm_sim.Engine.probe (Dsm_rdma.Machine.sim m))
+        (fun _ -> incr sites))
+    ();
+  let sites_per_op = float_of_int !sites /. 64.0 in
+  let op_reps = if smoke then 1 else 30 in
+  let best = ref infinity in
+  for _ = 1 to op_reps do
+    let t0 = Monotonic_clock.get () in
+    single_writer_workload ();
+    let dt = Monotonic_clock.get () -. t0 in
+    if dt < !best then best := dt
+  done;
+  let op_ns = !best /. 64.0 in
+  let pct = 100.0 *. guard_ns *. sites_per_op /. op_ns in
+  (guard_ns, sites_per_op, op_ns, pct)
+
+let probe_overhead_pct = ref None
+
+(* Deterministic telemetry rows: the simulation is deterministic, so the
+   counters a fixed workload meters are exact numbers worth tracking
+   across PRs next to the timings. *)
+let metrics_rows prefix reg =
+  let snap = Dsm_obs.Metrics.snapshot reg in
+  List.map
+    (fun (name, v) -> (prefix ^ "/" ^ name, [ ("value", string_of_int v) ]))
+    snap.Dsm_obs.Metrics.counters
+  @ List.map
+      (fun (name, h) ->
+        ( prefix ^ "/" ^ name,
+          [
+            ("count", string_of_int h.Dsm_obs.Metrics.count);
+            ("mean", num (Some (Dsm_obs.Metrics.mean h)));
+          ] ))
+      snap.Dsm_obs.Metrics.histograms
+
+let detector_extra_rows ~smoke () =
+  let guard_ns, sites_per_op, op_ns, pct = probe_overhead ~smoke () in
+  probe_overhead_pct := Some pct;
+  Printf.printf
+    "detector/probe_disabled_overhead: %.3f ns/site x %.1f sites vs %.0f \
+     ns/op = %.3f%%\n\
+     %!"
+    guard_ns sites_per_op op_ns pct;
+  let reg = Dsm_obs.Metrics.create () in
+  single_writer_workload
+    ~on_machine:(fun m ->
+      ignore
+        (Dsm_obs.Meter.attach reg
+           (Dsm_sim.Engine.probe (Dsm_rdma.Machine.sim m))))
+    ();
+  ( "detector/probe_disabled_overhead",
+    [
+      ("ns_per_run", num (Some guard_ns));
+      ("sites_per_op", num (Some sites_per_op));
+      ("op_ns", num (Some op_ns));
+      ("overhead_pct", num (Some pct));
+    ] )
+  :: metrics_rows "detector_metrics" reg
+
+let probe_overhead_gate ~smoke () =
+  if not smoke then
+    match !probe_overhead_pct with
+    | Some pct when pct > 3.0 ->
+        Printf.eprintf
+          "probe_disabled_overhead %.3f%% exceeds the 3%% gate; the numbers \
+           were not blessed.\n"
+          pct;
+        exit 1
+    | _ -> ()
+
+let explore_metrics_rows ~smoke () =
+  let reg = Dsm_obs.Metrics.create () in
+  let runs = if smoke then 10 else 200 in
+  ignore
+    (Parallel.explore_random ~check_determinism:false ~stop_on_first:false
+       ~metrics:reg ~jobs:1 (explore_spec ()) ~runs);
+  metrics_rows "explore_metrics" reg
+
 let write_json ?(schema = "dsmcheck-bench-detector/1") path rows =
   let oc = open_out path in
   output_string oc "{\n";
@@ -646,15 +782,24 @@ let () =
           prerr_endline msg;
           exit 1)
   | [ "--micro-only" ] -> run_micro ~smoke ()
-  | [ "--json" ] -> run_json ~smoke detector_tests "BENCH_detector.json"
-  | [ "--json"; path ] -> run_json ~smoke detector_tests path
+  | [ "--json" ] ->
+      run_json ~smoke ~extra_rows:(detector_extra_rows ~smoke) detector_tests
+        "BENCH_detector.json";
+      probe_overhead_gate ~smoke ()
+  | [ "--json"; path ] ->
+      run_json ~smoke ~extra_rows:(detector_extra_rows ~smoke) detector_tests
+        path;
+      probe_overhead_gate ~smoke ()
   | [ "--json-explore" ] ->
       run_json ~smoke ~schema:"dsmcheck-bench-explore/1"
-        ~extra_rows:(parallel_json_rows ~smoke) explore_tests
-        "BENCH_explore.json"
+        ~extra_rows:(fun () ->
+          parallel_json_rows ~smoke () @ explore_metrics_rows ~smoke ())
+        explore_tests "BENCH_explore.json"
   | [ "--json-explore"; path ] ->
       run_json ~smoke ~schema:"dsmcheck-bench-explore/1"
-        ~extra_rows:(parallel_json_rows ~smoke) explore_tests path
+        ~extra_rows:(fun () ->
+          parallel_json_rows ~smoke () @ explore_metrics_rows ~smoke ())
+        explore_tests path
   | [ "--no-micro" ] -> Registry.run_all ppf
   | [] ->
       Registry.run_all ppf;

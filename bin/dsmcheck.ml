@@ -18,6 +18,62 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+(* ---------- observability plumbing ---------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Attach the requested probe sinks to a simulation. Must run before the
+   workload populates the machine so the sinks observe the run end to
+   end. *)
+let attach_telemetry sim ~trace_out ~metrics =
+  let probe = Dsm_sim.Engine.probe sim in
+  let timeline =
+    match trace_out with
+    | Some _ -> Some (Dsm_obs.Timeline.attach probe)
+    | None -> None
+  in
+  let registry =
+    if metrics then begin
+      let r = Dsm_obs.Metrics.create () in
+      ignore (Dsm_obs.Meter.attach r probe);
+      Some r
+    end
+    else None
+  in
+  (timeline, registry)
+
+(* Write the accumulated timeline, then re-validate the bytes on disk
+   against the trace-event schema so a bad export fails here instead of
+   inside Perfetto. *)
+let write_trace timeline path =
+  Dsm_obs.Timeline.write_file timeline path;
+  match Dsm_obs.Trace_json.validate_trace (read_file path) with
+  | Ok s ->
+      Format.printf
+        "trace out      : %s (%d events: %d slices, %d instants, %d flow \
+         pairs, %d lanes)@."
+        path s.Dsm_obs.Trace_json.events s.slices s.instants s.flows s.lanes;
+      Ok ()
+  | Error msg ->
+      Error (Printf.sprintf "%s: exporter wrote invalid trace JSON: %s" path msg)
+
+let print_metrics = function
+  | None -> ()
+  | Some registry ->
+      Format.printf "@[<v 2>metrics        :@,%a@]@." Dsm_obs.Metrics.pp
+        (Dsm_obs.Metrics.snapshot registry)
+
+let finish_telemetry ~timeline ~trace_out ~registry =
+  print_metrics registry;
+  match (timeline, trace_out) with
+  | Some tl, Some path -> write_trace tl path
+  | _ -> Ok ()
+
 (* ---------- list ---------- *)
 
 let list_cmd =
@@ -261,15 +317,9 @@ let workload_cmd =
 
 (* ---------- run (mini-language programs) ---------- *)
 
-let run_program path n instrument detect verbose =
+let run_source path n instrument detect verbose trace_out metrics =
   setup_logs verbose;
-  let source =
-    let ic = open_in path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    s
-  in
+  let source = read_file path in
   match Dsm_lang.Parser.parse source with
   | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
   | Ok prog -> (
@@ -278,6 +328,7 @@ let run_program path n instrument detect verbose =
       | Ok ir ->
           let sim = Dsm_sim.Engine.create () in
           let machine = Machine.create sim ~n () in
+          let timeline, registry = attach_telemetry sim ~trace_out ~metrics in
           let detector =
             if detect then Some (Detector.create machine ~verbose ())
             else None
@@ -302,15 +353,64 @@ let run_program path n instrument detect verbose =
           | Some d ->
               Format.printf "@[<v>%a@]@." Report.pp_grouped
                 (Detector.report d));
-          `Ok ())
+          (match finish_telemetry ~timeline ~trace_out ~registry with
+          | Ok () -> `Ok ()
+          | Error msg -> `Error (false, msg)))
+
+let run_figure name n detect verbose trace_out metrics =
+  setup_logs verbose;
+  let n = max n Dsm_experiments.Figures.figure_min_nodes in
+  let sim = Dsm_sim.Engine.create () in
+  let machine = Machine.create sim ~n () in
+  let timeline, registry = attach_telemetry sim ~trace_out ~metrics in
+  match Dsm_experiments.Figures.build_figure name machine with
+  | Error msg -> `Error (false, msg)
+  | Ok detector ->
+      (match Machine.run machine with
+      | Dsm_sim.Engine.Completed -> ()
+      | _ -> prerr_endline "warning: simulation did not complete");
+      Format.printf "scenario       : %s (%d processes)@." name n;
+      Format.printf "simulated time : %.2f us@." (Dsm_sim.Engine.now sim);
+      Format.printf "messages       : %d (%d words)@."
+        (Machine.fabric_messages machine)
+        (Machine.fabric_words machine);
+      (match detector with
+      | Some d when detect ->
+          Format.printf "checked ops    : %d@." (Detector.checked_ops d);
+          Format.printf "@[<v>%a@]@." Report.pp_grouped (Detector.report d)
+      | _ -> ());
+      (match finish_telemetry ~timeline ~trace_out ~registry with
+      | Ok () -> `Ok ()
+      | Error msg -> `Error (false, msg))
+
+let run_program path scenario n instrument detect verbose trace_out metrics =
+  match (path, scenario) with
+  | None, None -> `Error (true, "either FILE or --scenario NAME is required")
+  | Some _, Some _ -> `Error (true, "FILE and --scenario are mutually exclusive")
+  | None, Some name -> run_figure name n detect verbose trace_out metrics
+  | Some path, None ->
+      run_source path n instrument detect verbose trace_out metrics
 
 let run_cmd =
-  let doc = "Compile and run a mini-language program (see programs/*.dsm)." in
+  let doc =
+    "Compile and run a mini-language program (see programs/*.dsm), or one \
+     of the paper's figure scenarios with $(b,--scenario)."
+  in
   let path =
     Arg.(
-      required
+      value
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Program source file.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Run a figure scenario instead of a program file: %s."
+               (String.concat ", " Dsm_experiments.Figures.figure_names)))
   in
   let n =
     Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Process count.")
@@ -329,8 +429,26 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print signals live.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome/Perfetto trace-event JSON timeline of the run \
+             (load it at ui.perfetto.dev or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics-registry snapshot after the run.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run_program $ path $ n $ instrument $ detect $ verbose))
+    Term.(
+      ret
+        (const run_program $ path $ scenario $ n $ instrument $ detect
+       $ verbose $ trace_out $ metrics))
 
 (* ---------- explore ---------- *)
 
@@ -342,24 +460,73 @@ let print_violations r =
     (fun v -> Format.printf "violation      : %a@." Explore.pp_violation v)
     r.Explore.violations
 
+(* Replay a token with a probe sink that reconstructs the message arrows
+   and race marks of the run, and render them as the paper-style
+   space-time diagram. Arrow matching is FIFO per (src, dst, label) —
+   exact under in-order delivery, best-effort under reordering faults. *)
+let replay_with_diagram token =
+  let arrows = ref [] in
+  let marks = ref [] in
+  let pending : (int * int * string, float Queue.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let sink = function
+    | Dsm_obs.Probe.Msg_sent { time; src; dst; label } ->
+        let q =
+          match Hashtbl.find_opt pending (src, dst, label) with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.add pending (src, dst, label) q;
+              q
+        in
+        Queue.push time q
+    | Dsm_obs.Probe.Msg_delivered { time; src; dst; label } -> (
+        match Hashtbl.find_opt pending (src, dst, label) with
+        | Some q when not (Queue.is_empty q) ->
+            let send_time = Queue.pop q in
+            arrows :=
+              { Dsm_trace.Spacetime.send_time; recv_time = time; src; dst;
+                label }
+              :: !arrows
+        | _ -> ())
+    | Dsm_obs.Probe.Race_signal { time; pid; node; offset; len } ->
+        marks :=
+          {
+            Dsm_trace.Spacetime.time;
+            pid;
+            text = Printf.sprintf "RACE n%d+%d/%d" node offset len;
+          }
+          :: !marks
+    | _ -> ()
+  in
+  match
+    Explore.replay ~probe:(fun bus -> Dsm_obs.Probe.attach bus sink) token
+  with
+  | Error _ as e -> e
+  | Ok r -> Ok (r, List.rev !arrows, List.rev !marks)
+
 let run_explore scenario n seed runs depth jobs faults reliable bug max_events
-    replay no_minimize verbose =
+    replay no_minimize metrics trace_out_violation verbose =
   setup_logs verbose;
   match replay with
   | Some token_str -> (
       match Token.of_string token_str with
       | Error msg -> `Error (false, msg)
       | Ok token -> (
-          match Explore.replay token with
+          match replay_with_diagram token with
           | Error msg -> `Error (false, msg)
-          | Ok r ->
+          | Ok (r, arrows, marks) ->
+              Format.printf "fault plan     : %s@."
+                (Dsm_net.Fault.to_string token.Token.faults);
               Format.printf "@[<v>%a@]@." Explore.pp_result r;
               print_violations r;
-              if r.Explore.violations = [] then begin
+              Format.printf "%s@."
+                (Dsm_trace.Spacetime.render ~n:token.Token.n ~arrows ~marks
+                   ());
+              if r.Explore.violations = [] then
                 Format.printf "replay         : no invariant violated@.";
-                `Ok ()
-              end
-              else `Ok ()))
+              `Ok ()))
   | None -> (
       let faults =
         match faults with
@@ -377,15 +544,39 @@ let run_explore scenario n seed runs depth jobs faults reliable bug max_events
           max_events;
         }
       in
+      let registry =
+        if metrics then Some (Dsm_obs.Metrics.create ()) else None
+      in
+      let progress =
+        if jobs > 1 then begin
+          (* Rate-limited stderr heartbeat fed by the shared completion
+             counters; the CAS on [last] keeps concurrent workers from
+             printing duplicate lines. *)
+          let t0 = Unix.gettimeofday () in
+          let last = Atomic.make t0 in
+          Some
+            (fun ~runs ~violated ->
+              let now = Unix.gettimeofday () in
+              let prev = Atomic.get last in
+              if now -. prev >= 1.0 && Atomic.compare_and_set last prev now
+              then
+                Printf.eprintf "explore: %d runs, %d violating, %.0f runs/s\n%!"
+                  runs violated
+                  (float_of_int runs /. (now -. t0)))
+        end
+        else None
+      in
       (* Parallel.* with jobs <= 1 delegates to the sequential explorer,
          and for jobs > 1 its merge is bit-identical to it — so one call
          site covers every --jobs value. *)
       match
         match depth with
         | Some depth ->
-            Dsm_explore.Parallel.explore_exhaustive ~jobs spec ~depth
-              ~max_runs:runs
-        | None -> Dsm_explore.Parallel.explore_random ~jobs spec ~runs
+            Dsm_explore.Parallel.explore_exhaustive ~jobs ?metrics:registry
+              spec ~depth ~max_runs:runs
+        | None ->
+            Dsm_explore.Parallel.explore_random ~jobs ?metrics:registry
+              ?progress spec ~runs
       with
       | exception Invalid_argument msg -> `Error (false, msg)
       | exception Sys_error msg -> `Error (false, msg)
@@ -395,16 +586,41 @@ let run_explore scenario n seed runs depth jobs faults reliable bug max_events
           match stats.Explore.first with
           | None ->
               Format.printf "invariants     : all held@.";
+              print_metrics registry;
               `Ok ()
           | Some (_, r) ->
               print_violations r;
               let decisions =
                 if no_minimize then
                   Token.trim_trailing_zeros r.Explore.decisions
-                else Explore.minimize spec r.Explore.decisions
+                else Explore.minimize ?metrics:registry spec r.Explore.decisions
               in
               let token = Explore.token_of spec decisions in
               Format.printf "repro          : %s@." (Token.to_string token);
+              (match trace_out_violation with
+              | None -> ()
+              | Some path -> (
+                  (* Re-execute the (minimized) violating run with a
+                     timeline sink on its replay arena and export it. *)
+                  let tl = ref None in
+                  match
+                    Explore.replay
+                      ~probe:(fun bus ->
+                        tl := Some (Dsm_obs.Timeline.attach bus))
+                      token
+                  with
+                  | Error msg ->
+                      Printf.eprintf "warning: violation replay failed: %s\n"
+                        msg
+                  | Ok _ -> (
+                      match !tl with
+                      | None -> ()
+                      | Some tl -> (
+                          match write_trace tl path with
+                          | Ok () -> ()
+                          | Error msg ->
+                              Printf.eprintf "warning: %s\n" msg))));
+              print_metrics registry;
               `Error (false, "invariant violated (see repro token)")))
 
 let explore_cmd =
@@ -501,6 +717,23 @@ let explore_cmd =
       & info [ "no-minimize" ]
           ~doc:"Skip schedule-prefix minimization of the repro token.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the metrics-registry snapshot after the exploration \
+             (merged across worker domains with --jobs > 1).")
+  in
+  let trace_out_violation =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out-violation" ] ~docv:"FILE"
+          ~doc:
+            "On a violation, replay the (minimized) repro token and write \
+             its Chrome/Perfetto trace-event JSON timeline to $(docv).")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
   in
@@ -509,7 +742,7 @@ let explore_cmd =
       ret
         (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
        $ faults $ reliable $ bug $ max_events $ replay $ no_minimize
-       $ verbose))
+       $ metrics $ trace_out_violation $ verbose))
 
 (* ---------- scenario ---------- *)
 

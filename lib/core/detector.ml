@@ -16,6 +16,7 @@ module Recorder = Dsm_trace.Recorder
 type t = {
   machine : Machine.t;
   config : Config.t;
+  probe : Dsm_obs.Probe.t; (* the owning engine's telemetry bus *)
   report : Report.t;
   dim : int; (* vector dimension: n, or 1 in the Lamport ablation *)
   procs : Vector_clock.t array;
@@ -103,6 +104,7 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
     {
       machine;
       config;
+      probe = Dsm_sim.Engine.probe (Machine.sim machine);
       report = Report.create ~verbose ();
       dim;
       procs = clock_array ();
@@ -172,6 +174,9 @@ let kind_of_class = function
 (* Cold path: a race was found; materialize the granule region and the
    clock snapshots for the report. *)
 let signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against =
+  if t.probe.on then
+    Dsm_obs.Probe.emit t.probe
+      (Race_signal { time = now t; pid; node; offset; len });
   Report.signal t.report
     {
       Report.event_id;
@@ -301,9 +306,18 @@ let region_before (a : Addr.region) (b : Addr.region) =
 (* The shared body of Algorithms 1 and 2: tick, read-side check and
    absorption, write-side check, then the transfer provided by [transfer].
    [read_region] is checked when public; [write_region] always is. *)
-let checked_op t p ~read_region ~write_region ~transfer =
+let checked_op t p ~kind ~read_region ~write_region ~transfer =
   t.checked_ops <- t.checked_ops + 1;
   let v0 = t.procs.(Machine.pid p) in
+  if t.probe.on then
+    Dsm_obs.Probe.emit t.probe
+      (Detector_check
+         {
+           time = now t;
+           pid = Machine.pid p;
+           kind;
+           fast_path = Vector_clock.is_epoch v0;
+         });
   let body () =
     Vector_clock.tick v0 ~me:(me t p);
     if Addr.is_public read_region then begin
@@ -313,7 +327,10 @@ let checked_op t p ~read_region ~write_region ~transfer =
       in
       (* The reader absorbs the causal history of the writes it observed:
          this is what orders Figure 5b's m3 after m1. *)
-      Vector_clock.merge_into ~into:v0 absorbed
+      Vector_clock.merge_into ~into:v0 absorbed;
+      if t.probe.on then
+        Dsm_obs.Probe.emit t.probe
+          (Clock_merge { time = now t; pid = Machine.pid p })
     end;
     if Addr.is_public write_region then begin
       let event_id =
@@ -354,7 +371,7 @@ let put t p ~src ~dst =
         count_shipped t 1;
         Machine.raw_put p ~src ~dst ~extra_words ()
   in
-  checked_op t p ~read_region:src ~write_region:dst ~transfer
+  checked_op t p ~kind:"put" ~read_region:src ~write_region:dst ~transfer
 
 let get t p ~src ~dst =
   let extra_words = piggyback_words t in
@@ -367,7 +384,7 @@ let get t p ~src ~dst =
         count_shipped t 2;
         Machine.raw_get p ~src ~dst ~extra_words ()
   in
-  checked_op t p ~read_region:src ~write_region:dst ~transfer
+  checked_op t p ~kind:"get" ~read_region:src ~write_region:dst ~transfer
 
 (* Checked atomic read-modify-writes (extension beyond the paper): the
    NIC serializes them, so atomic/atomic pairs are synchronized — the
@@ -379,10 +396,22 @@ let checked_atomic t p ~(target : Addr.global) ~run_op =
   t.checked_ops <- t.checked_ops + 1;
   let region = Addr.region_of_global target ~len:1 in
   let v0 = t.procs.(Machine.pid p) in
+  if t.probe.on then
+    Dsm_obs.Probe.emit t.probe
+      (Detector_check
+         {
+           time = now t;
+           pid = Machine.pid p;
+           kind = "atomic";
+           fast_path = Vector_clock.is_epoch v0;
+         });
   Vector_clock.tick v0 ~me:(me t p);
   let event_id = record_access t p ~kind:Event.Atomic_update ~target:region in
   let absorbed = check_access t p ~region ~cls:Atomic_rmw ~v0 ~event_id in
   Vector_clock.merge_into ~into:v0 absorbed;
+  if t.probe.on then
+    Dsm_obs.Probe.emit t.probe
+      (Clock_merge { time = now t; pid = Machine.pid p });
   count_shipped t 2;
   run_op ~extra_words:(piggyback_words t)
 
@@ -429,7 +458,10 @@ let lock t p (r : Addr.region) =
   if t.config.Config.lock_aware_clocks then begin
     let v0 = t.procs.(Machine.pid p) in
     Vector_clock.tick v0 ~me:(me t p);
-    Vector_clock.merge_into ~into:v0 (lock_clock t r)
+    Vector_clock.merge_into ~into:v0 (lock_clock t r);
+    if t.probe.on then
+      Dsm_obs.Probe.emit t.probe
+        (Clock_merge { time = now t; pid = Machine.pid p })
   end;
   { token; lock_region = r }
 
@@ -448,7 +480,11 @@ let barrier_sync t =
   let merged = t.scratch_barrier in
   Vector_clock.reset merged;
   Array.iter (fun c -> Vector_clock.merge_into ~into:merged c) t.procs;
-  Array.iter (fun c -> Vector_clock.merge_into ~into:c merged) t.procs
+  Array.iter (fun c -> Vector_clock.merge_into ~into:c merged) t.procs;
+  if t.probe.on then
+    for pid = 0 to Array.length t.procs - 1 do
+      Dsm_obs.Probe.emit t.probe (Clock_merge { time = now t; pid })
+    done
 
 let on_barrier t ~pid ~phase ~generation ~time =
   match t.recorder with

@@ -318,6 +318,70 @@ let e5 ppf =
   Format.fprintf ppf "Figure 5a replay:@.%s@."
     (Spacetime.render ~n:3 ~arrows:(arrows ()) ~marks ())
 
+(* ---------- figure scenarios on a caller-provided machine ----------
+
+   The CLI's [run --scenario figN] path: the caller builds the machine
+   (and attaches probe sinks to its engine) before the scenario is
+   populated, so telemetry observes the figure end to end. *)
+
+let figure_names = [ "fig2"; "fig3"; "fig4"; "fig5a"; "fig5b"; "fig5c" ]
+
+let figure_min_nodes = 3
+
+let build_figure name m =
+  let fig5 f =
+    let d = Detector.create m () in
+    f.build m d;
+    Ok (Some d)
+  in
+  match name with
+  | "fig2" ->
+      let area = Machine.alloc_public m ~pid:1 ~name:"data" ~len:4 () in
+      Machine.spawn m ~pid:2 (fun p ->
+          let buf = Harness.private_with m ~pid:2 [| 1; 2; 3; 4 |] in
+          Machine.put p ~src:buf ~dst:area ~ack:false ();
+          Machine.compute p 5.0;
+          Machine.get p ~src:area ~dst:buf ());
+      Ok None
+  | "fig3" ->
+      let src1 = Machine.alloc_public m ~pid:1 ~name:"a" ~len:4 () in
+      let dst2 = Machine.alloc_public m ~pid:2 ~name:"b" ~len:4 () in
+      Machine.spawn m ~pid:2 (fun p -> Machine.get p ~src:src1 ~dst:dst2 ());
+      Machine.spawn m ~pid:0 (fun p ->
+          Machine.compute p 0.5;
+          let buf = Machine.alloc_private m ~pid:0 ~len:4 () in
+          Machine.put p ~src:buf ~dst:dst2 ());
+      Ok None
+  | "fig4" ->
+      let d =
+        Detector.create m
+          ~config:{ Config.default with Config.use_write_clock = true }
+          ()
+      in
+      let a = Detector.alloc_shared d ~pid:0 ~name:"a" ~len:1 () in
+      Machine.spawn m ~pid:0 (fun p ->
+          Detector.put d p
+            ~src:(Harness.private_with m ~pid:0 [| 65 |])
+            ~dst:a;
+          Detector.barrier_sync d);
+      let reader pid =
+        Machine.spawn m ~pid (fun p ->
+            Machine.compute p 50.0;
+            let buf = Machine.alloc_private m ~pid ~len:1 () in
+            Detector.get d p ~src:a ~dst:buf)
+      in
+      reader 1;
+      reader 2;
+      Ok (Some d)
+  | "fig5a" -> fig5 fig5a
+  | "fig5b" -> fig5 fig5b
+  | "fig5c" -> fig5 fig5c
+  | _ ->
+      Error
+        (Printf.sprintf "unknown figure scenario %S (expected one of: %s)"
+           name
+           (String.concat ", " figure_names))
+
 let experiments =
   [
     {

@@ -3,3 +3,23 @@
     self-checking scenarios. *)
 
 val experiments : Harness.experiment list
+
+(** {2 Figure scenarios on a caller-provided machine}
+
+    The CLI's [run --scenario NAME] path: build the machine first (so
+    probe sinks can attach to its engine), then populate the figure. *)
+
+val figure_names : string list
+(** ["fig2"], ["fig3"], ["fig4"], ["fig5a"], ["fig5b"], ["fig5c"]. *)
+
+val figure_min_nodes : int
+(** Every figure scenario needs at least this many processes (3). *)
+
+val build_figure :
+  string ->
+  Dsm_rdma.Machine.t ->
+  (Dsm_core.Detector.t option, string) result
+(** Spawn figure [name]'s processes on [m] (run the machine afterwards).
+    Returns the detector when the figure is a race scenario (fig4,
+    fig5a/b/c), [None] for the raw message-flow figures (fig2, fig3),
+    [Error] for an unknown name. *)

@@ -77,23 +77,36 @@ type ctx = {
   chooser : Chooser.t;  (* records the schedule of the current run *)
   replay_chooser : Chooser.t;  (* scripted re-run for the determinism check *)
   prev : Vector_clock.t option array;  (* clock-monotonicity scratch *)
+  mutable runs_executed : int;  (* run ids for the probe bus *)
 }
 
-let create_ctx spec =
+let create_ctx ?metrics spec =
   let plan =
     Scenario.prepare ~spec:spec.scenario ~n:spec.n ~seed:spec.seed
       ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
   in
+  let sim = Engine.create ~seed:spec.seed () in
+  (* Telemetry is strictly read-only with respect to the simulation —
+     the meter touches neither PRNG streams nor scheduling — so a
+     metrics-carrying ctx produces bit-identical findings. The bus lives
+     in the engine and survives [Engine.reset], so one attach here
+     observes every reused run. *)
+  (match metrics with
+  | None -> ()
+  | Some registry -> ignore (Dsm_obs.Meter.attach registry (Engine.probe sim)));
   {
     spec;
     plan;
-    sim = Engine.create ~seed:spec.seed ();
+    sim;
     machine = None;
     walk_rng = Prng.create ~seed:0;
     chooser = Chooser.scripted [];
     replay_chooser = Chooser.scripted [];
     prev = Array.make (Scenario.procs plan) None;
+    runs_executed = 0;
   }
+
+let ctx_probe ctx = Engine.probe ctx.sim
 
 let decision_capacity ctx = Chooser.capacity ctx.chooser
 
@@ -223,6 +236,11 @@ type raw = {
 let raw_violating r = r.r_violations <> []
 
 let exec_with ctx chooser =
+  let probe = Engine.probe ctx.sim in
+  let run = ctx.runs_executed in
+  ctx.runs_executed <- run + 1;
+  if probe.Dsm_obs.Probe.on then
+    Dsm_obs.Probe.emit probe (Run_begin { run });
   let built = fresh_built ctx in
   Engine.set_chooser ctx.sim (Some (Chooser.fn chooser));
   let outcome, mono = execute ctx built in
@@ -234,6 +252,19 @@ let exec_with ctx chooser =
     | None -> 0
   in
   let monitor_report = built.monitor () in
+  if probe.Dsm_obs.Probe.on then begin
+    List.iter
+      (fun v ->
+        Dsm_obs.Probe.emit probe (Violation { run; invariant = v.invariant }))
+      violations;
+    Dsm_obs.Probe.emit probe
+      (Run_end
+         {
+           run;
+           events = Engine.events_processed ctx.sim;
+           violating = violations <> [];
+         })
+  end;
   {
     r_outcome = outcome;
     r_sim_time = Engine.now ctx.sim;
@@ -380,9 +411,16 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) spec
    prefix-closed; the search only ever lands on a verified-violating
    length), then try zeroing each remaining nonzero decision. All probe
    runs share one arena. *)
-let minimize spec decisions =
-  let ctx = create_ctx spec in
-  let violates ds = raw_violating (exec_mode ctx (Script ds)) in
+let minimize ?metrics spec decisions =
+  let ctx = create_ctx ?metrics spec in
+  let probe = Engine.probe ctx.sim in
+  let violates ds =
+    let bad = raw_violating (exec_mode ctx (Script ds)) in
+    if probe.Dsm_obs.Probe.on then
+      Dsm_obs.Probe.emit probe
+        (Minimize_step { len = List.length ds; violating = bad });
+    bad
+  in
   let ds = Array.of_list (Token.trim_trailing_zeros decisions) in
   let len = Array.length ds in
   let prefix l = Array.to_list (Array.sub ds 0 l) in
@@ -430,9 +468,11 @@ let spec_of_token (t : Token.t) =
     max_events = t.max_events;
   }
 
-let replay (t : Token.t) =
+let replay ?probe (t : Token.t) =
   match create_ctx (spec_of_token t) with
-  | ctx -> Ok (run_once_in ctx (Script t.decisions))
+  | ctx ->
+      (match probe with None -> () | Some f -> f (ctx_probe ctx));
+      Ok (run_once_in ctx (Script t.decisions))
   | exception Invalid_argument msg -> Error msg
   | exception Sys_error msg -> Error msg
 

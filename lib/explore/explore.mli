@@ -72,11 +72,22 @@ type mode = Walk of int | Script of int list
 
 type ctx
 
-val create_ctx : spec -> ctx
+val create_ctx : ?metrics:Dsm_obs.Metrics.t -> spec -> ctx
 (** Prepares the scenario (parsing/compiling a [prog:FILE] once) and the
     arena. Raises [Invalid_argument] ([Sys_error] for an unreadable
     program file) on an invalid spec — including a process count below
-    the scenario's minimum. *)
+    the scenario's minimum.
+
+    With [metrics], a {!Dsm_obs.Meter} is attached to the arena engine's
+    probe bus, so every run executed in this ctx is counted into the
+    registry (reset it between batches with {!Dsm_obs.Metrics.reset}).
+    Telemetry is read-only with respect to the simulation: findings and
+    fingerprints are bit-identical with or without it. *)
+
+val ctx_probe : ctx -> Dsm_obs.Probe.t
+(** The arena engine's probe bus — attach extra sinks (e.g. a
+    {!Dsm_obs.Timeline}) before running; the bus survives the arena's
+    per-run resets. *)
 
 val run_once_in : ?check_determinism:bool -> ctx -> mode -> run_result
 (** {!run_once} in a reusable arena. *)
@@ -121,17 +132,20 @@ val explore_exhaustive_in :
   ?check_determinism:bool -> ?max_runs:int -> ctx -> depth:int -> stats
 (** {!explore_exhaustive} over an existing arena. *)
 
-val minimize : spec -> int list -> int list
+val minimize : ?metrics:Dsm_obs.Metrics.t -> spec -> int list -> int list
 (** Greedy shrink of a violating decision list: binary-search the
     shortest violating prefix, then zero individual decisions, keeping
     every change under which the spec still violates. The result is
-    guaranteed to still violate. *)
+    guaranteed to still violate. With [metrics], probe runs are counted
+    (including ["explore.minimize_steps"]). *)
 
-val replay : Token.t -> (run_result, string) result
+val replay : ?probe:(Dsm_obs.Probe.t -> unit) -> Token.t -> (run_result, string) result
 (** Deterministic re-execution of a token's run. [Error msg] — instead
     of an exception — when the token cannot be instantiated: unknown
     scenario, unreadable program file, or a declared process count below
-    the scenario's minimum (e.g. a hand-edited [n=1] on [getput]). *)
+    the scenario's minimum (e.g. a hand-edited [n=1] on [getput]).
+    [probe] receives the replay arena's bus before the run executes —
+    the hook for timeline capture of a repro token. *)
 
 val token_of : spec -> int list -> Token.t
 

@@ -105,16 +105,38 @@ let rec atomic_min a v =
    - [stop_on_first = false]: no index is ever skipped; the violation
      count is exact and the reported first violation is again the
      index minimum. *)
-let explore_random ?(check_determinism = true) ?(stop_on_first = true) ~jobs
-    spec ~runs =
+(* Per-worker telemetry: each domain meters its runs into a private
+   registry (the shared bus lives inside each worker's own engine), and
+   the private registries are folded into the caller's under a mutex
+   once the worker drains. [Metrics.merge_into] is commutative and
+   associative, so the fold order — worker completion order, which
+   scheduling does affect — cannot affect the aggregate. *)
+let worker_metrics metrics = Option.map (fun _ -> Dsm_obs.Metrics.create ()) metrics
+
+let fold_metrics mu metrics wreg =
+  match (metrics, wreg) with
+  | Some into, Some src ->
+      Mutex.lock mu;
+      Dsm_obs.Metrics.merge_into ~into src;
+      Mutex.unlock mu
+  | _ -> ()
+
+let claim_probe ctx ~domain ~run =
+  let probe = Explore.ctx_probe ctx in
+  if probe.Dsm_obs.Probe.on then
+    Dsm_obs.Probe.emit probe (Dsm_obs.Probe.Domain_claim { domain; run })
+
+let explore_random ?(check_determinism = true) ?(stop_on_first = true)
+    ?metrics ?progress ~jobs spec ~runs =
   let jobs = max 1 jobs in
   if jobs = 1 || runs <= 1 then
     Explore.explore_random_in ~check_determinism ~stop_on_first
-      (Explore.create_ctx spec) ~runs
+      (Explore.create_ctx ?metrics spec) ~runs
   else begin
     let next = Atomic.make 0 in
     let best = Atomic.make max_int in
     let violated = Atomic.make 0 in
+    let completed = Atomic.make 0 in
     let mu = Mutex.create () in
     let best_found = ref None in
     let record i r =
@@ -125,20 +147,28 @@ let explore_random ?(check_determinism = true) ?(stop_on_first = true) ~jobs
       Mutex.unlock mu;
       atomic_min best i
     in
-    let worker _wid =
-      let ctx = Explore.create_ctx spec in
+    let worker wid =
+      let wreg = worker_metrics metrics in
+      let ctx = Explore.create_ctx ?metrics:wreg spec in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < runs && not (stop_on_first && i > Atomic.get best) then begin
+          claim_probe ctx ~domain:wid ~run:i;
           let raw = Explore.exec_checked ~check_determinism ctx (Walk i) in
           if Explore.raw_violating raw then begin
             Atomic.incr violated;
             record i (Explore.result_of ctx raw)
           end;
+          Atomic.incr completed;
+          (match progress with
+          | None -> ()
+          | Some f ->
+              f ~runs:(Atomic.get completed) ~violated:(Atomic.get violated));
           loop ()
         end
       in
-      loop ()
+      loop ();
+      fold_metrics mu metrics wreg
     in
     run_pool ~jobs worker;
     match !best_found with
@@ -173,28 +203,34 @@ type subtree =
          materialized *)
   | Skipped
 
-let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ~jobs
-    spec ~depth =
+let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ?metrics
+    ~jobs spec ~depth =
   let jobs = max 1 jobs in
   if jobs = 1 then
     Explore.explore_exhaustive_in ~check_determinism ~max_runs
-      (Explore.create_ctx spec) ~depth
+      (Explore.create_ctx ?metrics spec) ~depth
   else begin
-    let ctx0 = Explore.create_ctx spec in
+    let mu_metrics = Mutex.create () in
+    let reg0 = worker_metrics metrics in
+    let ctx0 = Explore.create_ctx ?metrics:reg0 spec in
     let root = Explore.exec_checked ~check_determinism ctx0 (Script []) in
-    if Explore.raw_violating root then
+    if Explore.raw_violating root then begin
+      fold_metrics mu_metrics metrics reg0;
       {
         Explore.runs = 1;
         violated = 1;
         first = Some (Explore.Script [], Explore.result_of ctx0 root);
       }
+    end
     else begin
       let children =
         Array.of_list (Explore.last_children ctx0 ~plen:0 ~depth)
       in
       let k = Array.length children in
-      if max_runs <= 1 || k = 0 then
+      if max_runs <= 1 || k = 0 then begin
+        fold_metrics mu_metrics metrics reg0;
         { Explore.runs = 1; violated = 0; first = None }
+      end
       else begin
         let q = Wsq.create () in
         Array.iteri (fun rank prefix -> Wsq.push q (rank, prefix)) children;
@@ -238,18 +274,25 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ~jobs
           | None -> if !aborted then Skipped else Complete !count
         in
         let worker wid =
-          (* worker 0 reuses the arena that ran the root *)
-          let ctx = if wid = 0 then ctx0 else Explore.create_ctx spec in
+          (* worker 0 reuses the arena (and registry) that ran the root *)
+          let wreg = if wid = 0 then reg0 else worker_metrics metrics in
+          let ctx =
+            if wid = 0 then ctx0 else Explore.create_ctx ?metrics:wreg spec
+          in
           let rec drain () =
             match Wsq.pop q with
             | None -> ()
             | Some (rank, prefix) ->
                 if rank > Atomic.get best_rank then
                   outcomes.(rank) <- Skipped
-                else outcomes.(rank) <- explore_subtree ctx ~rank prefix;
+                else begin
+                  claim_probe ctx ~domain:wid ~run:rank;
+                  outcomes.(rank) <- explore_subtree ctx ~rank prefix
+                end;
                 drain ()
           in
-          drain ()
+          drain ();
+          fold_metrics mu_metrics metrics wreg
         in
         run_pool ~jobs worker;
         (* Deterministic merge: replay the sequential visit order. *)

@@ -25,6 +25,8 @@
 val explore_random :
   ?check_determinism:bool ->
   ?stop_on_first:bool ->
+  ?metrics:Dsm_obs.Metrics.t ->
+  ?progress:(runs:int -> violated:int -> unit) ->
   jobs:int ->
   Explore.spec ->
   runs:int ->
@@ -35,11 +37,25 @@ val explore_random :
     [stop_on_first = true]). With [stop_on_first], workers stop claiming
     once their next index exceeds the best violating index found so far;
     the reported stats are those of the lowest violating index, exactly
-    as the sequential loop reports. [jobs <= 1] runs sequentially. *)
+    as the sequential loop reports. [jobs <= 1] runs sequentially.
+
+    With [metrics], every domain meters its own runs into a private
+    registry; the private registries are folded into [metrics] as
+    workers finish. The fold is order-insensitive, so the aggregate is
+    deterministic even though worker completion order is not — and
+    telemetry never touches simulation state, so findings stay
+    bit-identical for every [jobs].
+
+    [progress] is invoked from worker domains after every completed run
+    with the shared completion counters (multi-domain path only; with
+    [jobs = 1] the sequential explorer runs and [progress] is unused).
+    It must be domain-safe and fast — e.g. a rate-limited stderr
+    heartbeat. *)
 
 val explore_exhaustive :
   ?check_determinism:bool ->
   ?max_runs:int ->
+  ?metrics:Dsm_obs.Metrics.t ->
   jobs:int ->
   Explore.spec ->
   depth:int ->
@@ -50,4 +66,7 @@ val explore_exhaustive :
     when a lower-ranked subtree has already violated; the merge replays
     the sequential visit order over the per-subtree summaries, so the
     result — including the [max_runs] cutoff — is bit-identical to
-    [Explore.explore_exhaustive]. [jobs <= 1] runs sequentially. *)
+    [Explore.explore_exhaustive]. [jobs <= 1] runs sequentially.
+    [metrics] aggregates per-domain registries as in {!explore_random};
+    note that the aggregate counts every run workers actually executed,
+    including subtree work the deterministic merge later discards. *)

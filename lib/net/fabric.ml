@@ -66,7 +66,12 @@ let register t ~node f =
 let deliver t ~src ~dst msg () =
   match t.handlers.(dst) with
   | None -> failwith (Printf.sprintf "Fabric: node %d has no handler" dst)
-  | Some f -> f ~src msg
+  | Some f ->
+      let probe = Engine.probe t.sim in
+      if probe.on then
+        Dsm_obs.Probe.emit probe
+          (Net_deliver { time = Engine.now t.sim; src; dst });
+      f ~src msg
 
 let schedule_delivery t ~src ~dst ~in_order msg ~arrival =
   let arrival =
@@ -104,8 +109,14 @@ let send t ~src ~dst ~words msg =
       arrival +. Prng.exponential t.rng ~mean:lf.Fault.jitter
     else arrival
   in
-  if lf.Fault.drop > 0. && Prng.bernoulli t.rng ~p:lf.Fault.drop then
-    t.dropped <- t.dropped + 1
+  let probe = Engine.probe t.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe (Net_send { time = now; src; dst; words; arrival });
+  if lf.Fault.drop > 0. && Prng.bernoulli t.rng ~p:lf.Fault.drop then begin
+    t.dropped <- t.dropped + 1;
+    if probe.on then
+      Dsm_obs.Probe.emit probe (Net_drop { time = now; src; dst })
+  end
   else begin
     let reorder =
       lf.Fault.reorder > 0. && Prng.bernoulli t.rng ~p:lf.Fault.reorder
@@ -113,6 +124,8 @@ let send t ~src ~dst ~words msg =
     let arrival, in_order =
       if reorder then begin
         t.reordered <- t.reordered + 1;
+        if probe.on then
+          Dsm_obs.Probe.emit probe (Net_reorder { time = now; src; dst });
         (arrival +. Prng.float t.rng lf.Fault.reorder_window, false)
       end
       else (arrival, true)
@@ -123,6 +136,8 @@ let send t ~src ~dst ~words msg =
       && Prng.bernoulli t.rng ~p:lf.Fault.duplicate
     then begin
       t.duplicated <- t.duplicated + 1;
+      if probe.on then
+        Dsm_obs.Probe.emit probe (Net_duplicate { time = now; src; dst });
       schedule_delivery t ~src ~dst ~in_order msg ~arrival:(arrival +. 1e-9)
     end
   end

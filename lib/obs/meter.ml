@@ -1,0 +1,138 @@
+(* A probe sink that turns bus traffic into registry instruments.
+
+   Counter names are the probe point's dotted {!Probe.name}; a few
+   events additionally feed derived instruments (the detector fast/dense
+   path split, op latency, per-run event-count histograms). The sink is
+   read-only with respect to the simulation — it only mutates the
+   registry it was attached with. *)
+
+type t = {
+  registry : Metrics.t;
+  (* cached handles: one per probe point, resolved once *)
+  engine_step : Metrics.counter;
+  engine_choice : Metrics.counter;
+  engine_quiescence : Metrics.counter;
+  net_send : Metrics.counter;
+  net_deliver : Metrics.counter;
+  net_drop : Metrics.counter;
+  net_duplicate : Metrics.counter;
+  net_reorder : Metrics.counter;
+  op_begin : Metrics.counter;
+  op_end : Metrics.counter;
+  msg_sent : Metrics.counter;
+  msg_delivered : Metrics.counter;
+  lock_acquired : Metrics.counter;
+  lock_released : Metrics.counter;
+  retransmit : Metrics.counter;
+  coherence_violation : Metrics.counter;
+  detector_check : Metrics.counter;
+  fast_path : Metrics.counter;
+  dense_path : Metrics.counter;
+  race_signal : Metrics.counter;
+  clock_merge : Metrics.counter;
+  runs : Metrics.counter;
+  violations : Metrics.counter;
+  minimize_steps : Metrics.counter;
+  choice_ready : Metrics.histogram;
+  op_latency : Metrics.histogram;
+  run_events : Metrics.histogram;
+  lock_wait : Metrics.histogram;
+  (* (pid, op) -> begin time, for op latency; (pid) -> lock request time *)
+  inflight : (int * int, float) Hashtbl.t;
+  lock_pending : (int, float) Hashtbl.t;
+}
+
+let create registry =
+  let c = Metrics.counter registry and h = Metrics.histogram registry in
+  {
+    registry;
+    engine_step = c "engine.step";
+    engine_choice = c "engine.choice";
+    engine_quiescence = c "engine.quiescence";
+    net_send = c "net.send";
+    net_deliver = c "net.deliver";
+    net_drop = c "net.drop";
+    net_duplicate = c "net.duplicate";
+    net_reorder = c "net.reorder";
+    op_begin = c "rdma.op_begin";
+    op_end = c "rdma.op_end";
+    msg_sent = c "rdma.msg_sent";
+    msg_delivered = c "rdma.msg_delivered";
+    lock_acquired = c "rdma.lock_acquired";
+    lock_released = c "rdma.lock_released";
+    retransmit = c "rdma.retransmit";
+    coherence_violation = c "coherence.violation";
+    detector_check = c "detector.check";
+    fast_path = c "detector.epoch_fast_path";
+    dense_path = c "detector.dense_path";
+    race_signal = c "detector.race_signal";
+    clock_merge = c "detector.clock_merge";
+    runs = c "explore.runs";
+    violations = c "explore.violations";
+    minimize_steps = c "explore.minimize_steps";
+    choice_ready = h "engine.choice_ready";
+    op_latency = h "rdma.op_latency_us";
+    run_events = h "explore.run_events";
+    lock_wait = h "rdma.lock_wait_us";
+    inflight = Hashtbl.create 32;
+    lock_pending = Hashtbl.create 8;
+  }
+
+let registry t = t.registry
+
+let us f = int_of_float (Float.round f)
+
+let sink t (ev : Probe.event) =
+  match ev with
+  | Engine_step _ -> Metrics.incr t.engine_step
+  | Engine_choice { ready; _ } ->
+      Metrics.incr t.engine_choice;
+      Metrics.observe t.choice_ready ready
+  | Engine_quiescence _ -> Metrics.incr t.engine_quiescence
+  | Net_send _ -> Metrics.incr t.net_send
+  | Net_deliver _ -> Metrics.incr t.net_deliver
+  | Net_drop _ -> Metrics.incr t.net_drop
+  | Net_duplicate _ -> Metrics.incr t.net_duplicate
+  | Net_reorder _ -> Metrics.incr t.net_reorder
+  | Op_begin { time; pid; op; kind; _ } ->
+      Metrics.incr t.op_begin;
+      Hashtbl.replace t.inflight (pid, op) time;
+      if String.equal kind "lock" then Hashtbl.replace t.lock_pending pid time
+  | Op_end { time; pid; op; _ } -> (
+      Metrics.incr t.op_end;
+      match Hashtbl.find_opt t.inflight (pid, op) with
+      | None -> ()
+      | Some t0 ->
+          Hashtbl.remove t.inflight (pid, op);
+          Metrics.observe t.op_latency (us (time -. t0)))
+  | Msg_sent _ -> Metrics.incr t.msg_sent
+  | Msg_delivered _ -> Metrics.incr t.msg_delivered
+  | Lock_acquired { time; pid; _ } -> (
+      Metrics.incr t.lock_acquired;
+      match Hashtbl.find_opt t.lock_pending pid with
+      | None -> ()
+      | Some t0 ->
+          Hashtbl.remove t.lock_pending pid;
+          Metrics.observe t.lock_wait (us (time -. t0)))
+  | Lock_released _ -> Metrics.incr t.lock_released
+  | Retransmit _ -> Metrics.incr t.retransmit
+  | Coherence_violation _ -> Metrics.incr t.coherence_violation
+  | Detector_check { fast_path; _ } ->
+      Metrics.incr t.detector_check;
+      Metrics.incr (if fast_path then t.fast_path else t.dense_path)
+  | Race_signal _ -> Metrics.incr t.race_signal
+  | Clock_merge _ -> Metrics.incr t.clock_merge
+  | Run_begin _ ->
+      Hashtbl.reset t.inflight;
+      Hashtbl.reset t.lock_pending
+  | Run_end { events; _ } ->
+      Metrics.incr t.runs;
+      Metrics.observe t.run_events events
+  | Violation _ -> Metrics.incr t.violations
+  | Domain_claim _ -> ()
+  | Minimize_step _ -> Metrics.incr t.minimize_steps
+
+let attach registry bus =
+  let t = create registry in
+  Probe.attach bus (sink t);
+  t

@@ -1,0 +1,26 @@
+(** Probe → metrics bridge: a bus sink that counts every probe point
+    into a {!Metrics.t} registry under its dotted {!Probe.name}, plus a
+    few derived instruments:
+
+    - ["detector.epoch_fast_path"] / ["detector.dense_path"] — the
+      {!Probe.Detector_check} fast-path split;
+    - ["rdma.op_latency_us"] — Op_begin→Op_end latency histogram;
+    - ["rdma.lock_wait_us"] — lock request→grant wait histogram;
+    - ["engine.choice_ready"] — ready-set size at each choice point;
+    - ["explore.run_events"] — events per explored run.
+
+    The sink mutates only its registry, never the simulation — safe
+    under the explorer's sink-invariance property. *)
+
+type t
+
+val attach : Metrics.t -> Probe.t -> t
+(** Create a meter over [registry] and subscribe it to the bus. The
+    registry may be shared with other readers; reset it between runs via
+    {!Metrics.reset} (handles inside the meter stay valid). *)
+
+val create : Metrics.t -> t
+(** The meter without subscribing — pair with {!sink}. *)
+
+val sink : t -> Probe.event -> unit
+val registry : t -> Metrics.t

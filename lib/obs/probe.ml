@@ -1,0 +1,97 @@
+type event =
+  (* engine *)
+  | Engine_step of { time : float }
+  | Engine_choice of { time : float; ready : int; chosen : int }
+  | Engine_quiescence of { time : float; events : int; outcome : string }
+  (* fabric *)
+  | Net_send of {
+      time : float;
+      src : int;
+      dst : int;
+      words : int;
+      arrival : float;
+    }
+  | Net_deliver of { time : float; src : int; dst : int }
+  | Net_drop of { time : float; src : int; dst : int }
+  | Net_duplicate of { time : float; src : int; dst : int }
+  | Net_reorder of { time : float; src : int; dst : int }
+  (* rdma machine *)
+  | Op_begin of { time : float; pid : int; op : int; kind : string; target : int }
+  | Op_end of { time : float; pid : int; op : int; kind : string }
+  | Msg_sent of { time : float; src : int; dst : int; label : string }
+  | Msg_delivered of { time : float; src : int; dst : int; label : string }
+  | Lock_acquired of {
+      time : float;
+      pid : int;
+      node : int;
+      offset : int;
+      len : int;
+    }
+  | Lock_released of {
+      time : float;
+      pid : int;
+      node : int;
+      offset : int;
+      len : int;
+    }
+  | Retransmit of { time : float; src : int; dst : int; seq : int }
+  | Coherence_violation of {
+      time : float;
+      node : int;
+      offset : int;
+      origin : int;
+    }
+  (* detector *)
+  | Detector_check of { time : float; pid : int; kind : string; fast_path : bool }
+  | Race_signal of { time : float; pid : int; node : int; offset : int; len : int }
+  | Clock_merge of { time : float; pid : int }
+  (* explore *)
+  | Run_begin of { run : int }
+  | Run_end of { run : int; events : int; violating : bool }
+  | Violation of { run : int; invariant : string }
+  | Domain_claim of { domain : int; run : int }
+  | Minimize_step of { len : int; violating : bool }
+
+type t = { mutable on : bool; mutable sinks : (event -> unit) array }
+
+let create () = { on = false; sinks = [||] }
+
+let attach t sink =
+  t.sinks <- Array.append t.sinks [| sink |];
+  t.on <- true
+
+let detach_all t =
+  t.sinks <- [||];
+  t.on <- false
+
+let emit t ev =
+  let sinks = t.sinks in
+  for i = 0 to Array.length sinks - 1 do
+    sinks.(i) ev
+  done
+
+let name = function
+  | Engine_step _ -> "engine.step"
+  | Engine_choice _ -> "engine.choice"
+  | Engine_quiescence _ -> "engine.quiescence"
+  | Net_send _ -> "net.send"
+  | Net_deliver _ -> "net.deliver"
+  | Net_drop _ -> "net.drop"
+  | Net_duplicate _ -> "net.duplicate"
+  | Net_reorder _ -> "net.reorder"
+  | Op_begin _ -> "rdma.op_begin"
+  | Op_end _ -> "rdma.op_end"
+  | Msg_sent _ -> "rdma.msg_sent"
+  | Msg_delivered _ -> "rdma.msg_delivered"
+  | Lock_acquired _ -> "rdma.lock_acquired"
+  | Lock_released _ -> "rdma.lock_released"
+  | Retransmit _ -> "rdma.retransmit"
+  | Coherence_violation _ -> "coherence.violation"
+  | Detector_check _ -> "detector.check"
+  | Race_signal _ -> "detector.race_signal"
+  | Clock_merge _ -> "detector.clock_merge"
+  | Run_begin _ -> "explore.run_begin"
+  | Run_end _ -> "explore.run_end"
+  | Violation _ -> "explore.violation"
+  | Domain_claim _ -> "explore.domain_claim"
+  | Minimize_step _ -> "explore.minimize_step"

@@ -1,0 +1,107 @@
+(** The typed probe bus: the live-telemetry emit points of the whole
+    stack.
+
+    Every simulation ([Dsm_sim.Engine.t]) owns exactly one bus; the
+    components built on top of it — fabric, RDMA machine, coherence
+    checker, race detector, schedule explorer — all publish onto that
+    one bus, so attaching a single sink observes a run end to end.
+
+    The bus is engineered to vanish when nobody listens. Emit sites are
+    written as
+
+    {[ if (Probe.bus sim).on then Probe.emit bus (Probe.Net_send {...}) ]}
+
+    so with no sink attached the cost per site is one field load and one
+    conditional branch — the event payload is never even allocated. The
+    benchmark suite's [probe_disabled_overhead] row holds this to ≤ 3%
+    of a detector-check-shaped hot loop ([bench/main.ml]).
+
+    Sinks must be read-only observers: they run synchronously inside the
+    simulation's hot paths and must not touch engine state, PRNG
+    streams, or scheduling — the explorer's QCheck suite checks that
+    attaching a sink never changes a run's fingerprint. *)
+
+(** One telemetry event. Times are simulated microseconds. *)
+type event =
+  | Engine_step of { time : float }  (** one event popped and executed *)
+  | Engine_choice of { time : float; ready : int; chosen : int }
+      (** a scheduler tie turned into an explicit choice point *)
+  | Engine_quiescence of { time : float; events : int; outcome : string }
+      (** the run loop reached a terminal outcome (completed/blocked) *)
+  | Net_send of {
+      time : float;
+      src : int;
+      dst : int;
+      words : int;
+      arrival : float;
+    }
+  | Net_deliver of { time : float; src : int; dst : int }
+  | Net_drop of { time : float; src : int; dst : int }
+  | Net_duplicate of { time : float; src : int; dst : int }
+  | Net_reorder of { time : float; src : int; dst : int }
+  | Op_begin of { time : float; pid : int; op : int; kind : string; target : int }
+      (** a one-sided operation ([kind] put/get/atomic/lock) left [pid] *)
+  | Op_end of { time : float; pid : int; op : int; kind : string }
+  | Msg_sent of { time : float; src : int; dst : int; label : string }
+      (** protocol message handed to the fabric ([label] from
+          [Message.describe]) *)
+  | Msg_delivered of { time : float; src : int; dst : int; label : string }
+  | Lock_acquired of {
+      time : float;
+      pid : int;
+      node : int;
+      offset : int;
+      len : int;
+    }
+  | Lock_released of {
+      time : float;
+      pid : int;
+      node : int;
+      offset : int;
+      len : int;
+    }
+  | Retransmit of { time : float; src : int; dst : int; seq : int }
+      (** reliable transport resent an unacked frame *)
+  | Coherence_violation of {
+      time : float;
+      node : int;
+      offset : int;
+      origin : int;
+    }
+  | Detector_check of { time : float; pid : int; kind : string; fast_path : bool }
+      (** one checked access; [fast_path] = the accessor clock was still
+          an O(1) epoch when the check began *)
+  | Race_signal of { time : float; pid : int; node : int; offset : int; len : int }
+  | Clock_merge of { time : float; pid : int }
+      (** the accessor absorbed observed clocks (read/atomic/barrier) *)
+  | Run_begin of { run : int }  (** explorer: schedule [run] starting *)
+  | Run_end of { run : int; events : int; violating : bool }
+  | Violation of { run : int; invariant : string }
+  | Domain_claim of { domain : int; run : int }
+      (** parallel explorer: worker [domain] claimed walk [run] *)
+  | Minimize_step of { len : int; violating : bool }
+
+type t = {
+  mutable on : bool;
+      (** [true] iff at least one sink is attached. Read this field
+          directly in hot paths (single load + branch); treat it as
+          read-only — it is maintained by {!attach} / {!detach_all}. *)
+  mutable sinks : (event -> unit) array;
+}
+
+val create : unit -> t
+(** A bus with no sinks: [on = false], every guarded emit site a no-op. *)
+
+val attach : t -> (event -> unit) -> unit
+(** Subscribe a sink (sinks run in attach order). Sets [on]. *)
+
+val detach_all : t -> unit
+(** Remove every sink and clear [on]. *)
+
+val emit : t -> event -> unit
+(** Deliver [event] to every sink. Callers are expected to guard with
+    [t.on] {e before} building the event, so a silent bus costs nothing. *)
+
+val name : event -> string
+(** Stable dotted name of the event's emit point, e.g. ["net.send"] —
+    the key the {!Meter} counters and the timeline exporter use. *)

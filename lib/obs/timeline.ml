@@ -1,0 +1,218 @@
+(* Chrome/Perfetto trace-event JSON builder.
+
+   One lane (trace-event "process") per simulated node, one per
+   scheduler, one per explorer domain. Simulated time is already in
+   microseconds, which is exactly the trace-event [ts] unit, so
+   timestamps pass through unscaled.
+
+   Events used:
+   - "X" complete slices — op lifetimes (Op_begin..Op_end), lock-held
+     spans (Lock_acquired..Lock_released), message send/deliver stubs;
+   - "s"/"f" flow events — protocol-message arrows, one id per matched
+     Msg_sent/Msg_delivered pair (FIFO per (src, dst, label), mirroring
+     the offline trace checker's arrow collection);
+   - "i" instant events — race signals, coherence violations, fault
+     injections (drop/dup/reorder), retransmits, scheduler choices;
+   - "M" metadata — lazy process_name records, emitted once per lane. *)
+
+let scheduler_pid = 9990
+let domain_pid d = 9000 + d
+
+type t = {
+  buf : Buffer.t;
+  mutable n_events : int;
+  mutable named : int list; (* lanes that already have process_name metadata *)
+  mutable next_flow : int;
+  flows : (int * int * string, int Queue.t) Hashtbl.t;
+      (* (src, dst, label) -> pending flow ids *)
+  ops : (int * int, float * string * int) Hashtbl.t;
+      (* (pid, op) -> begin time, kind, target *)
+  locks : (int, float) Hashtbl.t; (* pid -> acquire time *)
+}
+
+let create () =
+  {
+    buf = Buffer.create 4096;
+    n_events = 0;
+    named = [];
+    next_flow = 0;
+    flows = Hashtbl.create 32;
+    ops = Hashtbl.create 32;
+    locks = Hashtbl.create 8;
+  }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let raw t line =
+  if t.n_events > 0 then Buffer.add_string t.buf ",\n";
+  Buffer.add_string t.buf line;
+  t.n_events <- t.n_events + 1
+
+let lane_name pid =
+  if pid = scheduler_pid then "scheduler"
+  else if pid >= 9000 then Printf.sprintf "domain %d" (pid - 9000)
+  else Printf.sprintf "process %d" pid
+
+let lane t pid =
+  if not (List.mem pid t.named) then begin
+    t.named <- pid :: t.named;
+    raw t
+      (Printf.sprintf
+         {|{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"%s"}}|}
+         pid
+         (escape (lane_name pid)))
+  end;
+  pid
+
+let slice t ~pid ~name ~cat ~ts ~dur ~args =
+  let pid = lane t pid in
+  raw t
+    (Printf.sprintf
+       {|{"ph":"X","pid":%d,"tid":0,"name":"%s","cat":"%s","ts":%.3f,"dur":%.3f%s}|}
+       pid (escape name) cat ts dur
+       (match args with "" -> "" | a -> Printf.sprintf {|,"args":{%s}|} a))
+
+let instant t ~pid ~name ~cat ~ts ~args =
+  let pid = lane t pid in
+  raw t
+    (Printf.sprintf
+       {|{"ph":"i","s":"p","pid":%d,"tid":0,"name":"%s","cat":"%s","ts":%.3f%s}|}
+       pid (escape name) cat ts
+       (match args with "" -> "" | a -> Printf.sprintf {|,"args":{%s}|} a))
+
+let flow t ~pid ~phase ~id ~name ~ts =
+  let pid = lane t pid in
+  raw t
+    (Printf.sprintf
+       {|{"ph":"%s","pid":%d,"tid":0,"name":"%s","cat":"msg","id":%d,"ts":%.3f%s}|}
+       phase pid (escape name) id ts
+       (if String.equal phase "f" then {|,"bp":"e"|} else ""))
+
+(* send/deliver stubs get a small nonzero width so flow arrows have a
+   visible slice to anchor to in the Perfetto UI *)
+let stub_dur = 0.2
+
+let sink t (ev : Probe.event) =
+  match ev with
+  | Engine_step _ -> ()
+  | Engine_choice { time; ready; chosen } ->
+      instant t ~pid:scheduler_pid ~name:"choice" ~cat:"sched" ~ts:time
+        ~args:(Printf.sprintf {|"ready":%d,"chosen":%d|} ready chosen)
+  | Engine_quiescence { time; events; outcome } ->
+      instant t ~pid:scheduler_pid ~name:"quiescence" ~cat:"sched" ~ts:time
+        ~args:(Printf.sprintf {|"events":%d,"outcome":"%s"|} events (escape outcome))
+  | Net_send _ | Net_deliver _ -> ()
+  | Net_drop { time; src; dst } ->
+      instant t ~pid:src ~name:"drop" ~cat:"fault" ~ts:time
+        ~args:(Printf.sprintf {|"dst":%d|} dst)
+  | Net_duplicate { time; src; dst } ->
+      instant t ~pid:src ~name:"duplicate" ~cat:"fault" ~ts:time
+        ~args:(Printf.sprintf {|"dst":%d|} dst)
+  | Net_reorder { time; src; dst } ->
+      instant t ~pid:src ~name:"reorder" ~cat:"fault" ~ts:time
+        ~args:(Printf.sprintf {|"dst":%d|} dst)
+  | Op_begin { time; pid; op; kind; target } ->
+      Hashtbl.replace t.ops (pid, op) (time, kind, target)
+  | Op_end { time; pid; op; kind } -> (
+      match Hashtbl.find_opt t.ops (pid, op) with
+      | None -> ()
+      | Some (t0, _, target) ->
+          Hashtbl.remove t.ops (pid, op);
+          slice t ~pid
+            ~name:(Printf.sprintf "%s → %d" kind target)
+            ~cat:"op" ~ts:t0
+            ~dur:(Float.max (time -. t0) 0.)
+            ~args:(Printf.sprintf {|"op":%d,"target":%d|} op target))
+  | Msg_sent { time; src; dst; label } ->
+      let id = t.next_flow in
+      t.next_flow <- id + 1;
+      let key = (src, dst, label) in
+      let q =
+        match Hashtbl.find_opt t.flows key with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add t.flows key q;
+            q
+      in
+      Queue.push id q;
+      slice t ~pid:src ~name:label ~cat:"msg" ~ts:time ~dur:stub_dur ~args:"";
+      flow t ~pid:src ~phase:"s" ~id ~name:label ~ts:time
+  | Msg_delivered { time; src; dst; label } -> (
+      match Hashtbl.find_opt t.flows (src, dst, label) with
+      | None -> ()
+      | Some q when Queue.is_empty q -> ()
+      | Some q ->
+          let id = Queue.pop q in
+          slice t ~pid:dst ~name:label ~cat:"msg" ~ts:time ~dur:stub_dur
+            ~args:"";
+          flow t ~pid:dst ~phase:"f" ~id ~name:label ~ts:time)
+  | Lock_acquired { time; pid; node; offset; len } ->
+      Hashtbl.replace t.locks pid time;
+      instant t ~pid ~name:"lock acquired" ~cat:"lock" ~ts:time
+        ~args:
+          (Printf.sprintf {|"node":%d,"offset":%d,"len":%d|} node offset len)
+  | Lock_released { time; pid; node; offset; len } -> (
+      match Hashtbl.find_opt t.locks pid with
+      | None -> ()
+      | Some t0 ->
+          Hashtbl.remove t.locks pid;
+          slice t ~pid
+            ~name:(Printf.sprintf "lock %d[%d..%d]" node offset (offset + len))
+            ~cat:"lock" ~ts:t0
+            ~dur:(Float.max (time -. t0) 0.)
+            ~args:"")
+  | Retransmit { time; src; dst; seq } ->
+      instant t ~pid:src ~name:"retransmit" ~cat:"fault" ~ts:time
+        ~args:(Printf.sprintf {|"dst":%d,"seq":%d|} dst seq)
+  | Coherence_violation { time; node; offset; origin } ->
+      instant t ~pid:node ~name:"coherence violation" ~cat:"violation"
+        ~ts:time
+        ~args:(Printf.sprintf {|"offset":%d,"origin":%d|} offset origin)
+  | Detector_check _ | Clock_merge _ -> ()
+  | Race_signal { time; pid; node; offset; len } ->
+      instant t ~pid ~name:"race signal" ~cat:"race" ~ts:time
+        ~args:
+          (Printf.sprintf {|"node":%d,"offset":%d,"len":%d|} node offset len)
+  | Run_begin _ | Run_end _ -> ()
+  | Violation { run; invariant } ->
+      instant t ~pid:scheduler_pid ~name:"invariant violation" ~cat:"explore"
+        ~ts:0.
+        ~args:
+          (Printf.sprintf {|"run":%d,"invariant":"%s"|} run (escape invariant))
+  | Domain_claim { domain; run } ->
+      instant t ~pid:(domain_pid domain) ~name:"claim" ~cat:"explore" ~ts:0.
+        ~args:(Printf.sprintf {|"run":%d|} run)
+  | Minimize_step _ -> ()
+
+let attach bus =
+  let t = create () in
+  Probe.attach bus (sink t);
+  t
+
+let event_count t = t.n_events
+
+let to_json_string t =
+  let out = Buffer.create (Buffer.length t.buf + 64) in
+  Buffer.add_string out "{\"traceEvents\":[\n";
+  Buffer.add_buffer out t.buf;
+  Buffer.add_string out "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents out
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string t))

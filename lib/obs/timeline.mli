@@ -1,0 +1,37 @@
+(** Chrome/Perfetto trace-event JSON exporter.
+
+    A probe sink that accumulates a timeline — one lane per simulated
+    node plus a scheduler lane and one lane per explorer domain — and
+    serialises it in the trace-event JSON format that Perfetto and
+    [chrome://tracing] load directly:
+
+    - operation lifetimes and lock-held spans as ["X"] complete slices;
+    - protocol-message arrows as ["s"]/["f"] flow-event pairs;
+    - race signals, coherence violations, and injected faults as
+      ["i"] instant events.
+
+    Simulated time is microseconds, the native [ts] unit, so timestamps
+    are exported unscaled. *)
+
+type t
+
+val create : unit -> t
+
+val attach : Probe.t -> t
+(** Create a timeline and subscribe its {!sink} to the bus. *)
+
+val sink : t -> Probe.event -> unit
+
+val event_count : t -> int
+(** Number of JSON records accumulated (including metadata records). *)
+
+val to_json_string : t -> string
+(** The complete [{"traceEvents": [...]}] document. *)
+
+val write_file : t -> string -> unit
+
+val scheduler_pid : int
+(** Lane id used for scheduler events (choices, quiescence). *)
+
+val domain_pid : int -> int
+(** Lane id used for explorer domain [d]. *)

@@ -1,0 +1,260 @@
+(* Minimal JSON reader + trace-event schema validator.
+
+   The container has no JSON library, so the obs-smoke test and the
+   Perfetto golden test validate exporter output with this hand-rolled
+   recursive-descent parser. It supports the full JSON grammar the
+   exporters can produce (objects, arrays, strings with escapes,
+   numbers, booleans, null) — it is a test oracle, not a general
+   parser, so errors raise with a position. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of int * string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_lit lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else error (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then error "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'u' ->
+               advance ();
+               if !pos + 4 > n then error "bad \\u escape";
+               let hex = String.sub s !pos 4 in
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> error "bad \\u escape"
+               in
+               pos := !pos + 4;
+               (* good enough for a validator: encode BMP code points *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf
+                   (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+           | c -> error (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then error "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> error "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> error "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> error "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> parse_lit "true" (Bool true)
+    | Some 'f' -> parse_lit "false" (Bool false)
+    | Some 'n' -> parse_lit "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let str_member key j =
+  match member key j with Some (Str s) -> Some s | _ -> None
+
+let num_member key j =
+  match member key j with Some (Num f) -> Some f | _ -> None
+
+(* ---------- trace-event validation ---------- *)
+
+type stats = {
+  events : int;
+  slices : int;
+  instants : int;
+  flows : int;  (** matched s/f pairs *)
+  lanes : int;  (** distinct pids with process_name metadata *)
+}
+
+let validate_trace (text : string) : (stats, string) result =
+  match parse text with
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
+  | doc -> (
+      match member "traceEvents" doc with
+      | None -> Error "missing top-level \"traceEvents\""
+      | Some (Arr evs) -> (
+          let slices = ref 0 and instants = ref 0 in
+          let lanes = Hashtbl.create 8 in
+          let open_flows = Hashtbl.create 16 in
+          let matched = ref 0 in
+          let err = ref None in
+          let fail i msg =
+            if !err = None then
+              err := Some (Printf.sprintf "event %d: %s" i msg)
+          in
+          List.iteri
+            (fun i ev ->
+              match str_member "ph" ev with
+              | None -> fail i "missing \"ph\""
+              | Some ph -> (
+                  (match num_member "pid" ev with
+                  | None -> fail i "missing \"pid\""
+                  | Some _ -> ());
+                  (match str_member "name" ev with
+                  | None -> fail i "missing \"name\""
+                  | Some _ -> ());
+                  if ph <> "M" && num_member "ts" ev = None then
+                    fail i "missing \"ts\"";
+                  match ph with
+                  | "M" -> (
+                      match (num_member "pid" ev, str_member "name" ev) with
+                      | Some pid, Some "process_name" ->
+                          Hashtbl.replace lanes (int_of_float pid) ()
+                      | _ -> ())
+                  | "X" ->
+                      incr slices;
+                      if num_member "dur" ev = None then
+                        fail i "\"X\" event missing \"dur\""
+                  | "i" -> incr instants
+                  | "s" -> (
+                      match num_member "id" ev with
+                      | None -> fail i "\"s\" event missing \"id\""
+                      | Some id -> Hashtbl.replace open_flows id ())
+                  | "f" -> (
+                      match num_member "id" ev with
+                      | None -> fail i "\"f\" event missing \"id\""
+                      | Some id ->
+                          if Hashtbl.mem open_flows id then begin
+                            Hashtbl.remove open_flows id;
+                            incr matched
+                          end
+                          else fail i "\"f\" flow with no matching \"s\"")
+                  | _ -> fail i (Printf.sprintf "unknown \"ph\":%S" ph)))
+            evs;
+          match !err with
+          | Some e -> Error e
+          | None ->
+              Ok
+                {
+                  events = List.length evs;
+                  slices = !slices;
+                  instants = !instants;
+                  flows = !matched;
+                  lanes = Hashtbl.length lanes;
+                })
+      | Some _ -> Error "\"traceEvents\" is not an array")

@@ -1,0 +1,35 @@
+(** Minimal JSON reader + trace-event schema validator — the oracle the
+    obs-smoke rule and the Perfetto golden test run against exporter
+    output (the container ships no JSON library). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of int * string
+(** Byte position and message. *)
+
+val parse : string -> json
+(** Parse a complete JSON document. Raises {!Parse_error}. *)
+
+val member : string -> json -> json option
+val str_member : string -> json -> string option
+val num_member : string -> json -> float option
+
+type stats = {
+  events : int;
+  slices : int;  (** ["X"] complete events *)
+  instants : int;  (** ["i"] events *)
+  flows : int;  (** matched ["s"]/["f"] pairs *)
+  lanes : int;  (** distinct pids carrying process_name metadata *)
+}
+
+val validate_trace : string -> (stats, string) result
+(** Check [text] against the trace-event schema: top-level
+    ["traceEvents"] array; every record has [ph]/[pid]/[name]; non-
+    metadata records have [ts]; ["X"] records have [dur]; every ["f"]
+    flow terminates a previously opened ["s"] id. *)

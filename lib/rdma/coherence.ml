@@ -9,6 +9,7 @@ type violation = {
 
 type t = {
   shadow : (int * int, int) Hashtbl.t; (* (node, offset) -> last value *)
+  probe : Dsm_obs.Probe.t;
   mutable violations : violation list;
   mutable checked : int;
   mutable adopted : int;
@@ -23,14 +24,19 @@ let check t ~time ~node ~offset ~origin observed =
       t.adopted <- t.adopted + 1;
       record t ~node ~offset observed
   | Some expected ->
-      if expected <> observed then
+      if expected <> observed then begin
         t.violations <-
-          { time; node; offset; expected; observed; origin } :: t.violations
+          { time; node; offset; expected; observed; origin } :: t.violations;
+        if t.probe.on then
+          Dsm_obs.Probe.emit t.probe
+            (Coherence_violation { time; node; offset; origin })
+      end
 
 let attach m =
   let t =
     {
       shadow = Hashtbl.create 256;
+      probe = Dsm_sim.Engine.probe (Machine.sim m);
       violations = [];
       checked = 0;
       adopted = 0;

@@ -91,6 +91,16 @@ type proc = { m : t; p : int }
 
 let rec handle m ~node ~src msg =
   notify m (Delivered { time = Engine.now m.sim; src; dst = node; msg });
+  (let probe = Engine.probe m.sim in
+   if probe.on then
+     Dsm_obs.Probe.emit probe
+       (Msg_delivered
+          {
+            time = Engine.now m.sim;
+            src;
+            dst = node;
+            label = Message.describe msg;
+          }));
   let nm = m.nodes.(node) in
   let locks = Node_memory.locks nm in
   let public = Node_memory.segment nm Addr.Public in
@@ -187,6 +197,16 @@ and fill_pending : 'a. (int, 'a Ivar.t) Hashtbl.t -> int -> 'a -> t -> unit =
 
 and transmit m ~src ~dst msg =
   notify m (Sent { time = Engine.now m.sim; src; dst; msg });
+  (let probe = Engine.probe m.sim in
+   if probe.on then
+     Dsm_obs.Probe.emit probe
+       (Msg_sent
+          {
+            time = Engine.now m.sim;
+            src;
+            dst;
+            label = Message.describe msg;
+          }));
   match m.rel with
   | None ->
       Dsm_net.Fabric.send m.fabric ~src ~dst ~words:(Message.wire_words msg)
@@ -220,6 +240,10 @@ and arm_retransmit m r ~src ~dst ~seq =
                  (Message.describe u.u_msg))
           else begin
             r.retransmits <- r.retransmits + 1;
+            (let probe = Engine.probe m.sim in
+             if probe.on then
+               Dsm_obs.Probe.emit probe
+                 (Retransmit { time = Engine.now m.sim; src; dst; seq }));
             Dsm_net.Fabric.send m.fabric ~src ~dst ~words:u.u_words
               { link_seq = seq; body = Msg u.u_msg };
             arm_retransmit m r ~src ~dst ~seq
@@ -434,6 +458,20 @@ let check_public (r : Addr.region) what =
     invalid_arg
       (Printf.sprintf "Machine.%s: %s is not public" what (Addr.to_string r))
 
+(* op-lifecycle probe points: [op_begin] before the request leaves the
+   initiator, [op_end] once the reply (if any) has been absorbed *)
+let op_begin p ~op ~kind ~target =
+  let probe = Engine.probe p.m.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe
+      (Op_begin { time = Engine.now p.m.sim; pid = p.p; op; kind; target })
+
+let op_end p ~op ~kind =
+  let probe = Engine.probe p.m.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe
+      (Op_end { time = Engine.now p.m.sim; pid = p.p; op; kind })
+
 let read_local p (r : Addr.region) = Node_memory.read p.m.nodes.(p.p) r
 
 let write_local p (r : Addr.region) data =
@@ -458,6 +496,7 @@ let send_put p ~src ~dst ~extra_words ~locked ~ack =
   (match iv with
   | Some iv -> Hashtbl.replace p.m.pending_acks op iv
   | None -> ());
+  op_begin p ~op ~kind:"put" ~target:dst.base.pid;
   transmit p.m ~src:p.p ~dst:dst.base.pid
     (Message.Put
        {
@@ -469,7 +508,8 @@ let send_put p ~src ~dst ~extra_words ~locked ~ack =
          locked;
          want_ack = ack;
        });
-  match iv with Some iv -> Ivar.read p.m.sim iv | None -> ()
+  (match iv with Some iv -> Ivar.read p.m.sim iv | None -> ());
+  op_end p ~op ~kind:"put"
 
 let put p ~src ~dst ?(extra_words = 0) ?(ack = true) () =
   send_put p ~src ~dst ~extra_words ~locked:true ~ack
@@ -483,6 +523,7 @@ let send_get p ~(src : Addr.region) ~extra_words ~locked =
   p.m.ops <- p.m.ops + 1;
   let iv = Ivar.create () in
   Hashtbl.replace p.m.pending_data op iv;
+  op_begin p ~op ~kind:"get" ~target:src.base.pid;
   transmit p.m ~src:p.p ~dst:src.base.pid
     (Message.Get
        {
@@ -493,7 +534,9 @@ let send_get p ~(src : Addr.region) ~extra_words ~locked =
          extra_words;
          locked;
        });
-  Ivar.read p.m.sim iv
+  let data = Ivar.read p.m.sim iv in
+  op_end p ~op ~kind:"get";
+  data
 
 let get p ~src ~(dst : Addr.region) ?(extra_words = 0) () =
   check_local p dst "get";
@@ -529,10 +572,13 @@ let atomic p ~(target : Addr.global) ~extra_words kind =
   p.m.ops <- p.m.ops + 1;
   let iv = Ivar.create () in
   Hashtbl.replace p.m.pending_atomic op iv;
+  op_begin p ~op ~kind:"atomic" ~target:target.pid;
   transmit p.m ~src:p.p ~dst:target.pid
     (Message.Atomic
        { op; origin = p.p; offset = target.offset; kind; extra_words });
-  Ivar.read p.m.sim iv
+  let old = Ivar.read p.m.sim iv in
+  op_end p ~op ~kind:"atomic";
+  old
 
 let fetch_add p ~target ?(extra_words = 0) ~delta () =
   atomic p ~target ~extra_words (Message.Fetch_add delta)
@@ -548,8 +594,22 @@ let cas p ~target ?(extra_words = 0) ~expected ~desired () =
 
 type token =
   | No_lock
-  | Local of Lock_table.lock_id
-  | Remote of { node : int; tok : int }
+  | Local of { id : Lock_table.lock_id; offset : int; len : int }
+  | Remote of { node : int; tok : int; offset : int; len : int }
+
+let lock_acquired p ~node ~offset ~len =
+  let probe = Engine.probe p.m.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe
+      (Lock_acquired
+         { time = Engine.now p.m.sim; pid = p.p; node; offset; len })
+
+let lock_released p ~node ~offset ~len =
+  let probe = Engine.probe p.m.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe
+      (Lock_released
+         { time = Engine.now p.m.sim; pid = p.p; node; offset; len })
 
 let lock p (r : Addr.region) =
   match (r.base.space, r.base.pid = p.p) with
@@ -557,22 +617,30 @@ let lock p (r : Addr.region) =
   | Addr.Private, false ->
       invalid_arg "Machine.lock: cannot lock another process's private memory"
   | Addr.Public, true ->
-      Local (await_local_lock p ~offset:r.base.offset ~len:r.len)
+      let id = await_local_lock p ~offset:r.base.offset ~len:r.len in
+      lock_acquired p ~node:p.p ~offset:r.base.offset ~len:r.len;
+      Local { id; offset = r.base.offset; len = r.len }
   | Addr.Public, false ->
       let op = fresh_op p.m in
       let iv = Ivar.create () in
       Hashtbl.replace p.m.pending_lock op iv;
+      op_begin p ~op ~kind:"lock" ~target:r.base.pid;
       transmit p.m ~src:p.p ~dst:r.base.pid
         (Message.Lock_request
            { op; origin = p.p; offset = r.base.offset; len = r.len });
       let tok = Ivar.read p.m.sim iv in
-      Remote { node = r.base.pid; tok }
+      op_end p ~op ~kind:"lock";
+      lock_acquired p ~node:r.base.pid ~offset:r.base.offset ~len:r.len;
+      Remote { node = r.base.pid; tok; offset = r.base.offset; len = r.len }
 
 let unlock p = function
   | No_lock -> ()
-  | Local id -> Lock_table.release (Node_memory.locks p.m.nodes.(p.p)) id
-  | Remote { node; tok } ->
-      transmit p.m ~src:p.p ~dst:node (Message.Unlock { token = tok })
+  | Local { id; offset; len } ->
+      Lock_table.release (Node_memory.locks p.m.nodes.(p.p)) id;
+      lock_released p ~node:p.p ~offset ~len
+  | Remote { node; tok; offset; len } ->
+      transmit p.m ~src:p.p ~dst:node (Message.Unlock { token = tok });
+      lock_released p ~node ~offset ~len
 
 (* ---------- control plane ---------- *)
 

@@ -13,6 +13,9 @@ type t = {
       (* schedule-exploration hook: picks among same-time ready events *)
   heap : (unit -> unit) Heap.t;
   rng : Prng.t;
+  probe : Dsm_obs.Probe.t;
+      (* the simulation's one telemetry bus; survives [reset] so sinks
+         attached by an exploration driver observe every reused run *)
 }
 
 exception Process_failure of string * exn
@@ -30,6 +33,7 @@ let create ?(seed = 0x5eed) () =
     chooser = None;
     heap = Heap.create ();
     rng = Prng.create ~seed;
+    probe = Dsm_obs.Probe.create ();
   }
 
 (* Arena-style reuse: put an engine back in the [create ~seed ()] state
@@ -52,6 +56,8 @@ let reset ?(seed = 0x5eed) sim =
 let now sim = sim.now
 
 let rng sim = sim.rng
+
+let probe sim = sim.probe
 
 let next_seq sim =
   let s = sim.seq in
@@ -153,7 +159,16 @@ let pop_next sim =
       match Heap.ready_count sim.heap with
       | 0 -> None
       | 1 -> Heap.pop sim.heap
-      | r -> Heap.pop_kth sim.heap (choose r))
+      | r ->
+          let k = choose r in
+          let popped = Heap.pop_kth sim.heap k in
+          (if sim.probe.on then
+             match popped with
+             | Some (time, _, _) ->
+                 Dsm_obs.Probe.emit sim.probe
+                   (Engine_choice { time; ready = r; chosen = k })
+             | None -> ());
+          popped)
 
 let run ?until ?max_events sim =
   sim.stopping <- false;
@@ -170,17 +185,31 @@ let run ?until ?max_events sim =
         raise (Process_failure (name, e))
     | None -> ()
   in
+  (* Completed/Blocked are the true quiescent ends of a run; budget and
+     horizon stops are checkpoints (the explorer steps runs in fixed
+     event strides), so only the former are worth a probe event. *)
+  let quiescence outcome name =
+    if sim.probe.on then
+      Dsm_obs.Probe.emit sim.probe
+        (Engine_quiescence
+           { time = sim.now; events = sim.events; outcome = name });
+    outcome
+  in
   let rec loop () =
     if sim.stopping then Stopped
     else if budget_exhausted () then Event_limit_reached
     else
       match pop_next sim with
-      | None -> if sim.live > 0 then Blocked sim.live else Completed
+      | None ->
+          if sim.live > 0 then quiescence (Blocked sim.live) "blocked"
+          else quiescence Completed "completed"
       | Some (time, _seq, action) ->
           if horizon_passed time then Time_limit_reached
           else begin
             sim.now <- time;
             sim.events <- sim.events + 1;
+            if sim.probe.on then
+              Dsm_obs.Probe.emit sim.probe (Engine_step { time });
             action ();
             check_failed ();
             loop ()

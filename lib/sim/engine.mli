@@ -36,6 +36,15 @@ val rng : t -> Prng.t
 (** The simulation's root generator. Components should {!Prng.split} it at
     setup time rather than share it at run time. *)
 
+val probe : t -> Dsm_obs.Probe.t
+(** The simulation's telemetry bus. Every component built on this engine
+    (fabric, RDMA machine, coherence checker, detector, explorer)
+    publishes its probe events here, so attaching one sink observes a
+    run end to end. The bus — and any attached sinks — survives
+    {!reset}: telemetry spans every run of an arena-reused engine.
+    Emits are guarded ([if (probe sim).on then ...]), so with no sink
+    attached the whole layer costs one load + branch per emit site. *)
+
 val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 (** [schedule sim ~delay f] runs [f] at [now sim +. delay] (default [0.],
     i.e. later in the current instant). Raises [Invalid_argument] on a

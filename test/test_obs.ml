@@ -1,0 +1,273 @@
+(* The live-telemetry layer: metrics-registry semantics (counters,
+   log-bucket histograms, in-place reset, order-insensitive merge), the
+   Perfetto exporter's structural contract on a figure scenario, and the
+   sink-invariance property that keeps telemetry read-only with respect
+   to the simulation. *)
+
+module Probe = Dsm_obs.Probe
+module Metrics = Dsm_obs.Metrics
+module Meter = Dsm_obs.Meter
+module Timeline = Dsm_obs.Timeline
+module Trace_json = Dsm_obs.Trace_json
+module Machine = Dsm_rdma.Machine
+module Explore = Dsm_explore.Explore
+module Parallel = Dsm_explore.Parallel
+module Fault = Dsm_net.Fault
+
+(* ---------- metrics: counters ---------- *)
+
+let test_counter_semantics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "a.count" in
+  Alcotest.(check int) "fresh" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr+add" 5 (Metrics.value c);
+  (* find-or-create returns the same instrument *)
+  let c' = Metrics.counter r "a.count" in
+  Metrics.incr c';
+  Alcotest.(check int) "same instrument" 6 (Metrics.value c);
+  Alcotest.(check string) "name" "a.count" (Metrics.counter_name c);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: counters are monotonic") (fun () ->
+      Metrics.add c (-1))
+
+let test_histogram_semantics () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "lat" in
+  List.iter (Metrics.observe h) [ 0; 1; 5; 5; 100 ];
+  let snap = Metrics.snapshot r in
+  match snap.Metrics.histograms with
+  | [ ("lat", s) ] ->
+      Alcotest.(check int) "count" 5 s.Metrics.count;
+      Alcotest.(check int) "sum" 111 s.Metrics.sum;
+      Alcotest.(check int) "min" 0 s.Metrics.min;
+      Alcotest.(check int) "max" 100 s.Metrics.max;
+      (* 0 -> bucket 0; 1 -> [1,2); 5,5 -> [4,8); 100 -> [64,128) *)
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (0, 1); (1, 1); (4, 2); (64, 1) ]
+        s.Metrics.bucket_counts;
+      Alcotest.(check (float 0.01)) "mean" 22.2 (Metrics.mean s)
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_reset_in_place () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  let h = Metrics.histogram r "h" in
+  Metrics.add c 7;
+  Metrics.observe h 3;
+  Metrics.reset r;
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.value c);
+  let snap = Metrics.snapshot r in
+  (match snap.Metrics.histograms with
+  | [ ("h", s) ] ->
+      Alcotest.(check int) "histogram zeroed" 0 s.Metrics.count;
+      Alcotest.(check (list (pair int int))) "no buckets" [] s.Metrics.bucket_counts
+  | _ -> Alcotest.fail "histogram instrument lost by reset");
+  (* handles stay valid: the same instruments keep counting *)
+  Metrics.incr c;
+  Metrics.observe h 1;
+  Alcotest.(check int) "counter alive" 1 (Metrics.value c)
+
+let test_merge_order_insensitive () =
+  let mk specs =
+    let r = Metrics.create () in
+    List.iter
+      (fun (name, v) ->
+        if v >= 0 then Metrics.add (Metrics.counter r name) v
+        else Metrics.observe (Metrics.histogram r name) (-v))
+      specs;
+    r
+  in
+  let parts () =
+    [
+      mk [ ("runs", 3); ("lat", -5); ("steps", 10) ];
+      mk [ ("runs", 2); ("lat", -9) ];
+      mk [ ("violations", 1); ("lat", -1); ("steps", 4) ];
+    ]
+  in
+  let merge order =
+    let into = Metrics.create () in
+    List.iter (fun src -> Metrics.merge_into ~into src) order;
+    Metrics.to_json_string (Metrics.snapshot into)
+  in
+  let a = merge (parts ()) in
+  let b = merge (List.rev (parts ())) in
+  Alcotest.(check string) "merge order" a b;
+  (* and the aggregate is the element-wise sum / min / max *)
+  let into = Metrics.create () in
+  List.iter (fun src -> Metrics.merge_into ~into src) (parts ());
+  Alcotest.(check int) "summed" 5 (Metrics.value (Metrics.counter into "runs"));
+  match (Metrics.snapshot into).Metrics.histograms with
+  | [ ("lat", s) ] ->
+      Alcotest.(check int) "hist count" 3 s.Metrics.count;
+      Alcotest.(check int) "hist min" 1 s.Metrics.min;
+      Alcotest.(check int) "hist max" 9 s.Metrics.max
+  | _ -> Alcotest.fail "merged histogram lost"
+
+(* ---------- probe bus basics ---------- *)
+
+let test_probe_attach_detach () =
+  let bus = Probe.create () in
+  Alcotest.(check bool) "silent" false bus.Probe.on;
+  let hits = ref 0 in
+  Probe.attach bus (fun _ -> incr hits);
+  Probe.attach bus (fun _ -> incr hits);
+  Alcotest.(check bool) "on" true bus.Probe.on;
+  Probe.emit bus (Probe.Engine_step { time = 1.0 });
+  Alcotest.(check int) "both sinks" 2 !hits;
+  Probe.detach_all bus;
+  Alcotest.(check bool) "off again" false bus.Probe.on
+
+(* ---------- Perfetto exporter: golden figure scenario ---------- *)
+
+(* fig5a is deterministic, so the exported timeline's shape is an exact
+   number: the structural validator must accept it, every fabric message
+   must appear as a matched flow pair, and the race the figure plants
+   must surface as a race-signal instant. *)
+let run_figure name =
+  let sim = Dsm_sim.Engine.create () in
+  let m = Machine.create sim ~n:4 () in
+  let tl = Timeline.attach (Dsm_sim.Engine.probe sim) in
+  (match Dsm_experiments.Figures.build_figure name m with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  (match Machine.run m with
+  | Dsm_sim.Engine.Completed -> ()
+  | _ -> Alcotest.fail "figure did not complete");
+  (m, Timeline.to_json_string tl)
+
+let test_perfetto_golden () =
+  let m, doc = run_figure "fig5a" in
+  match Trace_json.validate_trace doc with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "flows = messages" (Machine.fabric_messages m)
+        s.Trace_json.flows;
+      Alcotest.(check int) "lanes" 4 s.Trace_json.lanes;
+      Alcotest.(check int) "slices" 26 s.Trace_json.slices;
+      Alcotest.(check int) "instants" 4 s.Trace_json.instants;
+      Alcotest.(check bool) "race instant" true
+        (let rec mem_race = function
+           | Trace_json.Obj fields ->
+               List.exists (fun (_, v) -> mem_race v) fields
+               || List.exists
+                    (fun (k, v) -> k = "name" && v = Trace_json.Str "race signal")
+                    fields
+           | Trace_json.Arr l -> List.exists mem_race l
+           | _ -> false
+         in
+         mem_race (Trace_json.parse doc))
+
+let test_validator_rejects_malformed () =
+  List.iter
+    (fun (label, doc) ->
+      match Trace_json.validate_trace doc with
+      | Ok _ -> Alcotest.failf "validator accepted %s" label
+      | Error _ -> ())
+    [
+      ("no traceEvents", {|{"foo": []}|});
+      ("slice without dur", {|{"traceEvents":[{"ph":"X","pid":0,"name":"a","ts":1}]}|});
+      ( "unmatched flow finish",
+        {|{"traceEvents":[{"ph":"f","pid":0,"name":"a","ts":1,"id":9,"bp":"e"}]}|}
+      );
+      ("trailing garbage", {|{"traceEvents":[]} trailing|});
+    ]
+
+(* ---------- sink invariance ---------- *)
+
+(* Attaching a timeline and a meter to a run must not change what the
+   run does: same schedule decisions, same fingerprint (which digests
+   the outcome, times, detector report, and monitor output). *)
+let prop_sink_invariance =
+  QCheck.Test.make ~name:"sinks never change a run" ~count:25
+    QCheck.(pair (int_bound 500) bool)
+    (fun (walk, lossy) ->
+      let spec =
+        {
+          Explore.default_spec with
+          Explore.seed = 11;
+          faults =
+            (if lossy then Fault.of_string "drop=0.1,dup=0.05" else Fault.none);
+          reliable = lossy;
+        }
+      in
+      let plain = Explore.run_once spec (Explore.Walk walk) in
+      let ctx = Explore.create_ctx ~metrics:(Metrics.create ()) spec in
+      ignore (Timeline.attach (Explore.ctx_probe ctx));
+      let observed = Explore.run_once_in ctx (Explore.Walk walk) in
+      (* and detaching mid-arena restores the silent bus without
+         disturbing subsequent runs *)
+      Probe.detach_all (Explore.ctx_probe ctx);
+      let detached = Explore.run_once_in ctx (Explore.Walk walk) in
+      plain.Explore.fingerprint = observed.Explore.fingerprint
+      && plain.Explore.decisions = observed.Explore.decisions
+      && plain.Explore.races = observed.Explore.races
+      && plain.Explore.fingerprint = detached.Explore.fingerprint)
+
+(* ---------- metrics across the explorer ---------- *)
+
+let getput_spec = { Explore.default_spec with Explore.seed = 9 }
+
+let test_arena_metrics_reset_in_place () =
+  let reg = Metrics.create () in
+  let ctx = Explore.create_ctx ~metrics:reg getput_spec in
+  let runs = Metrics.counter reg "explore.runs" in
+  ignore (Explore.explore_random_in ~stop_on_first:false ctx ~runs:5);
+  (* determinism re-check replays each walk, so >= one run per walk *)
+  Alcotest.(check bool) "counted" true (Metrics.value runs >= 5);
+  Metrics.reset reg;
+  Alcotest.(check int) "reset" 0 (Metrics.value runs);
+  ignore (Explore.explore_random_in ~stop_on_first:false ctx ~runs:5);
+  Alcotest.(check bool) "counts again" true (Metrics.value runs >= 5)
+
+let test_parallel_merge_matches_sequential () =
+  (* stop_on_first off: every walk index is executed exactly once for
+     any job count, so the merged aggregate must equal the sequential
+     registry exactly — counters and histograms both. *)
+  let run jobs =
+    let reg = Metrics.create () in
+    let stats =
+      Parallel.explore_random ~check_determinism:false ~stop_on_first:false
+        ~metrics:reg ~jobs getput_spec ~runs:40
+    in
+    (stats, Metrics.to_json_string (Metrics.snapshot reg))
+  in
+  let s1, m1 = run 1 in
+  let s4, m4 = run 4 in
+  Alcotest.(check int) "runs" s1.Explore.runs s4.Explore.runs;
+  Alcotest.(check int) "violated" s1.Explore.violated s4.Explore.violated;
+  Alcotest.(check string) "metrics identical" m1 m4
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "histogram semantics" `Quick
+            test_histogram_semantics;
+          Alcotest.test_case "reset in place" `Quick test_reset_in_place;
+          Alcotest.test_case "merge order-insensitive" `Quick
+            test_merge_order_insensitive;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "attach/detach" `Quick test_probe_attach_detach;
+          QCheck_alcotest.to_alcotest prop_sink_invariance;
+        ] );
+      ( "perfetto",
+        [
+          Alcotest.test_case "golden fig5a" `Quick test_perfetto_golden;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_validator_rejects_malformed;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "arena metrics reset" `Quick
+            test_arena_metrics_reset_in_place;
+          Alcotest.test_case "parallel merge = sequential" `Quick
+            test_parallel_merge_matches_sequential;
+        ] );
+    ]
