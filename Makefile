@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke experiments examples clean outputs
 
 all: build
 
@@ -50,6 +50,20 @@ obs-smoke:
 	dune exec bin/dsmcheck.exe -- run --scenario fig4 --trace-out /tmp/dsmcheck_fig4_trace.json --metrics
 	dune exec bin/dsmcheck.exe -- run --scenario fig5a --trace-out /tmp/dsmcheck_fig5a_trace.json
 	dune exec bin/dsmcheck.exe -- explore getput --runs 25 --jobs 2 --metrics
+
+# Cross-representation conformance: adaptive epoch, always-dense and
+# sparse clocks must be observably identical over hundreds of random
+# schedules, and batched coherence must leave race verdicts untouched.
+# Also runs as part of `dune runtest`.
+conformance:
+	dune exec test/test_conformance.exe
+
+# Short scaling run past the paper's ~10 processes: 256 processes under
+# the sparse representation and the batched transport. A one-round
+# version also runs inside `dune runtest`.
+scale-smoke:
+	dune exec bin/dsmcheck.exe -- scale -n 256 --rounds 2 --chunk 4
+	dune exec bin/dsmcheck.exe -- scale -n 256 --rounds 2 --chunk 4 --rep dense
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

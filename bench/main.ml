@@ -155,7 +155,8 @@ let bench_checked ~op ~transport ~granularity ~clock_rep =
       (Config.granularity_name granularity)
       (match clock_rep with
       | Config.Epoch_adaptive -> ""
-      | Config.Dense_vector -> "_dense")
+      | Config.Dense_vector -> "_dense"
+      | Config.Sparse_vector -> "_sparse")
   in
   (* len-4 accesses so block/word granularity exercises multi-granule
      walks (4 granules per access under [Word]). *)
@@ -174,7 +175,8 @@ let bench_single_writer ~n ~clock_rep =
     Printf.sprintf "single_writer_64_puts_n%d%s" n
       (match clock_rep with
       | Config.Epoch_adaptive -> ""
-      | Config.Dense_vector -> "_dense")
+      | Config.Dense_vector -> "_dense"
+      | Config.Sparse_vector -> "_sparse")
   in
   Test.make ~name
     (Staged.stage (fun () ->
@@ -192,6 +194,45 @@ let bench_single_writer ~n ~clock_rep =
              for _ = 1 to 64 do
                Dsm_core.Detector.put d p ~src:buf ~dst:a
              done);
+         Harness.run_to_completion m))
+
+(* ISSUE 5 scaling rows: the race-free neighbour-push workload
+   ([Dsm_workload.Scale]) at growing process counts, one full simulated
+   run per sample. Race-free single-writer buffers keep the adaptive
+   representation on its epoch fast path, so the dense ablation pays the
+   O(n) clocks everywhere while sparse pays O(active) — the gap the
+   scale_n* rows track. Small segments keep machine construction from
+   dominating at n = 1024. *)
+let bench_scale ~n ~clock_rep =
+  let name =
+    Printf.sprintf "scale_n%d%s" n
+      (match clock_rep with
+      | Config.Epoch_adaptive -> ""
+      | Config.Dense_vector -> "_dense"
+      | Config.Sparse_vector -> "_sparse")
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let sim = Dsm_sim.Engine.create ~seed:1 () in
+         let m =
+           Dsm_rdma.Machine.create sim ~n
+             ~latency:(Dsm_net.Latency.Constant 1.0) ~private_words:64
+             ~public_words:64 ()
+         in
+         let d =
+           Dsm_core.Detector.create m
+             ~config:
+               {
+                 Config.default with
+                 Config.clock_rep;
+                 granularity = Config.Word;
+                 store_shards = 8;
+               }
+             ()
+         in
+         let env = Dsm_pgas.Env.checked d in
+         Dsm_workload.Scale.setup env
+           { Dsm_workload.Scale.default with rounds = 1; seed = 1 };
          Harness.run_to_completion m))
 
 let bench_plain_ops =
@@ -334,6 +375,13 @@ let detector_tests =
        bench_single_writer ~n:4 ~clock_rep:Config.Dense_vector;
        bench_single_writer ~n:16 ~clock_rep:Config.Epoch_adaptive;
        bench_single_writer ~n:16 ~clock_rep:Config.Dense_vector;
+       bench_scale ~n:8 ~clock_rep:Config.Epoch_adaptive;
+       bench_scale ~n:8 ~clock_rep:Config.Sparse_vector;
+       bench_scale ~n:64 ~clock_rep:Config.Dense_vector;
+       bench_scale ~n:64 ~clock_rep:Config.Sparse_vector;
+       bench_scale ~n:256 ~clock_rep:Config.Dense_vector;
+       bench_scale ~n:256 ~clock_rep:Config.Sparse_vector;
+       bench_scale ~n:1024 ~clock_rep:Config.Sparse_vector;
        bench_checked ~op:`Get ~transport:Config.Piggyback_txn
          ~granularity:Config.Variable ~clock_rep:Config.Epoch_adaptive;
        bench_checked ~op:`Get ~transport:Config.Piggyback_txn

@@ -315,6 +315,141 @@ let workload_cmd =
         (const run_workload $ which $ n $ seed $ ops $ racy $ detect
        $ coherence $ verbose $ explain $ dot $ csv $ report_csv))
 
+(* ---------- scale ---------- *)
+
+let rep_conv =
+  let parse = function
+    | "epoch" -> Ok Config.Epoch_adaptive
+    | "dense" -> Ok Config.Dense_vector
+    | "sparse" -> Ok Config.Sparse_vector
+    | s -> Error (`Msg (Printf.sprintf "unknown clock representation %S" s))
+  in
+  let print ppf = function
+    | Config.Epoch_adaptive -> Format.pp_print_string ppf "epoch"
+    | Config.Dense_vector -> Format.pp_print_string ppf "dense"
+    | Config.Sparse_vector -> Format.pp_print_string ppf "sparse"
+  in
+  Arg.conv (parse, print)
+
+let rep_name = function
+  | Config.Epoch_adaptive -> "epoch"
+  | Config.Dense_vector -> "dense"
+  | Config.Sparse_vector -> "sparse"
+
+let run_scale n rounds chunk racy batched rep shards seed detect verbose =
+  setup_logs verbose;
+  if n < 2 then `Error (false, "need at least 2 processes")
+  else if racy && n < 3 then
+    `Error (false, "racy mode needs at least 3 processes")
+  else begin
+    let sim = Dsm_sim.Engine.create ~seed () in
+    (* tiny segments: at n = 1024 the default 4096-word segments would
+       cost tens of megabytes per run for buffers of a few words *)
+    let words = max 64 chunk in
+    let machine =
+      Machine.create sim ~n ~private_words:words ~public_words:words ()
+    in
+    let config =
+      {
+        Config.default with
+        Config.clock_rep = rep;
+        store_shards = shards;
+        granularity = Config.Word;
+      }
+    in
+    let detector =
+      if detect then Some (Detector.create machine ~config ()) else None
+    in
+    let env =
+      match detector with
+      | Some d -> Env.checked d
+      | None -> Env.plain machine
+    in
+    Dsm_workload.Scale.setup env
+      { Dsm_workload.Scale.rounds; chunk; racy; batched; think_mean = 0.0;
+        seed };
+    let t0 = Unix.gettimeofday () in
+    (match Machine.run machine with
+    | Dsm_sim.Engine.Completed -> ()
+    | _ -> prerr_endline "warning: simulation did not complete");
+    let wall = Unix.gettimeofday () -. t0 in
+    Format.printf "processes      : %d (%s clocks, %d store shard(s)%s)@." n
+      (rep_name rep) shards
+      (if batched then ", batched coherence" else "");
+    Format.printf "simulated time : %.2f us@." (Dsm_sim.Engine.now sim);
+    Format.printf "messages       : %d (%d words)@."
+      (Machine.fabric_messages machine)
+      (Machine.fabric_words machine);
+    (match detector with
+    | None -> Format.printf "detection      : off@."
+    | Some d ->
+        let ops = Detector.checked_ops d in
+        Format.printf "checked ops    : %d (%.0f ops/s wall)@." ops
+          (if wall > 0. then float_of_int ops /. wall else 0.);
+        Format.printf "race signals   : %d@." (Report.count (Detector.report d));
+        Format.printf "clock storage  : %d words, %d compact clock(s)@."
+          (Detector.storage_words d) (Detector.epoch_clocks d);
+        Format.printf "clock traffic  : %d piggybacked words@."
+          (Detector.clock_words_shipped d));
+    `Ok ()
+  end
+
+let scale_cmd =
+  let doc =
+    "Run the neighbour-push scaling workload: sparse clocks, sharded \
+     clock stores and batched coherence at process counts far past the \
+     paper's ~10."
+  in
+  let n =
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let rounds =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Pushes per process.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 4
+      & info [ "chunk" ] ~doc:"Contiguous slots per push (batch size).")
+  in
+  let racy =
+    Arg.(
+      value & flag
+      & info [ "racy" ]
+          ~doc:"Both ring neighbours write each buffer (every slot races).")
+  in
+  let batched =
+    Arg.(
+      value & opt bool true
+      & info [ "batched" ]
+          ~doc:"Coalesce each push into one fabric message.")
+  in
+  let rep =
+    Arg.(
+      value
+      & opt rep_conv Config.Sparse_vector
+      & info [ "rep" ] ~docv:"REP"
+          ~doc:"Clock representation: epoch, dense, or sparse.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~doc:"Clock-store shards (power of two).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Engine seed.") in
+  let detect =
+    Arg.(
+      value & opt bool true
+      & info [ "detect" ] ~doc:"Enable the race detector.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      ret
+        (const run_scale $ n $ rounds $ chunk $ racy $ batched $ rep
+       $ shards $ seed $ detect $ verbose))
+
 (* ---------- run (mini-language programs) ---------- *)
 
 let run_source path n instrument detect verbose trace_out metrics =
@@ -781,6 +916,14 @@ let main =
   in
   Cmd.group
     (Cmd.info "dsmcheck" ~version:"1.0.0" ~doc)
-    [ list_cmd; experiment_cmd; scenario_cmd; workload_cmd; run_cmd; explore_cmd ]
+    [
+      list_cmd;
+      experiment_cmd;
+      scenario_cmd;
+      workload_cmd;
+      scale_cmd;
+      run_cmd;
+      explore_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

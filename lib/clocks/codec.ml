@@ -16,6 +16,52 @@ let decode_vector w =
     invalid_arg "Codec.decode_vector: malformed buffer";
   Vector_clock.of_array (Array.sub w 1 n)
 
+(* Sparse encoding: dimension and pair-count headers, then the nonzero
+   components as strictly ascending (pid, tick) pairs — [2k + 2] words
+   for [k] live components, beating the dense [n + 1] words whenever
+   fewer than half the processes have touched the clock. The decoder
+   rejects truncated or padded buffers, out-of-range or unsorted pids,
+   and non-positive ticks. *)
+let encode_vector_sparse v =
+  let n = Vector_clock.dim v in
+  let k = Vector_clock.active_entries v in
+  let w = Array.make (2 + (2 * k)) 0 in
+  w.(0) <- n;
+  w.(1) <- k;
+  let slot = ref 0 in
+  for i = 0 to n - 1 do
+    let x = Vector_clock.entry v i in
+    if x <> 0 then begin
+      w.(2 + (2 * !slot)) <- i;
+      w.(3 + (2 * !slot)) <- x;
+      incr slot
+    end
+  done;
+  w
+
+let decode_vector_sparse w =
+  if Array.length w < 2 then
+    invalid_arg "Codec.decode_vector_sparse: truncated buffer";
+  let n = w.(0) and k = w.(1) in
+  if n <= 0 || k < 0 || k > n then
+    invalid_arg "Codec.decode_vector_sparse: malformed header";
+  if Array.length w < 2 + (2 * k) then
+    invalid_arg "Codec.decode_vector_sparse: truncated buffer";
+  if Array.length w > 2 + (2 * k) then
+    invalid_arg "Codec.decode_vector_sparse: trailing words";
+  let a = Array.make n 0 in
+  let prev = ref (-1) in
+  for j = 0 to k - 1 do
+    let pid = w.(2 + (2 * j)) and tick = w.(3 + (2 * j)) in
+    if pid <= !prev || pid >= n then
+      invalid_arg "Codec.decode_vector_sparse: pids not ascending in range";
+    if tick <= 0 then
+      invalid_arg "Codec.decode_vector_sparse: non-positive tick";
+    a.(pid) <- tick;
+    prev := pid
+  done;
+  Vector_clock.of_array_rep Vector_clock.Sparse a
+
 let encode_matrix m =
   let n = Matrix_clock.dim m in
   let w = Array.make ((n * n) + 2) 0 in

@@ -23,6 +23,22 @@ val decode_vector : wire -> Vector_clock.t
 (** Inverse of {!encode_vector}. Raises [Invalid_argument] on a malformed
     buffer. *)
 
+(** {1 Sparse encoding}
+
+    [2k + 2] words for a clock with [k] nonzero components: dimension and
+    pair-count headers, then strictly ascending [(pid, tick)] pairs —
+    the wire form of the [Sparse] scaling representation. Worst case
+    [2n + 2] words, still linear in [n]: §4.3's bound survives. *)
+
+val encode_vector_sparse : Vector_clock.t -> wire
+(** Any representation encodes; only the nonzero components ship. *)
+
+val decode_vector_sparse : wire -> Vector_clock.t
+(** Inverse of {!encode_vector_sparse}; the result is a [Sparse]-policy
+    clock. Raises [Invalid_argument] on a truncated or padded buffer,
+    a malformed header, unsorted or out-of-range pids, or a
+    non-positive tick. *)
+
 val encode_matrix : Matrix_clock.t -> wire
 (** [n*n + 2] words: dimension and owner headers then rows. *)
 

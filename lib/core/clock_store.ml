@@ -24,27 +24,61 @@ module Int_tbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* Granules are spread across shards by address range: 64-word ranges
+   round-robin over the (power-of-two many) shards, so word-granularity
+   sweeps over a large segment split across every table instead of
+   loading one, while a single variable-sized granule always lands
+   wholly in the shard of its base offset. Each shard also owns a
+   scratch clock with the store's representation — the batched
+   coherence path borrows it to fold a batch's clocks without
+   allocating. *)
+let range_bits = 6
+
+type shard = { table : entry Int_tbl.t; scratch : Vector_clock.t }
+
 type t = {
   node : int;
   clock_dim : int;
   granularity : Config.granularity;
-  dense_clocks : bool;
+  rep : Config.clock_rep;
+  shard_mask : int;
+  shards : shard array;
   mutable registered : Addr.region list; (* address-sorted *)
-  table : entry Int_tbl.t; (* pack_key ~offset ~len -> clocks *)
 }
 
-let create ~node ~clock_dim ~granularity ?(dense_clocks = false) () =
+let mk_clock rep ~n =
+  match rep with
+  | Config.Epoch_adaptive -> Vector_clock.create ~n
+  | Config.Dense_vector -> Vector_clock.create_dense ~n
+  | Config.Sparse_vector -> Vector_clock.create_sparse ~n
+
+let create ~node ~clock_dim ~granularity ?(rep = Config.Epoch_adaptive)
+    ?(shards = 1) () =
   if clock_dim < 1 then invalid_arg "Clock_store.create: clock_dim";
+  if shards < 1 || shards land (shards - 1) <> 0 then
+    invalid_arg "Clock_store.create: shards must be a positive power of two";
   {
     node;
     clock_dim;
     granularity;
-    dense_clocks;
+    rep;
+    shard_mask = shards - 1;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            table = Int_tbl.create 64;
+            scratch = mk_clock rep ~n:clock_dim;
+          });
     registered = [];
-    table = Int_tbl.create 64;
   }
 
 let node t = t.node
+
+let shards t = Array.length t.shards
+
+let shard_of t ~offset = (offset lsr range_bits) land t.shard_mask
+
+let shard_scratch t ~offset = t.shards.(shard_of t ~offset).scratch
 
 let register t (r : Addr.region) =
   match t.granularity with
@@ -110,40 +144,41 @@ let granules t (r : Addr.region) =
 
 let entry_at t ~offset ~len =
   let key = pack_key ~offset ~len in
-  match Int_tbl.find_opt t.table key with
+  let table = t.shards.(shard_of t ~offset).table in
+  match Int_tbl.find_opt table key with
   | Some e -> e
   | None ->
-      let mk () =
-        if t.dense_clocks then Vector_clock.create_dense ~n:t.clock_dim
-        else Vector_clock.create ~n:t.clock_dim
-      in
+      let mk () = mk_clock t.rep ~n:t.clock_dim in
       let e = { v = mk (); w = mk (); s = mk () } in
-      Int_tbl.add t.table key e;
+      Int_tbl.add table key e;
       e
 
 let entry t (g : Addr.region) = entry_at t ~offset:g.base.offset ~len:g.len
 
-let entries t = Int_tbl.length t.table
+let fold_entries t ~init ~f =
+  Array.fold_left
+    (fun acc sh -> Int_tbl.fold (fun _ e acc -> f e acc) sh.table acc)
+    init t.shards
+
+let entries t =
+  Array.fold_left (fun acc sh -> acc + Int_tbl.length sh.table) 0 t.shards
 
 (* The paper's accounting (§5.1): V plus the W refinement = 2 clocks per
    datum. The sync clock is an extension and is only charged once an
    atomic has actually touched the datum. Representation-independent:
    an epoch still models a dimension-[clock_dim] vector. *)
 let storage_words t =
-  Int_tbl.fold
-    (fun _ e acc ->
+  fold_entries t ~init:0 ~f:(fun e acc ->
       acc + (2 * t.clock_dim)
       + (if Vector_clock.is_zero e.s then 0 else t.clock_dim))
-    t.table 0
 
-(* How many of the materialized clocks are still compact epochs — the
-   fraction the E7-style storage model could exploit; reported by the
-   detector benchmarks. *)
+(* How many of the materialized clocks are still compact (epoch or
+   sparse pairs) — the fraction the E7-style storage model could
+   exploit; reported by the detector benchmarks. *)
 let epoch_clocks t =
-  Int_tbl.fold
-    (fun _ e acc ->
+  let compact c = Vector_clock.is_epoch c || Vector_clock.is_sparse c in
+  fold_entries t ~init:0 ~f:(fun e acc ->
       acc
-      + (if Vector_clock.is_epoch e.v then 1 else 0)
-      + (if Vector_clock.is_epoch e.w then 1 else 0)
-      + if Vector_clock.is_epoch e.s then 1 else 0)
-    t.table 0
+      + (if compact e.v then 1 else 0)
+      + (if compact e.w then 1 else 0)
+      + if compact e.s then 1 else 0)

@@ -14,7 +14,15 @@
     single immediate [int] and hashed by an int-specialized hashtable, so
     the per-access lookup neither allocates nor runs polymorphic
     comparison; {!iter_granules} walks the granules of an access without
-    building a list. *)
+    building a list.
+
+    The store is {e sharded} by address range: 64-word ranges round-robin
+    across a power-of-two number of int-keyed tables, bounding any one
+    table's load when word granularity meets large segments. Each shard
+    also owns a scratch clock in the store's representation
+    ({!shard_scratch}) so the batched-coherence path can fold a batch's
+    clocks without allocating. Sharding is invisible to detection:
+    granule identity, laziness and iteration order are unchanged. *)
 
 type entry = {
   v : Dsm_clocks.Vector_clock.t;
@@ -34,14 +42,26 @@ val create :
   node:int ->
   clock_dim:int ->
   granularity:Config.granularity ->
-  ?dense_clocks:bool ->
+  ?rep:Config.clock_rep ->
+  ?shards:int ->
   unit ->
   t
 (** [clock_dim] is the vector dimension ([n], or 1 in the Lamport
-    ablation). [dense_clocks] (default [false]) pins every lazily created
-    clock to the dense representation ({!Config.Dense_vector}). *)
+    ablation). [rep] (default {!Config.Epoch_adaptive}) fixes the
+    representation of every lazily created clock. [shards] (default 1)
+    is the number of address-range shards; must be a positive power of
+    two ([Invalid_argument] otherwise). *)
 
 val node : t -> int
+
+val shards : t -> int
+(** Number of address-range shards the granule table is split across. *)
+
+val shard_scratch : t -> offset:int -> Dsm_clocks.Vector_clock.t
+(** The scratch clock owned by the shard responsible for [offset] — in
+    the store's clock representation, reusable between batches. Callers
+    must [Vector_clock.reset] it before use and must not let it escape
+    the current batch. *)
 
 val register : t -> Dsm_memory.Addr.region -> unit
 (** Declares a shared variable ({!Config.Variable} granularity): the

@@ -4,7 +4,7 @@ type clock_mode = Vector | Lamport_only
 
 type granularity = Variable | Block of int | Word
 
-type clock_rep = Epoch_adaptive | Dense_vector
+type clock_rep = Epoch_adaptive | Dense_vector | Sparse_vector
 
 type t = {
   use_write_clock : bool;
@@ -12,6 +12,7 @@ type t = {
   clock_mode : clock_mode;
   granularity : granularity;
   clock_rep : clock_rep;
+  store_shards : int;
   record_trace : bool;
   trace_reads_from : [ `All_writers | `Last_writer ];
   ordered_locking : bool;
@@ -25,6 +26,7 @@ let default =
     clock_mode = Vector;
     granularity = Variable;
     clock_rep = Epoch_adaptive;
+    store_shards = 8;
     record_trace = false;
     trace_reads_from = `All_writers;
     ordered_locking = true;
@@ -47,11 +49,16 @@ let name t =
     (if t.use_write_clock then "+W" else "")
     (transport_name t.transport)
     (granularity_name t.granularity)
-    (match t.clock_rep with Epoch_adaptive -> "" | Dense_vector -> "/dense")
+    (match t.clock_rep with
+    | Epoch_adaptive -> ""
+    | Dense_vector -> "/dense"
+    | Sparse_vector -> "/sparse")
 
 let validate t =
   (match t.granularity with
   | Block k when k < 1 ->
       invalid_arg "Config.validate: block size must be positive"
   | Variable | Block _ | Word -> ());
+  if t.store_shards < 1 || t.store_shards land (t.store_shards - 1) <> 0 then
+    invalid_arg "Config.validate: store_shards must be a positive power of two";
   t

@@ -43,6 +43,14 @@ type clock_rep =
   | Dense_vector
       (** always-vector ablation baseline: every clock is a dense
           dimension-[n] array from birth, as in the paper's cost model *)
+  | Sparse_vector
+      (** large-[n] scaling representation: cross-process promotion lands
+          on sorted [(pid, tick)] pairs — compare/merge cost O(active
+          writers), not O(n) — and only past
+          [Vector_clock.sparse_threshold] live components on a dense
+          array. Semantically transparent, like {!Epoch_adaptive}; the
+          conformance suite holds all three representations to identical
+          verdicts *)
 
 type t = {
   use_write_clock : bool;
@@ -54,6 +62,12 @@ type t = {
   clock_rep : clock_rep;
       (** representation of every clock the detector owns (process,
           per-datum, per-lock, scratch); see {!clock_rep} *)
+  store_shards : int;
+      (** number of address-range shards each node's [Clock_store] hashes
+          its granules across (power of two; default 8). Sharding bounds
+          per-table load when word granularity meets large segments, and
+          gives the batched-coherence path a per-shard scratch clock;
+          it never changes detection results *)
   record_trace : bool;
       (** also feed a [Dsm_trace.Recorder] for offline ground truth *)
   trace_reads_from : [ `All_writers | `Last_writer ];

@@ -94,10 +94,12 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
     | Config.Vector -> n
     | Config.Lamport_only -> 1
   in
-  let dense = config.Config.clock_rep = Config.Dense_vector in
+  let rep = config.Config.clock_rep in
   let mk () =
-    if dense then Vector_clock.create_dense ~n:dim
-    else Vector_clock.create ~n:dim
+    match rep with
+    | Config.Epoch_adaptive -> Vector_clock.create ~n:dim
+    | Config.Dense_vector -> Vector_clock.create_dense ~n:dim
+    | Config.Sparse_vector -> Vector_clock.create_sparse ~n:dim
   in
   let clock_array () = Array.init n (fun _ -> mk ()) in
   let t =
@@ -111,7 +113,8 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
       stores =
         Array.init n (fun node ->
             Clock_store.create ~node ~clock_dim:dim
-              ~granularity:config.Config.granularity ~dense_clocks:dense ());
+              ~granularity:config.Config.granularity ~rep
+              ~shards:config.Config.store_shards ());
       lock_clocks = Hashtbl.create 16;
       scratch_absorb = clock_array ();
       scratch_datum = clock_array ();
@@ -386,6 +389,164 @@ let get t p ~src ~dst =
   in
   checked_op t p ~kind:"get" ~read_region:src ~write_region:dst ~transfer
 
+(* ---------- batched checked operations ----------
+
+   Group maximal runs of same-destination, address-ascending operations
+   and move each run's data in one fabric message. Detection stays
+   strictly per-operation — the same ticks, granule checks and merges as
+   the unbatched path, so the race verdicts are identical — only the
+   transport is coalesced: one message, one lock span, one piggybacked
+   clock per run instead of one per op. *)
+
+(* Detection body of one operation (tick, read-side check/absorb,
+   write-side check) without locks or data transfer — the batched paths
+   interleave several of these inside a single lock span. Mirrors
+   [checked_op]'s body exactly. *)
+let check_op t p ~kind ~read_region ~write_region =
+  t.checked_ops <- t.checked_ops + 1;
+  let v0 = t.procs.(Machine.pid p) in
+  if t.probe.on then
+    Dsm_obs.Probe.emit t.probe
+      (Detector_check
+         {
+           time = now t;
+           pid = Machine.pid p;
+           kind;
+           fast_path = Vector_clock.is_epoch v0;
+         });
+  Vector_clock.tick v0 ~me:(me t p);
+  if Addr.is_public read_region then begin
+    let event_id = record_access t p ~kind:Event.Read ~target:read_region in
+    let absorbed =
+      check_access t p ~region:read_region ~cls:Plain_read ~v0 ~event_id
+    in
+    Vector_clock.merge_into ~into:v0 absorbed;
+    if t.probe.on then
+      Dsm_obs.Probe.emit t.probe
+        (Clock_merge { time = now t; pid = Machine.pid p })
+  end;
+  if Addr.is_public write_region then begin
+    let event_id = record_access t p ~kind:Event.Write ~target:write_region in
+    ignore
+      (check_access t p ~region:write_region ~cls:Plain_write ~v0 ~event_id)
+  end
+
+(* Maximal runs of consecutive pairs satisfying [key prev cur]. *)
+let group_runs ~key pairs =
+  match pairs with
+  | [] -> []
+  | first :: rest ->
+      let runs = ref [] and cur = ref [ first ] and prev = ref first in
+      List.iter
+        (fun pair ->
+          if key !prev pair then cur := pair :: !cur
+          else begin
+            runs := List.rev !cur :: !runs;
+            cur := [ pair ]
+          end;
+          prev := pair)
+        rest;
+      runs := List.rev !cur :: !runs;
+      List.rev !runs
+
+let span_of (first : Addr.region) (last : Addr.region) =
+  Addr.region ~pid:first.base.pid ~space:Addr.Public
+    ~offset:first.base.offset
+    ~len:(last.base.offset + last.len - first.base.offset)
+
+let last_of run = snd (List.nth run (List.length run - 1))
+
+(* A run of puts is batchable when the destinations sit on one node in
+   ascending non-overlapping order and no source is public (a public
+   source would need its own read-side lock, breaking the single-span
+   locking scheme — those fall back to per-op puts). *)
+let put_run t p run =
+  match run with
+  | [] -> ()
+  | [ (src, dst) ] -> put t p ~src ~dst
+  | ((_, (dst0 : Addr.region)) :: _ : (Addr.region * Addr.region) list) ->
+      if List.exists (fun ((src : Addr.region), _) -> Addr.is_public src) run
+      then List.iter (fun (src, dst) -> put t p ~src ~dst) run
+      else begin
+        let extra_words = piggyback_words t in
+        let check (src, dst) =
+          check_op t p ~kind:"put" ~read_region:src ~write_region:dst
+        in
+        match t.config.Config.transport with
+        | Config.Inline ->
+            List.iter check run;
+            count_shipped t 1;
+            Machine.put_batch p ~pairs:run ~extra_words ()
+        | Config.Piggyback_txn ->
+            (* one lock acquisition spanning the whole run instead of
+               one per put (Algorithm 1, amortized) *)
+            let span = span_of dst0 (last_of run) in
+            let tk = Machine.lock p span in
+            List.iter check run;
+            count_shipped t 1;
+            Machine.raw_put_batch p ~pairs:run ~extra_words ();
+            Machine.unlock p tk
+        | Config.Explicit_txn ->
+            List.iter (fun (src, dst) -> put t p ~src ~dst) run
+      end
+
+let put_batch t p ~pairs =
+  match t.config.Config.transport with
+  | Config.Explicit_txn ->
+      (* the explicit transport pays its control round trips per granule
+         either way; batching the data message would not change them *)
+      List.iter (fun (src, dst) -> put t p ~src ~dst) pairs
+  | Config.Inline | Config.Piggyback_txn ->
+      List.iter (put_run t p)
+        (group_runs pairs
+           ~key:(fun (_, (prev : Addr.region)) (_, (cur : Addr.region)) ->
+             cur.base.pid = prev.base.pid
+             && Addr.is_public cur
+             && cur.base.offset >= prev.base.offset + prev.len))
+
+(* Gets batch when the sources are contiguous ascending spans of one
+   node and no destination is public (Figure 3 would demand a lock per
+   public destination). *)
+let get_run t p run =
+  match run with
+  | [] -> ()
+  | [ (src, dst) ] -> get t p ~src ~dst
+  | (((src0 : Addr.region), _) :: _ : (Addr.region * Addr.region) list) ->
+      if List.exists (fun (_, (dst : Addr.region)) -> Addr.is_public dst) run
+      then List.iter (fun (src, dst) -> get t p ~src ~dst) run
+      else begin
+        let extra_words = piggyback_words t in
+        let check (src, dst) =
+          check_op t p ~kind:"get" ~read_region:src ~write_region:dst
+        in
+        match t.config.Config.transport with
+        | Config.Inline ->
+            List.iter check run;
+            count_shipped t 2;
+            Machine.get_batch p ~pairs:run ~extra_words ()
+        | Config.Piggyback_txn ->
+            let span = span_of src0 (fst (List.nth run (List.length run - 1)))
+            in
+            let tk = Machine.lock p span in
+            List.iter check run;
+            count_shipped t 2;
+            Machine.raw_get_batch p ~pairs:run ~extra_words ();
+            Machine.unlock p tk
+        | Config.Explicit_txn ->
+            List.iter (fun (src, dst) -> get t p ~src ~dst) run
+      end
+
+let get_batch t p ~pairs =
+  match t.config.Config.transport with
+  | Config.Explicit_txn ->
+      List.iter (fun (src, dst) -> get t p ~src ~dst) pairs
+  | Config.Inline | Config.Piggyback_txn ->
+      List.iter (get_run t p)
+        (group_runs pairs
+           ~key:(fun ((prev : Addr.region), _) ((cur : Addr.region), _) ->
+             cur.base.pid = prev.base.pid
+             && cur.base.offset = prev.base.offset + prev.len))
+
 (* Checked atomic read-modify-writes (extension beyond the paper): the
    NIC serializes them, so atomic/atomic pairs are synchronized — the
    detector treats them as release/acquire points on the datum — while
@@ -446,6 +607,7 @@ let lock_clock t (r : Addr.region) =
         match t.config.Config.clock_rep with
         | Config.Dense_vector -> Vector_clock.create_dense ~n:t.dim
         | Config.Epoch_adaptive -> Vector_clock.create ~n:t.dim
+        | Config.Sparse_vector -> Vector_clock.create_sparse ~n:t.dim
       in
       Hashtbl.add t.lock_clocks r c;
       c

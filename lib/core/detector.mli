@@ -65,6 +65,27 @@ val get :
   src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region -> unit
 (** Algorithm 2. Blocking. *)
 
+val put_batch :
+  t -> Dsm_rdma.Machine.proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list -> unit
+(** Checked puts with batched coherence: maximal runs of consecutive
+    pairs whose destinations sit on one node in ascending
+    non-overlapping order (and whose sources are private) travel as a
+    single fabric message under a single lock span, shipping one
+    piggybacked clock for the whole run. Detection is per-operation and
+    bit-identical to issuing each {!put} separately — only the
+    transport is coalesced. Pairs that don't extend a run (node change,
+    descending address, public source, Explicit transport) fall back to
+    {!put}. *)
+
+val get_batch :
+  t -> Dsm_rdma.Machine.proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list -> unit
+(** Checked gets with batched coherence: maximal runs of contiguous
+    ascending same-node sources (with private destinations) collapse
+    into one request/data round trip over the union span. Detection is
+    per-operation, identical to {!get}. *)
+
 (** {1 Checked atomic operations (extension beyond the paper)}
 
     The NIC serializes atomic read-modify-writes on a word, so two

@@ -334,6 +334,15 @@ let build_figure name m =
     f.build m d;
     Ok (Some d)
   in
+  (* Every figure spawns processes up to pid 2; on a smaller machine the
+     spawns would raise (or silently drop participants) mid-populate, so
+     reject the machine before building anything. *)
+  if Machine.n m < figure_min_nodes then
+    Error
+      (Printf.sprintf
+         "figure scenario %S needs at least %d processes, machine has %d"
+         name figure_min_nodes (Machine.n m))
+  else
   match name with
   | "fig2" ->
       let area = Machine.alloc_public m ~pid:1 ~name:"data" ~len:4 () in

@@ -22,4 +22,5 @@ val build_figure :
 (** Spawn figure [name]'s processes on [m] (run the machine afterwards).
     Returns the detector when the figure is a race scenario (fig4,
     fig5a/b/c), [None] for the raw message-flow figures (fig2, fig3),
-    [Error] for an unknown name. *)
+    [Error] for an unknown name or a machine with fewer than
+    {!figure_min_nodes} processes (checked before anything is built). *)

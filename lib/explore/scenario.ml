@@ -34,6 +34,8 @@ let known =
     "workload:stencil";
     "workload:pipeline";
     "workload:locked-counter";
+    "workload:scale";
+    "workload:scale-batched";
   ]
 
 let no_monitor () = []
@@ -151,6 +153,15 @@ let populate_workload ~name ~seed machine =
           think_mean = 1.0;
           seed;
         }
+  | "scale" | "scale-batched" ->
+      Dsm_workload.Scale.setup env
+        {
+          Dsm_workload.Scale.default with
+          racy = true;
+          batched = name = "scale-batched";
+          think_mean = 1.0;
+          seed;
+        }
   | _ -> invalid_arg (Printf.sprintf "Scenario: unknown workload %S" name));
   { machine; detector = Some detector; coherence; monitor = no_monitor }
 
@@ -180,7 +191,11 @@ let prepare ~spec ~n ~seed ~faults ~reliable ~bug =
       | "workload" ->
           if not (List.mem ("workload:" ^ arg) known) then
             invalid_arg (Printf.sprintf "Scenario: unknown workload %S" arg);
-          plan ~min_procs:2 (populate_workload ~name:arg ~seed)
+          let min_procs =
+            (* racy scale mode needs distinct ring neighbours *)
+            match arg with "scale" | "scale-batched" -> 3 | _ -> 2
+          in
+          plan ~min_procs (populate_workload ~name:arg ~seed)
       | _ -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec))
 
 let procs plan = plan.procs

@@ -24,6 +24,8 @@ type t = {
   lock_acquired : Metrics.counter;
   lock_released : Metrics.counter;
   retransmit : Metrics.counter;
+  batch_flush : Metrics.counter;
+  batch_parts : Metrics.histogram;
   coherence_violation : Metrics.counter;
   detector_check : Metrics.counter;
   fast_path : Metrics.counter;
@@ -61,6 +63,8 @@ let create registry =
     lock_acquired = c "rdma.lock_acquired";
     lock_released = c "rdma.lock_released";
     retransmit = c "rdma.retransmit";
+    batch_flush = c "rdma.batch_flush";
+    batch_parts = h "rdma.batch_parts";
     coherence_violation = c "coherence.violation";
     detector_check = c "detector.check";
     fast_path = c "detector.epoch_fast_path";
@@ -116,6 +120,9 @@ let sink t (ev : Probe.event) =
           Metrics.observe t.lock_wait (us (time -. t0)))
   | Lock_released _ -> Metrics.incr t.lock_released
   | Retransmit _ -> Metrics.incr t.retransmit
+  | Batch_flush { parts; _ } ->
+      Metrics.incr t.batch_flush;
+      Metrics.observe t.batch_parts parts
   | Coherence_violation _ -> Metrics.incr t.coherence_violation
   | Detector_check { fast_path; _ } ->
       Metrics.incr t.detector_check;

@@ -35,6 +35,14 @@ type event =
       len : int;
     }
   | Retransmit of { time : float; src : int; dst : int; seq : int }
+  | Batch_flush of {
+      time : float;
+      pid : int;
+      node : int;
+      kind : string; (* "put" | "get" *)
+      parts : int;
+      words : int;
+    }
   | Coherence_violation of {
       time : float;
       node : int;
@@ -86,6 +94,7 @@ let name = function
   | Lock_acquired _ -> "rdma.lock_acquired"
   | Lock_released _ -> "rdma.lock_released"
   | Retransmit _ -> "rdma.retransmit"
+  | Batch_flush _ -> "rdma.batch_flush"
   | Coherence_violation _ -> "coherence.violation"
   | Detector_check _ -> "detector.check"
   | Race_signal _ -> "detector.race_signal"

@@ -62,6 +62,16 @@ type event =
     }
   | Retransmit of { time : float; src : int; dst : int; seq : int }
       (** reliable transport resent an unacked frame *)
+  | Batch_flush of {
+      time : float;
+      pid : int;
+      node : int;
+      kind : string;
+      parts : int;
+      words : int;
+    }
+      (** batched coherence flushed [parts] coalesced ops ([kind]
+          put/get) totalling [words] data words towards [node] *)
   | Coherence_violation of {
       time : float;
       node : int;

@@ -177,6 +177,12 @@ let sink t (ev : Probe.event) =
   | Retransmit { time; src; dst; seq } ->
       instant t ~pid:src ~name:"retransmit" ~cat:"fault" ~ts:time
         ~args:(Printf.sprintf {|"dst":%d,"seq":%d|} dst seq)
+  | Batch_flush { time; pid; node; kind; parts; words } ->
+      instant t ~pid
+        ~name:(Printf.sprintf "batch %s" kind)
+        ~cat:"batch" ~ts:time
+        ~args:
+          (Printf.sprintf {|"node":%d,"parts":%d,"words":%d|} node parts words)
   | Coherence_violation { time; node; offset; origin } ->
       instant t ~pid:node ~name:"coherence violation" ~cat:"violation"
         ~ts:time

@@ -23,6 +23,16 @@ let get t p ~src ~dst =
   | Plain _ -> Machine.get p ~src ~dst ()
   | Checked d -> Detector.get d p ~src ~dst
 
+let put_batch t p ~pairs =
+  match t with
+  | Plain _ -> Machine.put_batch p ~pairs ()
+  | Checked d -> Detector.put_batch d p ~pairs
+
+let get_batch t p ~pairs =
+  match t with
+  | Plain _ -> Machine.get_batch p ~pairs ()
+  | Checked d -> Detector.get_batch d p ~pairs
+
 let fetch_add t p ~target ~delta =
   match t with
   | Plain _ -> Machine.fetch_add p ~target ~delta ()

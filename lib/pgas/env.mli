@@ -28,6 +28,20 @@ val get :
   t -> Dsm_rdma.Machine.proc ->
   src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region -> unit
 
+val put_batch :
+  t -> Dsm_rdma.Machine.proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list -> unit
+(** Batched-coherence puts: see [Dsm_core.Detector.put_batch] (checked)
+    and [Dsm_rdma.Machine.put_batch] (plain). Pairs must satisfy the
+    machine's batching preconditions under a plain environment; the
+    checked path additionally falls back to per-op puts for
+    non-batchable runs. *)
+
+val get_batch :
+  t -> Dsm_rdma.Machine.proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list -> unit
+(** Batched-coherence gets over contiguous source spans. *)
+
 val fetch_add :
   t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global -> delta:int ->
   int

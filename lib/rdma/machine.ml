@@ -118,6 +118,32 @@ let rec handle m ~node ~src msg =
         Lock_table.acquire locks ~offset ~len:(Array.length data) (fun id ->
             write_and_finish (Some id))
       else write_and_finish None
+  | Message.Put_batch { op; origin; parts; locked; want_ack; _ } ->
+      (* the whole batch lands under one lock spanning its parts — a
+         single acquisition instead of one per put — and answers with a
+         single ack; each part is still applied (and observed) as its
+         own write so the coherence shadow checker sees the same
+         write-set an unbatched run produces *)
+      let write_and_finish id =
+        Array.iter
+          (fun (offset, data) ->
+            Segment.write_block public ~offset data;
+            notify m
+              (Write_applied
+                 { time = Engine.now m.sim; node; offset; data; origin }))
+          parts;
+        (match id with Some id -> Lock_table.release locks id | None -> ());
+        if want_ack then
+          transmit m ~src:node ~dst:origin (Message.Put_ack { op })
+      in
+      if locked then begin
+        let lo, _ = parts.(0) in
+        let hi_off, hi_data = parts.(Array.length parts - 1) in
+        let len = hi_off + Array.length hi_data - lo in
+        Lock_table.acquire locks ~offset:lo ~len (fun id ->
+            write_and_finish (Some id))
+      end
+      else write_and_finish None
   | Message.Get { op; origin; offset; len; locked; extra_words } ->
       let read_and_reply id =
         let data = Segment.read_block public ~offset ~len in
@@ -564,6 +590,132 @@ let raw_get p ~src ~(dst : Addr.region) ?(extra_words = 0) () =
   write_local p dst data
 
 let raw_read p ~src = send_get p ~src ~extra_words:0 ~locked:false
+
+(* ---------- batched data operations ----------
+
+   Contiguous same-destination operations coalesce into one fabric
+   message: one header, one lock acquisition over the union span, one
+   reply. Singleton batches fall back to the plain per-op path so the
+   [Batch_flush] probe fires only when coalescing actually happened. *)
+
+let batch_flush p ~node ~kind ~parts ~words =
+  let probe = Engine.probe p.m.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe
+      (Batch_flush
+         { time = Engine.now p.m.sim; pid = p.p; node; kind; parts; words })
+
+let send_put_batch p ~(pairs : (Addr.region * Addr.region) list) ~extra_words
+    ~locked ~ack =
+  match pairs with
+  | [] -> invalid_arg "Machine.put_batch: empty batch"
+  | [ (src, dst) ] -> send_put p ~src ~dst ~extra_words ~locked ~ack
+  | (_, (dst0 : Addr.region)) :: _ ->
+      let target = dst0.base.pid in
+      let prev_end = ref (-1) in
+      List.iter
+        (fun ((src : Addr.region), (dst : Addr.region)) ->
+          check_local p src "put_batch";
+          check_public dst "put_batch";
+          check_same_len src dst "put_batch";
+          if dst.base.pid <> target then
+            invalid_arg "Machine.put_batch: parts target different nodes";
+          if dst.base.offset < !prev_end then
+            invalid_arg
+              "Machine.put_batch: parts must be in ascending, \
+               non-overlapping address order";
+          prev_end := dst.base.offset + dst.len)
+        pairs;
+      let parts =
+        Array.of_list
+          (List.map
+             (fun (src, (dst : Addr.region)) ->
+               (dst.base.offset, read_local p src))
+             pairs)
+      in
+      let words =
+        Array.fold_left (fun acc (_, d) -> acc + Array.length d) 0 parts
+      in
+      let op = fresh_op p.m in
+      p.m.ops <- p.m.ops + 1;
+      let iv = if ack then Some (Ivar.create ()) else None in
+      (match iv with
+      | Some iv -> Hashtbl.replace p.m.pending_acks op iv
+      | None -> ());
+      op_begin p ~op ~kind:"put" ~target;
+      batch_flush p ~node:target ~kind:"put" ~parts:(Array.length parts)
+        ~words;
+      transmit p.m ~src:p.p ~dst:target
+        (Message.Put_batch
+           { op; origin = p.p; parts; extra_words; locked; want_ack = ack });
+      (match iv with Some iv -> Ivar.read p.m.sim iv | None -> ());
+      op_end p ~op ~kind:"put"
+
+let put_batch p ~pairs ?(extra_words = 0) ?(ack = true) () =
+  send_put_batch p ~pairs ~extra_words ~locked:true ~ack
+
+let raw_put_batch p ~pairs ?(extra_words = 0) () =
+  send_put_batch p ~pairs ~extra_words ~locked:false ~ack:true
+
+(* Gets need no new message: contiguous sources collapse into a single
+   [Get] over the union span, scattered into the destinations locally. *)
+let send_get_batch p ~(pairs : (Addr.region * Addr.region) list) ~extra_words
+    ~locked ~dst_locks =
+  match pairs with
+  | [] -> invalid_arg "Machine.get_batch: empty batch"
+  | [ (src, dst) ] ->
+      if dst_locks then get p ~src ~dst ~extra_words ()
+      else raw_get p ~src ~dst ~extra_words ()
+  | ((src0 : Addr.region), _) :: _ ->
+      let target = src0.base.pid in
+      let lo = src0.base.offset in
+      let prev_end = ref lo in
+      List.iter
+        (fun ((src : Addr.region), (dst : Addr.region)) ->
+          check_public src "get_batch";
+          check_local p dst "get_batch";
+          check_same_len src dst "get_batch";
+          if src.base.pid <> target then
+            invalid_arg "Machine.get_batch: parts target different nodes";
+          if src.base.offset <> !prev_end then
+            invalid_arg
+              "Machine.get_batch: source parts must be contiguous and \
+               ascending";
+          prev_end := src.base.offset + src.len)
+        pairs;
+      let len = !prev_end - lo in
+      (* Figure 3 for every public destination: local locks held for the
+         whole round trip so a concurrent put cannot land inside the
+         get window. *)
+      let locks_held =
+        if dst_locks then
+          List.filter_map
+            (fun (_, (dst : Addr.region)) ->
+              if
+                Addr.is_public dst
+                && not (List.mem Skip_get_dst_lock p.m.bugs)
+              then
+                Some (await_local_lock p ~offset:dst.base.offset ~len:dst.len)
+              else None)
+            pairs
+        else []
+      in
+      batch_flush p ~node:target ~kind:"get" ~parts:(List.length pairs)
+        ~words:len;
+      let span = Addr.region ~pid:target ~space:Addr.Public ~offset:lo ~len in
+      let data = send_get p ~src:span ~extra_words ~locked in
+      List.iter
+        (fun ((src : Addr.region), (dst : Addr.region)) ->
+          write_local p dst (Array.sub data (src.base.offset - lo) src.len))
+        pairs;
+      let tbl = Node_memory.locks p.m.nodes.(p.p) in
+      List.iter (fun id -> Lock_table.release tbl id) locks_held
+
+let get_batch p ~pairs ?(extra_words = 0) () =
+  send_get_batch p ~pairs ~extra_words ~locked:true ~dst_locks:true
+
+let raw_get_batch p ~pairs ?(extra_words = 0) () =
+  send_get_batch p ~pairs ~extra_words ~locked:false ~dst_locks:false
 
 let atomic p ~(target : Addr.global) ~extra_words kind =
   if target.space <> Addr.Public then

@@ -170,6 +170,29 @@ val get :
     flight, [p]'s NIC holds the lock on a public [dst], so a concurrent
     put to the same place is delayed — Figure 3. *)
 
+val put_batch :
+  proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list ->
+  ?extra_words:int -> ?ack:bool -> unit -> unit
+(** [put_batch p ~pairs ()] performs every [(src, dst)] put of [pairs]
+    as {e one} fabric message: all destinations must be public regions
+    of the same node, in ascending non-overlapping address order; the
+    target NIC takes a single lock spanning the batch, applies each
+    part as its own write, and answers with a single ack. A singleton
+    batch degenerates to {!put}. Raises [Invalid_argument] on an empty
+    batch or any violated per-put precondition. *)
+
+val get_batch :
+  proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list ->
+  ?extra_words:int -> unit -> unit
+(** [get_batch p ~pairs ()] performs every [(src, dst)] get of [pairs]
+    with one request/data round trip: the sources must be {e contiguous}
+    ascending public regions of one node, fetched as a single span and
+    scattered into the destinations locally. Figure 3 locks are held on
+    every public destination for the whole round trip. A singleton
+    batch degenerates to {!get}. *)
+
 val fetch_add :
   proc -> target:Dsm_memory.Addr.global -> ?extra_words:int -> delta:int ->
   unit -> int
@@ -209,6 +232,21 @@ val raw_get :
   proc -> src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region ->
   ?extra_words:int -> unit -> unit
 (** Lock-free counterpart of {!get}; the caller must hold both locks. *)
+
+val raw_put_batch :
+  proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list ->
+  ?extra_words:int -> unit -> unit
+(** {!put_batch} without the target-side lock: the caller must already
+    hold a lock covering the batch's span (the detector's batched
+    Algorithm 1 transaction). Acked. *)
+
+val raw_get_batch :
+  proc ->
+  pairs:(Dsm_memory.Addr.region * Dsm_memory.Addr.region) list ->
+  ?extra_words:int -> unit -> unit
+(** {!get_batch} without any locks (source-side or Figure 3); the caller
+    must hold them. *)
 
 val raw_read : proc -> src:Dsm_memory.Addr.region -> int array
 (** Fetch a remote public region's contents into the caller's hands (not

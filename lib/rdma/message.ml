@@ -9,6 +9,14 @@ type t =
       want_ack : bool;
     }
   | Put_ack of { op : int }
+  | Put_batch of {
+      op : int;
+      origin : int;
+      parts : (int * int array) array; (* (offset, data), ascending *)
+      extra_words : int;
+      locked : bool;
+      want_ack : bool;
+    }
   | Get of {
       op : int;
       origin : int;
@@ -48,6 +56,13 @@ let wire_words = function
   | Put { data; extra_words; _ } ->
       header_words + Array.length data + extra_words
   | Put_ack _ -> header_words
+  | Put_batch { parts; extra_words; _ } ->
+      (* one header for the whole batch; each part pays one word for its
+         offset plus its data *)
+      header_words + extra_words
+      + Array.fold_left
+          (fun acc (_, data) -> acc + 1 + Array.length data)
+          0 parts
   | Get { extra_words; _ } -> header_words + extra_words
   | Get_reply { data; extra_words; _ } ->
       header_words + Array.length data + extra_words
@@ -66,6 +81,14 @@ let describe = function
         (if locked then "" else " (raw)")
         (if want_ack then " (acked)" else "")
   | Put_ack { op } -> Printf.sprintf "put-ack#%d" op
+  | Put_batch { op; origin; parts; locked; want_ack; _ } ->
+      let words =
+        Array.fold_left (fun acc (_, d) -> acc + Array.length d) 0 parts
+      in
+      Printf.sprintf "put-batch#%d from P%d (%d parts, %d words)%s%s" op
+        origin (Array.length parts) words
+        (if locked then "" else " (raw)")
+        (if want_ack then " (acked)" else "")
   | Get { op; origin; offset; len; locked; _ } ->
       Printf.sprintf "get#%d from P%d of pub[%d..+%d)%s" op origin offset len
         (if locked then "" else " (raw)")

@@ -31,6 +31,18 @@ type t =
       want_ack : bool;
     }
   | Put_ack of { op : int }
+  | Put_batch of {
+      op : int;
+      origin : int;
+      parts : (int * int array) array;
+          (** [(offset, data)] pairs in ascending, non-overlapping
+              address order — contiguous same-destination puts coalesced
+              into one fabric message. The whole batch pays a single
+              header; each part pays one extra word for its offset. *)
+      extra_words : int;
+      locked : bool;
+      want_ack : bool;
+    }
   | Get of {
       op : int;
       origin : int;

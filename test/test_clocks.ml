@@ -223,6 +223,82 @@ let test_epoch_words_roundtrip () =
     (Invalid_argument "Vector_clock.load_words: slice out of bounds")
     (fun () -> Vector_clock.load_words c' w ~off:4)
 
+(* ---------- Sparse representation (ISSUE 5 scaling) ---------- *)
+
+let test_sparse_lifecycle () =
+  let n = 64 in
+  let thr = Vector_clock.sparse_threshold ~n in
+  Alcotest.(check bool) "threshold scales with n" true (thr >= 4 && thr < n);
+  let c = Vector_clock.create_sparse ~n in
+  Alcotest.(check bool) "born epoch" true (Vector_clock.is_epoch c);
+  Vector_clock.tick c ~me:9;
+  Vector_clock.tick c ~me:9;
+  Alcotest.(check bool) "single-writer ticks stay epoch" true
+    (Vector_clock.is_epoch c);
+  (* a second pid promotes to the sorted-pairs form, not to dense *)
+  let other = Vector_clock.create_sparse ~n in
+  Vector_clock.tick other ~me:40;
+  Vector_clock.merge_into ~into:c other;
+  Alcotest.(check bool) "second pid lands sparse" true
+    (Vector_clock.is_sparse c);
+  Alcotest.(check int) "entry 9" 2 (Vector_clock.entry c 9);
+  Alcotest.(check int) "entry 40" 1 (Vector_clock.entry c 40);
+  Alcotest.(check int) "active entries" 2 (Vector_clock.active_entries c);
+  (* fill to the threshold: still sparse; one past: promoted to dense *)
+  for pid = 0 to thr - 3 do
+    let o = Vector_clock.create_sparse ~n in
+    Vector_clock.tick o ~me:pid;
+    Vector_clock.merge_into ~into:c o
+  done;
+  Alcotest.(check int) "at threshold" thr (Vector_clock.active_entries c);
+  Alcotest.(check bool) "at threshold still sparse" true
+    (Vector_clock.is_sparse c);
+  let o = Vector_clock.create_sparse ~n in
+  Vector_clock.tick o ~me:50;
+  Vector_clock.merge_into ~into:c o;
+  Alcotest.(check bool) "past threshold promoted to dense" false
+    (Vector_clock.is_sparse c || Vector_clock.is_epoch c);
+  Alcotest.(check int) "promotion preserved entries" (thr + 1)
+    (Vector_clock.active_entries c);
+  (* reset restores the compact epoch form without losing capacity *)
+  Vector_clock.reset c;
+  Alcotest.(check bool) "reset re-epochs" true (Vector_clock.is_epoch c);
+  Alcotest.(check bool) "reset zeroes" true (Vector_clock.is_zero c);
+  Alcotest.(check bool) "policy survives reset" true
+    (Vector_clock.rep c = Vector_clock.Sparse)
+
+let test_sparse_merge_scan () =
+  (* interleaved active pids exercise every branch of the merge scan:
+     left-only, right-only, and both-present components *)
+  let mk l = Vector_clock.of_array_rep Vector_clock.Sparse (Array.of_list l) in
+  let a = mk [ 0; 5; 0; 3; 0; 0; 1; 0 ] in
+  let b = mk [ 2; 0; 0; 7; 0; 4; 0; 0 ] in
+  let m = Vector_clock.merge a b in
+  Alcotest.(check (array int)) "merge scan"
+    [| 2; 5; 0; 7; 0; 4; 1; 0 |]
+    (Vector_clock.to_array m);
+  Vector_clock.merge_into ~into:a b;
+  Alcotest.(check (array int)) "merge_into scan"
+    [| 2; 5; 0; 7; 0; 4; 1; 0 |]
+    (Vector_clock.to_array a)
+
+let test_sparse_compare_cases () =
+  let mk l = Vector_clock.of_array_rep Vector_clock.Sparse (Array.of_list l) in
+  let x = mk [ 1; 0; 2; 0 ] in
+  let y = mk [ 1; 0; 3; 0 ] in
+  let z = mk [ 0; 4; 0; 0 ] in
+  Alcotest.(check bool) "before" true
+    (Order.equal Order.Before (Vector_clock.compare x y));
+  Alcotest.(check bool) "after" true
+    (Order.equal Order.After (Vector_clock.compare y x));
+  Alcotest.(check bool) "concurrent" true (Vector_clock.concurrent x z);
+  Alcotest.(check bool) "equal" true
+    (Order.equal Order.Equal (Vector_clock.compare x (mk [ 1; 0; 2; 0 ])));
+  (* mixed representations compare the same abstract vector *)
+  let xd = Vector_clock.of_array ~dense:true [| 1; 0; 2; 0 |] in
+  Alcotest.(check bool) "sparse vs dense" true
+    (Order.equal Order.Before (Vector_clock.compare xd y))
+
 (* ---------- Vector clocks: properties ---------- *)
 
 let gen_vc n =
@@ -350,6 +426,19 @@ let prop_adaptive_equals_dense =
           apply_op d op;
           Vector_clock.equal a d
           && Vector_clock.to_array a = Vector_clock.to_array d)
+        ops)
+
+let prop_sparse_equals_dense =
+  QCheck.Test.make ~name:"sparse history = dense history" ~count:500
+    arb_history (fun (n, ops) ->
+      let s = Vector_clock.create_sparse ~n in
+      let d = Vector_clock.create_dense ~n in
+      List.for_all
+        (fun op ->
+          apply_op s op;
+          apply_op d op;
+          Vector_clock.equal s d
+          && Vector_clock.to_array s = Vector_clock.to_array d)
         ops)
 
 let prop_representation_blind_compare =
@@ -526,6 +615,7 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prop_tick_strictly_after;
     prop_leq_transitive;
     prop_adaptive_equals_dense;
+    prop_sparse_equals_dense;
     prop_representation_blind_compare;
     prop_words_roundtrip;
     prop_slice_roundtrip_mid_buffer;
@@ -574,6 +664,13 @@ let () =
             test_epoch_merge_transitions;
           Alcotest.test_case "compare cases" `Quick test_epoch_compare_cases;
           Alcotest.test_case "words roundtrip" `Quick test_epoch_words_roundtrip;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "lifecycle + promotion" `Quick
+            test_sparse_lifecycle;
+          Alcotest.test_case "merge scan" `Quick test_sparse_merge_scan;
+          Alcotest.test_case "compare cases" `Quick test_sparse_compare_cases;
         ] );
       ("vector-properties", qsuite);
       ( "matrix",

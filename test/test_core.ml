@@ -652,6 +652,97 @@ let prop_packed_key_rejects_out_of_range =
       | _ -> false
       | exception Invalid_argument _ -> true)
 
+(* ---------- Sharded store (ISSUE 5 scaling) ---------- *)
+
+let test_store_shard_validation () =
+  List.iter
+    (fun shards ->
+      match
+        Clock_store.create ~node:0 ~clock_dim:4 ~granularity:Config.Word
+          ~shards ()
+      with
+      | _ -> Alcotest.failf "shards = %d accepted" shards
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; 3; 6; 12 ];
+  let s =
+    Clock_store.create ~node:0 ~clock_dim:4 ~granularity:Config.Word
+      ~shards:8 ()
+  in
+  Alcotest.(check int) "shard count" 8 (Clock_store.shards s);
+  let d =
+    Clock_store.create ~node:0 ~clock_dim:4 ~granularity:Config.Word ()
+  in
+  Alcotest.(check int) "default unsharded" 1 (Clock_store.shards d)
+
+(* Sharding is pure data-structure layout: granule identity, lazy
+   creation, counters and iteration order are bit-identical between an
+   unsharded store and an 8-way sharded one. *)
+let test_store_sharding_invisible () =
+  let mk shards =
+    Clock_store.create ~node:0 ~clock_dim:4 ~granularity:Config.Word ~shards
+      ()
+  in
+  let s1 = mk 1 and s8 = mk 8 in
+  (* offsets straddling several 64-word address ranges *)
+  let offsets = [ 0; 1; 63; 64; 65; 130; 1024; 4095 ] in
+  List.iter
+    (fun off ->
+      List.iter
+        (fun s ->
+          let e = Clock_store.entry_at s ~offset:off ~len:1 in
+          Dsm_clocks.Vector_clock.tick e.Clock_store.v ~me:(off mod 4))
+        [ s1; s8 ])
+    offsets;
+  Alcotest.(check int) "same entry count" (Clock_store.entries s1)
+    (Clock_store.entries s8);
+  Alcotest.(check int) "same storage words"
+    (Clock_store.storage_words s1)
+    (Clock_store.storage_words s8);
+  Alcotest.(check int) "same epoch census"
+    (Clock_store.epoch_clocks s1)
+    (Clock_store.epoch_clocks s8);
+  let region =
+    Addr.region ~pid:0 ~space:Addr.Public ~offset:60 ~len:10
+  in
+  Alcotest.(check bool) "same granule walk" true
+    (Clock_store.granules s1 region = Clock_store.granules s8 region);
+  List.iter
+    (fun off ->
+      let e1 = Clock_store.entry_at s1 ~offset:off ~len:1 in
+      let e8 = Clock_store.entry_at s8 ~offset:off ~len:1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "clocks at %d agree" off)
+        true
+        (Dsm_clocks.Vector_clock.equal e1.Clock_store.v e8.Clock_store.v))
+    offsets;
+  (* hit path returns the same physical entry in both layouts *)
+  List.iter
+    (fun s ->
+      let a = Clock_store.entry_at s ~offset:64 ~len:1 in
+      let b = Clock_store.entry_at s ~offset:64 ~len:1 in
+      Alcotest.(check bool) "stable physical entry" true (a == b))
+    [ s1; s8 ]
+
+let test_store_shard_scratch () =
+  let s =
+    Clock_store.create ~node:0 ~clock_dim:4 ~granularity:Config.Word
+      ~rep:Config.Sparse_vector ~shards:4 ()
+  in
+  let a = Clock_store.shard_scratch s ~offset:0 in
+  let b = Clock_store.shard_scratch s ~offset:63 in
+  let c = Clock_store.shard_scratch s ~offset:64 in
+  Alcotest.(check bool) "same range, same scratch" true (a == b);
+  Alcotest.(check bool) "next range, next shard" true (not (a == c));
+  (* round-robin: 4 shards x 64-word ranges wrap at offset 256 *)
+  let w = Clock_store.shard_scratch s ~offset:(4 * 64) in
+  Alcotest.(check bool) "ranges wrap round-robin" true (a == w);
+  Alcotest.(check bool) "scratch in store rep" true
+    (Dsm_clocks.Vector_clock.rep a = Dsm_clocks.Vector_clock.Sparse);
+  Dsm_clocks.Vector_clock.reset a;
+  Dsm_clocks.Vector_clock.tick a ~me:2;
+  Alcotest.(check int) "scratch usable after reset" 1
+    (Dsm_clocks.Vector_clock.entry a 2)
+
 (* The same equivalence as a property over arbitrary seeds. *)
 let prop_ground_truth_equivalence =
   QCheck.Test.make ~name:"online detector = offline HB (random seeds)"
@@ -723,6 +814,14 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_packed_key_injective;
           QCheck_alcotest.to_alcotest prop_packed_key_rejects_out_of_range;
+        ] );
+      ( "clock-store-shards",
+        [
+          Alcotest.test_case "shard count validation" `Quick
+            test_store_shard_validation;
+          Alcotest.test_case "sharding invisible" `Quick
+            test_store_sharding_invisible;
+          Alcotest.test_case "shard scratch" `Quick test_store_shard_scratch;
         ] );
       ( "ground-truth",
         [

@@ -65,6 +65,53 @@ let test_markers () =
             (Test_util.contains (render e) marker))
     expected_markers
 
+(* Regression (ISSUE 5 bug fix): [build_figure] used to accept machines
+   with fewer than [figure_min_nodes] processes and crash (or silently
+   drop participants) while spawning; it must refuse up front with a
+   clean [Error] — for every figure, before any state is built. *)
+let test_build_figure_rejects_small_machine () =
+  let module Figures = Dsm_experiments.Figures in
+  let module Machine = Dsm_rdma.Machine in
+  List.iter
+    (fun n ->
+      let sim = Dsm_sim.Engine.create () in
+      let m =
+        Machine.create sim ~n ~latency:(Dsm_net.Latency.Constant 1.0) ()
+      in
+      List.iter
+        (fun name ->
+          match Figures.build_figure name m with
+          | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d error names the floor" name n)
+                true
+                (Test_util.contains msg
+                   (string_of_int Figures.figure_min_nodes))
+          | Ok _ ->
+              Alcotest.failf "%s accepted a %d-process machine" name n)
+        Figures.figure_names;
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d machine untouched" n)
+        true
+        (Machine.fabric_messages m = 0))
+    [ 1; 2 ];
+  (* the floor itself still builds *)
+  let sim = Dsm_sim.Engine.create () in
+  let m =
+    Machine.create sim ~n:Figures.figure_min_nodes
+      ~latency:(Dsm_net.Latency.Constant 1.0) ()
+  in
+  (match Figures.build_figure "fig2" m with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "fig2 returned a detector"
+  | Error msg -> Alcotest.failf "fig2 rejected at the floor: %s" msg);
+  (* unknown names still get the name error, not the size error *)
+  (match Figures.build_figure "fig9" m with
+  | Error msg ->
+      Alcotest.(check bool) "unknown name reported" true
+        (Test_util.contains msg "unknown figure scenario")
+  | Ok _ -> Alcotest.fail "unknown figure accepted")
+
 let () =
   let per_experiment =
     List.map
@@ -82,4 +129,9 @@ let () =
         ] );
       ("sections", per_experiment);
       ("markers", [ Alcotest.test_case "content" `Slow test_markers ]);
+      ( "figures",
+        [
+          Alcotest.test_case "small machine rejected" `Quick
+            test_build_figure_rejects_small_machine;
+        ] );
     ]

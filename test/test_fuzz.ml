@@ -154,6 +154,97 @@ let prop_epoch_dense_equivalent =
       run_once ~clock_rep:Config.Epoch_adaptive ~seed ~ops:10 ()
       = run_once ~clock_rep:Config.Dense_vector ~seed ~ops:10 ())
 
+(* --- Sparse wire codec fuzz (ISSUE 5): round-trip + rejection. ------ *)
+
+module Vector_clock = Dsm_clocks.Vector_clock
+module Codec = Dsm_clocks.Codec
+
+let check_roundtrip name c =
+  let w = Codec.encode_vector_sparse c in
+  let c' = Codec.decode_vector_sparse w in
+  Alcotest.(check bool)
+    (name ^ " round-trips") true
+    (Vector_clock.equal c c');
+  Alcotest.(check bool)
+    (name ^ " decodes to sparse policy") true
+    (Vector_clock.rep c' = Vector_clock.Sparse)
+
+let test_codec_sparse_directed () =
+  (* empty *)
+  let zero = Vector_clock.create_sparse ~n:8 in
+  check_roundtrip "zero clock" zero;
+  Alcotest.(check int)
+    "zero clock ships headers only" 2
+    (Array.length (Codec.encode_vector_sparse zero));
+  (* single entry *)
+  let single = Vector_clock.create_sparse ~n:8 in
+  Vector_clock.tick single ~me:3;
+  check_roundtrip "single entry" single;
+  Alcotest.(check int)
+    "single entry ships one pair" 4
+    (Array.length (Codec.encode_vector_sparse single));
+  (* promotion boundary: exactly threshold live components, then one
+     past it (the clock flips to dense storage; the codec must not
+     care which side of the boundary it is on) *)
+  let n = 32 in
+  let thr = Vector_clock.sparse_threshold ~n in
+  let at = Vector_clock.create_sparse ~n in
+  for pid = 0 to thr - 1 do
+    let other = Vector_clock.create_sparse ~n in
+    Vector_clock.tick other ~me:pid;
+    Vector_clock.merge_into ~into:at other
+  done;
+  Alcotest.(check bool) "at threshold still sparse" true
+    (Vector_clock.is_sparse at);
+  check_roundtrip "at promotion threshold" at;
+  let past = Vector_clock.copy at in
+  let other = Vector_clock.create_sparse ~n in
+  Vector_clock.tick other ~me:thr;
+  Vector_clock.merge_into ~into:past other;
+  Alcotest.(check bool) "past threshold promoted" false
+    (Vector_clock.is_sparse past);
+  check_roundtrip "past promotion threshold" past;
+  (* max pid *)
+  let last = Vector_clock.create_sparse ~n:64 in
+  Vector_clock.tick last ~me:63;
+  check_roundtrip "max-pid entry" last;
+  (* rejection: truncated, padded, and corrupted buffers all raise *)
+  let w = Codec.encode_vector_sparse past in
+  let rejects name w =
+    match Codec.decode_vector_sparse w with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: malformed buffer was accepted" name
+  in
+  rejects "truncated buffer" (Array.sub w 0 (Array.length w - 1));
+  rejects "padded buffer" (Array.append w [| 0 |]);
+  rejects "headerless buffer" [||];
+  rejects "negative pair count" [| 8; -1 |];
+  rejects "pair count beyond dim" [| 2; 3; 0; 1; 1; 1; 2; 1 |];
+  rejects "unsorted pids" [| 8; 2; 5; 1; 3; 1 |];
+  rejects "duplicate pids" [| 8; 2; 3; 1; 3; 1 |];
+  rejects "pid out of range" [| 8; 1; 8; 1 |];
+  rejects "non-positive tick" [| 8; 1; 2; 0 |]
+
+(* Random clocks of random dimension and density round-trip losslessly,
+   and the sparse wire never beats the Charron-Bost bound's shape: at
+   most [2n + 2] words. *)
+let prop_codec_sparse_roundtrip =
+  QCheck.Test.make ~name:"sparse codec round-trips random clocks" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "(n=%d, seed=%d)" n seed)
+        Gen.(pair (int_range 1 64) (int_range 0 1_000_000)))
+    (fun (n, seed) ->
+      let g = Prng.create ~seed in
+      let a =
+        Array.init n (fun _ ->
+            if Prng.int g 4 = 0 then 1 + Prng.int g 1_000 else 0)
+      in
+      let c = Vector_clock.of_array_rep Vector_clock.Sparse a in
+      let w = Codec.encode_vector_sparse c in
+      Array.length w <= (2 * n) + 2
+      && Vector_clock.equal c (Codec.decode_vector_sparse w))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -168,5 +259,11 @@ let () =
           Alcotest.test_case "epoch = dense (directed seeds)" `Quick
             test_fuzz_epoch_dense_equivalent;
           QCheck_alcotest.to_alcotest prop_epoch_dense_equivalent;
+        ] );
+      ( "codec-sparse",
+        [
+          Alcotest.test_case "directed round-trips + rejection" `Quick
+            test_codec_sparse_directed;
+          QCheck_alcotest.to_alcotest prop_codec_sparse_roundtrip;
         ] );
     ]
