@@ -42,6 +42,25 @@ explore-par-smoke:
 	dune exec bin/dsmcheck.exe -- explore getput --runs 40 --jobs 2
 	dune exec bin/dsmcheck.exe -- explore getput --seed 1 --faults drop=0.65 --reliable --runs 25 --jobs 2; test $$? -eq 124
 
+# Persistent-pool walk batches across chunk sizes (identical findings at
+# every chunk; also wired into `dune runtest`), plus the --chunk
+# validation: a non-positive chunk is a clean usage error, exit 124.
+explore-pool-smoke:
+	dune exec bin/dsmcheck.exe -- explore getput --runs 40 --jobs 2 --chunk 1
+	dune exec bin/dsmcheck.exe -- explore getput --runs 40 --jobs 2 --chunk 256
+	dune exec bin/dsmcheck.exe -- explore getput --runs 40 --jobs 2 --chunk 0 2>/dev/null; test $$? -eq 124
+
+# Sleep-set DPOR over the bounded DFS: a tied-delivery getput tree and a
+# 3-process racy workload, both pruned with findings preserved (also
+# wired into `dune runtest`), plus the flag validation — --dpor needs
+# --depth and excludes --replay and --jobs, all clean errors, exit 124.
+explore-dpor-smoke:
+	dune exec bin/dsmcheck.exe -- explore getput --latency constant:1 --depth 6 --dpor
+	dune exec bin/dsmcheck.exe -- explore workload:master-worker-racy -n 3 --depth 10 --runs 600 --dpor
+	dune exec bin/dsmcheck.exe -- explore getput --dpor 2>/dev/null; test $$? -eq 124
+	dune exec bin/dsmcheck.exe -- explore getput --depth 4 --dpor --jobs 2 2>/dev/null; test $$? -eq 124
+	dune exec bin/dsmcheck.exe -- explore getput --depth 4 --dpor --replay "dsm1|s=getput|n=2|seed=1|f=none|r=0|b=0|me=200000|d=" 2>/dev/null; test $$? -eq 124
+
 # Observability smoke: a figure scenario exported as a Perfetto trace
 # (the CLI re-validates the written JSON against the trace-event schema
 # and exits nonzero on a bad export) plus metrics dumps from the run and

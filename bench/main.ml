@@ -447,20 +447,28 @@ let racy_path =
    carry [runs_per_sec], [jobs] and [speedup_vs_1] instead of an r² and
    are exempt from the confidence gate below. *)
 module Parallel = Dsm_explore.Parallel
+module Dpor = Dsm_explore.Dpor
 
 let parallel_jobs = [ 1; 2; 4 ]
+let parallel_chunks = [ 1; 64; 256 ]
 
-let parallel_batch ~smoke ~jobs spec =
+let parallel_batch ~smoke ~pool ~chunk spec =
   let runs = if smoke then 40 else 1000 in
   let reps = if smoke then 1 else 3 in
   let best = ref infinity in
+  (* one throwaway batch so the pool's arenas are built (and the spec's
+     scenario compiled) before the clock starts — the pool amortizes
+     that cost across a session, and so does the bench *)
+  ignore
+    (Parallel.explore_random ~check_determinism:false ~stop_on_first:false
+       ~pool ~jobs:1 ~chunk spec ~runs:(min runs 8));
   for _ = 1 to reps do
     (* Toolkit.Monotonic_clock.get is the same clock the OLS rows use,
        in ns. *)
     let t0 = Monotonic_clock.get () in
     let stats =
       Parallel.explore_random ~check_determinism:false ~stop_on_first:false
-        ~jobs spec ~runs
+        ~pool ~jobs:1 ~chunk spec ~runs
     in
     let dt = (Monotonic_clock.get () -. t0) /. 1e9 in
     if stats.Explore.runs <> runs then
@@ -586,25 +594,106 @@ let json_row_of_ols ((name, _) as row) =
 
 let parallel_json_rows ~smoke () =
   let spec = explore_spec ~faults:"drop=0.1,dup=0.05" ~reliable:true () in
+  (* the jobs x chunk matrix, one persistent pool per jobs value —
+     spawned once, hot arenas across every chunk batch, exactly how an
+     explore session uses it. speedup_vs_1 compares against jobs=1 at
+     the same chunk size. *)
   let timed =
-    List.map (fun jobs -> (jobs, parallel_batch ~smoke ~jobs spec))
+    List.map
+      (fun jobs ->
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            List.map
+              (fun chunk ->
+                (jobs, chunk, parallel_batch ~smoke ~pool ~chunk spec))
+              parallel_chunks))
       parallel_jobs
+    |> List.concat
   in
-  let base = match timed with (_, (_, dt)) :: _ -> dt | [] -> nan in
+  let base chunk =
+    match
+      List.find_opt (fun (jobs, c, _) -> jobs = 1 && c = chunk) timed
+    with
+    | Some (_, _, (_, dt)) -> dt
+    | None -> nan
+  in
   List.map
-    (fun (jobs, (runs, dt)) ->
+    (fun (jobs, chunk, (runs, dt)) ->
       let r = float_of_int runs in
       Printf.printf
-        "explore/parallel_walks_jobs%d: %.0f runs/sec (%.2fx vs 1 domain)\n%!"
-        jobs (r /. dt) (base /. dt);
-      ( Printf.sprintf "explore/parallel_walks_jobs%d" jobs,
+        "explore/parallel_walks_jobs%d_chunk%d: %.0f runs/sec (%.2fx vs 1 \
+         domain)\n\
+         %!"
+        jobs chunk (r /. dt)
+        (base chunk /. dt);
+      ( Printf.sprintf "explore/parallel_walks_jobs%d_chunk%d" jobs chunk,
         [
           ("ns_per_run", num (Some (dt *. 1e9 /. r)));
           ("runs_per_sec", num (Some (r /. dt)));
           ("jobs", string_of_int jobs);
-          ("speedup_vs_1", num (Some (base /. dt)));
+          ("chunk", string_of_int chunk);
+          ("speedup_vs_1", num (Some (base chunk /. dt)));
         ] ))
     timed
+
+(* Sleep-set DPOR vs the unreduced bounded DFS on a genuinely branching
+   fault-free tree. The row carries counts, not timings: runs explored
+   by each search, schedules pruned, and whether the canonical
+   fingerprint sets (violated invariants + racy granules) came out
+   identical — the soundness bit that makes the reduction worth
+   anything. *)
+let dpor_json_rows ~smoke () =
+  let specs =
+    [
+      ( "explore/dfs_dpor_vs_full",
+        {
+          (explore_spec ~scenario:"workload:master-worker-racy" ~n:3 ()) with
+          Explore.seed = 1;
+        },
+        10 );
+      ( "explore/dfs_dpor_vs_full_getput_tied",
+        {
+          (explore_spec ()) with
+          Explore.seed = 1;
+          latency = Dsm_net.Latency.Constant 1.0;
+        },
+        6 );
+    ]
+  in
+  let max_runs = if smoke then 100 else 2000 in
+  List.map
+    (fun (name, spec, depth) ->
+      let full =
+        Dpor.explore ~dpor:false ~stop_on_first:false ~max_runs spec ~depth
+      in
+      let red = Dpor.explore ~stop_on_first:false ~max_runs spec ~depth in
+      let candidates = red.Dpor.runs + red.Dpor.pruned in
+      let pct =
+        if candidates = 0 then 0.0
+        else 100.0 *. float_of_int red.Dpor.pruned /. float_of_int candidates
+      in
+      let same = full.Dpor.canons = red.Dpor.canons in
+      Printf.printf
+        "%s: full %d runs, dpor %d runs + %d pruned (%.1f%%), violation \
+         sets %s\n\
+         %!"
+        name full.Dpor.runs red.Dpor.runs red.Dpor.pruned pct
+        (if same then "identical" else "DIFFER");
+      if (not smoke) && not same then begin
+        Printf.eprintf
+          "%s: DPOR and full DFS disagree on the violation set; the numbers \
+           were not blessed.\n"
+          name;
+        exit 1
+      end;
+      ( name,
+        [
+          ("full_runs", string_of_int full.Dpor.runs);
+          ("dpor_runs", string_of_int red.Dpor.runs);
+          ("dpor_pruned", string_of_int red.Dpor.pruned);
+          ("pruned_pct", num (Some pct));
+          ("same_violation_set", if same then "1" else "0");
+        ] ))
+    specs
 
 (* ---------- probe overhead and metrics rows ---------- *)
 
@@ -737,9 +826,23 @@ let probe_overhead_gate ~smoke () =
 let explore_metrics_rows ~smoke () =
   let reg = Dsm_obs.Metrics.create () in
   let runs = if smoke then 10 else 200 in
+  (* one metered explore session, all into a single registry: a walk
+     batch over a workload that actually routes puts/gets through the
+     checked detector (getput's scripted window monitor bypasses it and
+     left dead zero detector.* rows), then a pruned DPOR search so the
+     explore.dpor_pruned counter tracks real prunes *)
   ignore
     (Parallel.explore_random ~check_determinism:false ~stop_on_first:false
-       ~metrics:reg ~jobs:1 (explore_spec ()) ~runs);
+       ~metrics:reg ~jobs:1
+       (explore_spec ~scenario:"workload:random" ~n:3 ())
+       ~runs);
+  ignore
+    (Dpor.explore ~metrics:reg ~stop_on_first:false
+       ~max_runs:(if smoke then 50 else 2000)
+       { (explore_spec ~scenario:"workload:master-worker-racy" ~n:3 ()) with
+         Explore.seed = 1
+       }
+       ~depth:10);
   metrics_rows "explore_metrics" reg
 
 let write_json ?(schema = "dsmcheck-bench-detector/1") path rows =
@@ -841,12 +944,14 @@ let () =
   | [ "--json-explore" ] ->
       run_json ~smoke ~schema:"dsmcheck-bench-explore/1"
         ~extra_rows:(fun () ->
-          parallel_json_rows ~smoke () @ explore_metrics_rows ~smoke ())
+          parallel_json_rows ~smoke () @ dpor_json_rows ~smoke ()
+          @ explore_metrics_rows ~smoke ())
         explore_tests "BENCH_explore.json"
   | [ "--json-explore"; path ] ->
       run_json ~smoke ~schema:"dsmcheck-bench-explore/1"
         ~extra_rows:(fun () ->
-          parallel_json_rows ~smoke () @ explore_metrics_rows ~smoke ())
+          parallel_json_rows ~smoke () @ dpor_json_rows ~smoke ()
+          @ explore_metrics_rows ~smoke ())
         explore_tests path
   | [ "--no-micro" ] -> Registry.run_all ppf
   | [] ->

@@ -641,9 +641,28 @@ let replay_with_diagram token =
   | Error _ as e -> e
   | Ok r -> Ok (r, List.rev !arrows, List.rev !marks)
 
-let run_explore scenario n seed runs depth jobs faults reliable bug max_events
-    replay no_minimize metrics trace_out_violation verbose =
+let run_explore scenario n seed runs depth jobs chunk dpor latency faults
+    reliable bug max_events replay no_minimize metrics trace_out_violation
+    verbose =
   setup_logs verbose;
+  if chunk < 1 then
+    `Error (false, "--chunk must be a positive number of runs per claim")
+  else if dpor && replay <> None then
+    `Error
+      ( false,
+        "--dpor cannot be combined with --replay: a token replays exactly \
+         one schedule, there is nothing to prune" )
+  else if dpor && jobs > 1 then
+    `Error
+      ( false,
+        "--dpor is a single-domain search (its sleep sets are sequential \
+         state); drop --jobs or use --jobs 1" )
+  else if dpor && depth = None then
+    `Error
+      ( false,
+        "--dpor requires --depth: it prunes the bounded-exhaustive DFS, \
+         not random walks" )
+  else
   match replay with
   | Some token_str -> (
       match Token.of_string token_str with
@@ -663,6 +682,9 @@ let run_explore scenario n seed runs depth jobs faults reliable bug max_events
                 Format.printf "replay         : no invariant violated@.";
               `Ok ()))
   | None -> (
+      match Dsm_net.Latency.of_string latency with
+      | Error msg -> `Error (false, msg)
+      | Ok latency -> (
       let faults =
         match faults with
         | None -> Dsm_net.Fault.none
@@ -673,6 +695,7 @@ let run_explore scenario n seed runs depth jobs faults reliable bug max_events
           Explore.scenario;
           n;
           seed;
+          latency;
           faults;
           reliable;
           bug;
@@ -701,62 +724,82 @@ let run_explore scenario n seed runs depth jobs faults reliable bug max_events
         end
         else None
       in
-      (* Parallel.* with jobs <= 1 delegates to the sequential explorer,
-         and for jobs > 1 its merge is bit-identical to it — so one call
-         site covers every --jobs value. *)
-      match
-        match depth with
-        | Some depth ->
-            Dsm_explore.Parallel.explore_exhaustive ~jobs ?metrics:registry
-              spec ~depth ~max_runs:runs
+      let finish (first : (Explore.mode * Explore.run_result) option) =
+        match first with
         | None ->
-            Dsm_explore.Parallel.explore_random ~jobs ?metrics:registry
-              ?progress spec ~runs
-      with
-      | exception Invalid_argument msg -> `Error (false, msg)
-      | exception Sys_error msg -> `Error (false, msg)
-      | stats -> (
-          Format.printf "schedules      : %d explored, %d violating@."
-            stats.Explore.runs stats.Explore.violated;
-          match stats.Explore.first with
+            Format.printf "invariants     : all held@.";
+            print_metrics registry;
+            `Ok ()
+        | Some (_, r) ->
+            print_violations r;
+            let decisions =
+              if no_minimize then Token.trim_trailing_zeros r.Explore.decisions
+              else Explore.minimize ?metrics:registry spec r.Explore.decisions
+            in
+            let token = Explore.token_of spec decisions in
+            Format.printf "repro          : %s@." (Token.to_string token);
+            (match trace_out_violation with
+            | None -> ()
+            | Some path -> (
+                (* Re-execute the (minimized) violating run with a
+                   timeline sink on its replay arena and export it. *)
+                let tl = ref None in
+                match
+                  Explore.replay
+                    ~probe:(fun bus -> tl := Some (Dsm_obs.Timeline.attach bus))
+                    token
+                with
+                | Error msg ->
+                    Printf.eprintf "warning: violation replay failed: %s\n" msg
+                | Ok _ -> (
+                    match !tl with
+                    | None -> ()
+                    | Some tl -> (
+                        match write_trace tl path with
+                        | Ok () -> ()
+                        | Error msg -> Printf.eprintf "warning: %s\n" msg))));
+            print_metrics registry;
+            `Error (false, "invariant violated (see repro token)")
+      in
+      if dpor then (
+        (* guarded above: dpor implies depth is set and jobs = 1 *)
+        let depth = Option.get depth in
+        match
+          Dsm_explore.Dpor.explore ?metrics:registry spec ~depth ~max_runs:runs
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | exception Sys_error msg -> `Error (false, msg)
+        | st ->
+            let explored = st.Dsm_explore.Dpor.runs in
+            let pruned = st.Dsm_explore.Dpor.pruned in
+            let total = explored + pruned in
+            Format.printf
+              "schedules      : %d explored, %d pruned (%.1f%% of %d \
+               candidates), %d violating@."
+              explored pruned
+              (if total = 0 then 0.0
+               else 100.0 *. float_of_int pruned /. float_of_int total)
+              total st.Dsm_explore.Dpor.violated;
+            finish st.Dsm_explore.Dpor.first)
+      else
+        (* Parallel.* with a size-1 pool delegates to the sequential
+           explorer, and for jobs > 1 its merge is bit-identical to it —
+           so one call site covers every --jobs value. *)
+        match
+          match depth with
+          | Some depth ->
+              Dsm_explore.Parallel.explore_exhaustive ~jobs ?metrics:registry
+                spec ~depth ~max_runs:runs
           | None ->
-              Format.printf "invariants     : all held@.";
-              print_metrics registry;
-              `Ok ()
-          | Some (_, r) ->
-              print_violations r;
-              let decisions =
-                if no_minimize then
-                  Token.trim_trailing_zeros r.Explore.decisions
-                else Explore.minimize ?metrics:registry spec r.Explore.decisions
-              in
-              let token = Explore.token_of spec decisions in
-              Format.printf "repro          : %s@." (Token.to_string token);
-              (match trace_out_violation with
-              | None -> ()
-              | Some path -> (
-                  (* Re-execute the (minimized) violating run with a
-                     timeline sink on its replay arena and export it. *)
-                  let tl = ref None in
-                  match
-                    Explore.replay
-                      ~probe:(fun bus ->
-                        tl := Some (Dsm_obs.Timeline.attach bus))
-                      token
-                  with
-                  | Error msg ->
-                      Printf.eprintf "warning: violation replay failed: %s\n"
-                        msg
-                  | Ok _ -> (
-                      match !tl with
-                      | None -> ()
-                      | Some tl -> (
-                          match write_trace tl path with
-                          | Ok () -> ()
-                          | Error msg ->
-                              Printf.eprintf "warning: %s\n" msg))));
-              print_metrics registry;
-              `Error (false, "invariant violated (see repro token)")))
+              Dsm_explore.Parallel.explore_random ~jobs ~chunk
+                ?metrics:registry ?progress spec ~runs
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | exception Sys_error msg -> `Error (false, msg)
+        | stats ->
+            Format.printf "schedules      : %d explored, %d violating@."
+              stats.Explore.runs stats.Explore.violated;
+            finish stats.Explore.first))
 
 let explore_cmd =
   let doc = "Explore schedules and injected faults, checking protocol invariants." in
@@ -810,6 +853,40 @@ let explore_cmd =
             "Worker domains to explore with. Findings are bit-identical \
              for every $(docv) — parallelism only changes wall-clock \
              time.")
+  in
+  let latency =
+    Arg.(
+      value & opt string "infiniband"
+      & info [ "latency" ] ~docv:"MODEL"
+          ~doc:
+            "Fabric latency model: infiniband, ethernet, constant:C, \
+             linear:BASE:PER_WORD, logp:L:O:G, or jitter:MEAN:MODEL \
+             (microseconds). constant:C makes deliveries tie, which \
+             makes --depth trees branch — the regime --dpor prunes.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 64
+      & info [ "chunk" ] ~docv:"RUNS"
+          ~doc:
+            "Walk indices claimed per worker fetch-and-add in random-walk \
+             mode (ignored by --depth mode). Findings are bit-identical \
+             for every $(docv); larger chunks only reduce shared-counter \
+             traffic. Must be positive.")
+  in
+  let dpor =
+    Arg.(
+      value & flag
+      & info [ "dpor" ]
+          ~doc:
+            "Sleep-set partial-order reduction for $(b,--depth) mode: \
+             prune schedules that only reorder provably-independent \
+             events of an already-explored schedule. Every pruned \
+             schedule has an explored representative with the same \
+             violations and races. Requires $(b,--depth); single-domain; \
+             pruning disarms itself under $(b,--faults) (fault draws \
+             break trace equivalence) and the search then runs \
+             unpruned.")
   in
   let faults =
     Arg.(
@@ -876,8 +953,8 @@ let explore_cmd =
     Term.(
       ret
         (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
-       $ faults $ reliable $ bug $ max_events $ replay $ no_minimize
-       $ metrics $ trace_out_violation $ verbose))
+       $ chunk $ dpor $ latency $ faults $ reliable $ bug $ max_events
+       $ replay $ no_minimize $ metrics $ trace_out_violation $ verbose))
 
 (* ---------- scenario ---------- *)
 

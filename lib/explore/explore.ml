@@ -10,6 +10,7 @@ type spec = {
   scenario : string;
   n : int;
   seed : int;
+  latency : Dsm_net.Latency.t;
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -21,6 +22,7 @@ let default_spec =
     scenario = "getput";
     n = 2;
     seed = 1;
+    latency = Dsm_net.Latency.infiniband_like;
     faults = Dsm_net.Fault.none;
     reliable = false;
     bug = false;
@@ -44,6 +46,7 @@ type run_result = {
   decisions : int list;
   choices : (int * int) list;
   fingerprint : string;
+  canon : string;
   races : int;
   retransmits : int;
   violations : violation list;
@@ -78,12 +81,16 @@ type ctx = {
   replay_chooser : Chooser.t;  (* scripted re-run for the determinism check *)
   prev : Vector_clock.t option array;  (* clock-monotonicity scratch *)
   mutable runs_executed : int;  (* run ids for the probe bus *)
+  mutable ready_log : Ready_log.t option;
+      (* when installed, every run records its choice-point ready views
+         and chained-grant samples — the DPOR layer's input *)
 }
 
 let create_ctx ?metrics spec =
   let plan =
-    Scenario.prepare ~spec:spec.scenario ~n:spec.n ~seed:spec.seed
-      ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
+    Scenario.prepare ~latency:spec.latency ~spec:spec.scenario ~n:spec.n
+      ~seed:spec.seed ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
+      ()
   in
   let sim = Engine.create ~seed:spec.seed () in
   (* Telemetry is strictly read-only with respect to the simulation —
@@ -104,9 +111,14 @@ let create_ctx ?metrics spec =
     replay_chooser = Chooser.scripted [];
     prev = Array.make (Scenario.procs plan) None;
     runs_executed = 0;
+    ready_log = None;
   }
 
 let ctx_probe ctx = Engine.probe ctx.sim
+
+let ctx_spec ctx = ctx.spec
+
+let set_ready_log ctx log = ctx.ready_log <- log
 
 let decision_capacity ctx = Chooser.capacity ctx.chooser
 
@@ -219,6 +231,34 @@ let fingerprint_of spec (built : Scenario.built) outcome ~races ~monitor_report
   (* spec so that tokens for different scenarios never collide *)
   Digest.to_hex (Digest.string (spec.scenario ^ "\x00" ^ payload))
 
+(* Order-insensitive summary of what a run {e found}: outcome, the set
+   of violated invariants, and the set of raced granules (who, where) —
+   with no timestamps, event counts or signal orders. Two
+   Mazurkiewicz-equivalent schedules execute the same events in
+   different orders, so their full fingerprints differ (times, seqs)
+   while their canonical fingerprints must agree; the DPOR soundness
+   suite compares exactly this. *)
+let canon_of (built : Scenario.built) outcome violations =
+  let vnames =
+    List.sort_uniq compare
+      (List.map (fun v -> v.invariant) violations)
+  in
+  let groups =
+    match built.detector with
+    | None -> []
+    | Some d ->
+        List.sort_uniq compare
+          (List.map
+             (fun (g : Report.group) ->
+               Printf.sprintf "%d:%d+%d:%s" g.g_granule.base.pid
+                 g.g_granule.base.offset g.g_granule.len
+                 (String.concat "," (List.map string_of_int g.g_pids)))
+             (Report.grouped (Detector.report d)))
+  in
+  Printf.sprintf "%s|%s|%s" (outcome_to_string outcome)
+    (String.concat "," vnames)
+    (String.concat ";" groups)
+
 (* The allocation-tight per-run summary: everything a caller needs to
    classify a run, with the schedule itself left in the ctx's reusable
    buffers. [result_of] materializes the full {!run_result} for the rare
@@ -231,9 +271,12 @@ type raw = {
   r_retransmits : int;
   r_violations : violation list;
   r_fingerprint : string;
+  r_canon : string;
 }
 
 let raw_violating r = r.r_violations <> []
+
+let raw_canon r = r.r_canon
 
 let exec_with ctx chooser =
   let probe = Engine.probe ctx.sim in
@@ -243,8 +286,19 @@ let exec_with ctx chooser =
     Dsm_obs.Probe.emit probe (Run_begin { run });
   let built = fresh_built ctx in
   Engine.set_chooser ctx.sim (Some (Chooser.fn chooser));
+  (match ctx.ready_log with
+  | None -> ()
+  | Some log ->
+      Ready_log.reset log ~sample:(fun () ->
+          Machine.lock_grants_chained built.Scenario.machine);
+      Engine.set_choice_view ctx.sim (Some (Ready_log.observe log)));
   let outcome, mono = execute ctx built in
   Engine.set_chooser ctx.sim None;
+  (match ctx.ready_log with
+  | None -> ()
+  | Some log ->
+      Ready_log.finish log;
+      Engine.set_choice_view ctx.sim None);
   let violations = check_invariants ctx.spec built outcome mono in
   let races =
     match built.detector with
@@ -273,6 +327,7 @@ let exec_with ctx chooser =
     r_retransmits = Machine.transport_retransmits built.machine;
     r_violations = violations;
     r_fingerprint = fingerprint_of ctx.spec built outcome ~races ~monitor_report;
+    r_canon = canon_of built outcome violations;
   }
 
 let exec_mode ctx mode =
@@ -318,6 +373,7 @@ let result_of ctx (r : raw) =
     decisions = Chooser.decisions ctx.chooser;
     choices = Chooser.trace ctx.chooser;
     fingerprint = r.r_fingerprint;
+    canon = r.r_canon;
     races = r.r_races;
     retransmits = r.r_retransmits;
     violations = r.r_violations;
@@ -362,6 +418,12 @@ let explore_random ?(check_determinism = true) ?(stop_on_first = true) spec
    partition enumerate children through this one function — that shared
    canonical order is what makes the parallel merge bit-identical to the
    sequential search. *)
+let last_choice_points ctx = Chooser.choice_points ctx.chooser
+
+let last_chosen_at ctx p = Chooser.chosen_at ctx.chooser p
+
+let last_ready_at ctx p = Chooser.ready_at ctx.chooser p
+
 let last_children ctx ~plen ~depth =
   let c = ctx.chooser in
   let horizon = min depth (Chooser.choice_points c) in
@@ -450,6 +512,7 @@ let token_of spec decisions =
     Token.scenario = spec.scenario;
     n = spec.n;
     seed = spec.seed;
+    latency = spec.latency;
     faults = spec.faults;
     reliable = spec.reliable;
     bug = spec.bug;
@@ -462,6 +525,7 @@ let spec_of_token (t : Token.t) =
     scenario = t.scenario;
     n = t.n;
     seed = t.seed;
+    latency = t.latency;
     faults = t.faults;
     reliable = t.reliable;
     bug = t.bug;

@@ -28,6 +28,10 @@ type spec = {
   scenario : string;  (** see {!Scenario} *)
   n : int;
   seed : int;
+  latency : Dsm_net.Latency.t;
+      (** fabric latency model; [Constant] makes deliveries tie, turning
+          the scheduling tree from near-linear into genuinely branching —
+          the regime the DPOR layer is for *)
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -52,6 +56,11 @@ type run_result = {
   fingerprint : string;
       (** digest of outcome, times, detector report and monitor output —
           equal iff two runs are observably identical *)
+  canon : string;
+      (** order-insensitive summary — outcome, violated-invariant set,
+          raced-granule set, no times or counts — equal for any two
+          schedules that are Mazurkiewicz-trace equivalent; what the
+          {!Dpor} soundness suite compares *)
   races : int;
   retransmits : int;
   violations : violation list;  (** empty = all invariants held *)
@@ -88,6 +97,17 @@ val ctx_probe : ctx -> Dsm_obs.Probe.t
 (** The arena engine's probe bus — attach extra sinks (e.g. a
     {!Dsm_obs.Timeline}) before running; the bus survives the arena's
     per-run resets. *)
+
+val ctx_spec : ctx -> spec
+(** The spec this arena was created for. *)
+
+val set_ready_log : ctx -> Ready_log.t option -> unit
+(** Install (or remove) a {!Ready_log} on the arena: every subsequent
+    run records its choice-point ready views and chained-grant samples
+    into it, rewinding the log per run. Recording is read-only with
+    respect to the simulation — findings stay bit-identical. With the
+    determinism check enabled the log ends up describing the {e replay}
+    run; the DPOR driver runs with the check off. *)
 
 val run_once_in : ?check_determinism:bool -> ctx -> mode -> run_result
 (** {!run_once} in a reusable arena. *)
@@ -167,9 +187,23 @@ val exec_checked : ?check_determinism:bool -> ctx -> mode -> raw
 
 val raw_violating : raw -> bool
 
+val raw_canon : raw -> string
+(** The run's canonical (order-insensitive) fingerprint; see
+    {!run_result.canon}. *)
+
 val result_of : ctx -> raw -> run_result
 (** Materialize the full result — decisions and choices are read from
     the arena, so only valid before the ctx's next run. *)
+
+val last_choice_points : ctx -> int
+(** Choice points recorded by the ctx's most recent run. *)
+
+val last_ready_at : ctx -> int -> int
+(** Ready count at choice point [p] of the most recent run. *)
+
+val last_chosen_at : ctx -> int -> int
+(** Decision taken (after clamping) at choice point [p] of the most
+    recent run. *)
 
 val last_children : ctx -> plen:int -> depth:int -> int list list
 (** Decision prefixes deviating from the ctx's most recent run at choice

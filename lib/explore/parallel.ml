@@ -13,9 +13,25 @@
    position ascending, branch ascending; see [Explore.last_children])
    for the DFS — and reducing findings to the minimum under that order.
 
-   OCaml 5.1, no domainslib: a Mutex/Condition work-sharing queue and
-   [Domain.spawn] are all this needs. The spawning domain participates
-   as worker 0, so [jobs] counts total domains, not extra ones. *)
+   The costs that made jobs > 1 a slowdown on short batches were fixed
+   constants, paid per batch or per run:
+   - domain startup: [Domain.spawn] is milliseconds (a new minor heap,
+     a new backup thread) — spawning per batch swamped sub-second
+     batches. A {!Pool} spawns once per explore session and reuses the
+     same domains for every batch, parking workers on a condition
+     variable between jobs.
+   - cold arenas: a fresh [Explore.ctx] per batch rebuilds the engine,
+     machine and scenario plan. The pool keeps one arena per worker,
+     hot across batches (reused whenever the spec is unchanged).
+   - claim traffic: one fetch-and-add per run put the shared counter's
+     cache line on the hot path. Claims now take a chunk of
+     [chunk] walk indices per fetch-and-add (default 64), so the
+     shared-counter cost amortizes to ~1/chunk per run.
+
+   OCaml 5.1, no domainslib: a Mutex/Condition work-sharing queue,
+   a Mutex/Condition job barrier and [Domain.spawn] are all this
+   needs. The calling domain participates as worker 0, so a pool of
+   size n spawns n - 1 domains. *)
 
 (* ---------- work-sharing queue ---------- *)
 
@@ -64,74 +80,212 @@ module Wsq = struct
     wait ()
 end
 
-(* ---------- pool ---------- *)
+(* ---------- persistent worker pool ---------- *)
 
-(* Run [worker] on [jobs] domains (the caller is worker 0). Every domain
-   is always joined; the first exception, if any, is re-raised after the
-   joins so no domain outlives the call. *)
-let run_pool ~jobs worker =
-  let spawned =
-    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+(* Per-worker persistent state: the arena (rebuilt only when the spec
+   changes) and a private metrics registry (created on the first metered
+   batch, attached to the arena's probe bus, drained into the caller's
+   registry after every batch). Each slot is touched only by its own
+   worker while a job runs and only by the caller between jobs — no
+   locking needed. *)
+type slot = {
+  mutable arena : (Explore.spec * Explore.ctx) option;
+  mutable wreg : Dsm_obs.Metrics.t option;
+}
+
+module Pool = struct
+  type t = {
+    size : int;
+    slots : slot array;
+    m : Mutex.t;
+    work : Condition.t;  (* caller -> workers: a new generation is up *)
+    idle : Condition.t;  (* workers -> caller: generation drained *)
+    mutable generation : int;
+    mutable job : (int -> unit) option;
+    mutable running : int;
+    mutable exns : exn list;
+    mutable stopped : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let size t = t.size
+
+  (* Spawned workers park here between jobs. Each wakes on a generation
+     bump, runs the posted job with its worker id, reports completion,
+     and parks again; [shutdown] wakes everyone with [stopped] set. *)
+  let rec worker_loop t wid gen =
+    Mutex.lock t.m;
+    while t.generation = gen && not t.stopped do
+      Condition.wait t.work t.m
+    done;
+    if t.stopped then Mutex.unlock t.m
+    else begin
+      let gen = t.generation in
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      (try job wid
+       with e ->
+         Mutex.lock t.m;
+         t.exns <- e :: t.exns;
+         Mutex.unlock t.m);
+      Mutex.lock t.m;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.signal t.idle;
+      Mutex.unlock t.m;
+      worker_loop t wid gen
+    end
+
+  let create ~jobs =
+    let size = max 1 (min jobs (Domain.recommended_domain_count ())) in
+    let t =
+      {
+        size;
+        slots = Array.init size (fun _ -> { arena = None; wreg = None });
+        m = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        generation = 0;
+        job = None;
+        running = 0;
+        exns = [];
+        stopped = false;
+        domains = [||];
+      }
+    in
+    t.domains <-
+      Array.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+    t
+
+  (* Run [job wid] on every worker (the caller is worker 0) and wait for
+     all of them. Every worker always finishes the generation; the first
+     exception, if any, is re-raised afterwards (caller's first). *)
+  let run t job =
+    if t.stopped then invalid_arg "Parallel.Pool.run: pool is shut down";
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.running <- t.size - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    let caller = (try job 0; None with e -> Some e) in
+    Mutex.lock t.m;
+    while t.running > 0 do
+      Condition.wait t.idle t.m
+    done;
+    t.job <- None;
+    let exns = t.exns in
+    t.exns <- [];
+    Mutex.unlock t.m;
+    match caller with
+    | Some e -> raise e
+    | None -> ( match exns with e :: _ -> raise e | [] -> ())
+
+  let shutdown t =
+    Mutex.lock t.m;
+    if t.stopped then Mutex.unlock t.m
+    else begin
+      t.stopped <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      Array.iter Domain.join t.domains;
+      t.domains <- [||]
+    end
+
+  let with_pool ~jobs f =
+    let t = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+let with_pool_opt ?pool ~jobs f =
+  match pool with Some p -> f p | None -> Pool.with_pool ~jobs f
+
+(* The worker's hot arena, rebuilt only when this slot last ran a
+   different spec. The metrics registry outlives arena swaps: it is
+   attached to whichever engine the slot currently owns. *)
+let slot_ctx pool ~metrics spec wid =
+  let st = pool.Pool.slots.(wid) in
+  let ctx =
+    match st.arena with
+    | Some (s, ctx) when s = spec -> ctx
+    | _ ->
+        let ctx = Explore.create_ctx spec in
+        (match st.wreg with
+        | Some r -> ignore (Dsm_obs.Meter.attach r (Explore.ctx_probe ctx))
+        | None -> ());
+        st.arena <- Some (spec, ctx);
+        ctx
   in
-  let first_exn = ref None in
-  let note = function
-    | None -> ()
-    | Some _ as e -> if !first_exn = None then first_exn := e
-  in
-  note (try worker 0; None with e -> Some e);
-  Array.iter
-    (fun d -> note (try Domain.join d; None with e -> Some e))
-    spawned;
-  match !first_exn with Some e -> raise e | None -> ()
+  (if Option.is_some metrics && st.wreg = None then begin
+     let r = Dsm_obs.Metrics.create () in
+     st.wreg <- Some r;
+     ignore (Dsm_obs.Meter.attach r (Explore.ctx_probe ctx))
+   end);
+  ctx
+
+(* Fold every worker's private registry into the caller's and reset it,
+   so the next batch meters from zero. [Metrics.merge_into] is
+   commutative and associative and the fold runs on the caller after the
+   generation barrier, so worker completion order cannot leak into the
+   aggregate. *)
+let fold_worker_metrics pool metrics =
+  match metrics with
+  | None -> ()
+  | Some into ->
+      Array.iter
+        (fun st ->
+          match st.wreg with
+          | None -> ()
+          | Some src ->
+              Dsm_obs.Metrics.merge_into ~into src;
+              Dsm_obs.Metrics.reset src)
+        pool.Pool.slots
 
 let rec atomic_min a v =
   let cur = Atomic.get a in
   if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
 
+let claim_probe ctx ~domain ~first_run ~count =
+  let probe = Explore.ctx_probe ctx in
+  if probe.Dsm_obs.Probe.on then
+    Dsm_obs.Probe.emit probe
+      (Dsm_obs.Probe.Domain_claim { domain; first_run; count })
+
 (* ---------- random walks ---------- *)
 
-(* Walk indices are claimed from a shared counter; each is a pure
-   function of (spec, index), so ownership does not matter. The merge
-   order is the walk index itself:
+(* Walk indices are claimed in chunks from a shared counter; each index
+   is a pure function of (spec, index), so ownership does not matter.
+   The merge order is the walk index itself:
 
    - [stop_on_first = true]: the sequential explorer returns the walk
      with the lowest violating index i*, having executed exactly
      i* + 1 runs. Workers CAS-min a shared best index; a worker that
-     claims an index above the current best stops (the claim counter is
-     monotone, so everything it would claim later is above it too).
-     Every index below the final i* is claimed and executed by someone
-     — a violation there would have lowered i* — so the minimum is
-     exact, and indices above i* that raced ahead are discarded.
+     reaches an index above the current best stops claiming entirely
+     (the claim counter is monotone, so every index it could claim
+     later is above it too) and discards the rest of its chunk. The
+     best index only ever decreases, so every discarded index is above
+     the final i*; and every index below the final i* was claimed and
+     executed by someone — a violation there would have lowered i* —
+     so the minimum is exact.
    - [stop_on_first = false]: no index is ever skipped; the violation
      count is exact and the reported first violation is again the
      index minimum. *)
-(* Per-worker telemetry: each domain meters its runs into a private
-   registry (the shared bus lives inside each worker's own engine), and
-   the private registries are folded into the caller's under a mutex
-   once the worker drains. [Metrics.merge_into] is commutative and
-   associative, so the fold order — worker completion order, which
-   scheduling does affect — cannot affect the aggregate. *)
-let worker_metrics metrics = Option.map (fun _ -> Dsm_obs.Metrics.create ()) metrics
-
-let fold_metrics mu metrics wreg =
-  match (metrics, wreg) with
-  | Some into, Some src ->
-      Mutex.lock mu;
-      Dsm_obs.Metrics.merge_into ~into src;
-      Mutex.unlock mu
-  | _ -> ()
-
-let claim_probe ctx ~domain ~run =
-  let probe = Explore.ctx_probe ctx in
-  if probe.Dsm_obs.Probe.on then
-    Dsm_obs.Probe.emit probe (Dsm_obs.Probe.Domain_claim { domain; run })
-
 let explore_random ?(check_determinism = true) ?(stop_on_first = true)
-    ?metrics ?progress ~jobs spec ~runs =
-  let jobs = max 1 jobs in
-  if jobs = 1 || runs <= 1 then
-    Explore.explore_random_in ~check_determinism ~stop_on_first
-      (Explore.create_ctx ?metrics spec) ~runs
+    ?metrics ?progress ?(chunk = 64) ?pool ~jobs spec ~runs =
+  if chunk < 1 then invalid_arg "Parallel.explore_random: chunk must be >= 1";
+  with_pool_opt ?pool ~jobs @@ fun pool ->
+  if Pool.size pool = 1 || runs <= 1 then begin
+    let ctx = slot_ctx pool ~metrics spec 0 in
+    (* worker 0 claims the whole index range in one chunk — true, and it
+       keeps the claim counters and the timeline's domain lane live on
+       single-core hosts where the pool clamps to one worker *)
+    claim_probe ctx ~domain:0 ~first_run:0 ~count:runs;
+    let stats =
+      Explore.explore_random_in ~check_determinism ~stop_on_first ctx ~runs
+    in
+    fold_worker_metrics pool metrics;
+    stats
+  end
   else begin
     let next = Atomic.make 0 in
     let best = Atomic.make max_int in
@@ -147,30 +301,41 @@ let explore_random ?(check_determinism = true) ?(stop_on_first = true)
       Mutex.unlock mu;
       atomic_min best i
     in
-    let worker wid =
-      let wreg = worker_metrics metrics in
-      let ctx = Explore.create_ctx ?metrics:wreg spec in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < runs && not (stop_on_first && i > Atomic.get best) then begin
-          claim_probe ctx ~domain:wid ~run:i;
-          let raw = Explore.exec_checked ~check_determinism ctx (Walk i) in
-          if Explore.raw_violating raw then begin
-            Atomic.incr violated;
-            record i (Explore.result_of ctx raw)
-          end;
-          Atomic.incr completed;
-          (match progress with
-          | None -> ()
-          | Some f ->
-              f ~runs:(Atomic.get completed) ~violated:(Atomic.get violated));
-          loop ()
+    let job wid =
+      let ctx = slot_ctx pool ~metrics spec wid in
+      let continue_ = ref true in
+      while !continue_ do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= runs then continue_ := false
+        else begin
+          let hi = min runs (lo + chunk) in
+          claim_probe ctx ~domain:wid ~first_run:lo ~count:(hi - lo);
+          let i = ref lo in
+          while !continue_ && !i < hi do
+            let idx = !i in
+            if stop_on_first && idx > Atomic.get best then continue_ := false
+            else begin
+              let raw =
+                Explore.exec_checked ~check_determinism ctx (Explore.Walk idx)
+              in
+              if Explore.raw_violating raw then begin
+                Atomic.incr violated;
+                record idx (Explore.result_of ctx raw)
+              end;
+              Atomic.incr completed;
+              match progress with
+              | None -> ()
+              | Some f ->
+                  f ~runs:(Atomic.get completed)
+                    ~violated:(Atomic.get violated)
+            end;
+            incr i
+          done
         end
-      in
-      loop ();
-      fold_metrics mu metrics wreg
+      done
     in
-    run_pool ~jobs worker;
+    Pool.run pool job;
+    fold_worker_metrics pool metrics;
     match !best_found with
     | Some (i, r) when stop_on_first ->
         { Explore.runs = i + 1; violated = 1; first = Some (Explore.Walk i, r) }
@@ -204,23 +369,30 @@ type subtree =
   | Skipped
 
 let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ?metrics
-    ~jobs spec ~depth =
-  let jobs = max 1 jobs in
-  if jobs = 1 then
-    Explore.explore_exhaustive_in ~check_determinism ~max_runs
-      (Explore.create_ctx ?metrics spec) ~depth
+    ?pool ~jobs spec ~depth =
+  with_pool_opt ?pool ~jobs @@ fun pool ->
+  if Pool.size pool = 1 then begin
+    let ctx = slot_ctx pool ~metrics spec 0 in
+    let stats =
+      Explore.explore_exhaustive_in ~check_determinism ~max_runs ctx ~depth
+    in
+    fold_worker_metrics pool metrics;
+    stats
+  end
   else begin
-    let mu_metrics = Mutex.create () in
-    let reg0 = worker_metrics metrics in
-    let ctx0 = Explore.create_ctx ?metrics:reg0 spec in
-    let root = Explore.exec_checked ~check_determinism ctx0 (Script []) in
+    (* worker 0's arena runs the root; worker 0 then reuses it below *)
+    let ctx0 = slot_ctx pool ~metrics spec 0 in
+    let root = Explore.exec_checked ~check_determinism ctx0 (Explore.Script []) in
     if Explore.raw_violating root then begin
-      fold_metrics mu_metrics metrics reg0;
-      {
-        Explore.runs = 1;
-        violated = 1;
-        first = Some (Explore.Script [], Explore.result_of ctx0 root);
-      }
+      let stats =
+        {
+          Explore.runs = 1;
+          violated = 1;
+          first = Some (Explore.Script [], Explore.result_of ctx0 root);
+        }
+      in
+      fold_worker_metrics pool metrics;
+      stats
     end
     else begin
       let children =
@@ -228,7 +400,7 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ?metrics
       in
       let k = Array.length children in
       if max_runs <= 1 || k = 0 then begin
-        fold_metrics mu_metrics metrics reg0;
+        fold_worker_metrics pool metrics;
         { Explore.runs = 1; violated = 0; first = None }
       end
       else begin
@@ -256,7 +428,8 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ?metrics
               | prefix :: rest ->
                   stack := rest;
                   let raw =
-                    Explore.exec_checked ~check_determinism ctx (Script prefix)
+                    Explore.exec_checked ~check_determinism ctx
+                      (Explore.Script prefix)
                   in
                   incr count;
                   if Explore.raw_violating raw then begin
@@ -273,12 +446,8 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ?metrics
           | Some (pos, prefix, r) -> Violating (pos, prefix, r)
           | None -> if !aborted then Skipped else Complete !count
         in
-        let worker wid =
-          (* worker 0 reuses the arena (and registry) that ran the root *)
-          let wreg = if wid = 0 then reg0 else worker_metrics metrics in
-          let ctx =
-            if wid = 0 then ctx0 else Explore.create_ctx ?metrics:wreg spec
-          in
+        let job wid =
+          let ctx = slot_ctx pool ~metrics spec wid in
           let rec drain () =
             match Wsq.pop q with
             | None -> ()
@@ -286,15 +455,15 @@ let explore_exhaustive ?(check_determinism = false) ?(max_runs = 500) ?metrics
                 if rank > Atomic.get best_rank then
                   outcomes.(rank) <- Skipped
                 else begin
-                  claim_probe ctx ~domain:wid ~run:rank;
+                  claim_probe ctx ~domain:wid ~first_run:rank ~count:1;
                   outcomes.(rank) <- explore_subtree ctx ~rank prefix
                 end;
                 drain ()
           in
-          drain ();
-          fold_metrics mu_metrics metrics wreg
+          drain ()
         in
-        run_pool ~jobs worker;
+        Pool.run pool job;
+        fold_worker_metrics pool metrics;
         (* Deterministic merge: replay the sequential visit order. *)
         let runs = ref 1 in
         let violated = ref 0 in

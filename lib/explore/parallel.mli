@@ -1,4 +1,4 @@
-(** Domain-parallel schedule exploration.
+(** Domain-parallel schedule exploration over a persistent worker pool.
 
     Stateless exploration of the deterministic seeded simulator is
     embarrassingly parallel: a run is a pure function of
@@ -7,13 +7,22 @@
     buffers all reused across its runs) and coordination is a handful of
     atomics plus a small Mutex/Condition work queue. No domainslib.
 
-    {b Determinism guarantee}: for a fixed spec, every [~jobs] value —
-    including 1, which delegates to the sequential explorer — produces
-    the same [Explore.stats]: same run count, same violation count, same
-    first violation (mode, fingerprint, decisions). Random walks merge
-    on the minimum violating walk index; the DFS partitions the search
-    into first-level subtrees and merges per-subtree summaries in the
-    sequential visit order (canonical child order, see
+    The fixed costs that used to make [jobs > 1] a net slowdown on
+    short batches are paid once per session, not per batch or per run:
+    a {!Pool} spawns its domains once and parks them between jobs, each
+    worker's arena stays hot across batches, and walk indices are
+    claimed in chunks (default 64) so the shared claim counter is
+    touched ~1/chunk times per run.
+
+    {b Determinism guarantee}: for a fixed spec, every [~jobs] and every
+    [?chunk] value — including pools of size 1, which delegate to the
+    sequential explorer — produces the same [Explore.stats]: same run
+    count, same violation count, same first violation (mode,
+    fingerprint, decisions). Random walks merge on the minimum violating
+    walk index (chunk remainders are only ever discarded above the
+    current best index, which only decreases); the DFS partitions the
+    search into first-level subtrees and merges per-subtree summaries in
+    the sequential visit order (canonical child order, see
     [Explore.last_children]), applying the run cap exactly where the
     sequential search would. Scheduling races affect only which
     already-doomed work gets discarded, never the reported result.
@@ -22,33 +31,67 @@
     single-threaded ([Explore.replay]) by construction — a token never
     records how it was found. *)
 
+(** A persistent pool of worker domains plus one hot [Explore.ctx]
+    arena per worker. Create one per explore session, pass it to any
+    number of {!explore_random} / {!explore_exhaustive} batches, then
+    {!Pool.shutdown}. *)
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawn [min jobs (Domain.recommended_domain_count ())] workers
+      (at least 1; the calling domain is worker 0, so [size - 1]
+      domains are spawned). Clamping to the host's core count is
+      semantically invisible — findings are bit-identical for every
+      pool size — and keeps oversubscribed [--jobs] from thrashing a
+      small machine. *)
+
+  val size : t -> int
+  (** Workers in the pool, including the caller. *)
+
+  val shutdown : t -> unit
+  (** Wake and join every worker domain. Idempotent; the pool cannot be
+      used afterwards. *)
+
+  val with_pool : jobs:int -> (t -> 'a) -> 'a
+  (** [create], run, and always [shutdown]. *)
+end
+
 val explore_random :
   ?check_determinism:bool ->
   ?stop_on_first:bool ->
   ?metrics:Dsm_obs.Metrics.t ->
   ?progress:(runs:int -> violated:int -> unit) ->
+  ?chunk:int ->
+  ?pool:Pool.t ->
   jobs:int ->
   Explore.spec ->
   runs:int ->
   Explore.stats
-(** Random walks [0, runs) fanned out over [jobs] domains, walk indices
-    claimed from a shared counter. Defaults match
+(** Random walks [0, runs) fanned out over the pool, walk indices
+    claimed [chunk] (default 64) at a time with one fetch-and-add per
+    chunk. Raises [Invalid_argument] if [chunk < 1]. Defaults match
     [Explore.explore_random] ([check_determinism = true],
-    [stop_on_first = true]). With [stop_on_first], workers stop claiming
-    once their next index exceeds the best violating index found so far;
-    the reported stats are those of the lowest violating index, exactly
-    as the sequential loop reports. [jobs <= 1] runs sequentially.
+    [stop_on_first = true]). With [stop_on_first], a worker that reaches
+    an index above the best violating index found so far stops claiming
+    and discards the rest of its chunk; the reported stats are those of
+    the lowest violating index, exactly as the sequential loop reports.
 
-    With [metrics], every domain meters its own runs into a private
-    registry; the private registries are folded into [metrics] as
-    workers finish. The fold is order-insensitive, so the aggregate is
-    deterministic even though worker completion order is not — and
-    telemetry never touches simulation state, so findings stay
-    bit-identical for every [jobs].
+    With [pool], batches reuse its spawned domains and hot arenas and
+    [jobs] is ignored; without it a throwaway pool of [jobs] workers is
+    created and shut down around the batch. A pool of size 1 runs
+    sequentially (in worker 0's arena).
+
+    With [metrics], every worker meters its own runs into a private
+    per-slot registry; after the batch the caller folds the private
+    registries into [metrics] and resets them. The fold is
+    order-insensitive, so the aggregate is deterministic even though
+    worker completion order is not — and telemetry never touches
+    simulation state, so findings stay bit-identical for every [jobs].
 
     [progress] is invoked from worker domains after every completed run
-    with the shared completion counters (multi-domain path only; with
-    [jobs = 1] the sequential explorer runs and [progress] is unused).
+    with the shared completion counters (multi-domain path only; in a
+    size-1 pool the sequential explorer runs and [progress] is unused).
     It must be domain-safe and fast — e.g. a rate-limited stderr
     heartbeat. *)
 
@@ -56,17 +99,19 @@ val explore_exhaustive :
   ?check_determinism:bool ->
   ?max_runs:int ->
   ?metrics:Dsm_obs.Metrics.t ->
+  ?pool:Pool.t ->
   jobs:int ->
   Explore.spec ->
   depth:int ->
   Explore.stats
 (** Bounded-exhaustive DFS with the first-level decision subtrees handed
-    to worker domains ([check_determinism] defaults to [false],
+    to pool workers ([check_determinism] defaults to [false],
     [max_runs] to 500, as sequentially). Workers abort a subtree early
     when a lower-ranked subtree has already violated; the merge replays
     the sequential visit order over the per-subtree summaries, so the
     result — including the [max_runs] cutoff — is bit-identical to
-    [Explore.explore_exhaustive]. [jobs <= 1] runs sequentially.
-    [metrics] aggregates per-domain registries as in {!explore_random};
-    note that the aggregate counts every run workers actually executed,
-    including subtree work the deterministic merge later discards. *)
+    [Explore.explore_exhaustive]. [pool] / [jobs] behave as in
+    {!explore_random}. [metrics] aggregates per-worker registries as in
+    {!explore_random}; note that the aggregate counts every run workers
+    actually executed, including subtree work the deterministic merge
+    later discards. *)

@@ -40,8 +40,8 @@ let known =
 
 let no_monitor () = []
 
-let make_machine sim ~n ~faults ~reliable ~bug =
-  Machine.create sim ~n ~faults
+let make_machine sim ~n ~latency ~faults ~reliable ~bug =
+  Machine.create sim ~n ~latency ~faults
     ?reliability:(if reliable then Some (Machine.reliability ()) else None)
     ~protocol_bugs:(if bug then [ Machine.Skip_get_dst_lock ] else [])
     ()
@@ -165,7 +165,8 @@ let populate_workload ~name ~seed machine =
   | _ -> invalid_arg (Printf.sprintf "Scenario: unknown workload %S" name));
   { machine; detector = Some detector; coherence; monitor = no_monitor }
 
-let prepare ~spec ~n ~seed ~faults ~reliable ~bug =
+let prepare ?(latency = Dsm_net.Latency.infiniband_like) ~spec ~n ~seed
+    ~faults ~reliable ~bug () =
   let plan ~min_procs populate =
     if n < min_procs then
       invalid_arg
@@ -174,7 +175,8 @@ let prepare ~spec ~n ~seed ~faults ~reliable ~bug =
            spec min_procs n);
     {
       procs = n;
-      mk_machine = (fun sim -> make_machine sim ~n ~faults ~reliable ~bug);
+      mk_machine =
+        (fun sim -> make_machine sim ~n ~latency ~faults ~reliable ~bug);
       populate;
     }
   in
@@ -206,5 +208,5 @@ let repopulate plan machine =
   Machine.reset machine;
   plan.populate machine
 
-let build sim ~spec ~n ~seed ~faults ~reliable ~bug =
-  instantiate (prepare ~spec ~n ~seed ~faults ~reliable ~bug) sim
+let build ?latency sim ~spec ~n ~seed ~faults ~reliable ~bug =
+  instantiate (prepare ?latency ~spec ~n ~seed ~faults ~reliable ~bug ()) sim

@@ -36,14 +36,20 @@ type plan
     worker and then populates a machine per run, fresh or recycled. *)
 
 val prepare :
+  ?latency:Dsm_net.Latency.t ->
   spec:string ->
   n:int ->
   seed:int ->
   faults:Dsm_net.Fault.t ->
   reliable:bool ->
   bug:bool ->
+  unit ->
   plan
-(** Raises [Invalid_argument] on an unknown spec, an unparsable program,
+(** [latency] (default [Dsm_net.Latency.infiniband_like]) picks the
+    fabric's latency model — [Constant] makes message deliveries tie
+    and blows the scheduling tree wide open, which is exactly what the
+    DPOR experiments want. Raises [Invalid_argument] on an unknown
+    spec, an unparsable program,
     or a process count below the scenario's minimum ([getput] and the
     workloads need at least 2; programs at least 1) — the validation that
     lets [dsmcheck explore --replay] reject a token whose declared
@@ -66,6 +72,7 @@ val repopulate : plan -> Dsm_rdma.Machine.t -> built
     instantiation. *)
 
 val build :
+  ?latency:Dsm_net.Latency.t ->
   Dsm_sim.Engine.t ->
   spec:string ->
   n:int ->

@@ -2,6 +2,7 @@ type t = {
   scenario : string;
   n : int;
   seed : int;
+  latency : Dsm_net.Latency.t;
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -20,8 +21,14 @@ let rec trim_trailing_zeros = function
 
 let to_string t =
   let d = String.concat "," (List.map string_of_int t.decisions) in
-  Printf.sprintf "%s|s=%s|n=%d|seed=%d|f=%s|r=%d|b=%d|me=%d|d=%s" magic
-    t.scenario t.n t.seed
+  (* the latency field is omitted at the default so tokens minted before
+     the model became selectable keep printing (and parsing) unchanged *)
+  let l =
+    if t.latency = Dsm_net.Latency.infiniband_like then ""
+    else Printf.sprintf "|l=%s" (Dsm_net.Latency.to_string t.latency)
+  in
+  Printf.sprintf "%s|s=%s|n=%d|seed=%d%s|f=%s|r=%d|b=%d|me=%d|d=%s" magic
+    t.scenario t.n t.seed l
     (Dsm_net.Fault.to_string t.faults)
     (if t.reliable then 1 else 0)
     (if t.bug then 1 else 0)
@@ -58,6 +65,9 @@ let of_string s =
             | "seed" ->
                 let* seed = int_field key v in
                 Ok { t with seed }
+            | "l" ->
+                let* latency = Dsm_net.Latency.of_string v in
+                Ok { t with latency }
             | "f" -> (
                 match Dsm_net.Fault.of_string v with
                 | faults -> Ok { t with faults }
@@ -92,6 +102,7 @@ let of_string s =
              scenario = "getput";
              n = 2;
              seed = 1;
+             latency = Dsm_net.Latency.infiniband_like;
              faults = Dsm_net.Fault.none;
              reliable = false;
              bug = false;

@@ -9,10 +9,21 @@ type t = {
   mutable next_id : int;
   held : (lock_id, int * int) Hashtbl.t;
   mutable queue : waiter list; (* reversed: newest first *)
+  mutable chained : int;
+      (* grants issued from inside [release]: each one runs another
+         origin's continuation synchronously within the releasing event,
+         so the event's footprint exceeds its label. The schedule
+         explorer samples this monotone counter to detect such events. *)
 }
 
 let create ?(discipline = First_fit) () =
-  { discipline; next_id = 0; held = Hashtbl.create 16; queue = [] }
+  {
+    discipline;
+    next_id = 0;
+    held = Hashtbl.create 16;
+    queue = [];
+    chained = 0;
+  }
 
 let ranges_overlap (o1, l1) (o2, l2) = o1 < o2 + l2 && o2 < o1 + l1
 
@@ -80,7 +91,11 @@ let release t id =
       end)
     in_order;
   t.queue <- !still_waiting;
-  List.iter (fun (grant, id) -> grant id) (List.rev !granted)
+  let grants = List.rev !granted in
+  t.chained <- t.chained + List.length grants;
+  List.iter (fun (grant, id) -> grant id) grants
+
+let chained_grants t = t.chained
 
 let held_count t = Hashtbl.length t.held
 
@@ -92,4 +107,5 @@ let queued_count t = List.length t.queue
 let reset t =
   t.next_id <- 0;
   Hashtbl.reset t.held;
-  t.queue <- []
+  t.queue <- [];
+  t.chained <- 0

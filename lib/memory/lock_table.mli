@@ -42,6 +42,14 @@ val release : t -> lock_id -> unit
     according to the discipline. Raises [Failure] if the token is unknown
     (double release). *)
 
+val chained_grants : t -> int
+(** Monotone count of grants issued from inside {!release} since creation
+    (or {!reset}): each such grant ran another requester's continuation
+    synchronously within the releasing event. The schedule explorer
+    samples this to spot events whose true footprint exceeds their
+    declared label — a release that wakes a queued waiter must be treated
+    as dependent with everything. *)
+
 val held_count : t -> int
 
 val queued_count : t -> int

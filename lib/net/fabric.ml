@@ -73,7 +73,7 @@ let deliver t ~src ~dst msg () =
           (Net_deliver { time = Engine.now t.sim; src; dst });
       f ~src msg
 
-let schedule_delivery t ~src ~dst ~in_order msg ~arrival =
+let schedule_delivery t ~src ~dst ~in_order ?label msg ~arrival =
   let arrival =
     if t.fifo && in_order then begin
       (* FIFO channel: never deliver before an earlier send on the same
@@ -86,9 +86,9 @@ let schedule_delivery t ~src ~dst ~in_order msg ~arrival =
     end
     else arrival
   in
-  Engine.schedule_at t.sim ~at:arrival (deliver t ~src ~dst msg)
+  Engine.schedule_at t.sim ~at:arrival ?label (deliver t ~src ~dst msg)
 
-let send t ~src ~dst ~words msg =
+let send t ~src ~dst ~words ?label msg =
   if words < 0 then invalid_arg "Fabric.send: negative size";
   if src < 0 || src >= nodes t then invalid_arg "Fabric.send: src";
   if dst < 0 || dst >= nodes t then invalid_arg "Fabric.send: dst";
@@ -130,7 +130,7 @@ let send t ~src ~dst ~words msg =
       end
       else (arrival, true)
     in
-    schedule_delivery t ~src ~dst ~in_order msg ~arrival;
+    schedule_delivery t ~src ~dst ~in_order ?label msg ~arrival;
     if
       lf.Fault.duplicate > 0.
       && Prng.bernoulli t.rng ~p:lf.Fault.duplicate
@@ -138,7 +138,8 @@ let send t ~src ~dst ~words msg =
       t.duplicated <- t.duplicated + 1;
       if probe.on then
         Dsm_obs.Probe.emit probe (Net_duplicate { time = now; src; dst });
-      schedule_delivery t ~src ~dst ~in_order msg ~arrival:(arrival +. 1e-9)
+      schedule_delivery t ~src ~dst ~in_order ?label msg
+        ~arrival:(arrival +. 1e-9)
     end
   end
 

@@ -57,13 +57,21 @@ val register : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
 (** [register t ~node f] installs [f] as [node]'s receive handler. Raises
     [Invalid_argument] if out of range or already registered. *)
 
-val send : 'msg t -> src:int -> dst:int -> words:int -> 'msg -> unit
+val send :
+  'msg t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  ?label:Dsm_sim.Label.t ->
+  'msg ->
+  unit
 (** [send t ~src ~dst ~words m] schedules delivery of [m] to [dst]'s
     handler. [words] is the payload size used by the latency model and the
-    traffic counters. Sending to an unregistered node raises [Failure] at
-    delivery time. A message to self is delivered after a fixed small
-    loopback delay, without touching the interconnect counters' hop
-    accounting. *)
+    traffic counters. [label] is the footprint attached to the delivery
+    event (and to any duplicate) for schedule exploration. Sending to an
+    unregistered node raises [Failure] at delivery time. A message to
+    self is delivered after a fixed small loopback delay, without
+    touching the interconnect counters' hop accounting. *)
 
 val messages_sent : 'msg t -> int
 

@@ -35,6 +35,16 @@ val delay : t -> Dsm_sim.Prng.t -> words:int -> float
     [words] payload words. Deterministic models ignore [rng]. Raises
     [Invalid_argument] when [words < 0]. The result is always > 0. *)
 
+val to_string : t -> string
+(** Compact round-trippable form, e.g. ["logp:1.5:0.4:0.0025"] or
+    ["jitter:3:constant:1"] — the grammar {!of_string} accepts. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["infiniband"] (alias ["ib"]), ["ethernet"], ["constant:C"],
+    ["linear:BASE:PER_WORD"], ["logp:L:O:G"] or ["jitter:MEAN:MODEL"]
+    (recursively). All numbers are non-negative microseconds (per word
+    for gaps). *)
+
 val pp : Format.formatter -> t -> unit
 
 val name : t -> string

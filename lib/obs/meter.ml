@@ -34,6 +34,9 @@ type t = {
   clock_merge : Metrics.counter;
   runs : Metrics.counter;
   violations : Metrics.counter;
+  chunk_claims : Metrics.counter;
+  claimed_runs : Metrics.counter;
+  dpor_pruned : Metrics.counter;
   minimize_steps : Metrics.counter;
   choice_ready : Metrics.histogram;
   op_latency : Metrics.histogram;
@@ -73,6 +76,9 @@ let create registry =
     clock_merge = c "detector.clock_merge";
     runs = c "explore.runs";
     violations = c "explore.violations";
+    chunk_claims = c "explore.chunk_claims";
+    claimed_runs = c "explore.claimed_runs";
+    dpor_pruned = c "explore.dpor_pruned";
     minimize_steps = c "explore.minimize_steps";
     choice_ready = h "engine.choice_ready";
     op_latency = h "rdma.op_latency_us";
@@ -136,7 +142,10 @@ let sink t (ev : Probe.event) =
       Metrics.incr t.runs;
       Metrics.observe t.run_events events
   | Violation _ -> Metrics.incr t.violations
-  | Domain_claim _ -> ()
+  | Domain_claim { count; _ } ->
+      Metrics.incr t.chunk_claims;
+      Metrics.add t.claimed_runs count
+  | Dpor_prune _ -> Metrics.incr t.dpor_pruned
   | Minimize_step _ -> Metrics.incr t.minimize_steps
 
 let attach registry bus =

@@ -57,7 +57,8 @@ type event =
   | Run_begin of { run : int }
   | Run_end of { run : int; events : int; violating : bool }
   | Violation of { run : int; invariant : string }
-  | Domain_claim of { domain : int; run : int }
+  | Domain_claim of { domain : int; first_run : int; count : int }
+  | Dpor_prune of { point : int; branch : int }
   | Minimize_step of { len : int; violating : bool }
 
 type t = { mutable on : bool; mutable sinks : (event -> unit) array }
@@ -103,4 +104,5 @@ let name = function
   | Run_end _ -> "explore.run_end"
   | Violation _ -> "explore.violation"
   | Domain_claim _ -> "explore.domain_claim"
+  | Dpor_prune _ -> "explore.dpor_prune"
   | Minimize_step _ -> "explore.minimize_step"

@@ -87,8 +87,13 @@ type event =
   | Run_begin of { run : int }  (** explorer: schedule [run] starting *)
   | Run_end of { run : int; events : int; violating : bool }
   | Violation of { run : int; invariant : string }
-  | Domain_claim of { domain : int; run : int }
-      (** parallel explorer: worker [domain] claimed walk [run] *)
+  | Domain_claim of { domain : int; first_run : int; count : int }
+      (** parallel explorer: worker [domain] claimed the chunk of walks
+          [\[first_run, first_run + count)] with one fetch-and-add *)
+  | Dpor_prune of { point : int; branch : int }
+      (** DPOR: the child deviating at choice point [point] with branch
+          [branch] was pruned — its event is in the sleep set, so an
+          explored representative covers its whole subtree *)
   | Minimize_step of { len : int; violating : bool }
 
 type t = {

@@ -198,9 +198,18 @@ let sink t (ev : Probe.event) =
         ~ts:0.
         ~args:
           (Printf.sprintf {|"run":%d,"invariant":"%s"|} run (escape invariant))
-  | Domain_claim { domain; run } ->
-      instant t ~pid:(domain_pid domain) ~name:"claim" ~cat:"explore" ~ts:0.
-        ~args:(Printf.sprintf {|"run":%d|} run)
+  | Domain_claim { domain; first_run; count } ->
+      (* The domain lane's axis is runs, not simulated time: a claimed
+         chunk renders as the range [first_run, first_run + count), so
+         Perfetto shows exactly which contiguous span of the schedule
+         space each worker took per fetch-and-add. *)
+      slice t ~pid:(domain_pid domain) ~name:"claim" ~cat:"explore"
+        ~ts:(float_of_int first_run) ~dur:(float_of_int count)
+        ~args:
+          (Printf.sprintf {|"first_run":%d,"count":%d|} first_run count)
+  | Dpor_prune { point; branch } ->
+      instant t ~pid:scheduler_pid ~name:"dpor prune" ~cat:"explore" ~ts:0.
+        ~args:(Printf.sprintf {|"point":%d,"branch":%d|} point branch)
   | Minimize_step _ -> ()
 
 let attach bus =

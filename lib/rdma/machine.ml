@@ -204,21 +204,26 @@ let rec handle m ~node ~src msg =
                 (Printf.sprintf
                    "NIC P%d: control handler %S did not reply as requested"
                    node tag)))
-  | Message.Put_ack { op } -> fill_pending m.pending_acks op () m
-  | Message.Get_reply { op; data; _ } -> fill_pending m.pending_data op data m
+  | Message.Put_ack { op } -> fill_pending m.pending_acks op () m ~node
+  | Message.Get_reply { op; data; _ } ->
+      fill_pending m.pending_data op data m ~node
   | Message.Atomic_reply { op; old_value } ->
-      fill_pending m.pending_atomic op old_value m
+      fill_pending m.pending_atomic op old_value m ~node
   | Message.Lock_granted { op; token } ->
-      fill_pending m.pending_lock op token m
+      fill_pending m.pending_lock op token m ~node
   | Message.Control_reply { op; words } ->
-      fill_pending m.pending_control op words m
+      fill_pending m.pending_control op words m ~node
 
-and fill_pending : 'a. (int, 'a Ivar.t) Hashtbl.t -> int -> 'a -> t -> unit =
- fun table op v m ->
+and fill_pending :
+    'a. (int, 'a Ivar.t) Hashtbl.t -> int -> 'a -> t -> node:int -> unit =
+ fun table op v m ~node ->
   match Hashtbl.find_opt table op with
   | Some iv ->
       Hashtbl.remove table op;
-      Ivar.fill m.sim iv v
+      (* The resumed initiator lives on this node (pid = node), so its
+         continuation's footprint is the node's own state plus its own
+         process — the (node, node) label. *)
+      Ivar.fill ~label:(Label.v ~node ~origin:node) m.sim iv v
   | None -> failwith (Printf.sprintf "NIC: reply for unknown op #%d" op)
 
 and transmit m ~src ~dst msg =
@@ -233,9 +238,17 @@ and transmit m ~src ~dst msg =
             dst;
             label = Message.describe msg;
           }));
+  (* Footprint of the delivery event: a request's handler mutates the
+     destination node's state on behalf of the sending process (origin =
+     src, since pid = node); a reply's handler only completes a pending
+     operation of the destination's own process. *)
+  let label =
+    Label.v ~node:dst ~origin:(if Message.is_reply msg then dst else src)
+  in
   match m.rel with
   | None ->
       Dsm_net.Fabric.send m.fabric ~src ~dst ~words:(Message.wire_words msg)
+        ~label
         { link_seq = -1; body = Msg msg }
   | Some r ->
       let seq = r.next_seq.(src).(dst) in
@@ -243,7 +256,7 @@ and transmit m ~src ~dst msg =
       let words = Message.wire_words msg in
       Hashtbl.replace r.unacked (src, dst, seq)
         { u_msg = msg; u_words = words; u_tries = 0 };
-      Dsm_net.Fabric.send m.fabric ~src ~dst ~words
+      Dsm_net.Fabric.send m.fabric ~src ~dst ~words ~label
         { link_seq = seq; body = Msg msg };
       arm_retransmit m r ~src ~dst ~seq
 
@@ -286,6 +299,7 @@ and handle_frame m ~node ~src fr =
       if fr.link_seq < 0 then handle m ~node ~src msg
       else begin
         Dsm_net.Fabric.send m.fabric ~src:node ~dst:src ~words:1
+          ~label:(Label.v ~node:src ~origin:src)
           { link_seq = -1; body = Frame_ack fr.link_seq };
         let exp = r.expected.(node).(src) in
         if fr.link_seq < exp then () (* duplicate of a delivered frame *)
@@ -428,6 +442,11 @@ let locks_quiescent m =
       Lock_table.held_count locks = 0 && Lock_table.queued_count locks = 0)
     m.nodes
 
+let lock_grants_chained m =
+  Array.fold_left
+    (fun acc nm -> acc + Lock_table.chained_grants (Node_memory.locks nm))
+    0 m.nodes
+
 let reset_traffic_counters m = Dsm_net.Fabric.reset_counters m.fabric
 
 (* ---------- processes ---------- *)
@@ -439,7 +458,8 @@ let proc m ~pid =
 let spawn m ~pid ?name body =
   let name = match name with Some s -> s | None -> Printf.sprintf "P%d" pid in
   let p = proc m ~pid in
-  Engine.spawn m.sim ~name (fun () -> body p)
+  Engine.spawn m.sim ~name ~label:(Label.v ~node:pid ~origin:pid) (fun () ->
+      body p)
 
 let spawn_all m ?name body =
   for pid = 0 to n m - 1 do
@@ -450,7 +470,8 @@ let pid p = p.p
 
 let machine p = p.m
 
-let compute p dt = Engine.sleep p.m.sim dt
+let compute p dt =
+  Engine.sleep ~label:(Label.v ~node:p.p ~origin:p.p) p.m.sim dt
 
 let run ?until ?max_events m = Engine.run ?until ?max_events m.sim
 

@@ -112,6 +112,14 @@ val locks_quiescent : t -> bool
 (** [true] iff no NIC lock table holds or queues any range — every
     region lock taken during the run was released. *)
 
+val lock_grants_chained : t -> int
+(** Monotone count, summed over all NIC lock tables, of grants issued
+    from inside a release — i.e. queued waiters woken synchronously
+    within another origin's event (see {!Dsm_memory.Lock_table}). The
+    schedule explorer samples this at every choice point: an event whose
+    execution advances it ran work its footprint label cannot express,
+    so the DPOR layer treats it as dependent with everything. *)
+
 val reset_traffic_counters : t -> unit
 
 (** {1 Processes} *)

@@ -50,6 +50,14 @@ and atomic_kind =
   | Fetch_add of int
   | Compare_and_swap of { expected : int; desired : int }
 
+let is_reply = function
+  | Put_ack _ | Get_reply _ | Atomic_reply _ | Lock_granted _
+  | Control_reply _ ->
+      true
+  | Put _ | Put_batch _ | Get _ | Atomic _ | Lock_request _ | Unlock _
+  | Control _ ->
+      false
+
 let header_words = 2
 
 let wire_words = function

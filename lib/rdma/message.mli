@@ -76,6 +76,14 @@ and atomic_kind =
   | Fetch_add of int
   | Compare_and_swap of { expected : int; desired : int }
 
+val is_reply : t -> bool
+(** [true] for messages that answer a pending operation at their
+    destination (acks, replies, grants): their delivery touches only the
+    destination node and {e its} initiating process, which is what the
+    schedule explorer's footprint labels encode. Requests — whose
+    delivery acts on behalf of the sending side's process — are [false].
+    [Unlock] counts as a request: releasing may grant queued waiters. *)
+
 val header_words : int
 (** Fixed per-message header size charged on the wire (routing, op ids). *)
 

@@ -11,6 +11,10 @@ type t = {
          grants, ivar waiters) scheduled within the same event *)
   mutable chooser : (int -> int) option;
       (* schedule-exploration hook: picks among same-time ready events *)
+  mutable choice_view : ((int * Label.t) array -> unit) option;
+      (* fired just before the chooser at every choice point with the
+         ready set's (seq, label) pairs in seq order — index-aligned with
+         the chooser's pick. The DPOR layer's window into footprints. *)
   heap : (unit -> unit) Heap.t;
   rng : Prng.t;
   probe : Dsm_obs.Probe.t;
@@ -31,6 +35,7 @@ let create ?(seed = 0x5eed) () =
     stopping = false;
     failed = None;
     chooser = None;
+    choice_view = None;
     heap = Heap.create ();
     rng = Prng.create ~seed;
     probe = Dsm_obs.Probe.create ();
@@ -50,6 +55,7 @@ let reset ?(seed = 0x5eed) sim =
   sim.stopping <- false;
   sim.failed <- None;
   sim.chooser <- None;
+  sim.choice_view <- None;
   Heap.clear sim.heap;
   Prng.reseed sim.rng ~seed
 
@@ -64,13 +70,13 @@ let next_seq sim =
   sim.seq <- s + 1;
   s
 
-let schedule_at sim ~at f =
+let schedule_at sim ~at ?label f =
   if at < sim.now then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.add sim.heap ~time:at ~seq:(next_seq sim) f
+  Heap.add sim.heap ~time:at ~seq:(next_seq sim) ?label f
 
-let schedule sim ?(delay = 0.) f =
+let schedule sim ?(delay = 0.) ?label f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
-  schedule_at sim ~at:(sim.now +. delay) f
+  schedule_at sim ~at:(sim.now +. delay) ?label f
 
 (* Runs [body] under the effect handler that implements Await. The handler
    converts each Await into a registration of a one-shot resumer; everything
@@ -124,16 +130,17 @@ let start_process sim name body =
   in
   match_with body () handler
 
-let spawn sim ?at ?(name = "process") body =
+let spawn sim ?at ?(name = "process") ?label body =
   let at = match at with None -> sim.now | Some t -> t in
   sim.live <- sim.live + 1;
-  schedule_at sim ~at (fun () -> start_process sim name body)
+  schedule_at sim ~at ?label (fun () -> start_process sim name body)
 
 let await _sim register = Effect.perform (Await register)
 
-let sleep sim dt =
+let sleep ?label sim dt =
   if dt < 0. then invalid_arg "Engine.sleep: negative duration";
-  await sim (fun resume -> schedule sim ~delay:dt (fun () -> resume ()))
+  await sim (fun resume ->
+      schedule sim ~delay:dt ?label (fun () -> resume ()))
 
 let yield sim = sleep sim 0.
 
@@ -148,6 +155,8 @@ let stop sim = sim.stopping <- true
 
 let set_chooser sim f = sim.chooser <- f
 
+let set_choice_view sim f = sim.choice_view <- f
+
 (* One scheduling decision: with no chooser installed this is exactly
    [Heap.pop] — (time, seq) order, the deterministic production path.
    With a chooser, ties on simulated time become explicit choice points:
@@ -160,6 +169,9 @@ let pop_next sim =
       | 0 -> None
       | 1 -> Heap.pop sim.heap
       | r ->
+          (match sim.choice_view with
+          | Some view -> view (Heap.ready_view sim.heap)
+          | None -> ());
           let k = choose r in
           let popped = Heap.pop_kth sim.heap k in
           (if sim.probe.on then

@@ -45,15 +45,18 @@ val probe : t -> Dsm_obs.Probe.t
     Emits are guarded ([if (probe sim).on then ...]), so with no sink
     attached the whole layer costs one load + branch per emit site. *)
 
-val schedule : t -> ?delay:float -> (unit -> unit) -> unit
-(** [schedule sim ~delay f] runs [f] at [now sim +. delay] (default [0.],
-    i.e. later in the current instant). Raises [Invalid_argument] on a
-    negative delay. *)
+val schedule : t -> ?delay:float -> ?label:Label.t -> (unit -> unit) -> unit
+(** [schedule sim ~delay ~label f] runs [f] at [now sim +. delay] (default
+    [0.], i.e. later in the current instant). [label] (default
+    {!Label.unknown}) declares the event's footprint for schedule
+    exploration; it never affects ordering. Raises [Invalid_argument] on
+    a negative delay. *)
 
-val schedule_at : t -> at:float -> (unit -> unit) -> unit
+val schedule_at : t -> at:float -> ?label:Label.t -> (unit -> unit) -> unit
 (** Absolute-time variant. Raises [Invalid_argument] when [at < now]. *)
 
-val spawn : t -> ?at:float -> ?name:string -> (unit -> unit) -> unit
+val spawn :
+  t -> ?at:float -> ?name:string -> ?label:Label.t -> (unit -> unit) -> unit
 (** [spawn sim ~name body] creates a process whose [body] starts at time
     [at] (default: now). The body may use {!await}, {!sleep} and {!yield}.
     An exception escaping [body] aborts the simulation with
@@ -66,8 +69,9 @@ val await : t -> (('a -> unit) -> unit) -> 'a
     Calling [resume] twice raises [Failure]. Only valid inside a spawned
     process. *)
 
-val sleep : t -> float -> unit
-(** [sleep sim dt] suspends the calling process for [dt] simulated time. *)
+val sleep : ?label:Label.t -> t -> float -> unit
+(** [sleep sim dt] suspends the calling process for [dt] simulated time.
+    [label] is the footprint of the wake-up event. *)
 
 val yield : t -> unit
 (** Suspends and reschedules at the current instant, letting other events
@@ -98,6 +102,15 @@ val set_chooser : t -> (int -> int) option -> unit
     the [dsm_explore] schedule explorer. [None] (the default) restores
     the deterministic [(time, seq)] order — the production path is
     untouched. *)
+
+val set_choice_view : t -> ((int * Label.t) array -> unit) option -> unit
+(** [set_choice_view sim (Some view)] observes every choice point: just
+    before the chooser runs, [view] receives the ready set's
+    [(seq, label)] pairs sorted by sequence number — index-aligned with
+    the [k] the chooser returns. Only fires while a chooser is installed
+    and [ready >= 2], i.e. exactly when the chooser fires. Cleared by
+    {!reset} and ignored on the production path. The footprint feed of
+    the [dsm_explore] DPOR layer. *)
 
 val stop : t -> unit
 (** Makes the current {!run} return {!Stopped} after the current event. *)

@@ -1,4 +1,4 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+type 'a entry = { time : float; seq : int; label : int; value : 'a }
 
 type 'a t = { mutable data : 'a entry array; mutable size : int }
 
@@ -40,8 +40,8 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let add h ~time ~seq value =
-  let entry = { time; seq; value } in
+let add h ~time ~seq ?(label = Label.unknown) value =
+  let entry = { time; seq; label; value } in
   if h.size = Array.length h.data then
     if h.size = 0 then h.data <- Array.make 16 entry else grow h;
   h.data.(h.size) <- entry;
@@ -102,6 +102,20 @@ let pop_kth h k =
     let e = h.data.(i) in
     remove_index h i;
     Some (e.time, e.seq, e.value)
+  end
+
+let ready_view h =
+  if h.size = 0 then [||]
+  else begin
+    let tmin = h.data.(0).time in
+    let ready = ref [] in
+    for i = h.size - 1 downto 0 do
+      if h.data.(i).time = tmin then
+        ready := (h.data.(i).seq, h.data.(i).label) :: !ready
+    done;
+    let arr = Array.of_list !ready in
+    Array.sort compare arr;
+    arr
   end
 
 let peek_time h = if h.size = 0 then None else Some h.data.(0).time

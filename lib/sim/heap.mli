@@ -13,8 +13,10 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-val add : 'a t -> time:float -> seq:int -> 'a -> unit
-(** [add h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val add : 'a t -> time:float -> seq:int -> ?label:Label.t -> 'a -> unit
+(** [add h ~time ~seq ~label v] inserts [v] with priority [(time, seq)].
+    [label] (default {!Label.unknown}) is the event's declared footprint,
+    carried for the benefit of {!ready_view}; it never affects ordering. *)
 
 val pop : 'a t -> (float * int * 'a) option
 (** Removes and returns the minimum element, or [None] when empty. *)
@@ -29,6 +31,11 @@ val pop_kth : 'a t -> int -> (float * int * 'a) option
     sequence number among the ready set. [k] is clamped to the ready set,
     so [pop_kth h 0] is {!pop}. O(n) — meant for schedule exploration, not
     the production run loop. *)
+
+val ready_view : 'a t -> (int * Label.t) array
+(** [(seq, label)] for every entry sharing the minimum time, sorted by
+    sequence number — index-aligned with the [k] argument of {!pop_kth}.
+    Allocates; meant for schedule exploration, not the production loop. *)
 
 val peek_time : 'a t -> float option
 (** Time of the minimum element without removing it. *)

@@ -8,14 +8,14 @@ let is_filled iv = match iv.state with Filled _ -> true | Empty _ -> false
 
 let peek iv = match iv.state with Filled v -> Some v | Empty _ -> None
 
-let fill sim iv v =
+let fill ?label sim iv v =
   match iv.state with
   | Filled _ -> failwith "Ivar.fill: already filled"
   | Empty waiters ->
       iv.state <- Filled v;
       (* Resume in registration order: waiters were consed, so reverse. *)
       List.iter
-        (fun resume -> Engine.schedule sim (fun () -> resume v))
+        (fun resume -> Engine.schedule sim ?label (fun () -> resume v))
         (List.rev waiters)
 
 let upon sim iv f =

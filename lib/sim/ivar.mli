@@ -14,9 +14,10 @@ val is_filled : 'a t -> bool
 val peek : 'a t -> 'a option
 (** The value, if already filled; never blocks. *)
 
-val fill : Engine.t -> 'a t -> 'a -> unit
+val fill : ?label:Label.t -> Engine.t -> 'a t -> 'a -> unit
 (** [fill sim iv v] sets the value and schedules every waiter's resumption
-    at the current instant. Raises [Failure] if [iv] is already filled. *)
+    at the current instant; [label] is the footprint attached to each
+    resumption event. Raises [Failure] if [iv] is already filled. *)
 
 val read : Engine.t -> 'a t -> 'a
 (** [read sim iv] returns the value, suspending the calling process until

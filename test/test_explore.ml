@@ -23,6 +23,7 @@ let test_token_roundtrip () =
       Token.scenario = "getput";
       n = 3;
       seed = 42;
+      latency = Dsm_net.Latency.Constant 1.0;
       faults = Fault.of_string "drop=0.2,dup=0.1,0>1:reorder=0.5";
       reliable = true;
       bug = true;
@@ -515,6 +516,207 @@ let test_parallel_exhaustive_identical () =
         120 );
     ]
 
+(* ---------- chunked claims and persistent pools ---------- *)
+
+let test_parallel_chunk_identity () =
+  (* the jobs x chunk matrix: every combination must report the very
+     same stats, fingerprints and minimized token as the sequential
+     sweep — chunking changes only how walk indices are claimed *)
+  List.iter
+    (fun (label, spec, runs) ->
+      let seq = Explore.explore_random spec ~runs in
+      let tok =
+        if seq.Explore.violated > 0 then Some (minimized_token spec seq)
+        else None
+      in
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun chunk ->
+              let par = Parallel.explore_random ~jobs ~chunk spec ~runs in
+              let l = Printf.sprintf "%s, jobs %d, chunk %d" label jobs chunk in
+              check_stats_equal l seq par;
+              match tok with
+              | Some t ->
+                  Alcotest.(check string)
+                    (l ^ ": minimized token")
+                    t (minimized_token spec par)
+              | None -> ())
+            [ 1; 64; 256 ])
+        [ 1; 2; 4 ])
+    [
+      ("clean", { Explore.default_spec with Explore.seed = 3 }, 25);
+      ("planted bug", planted_bug_spec, 50);
+    ]
+
+let test_parallel_chunk_rejected () =
+  List.iter
+    (fun chunk ->
+      match
+        Parallel.explore_random ~jobs:2 ~chunk Explore.default_spec ~runs:5
+      with
+      | _ -> Alcotest.fail "chunk < 1 accepted"
+      | exception Invalid_argument _ -> ())
+    [ 0; -3 ]
+
+let test_pool_reused_across_batches () =
+  (* one pool, several batches: arenas stay hot between jobs yet every
+     batch matches a fresh sequential sweep bit for bit — including a
+     batch of a different spec, which must rebuild the worker arenas *)
+  let clean = { Explore.default_spec with Explore.seed = 3 } in
+  let seq_clean = Explore.explore_random clean ~runs:25 in
+  let seq_bug = Explore.explore_random planted_bug_spec ~runs:30 in
+  let seq_dfs = Explore.explore_exhaustive clean ~depth:6 ~max_runs:50 in
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check bool) "pool size >= 1" true (Parallel.Pool.size pool >= 1);
+      let p1 = Parallel.explore_random ~pool ~jobs:4 clean ~runs:25 in
+      check_stats_equal "pool, batch 1" seq_clean p1;
+      let p2 = Parallel.explore_random ~pool ~jobs:4 ~chunk:1 clean ~runs:25 in
+      check_stats_equal "pool, batch 2 (chunk 1, hot arena)" seq_clean p2;
+      let p3 =
+        Parallel.explore_random ~pool ~jobs:4 planted_bug_spec ~runs:30
+      in
+      check_stats_equal "pool, batch 3 (spec change)" seq_bug p3;
+      let p4 =
+        Parallel.explore_exhaustive ~pool ~jobs:4 clean ~depth:6 ~max_runs:50
+      in
+      check_stats_equal "pool, batch 4 (exhaustive)" seq_dfs p4)
+
+(* ---------- sleep-set DPOR ---------- *)
+
+module Dpor = Dsm_explore.Dpor
+
+(* Fault-free specs whose same-instant ties make the schedule tree
+   genuinely branch (the planted-bug row is the Skip_get_dst_lock
+   protocol bug). Depths and caps chosen so both searches finish the
+   bounded tree — the canon-set equality below presumes neither was
+   truncated by [max_runs]. *)
+let dpor_specs =
+  [
+    ( "getput, tied deliveries",
+      {
+        Explore.default_spec with
+        Explore.latency = Dsm_net.Latency.Constant 1.0;
+      },
+      6,
+      false );
+    ( "getput, planted Skip_get_dst_lock",
+      {
+        Explore.default_spec with
+        Explore.latency = Dsm_net.Latency.Constant 1.0;
+        bug = true;
+      },
+      6,
+      true );
+    ( "workload:scale",
+      { Explore.default_spec with Explore.scenario = "workload:scale"; n = 4 },
+      10,
+      false );
+    ( "workload:master-worker-racy",
+      {
+        Explore.default_spec with
+        Explore.scenario = "workload:master-worker-racy";
+        n = 3;
+      },
+      10,
+      false );
+  ]
+
+let test_dpor_prunes_and_preserves_findings () =
+  List.iter
+    (fun (label, spec, depth, expect_violation) ->
+      let full =
+        Dpor.explore ~dpor:false ~stop_on_first:false ~max_runs:2000 spec
+          ~depth
+      in
+      let red =
+        Dpor.explore ~stop_on_first:false ~max_runs:2000 spec ~depth
+      in
+      Alcotest.(check bool)
+        (label ^ ": full search explored the whole tree")
+        true
+        (full.Dpor.runs < 2000);
+      Alcotest.(check bool)
+        (label ^ ": DPOR explored strictly fewer runs")
+        true
+        (red.Dpor.runs < full.Dpor.runs);
+      Alcotest.(check bool)
+        (label ^ ": DPOR pruned something")
+        true (red.Dpor.pruned > 0);
+      Alcotest.(check int)
+        (label ^ ": full search pruned nothing")
+        0 full.Dpor.pruned;
+      Alcotest.(check (list string))
+        (label ^ ": canonical fingerprint sets equal")
+        full.Dpor.canons red.Dpor.canons;
+      Alcotest.(check bool)
+        (label ^ ": violation presence preserved")
+        (full.Dpor.violated > 0)
+        (red.Dpor.violated > 0);
+      if expect_violation then
+        Alcotest.(check bool)
+          (label ^ ": planted bug still found under pruning")
+          true
+          (red.Dpor.violated > 0))
+    dpor_specs
+
+let test_dpor_matches_exhaustive_when_off () =
+  (* dpor:false must be the bounded-exhaustive DFS, run for run *)
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.latency = Dsm_net.Latency.Constant 1.0;
+    }
+  in
+  let dfs = Explore.explore_exhaustive spec ~depth:6 ~max_runs:2000 in
+  let off = Dpor.explore ~dpor:false ~max_runs:2000 spec ~depth:6 in
+  Alcotest.(check int) "runs" dfs.Explore.runs off.Dpor.runs;
+  Alcotest.(check int) "violated" dfs.Explore.violated off.Dpor.violated
+
+let test_dpor_pruned_replay_covered () =
+  (* the soundness property, checked the hard way: replay every pruned
+     schedule and find its canonical fingerprint among the runs the
+     reduced search did execute *)
+  List.iter
+    (fun (label, spec, depth, _) ->
+      let red =
+        Dpor.explore ~stop_on_first:false ~max_runs:2000 spec ~depth
+      in
+      Alcotest.(check int)
+        (label ^ ": one ledger entry per pruned schedule")
+        red.Dpor.pruned
+        (List.length red.Dpor.pruned_prefixes);
+      let ctx = Explore.create_ctx spec in
+      List.iter
+        (fun prefix ->
+          let r = Explore.exec_checked ctx (Explore.Script prefix) in
+          let canon = Explore.raw_canon r in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: pruned %s has an explored representative"
+               label
+               (String.concat "," (List.map string_of_int prefix)))
+            true
+            (List.mem canon red.Dpor.canons))
+        red.Dpor.pruned_prefixes)
+    dpor_specs
+
+let test_dpor_disabled_under_faults () =
+  (* fault draws share a PRNG stream, so commutation is unsound there:
+     the search must fall back to the full DFS silently *)
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.seed = 4;
+      faults = Fault.of_string "drop=0.3";
+      reliable = true;
+    }
+  in
+  let full = Dpor.explore ~dpor:false ~stop_on_first:false ~max_runs:200 spec ~depth:4 in
+  let red = Dpor.explore ~stop_on_first:false ~max_runs:200 spec ~depth:4 in
+  Alcotest.(check int) "same runs" full.Dpor.runs red.Dpor.runs;
+  Alcotest.(check int) "nothing pruned" 0 red.Dpor.pruned;
+  Alcotest.(check (list string)) "same canons" full.Dpor.canons red.Dpor.canons
+
 (* ---------- replay rejects a mismatched token ---------- *)
 
 let contains s sub =
@@ -591,6 +793,23 @@ let () =
             test_parallel_walks_full_batch;
           Alcotest.test_case "exhaustive identical across jobs" `Quick
             test_parallel_exhaustive_identical;
+          Alcotest.test_case "jobs x chunk identity matrix" `Slow
+            test_parallel_chunk_identity;
+          Alcotest.test_case "chunk < 1 rejected" `Quick
+            test_parallel_chunk_rejected;
+          Alcotest.test_case "pool reused across batches" `Quick
+            test_pool_reused_across_batches;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "prunes, findings preserved" `Quick
+            test_dpor_prunes_and_preserves_findings;
+          Alcotest.test_case "off = exhaustive DFS" `Quick
+            test_dpor_matches_exhaustive_when_off;
+          Alcotest.test_case "every pruned schedule covered" `Slow
+            test_dpor_pruned_replay_covered;
+          Alcotest.test_case "disabled under faults" `Quick
+            test_dpor_disabled_under_faults;
         ] );
       ( "replay-mismatch",
         [
