@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke rmw-smoke experiments examples clean outputs
 
 all: build
 
@@ -83,6 +83,21 @@ conformance:
 scale-smoke:
 	dune exec bin/dsmcheck.exe -- scale -n 256 --rounds 2 --chunk 4
 	dune exec bin/dsmcheck.exe -- scale -n 256 --rounds 2 --chunk 4 --rep dense
+
+# One-sided RMW workloads (§5.2 extensions): the racy variants must
+# signal a race somewhere in the batch and the race-free variants must
+# stay silent everywhere — asserted by --expect-races. The rmwlost tree
+# is the planted-bug scenario, clean without --bug. A smaller version
+# also runs inside `dune runtest`.
+rmw-smoke:
+	dune exec bin/dsmcheck.exe -- explore workload:histogram-racy --runs 20 --expect-races true
+	dune exec bin/dsmcheck.exe -- explore workload:histogram --runs 20 --expect-races false
+	dune exec bin/dsmcheck.exe -- explore workload:deque-racy --runs 20 --expect-races true
+	dune exec bin/dsmcheck.exe -- explore workload:deque --runs 20 --expect-races false
+	dune exec bin/dsmcheck.exe -- explore workload:allreduce-racy --runs 20 --expect-races true
+	dune exec bin/dsmcheck.exe -- explore workload:allreduce --runs 20 --expect-races false
+	dune exec bin/dsmcheck.exe -- explore workload:rmw-mix --runs 20
+	dune exec bin/dsmcheck.exe -- explore rmwlost -n 3 --latency constant:1 --depth 8
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

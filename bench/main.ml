@@ -235,6 +235,43 @@ let bench_scale ~n ~clock_rep =
            { Dsm_workload.Scale.default with rounds = 1; seed = 1 };
          Harness.run_to_completion m))
 
+(* One-sided checked fetch_add vs the same increment emulated as
+   lock + get + put + unlock. The RMW pays one fabric round trip and one
+   granule check (read + write under a single lock hold); the emulation
+   pays the lock service plus two data round trips and two checks — the
+   gap the rmw_* rows track. *)
+let rmw_workload ~emulate () =
+  let m = Harness.fresh_machine ~n:4 () in
+  let d = Dsm_core.Detector.create m () in
+  let a = Dsm_core.Detector.alloc_shared d ~pid:3 ~name:"a" ~len:1 () in
+  let mu = Dsm_rdma.Machine.alloc_public m ~pid:3 ~name:"mu" ~len:1 () in
+  let target =
+    Dsm_memory.Addr.global ~pid:3 ~space:Dsm_memory.Addr.Public
+      ~offset:a.Dsm_memory.Addr.base.offset
+  in
+  for pid = 0 to 1 do
+    Dsm_rdma.Machine.spawn m ~pid (fun p ->
+        let buf = Dsm_rdma.Machine.alloc_private m ~pid ~len:1 () in
+        for _ = 1 to 8 do
+          if emulate then begin
+            let h = Dsm_core.Detector.lock d p mu in
+            Dsm_core.Detector.get d p ~src:a ~dst:buf;
+            Dsm_core.Detector.put d p ~src:buf ~dst:a;
+            Dsm_core.Detector.unlock d p h
+          end
+          else ignore (Dsm_core.Detector.fetch_add d p ~target ~delta:1)
+        done)
+  done;
+  Harness.run_to_completion m
+
+let bench_rmw_fetch_add =
+  Test.make ~name:"rmw_fetch_add_16"
+    (Staged.stage (rmw_workload ~emulate:false))
+
+let bench_rmw_lock_emulation =
+  Test.make ~name:"rmw_lock_emulation_16"
+    (Staged.stage (rmw_workload ~emulate:true))
+
 let bench_plain_ops =
   Test.make ~name:"plain_16_puts"
     (Staged.stage (fun () ->
@@ -388,6 +425,8 @@ let detector_tests =
          ~granularity:Config.Variable ~clock_rep:Config.Dense_vector;
        bench_checked ~op:`Put ~transport:Config.Piggyback_txn
          ~granularity:Config.Variable ~clock_rep:Config.Dense_vector;
+       bench_rmw_fetch_add;
+       bench_rmw_lock_emulation;
      ]
     @ List.concat_map
         (fun transport ->

@@ -642,8 +642,8 @@ let replay_with_diagram token =
   | Ok r -> Ok (r, List.rev !arrows, List.rev !marks)
 
 let run_explore scenario n seed runs depth jobs chunk dpor latency faults
-    reliable bug max_events replay no_minimize metrics trace_out_violation
-    verbose =
+    reliable bug max_events replay no_minimize metrics expect_races
+    trace_out_violation verbose =
   setup_logs verbose;
   if chunk < 1 then
     `Error (false, "--chunk must be a positive number of runs per claim")
@@ -702,8 +702,39 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency faults
           max_events;
         }
       in
+      (* --expect-races needs the merged race counter even when the user
+         did not ask for a metrics printout *)
       let registry =
-        if metrics then Some (Dsm_obs.Metrics.create ()) else None
+        if metrics || expect_races <> None then
+          Some (Dsm_obs.Metrics.create ())
+        else None
+      in
+      let print_metrics r = print_metrics (if metrics then r else None) in
+      (* Assert the exploration-wide race count after a clean search;
+         invariant violations already exit nonzero on their own. *)
+      let check_expected_races ok =
+        match (expect_races, registry) with
+        | None, _ | _, None -> ok
+        | Some want, Some reg ->
+            let races =
+              Dsm_obs.Metrics.value
+                (Dsm_obs.Metrics.counter reg "detector.race_signal")
+            in
+            Format.printf "race signals   : %d (expected %s)@." races
+              (if want then "some" else "none");
+            if want && races = 0 then
+              `Error
+                ( false,
+                  "expected races, but no schedule signalled one \
+                   (detector.race_signal = 0)" )
+            else if (not want) && races > 0 then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "expected a race-free scenario, but \
+                     detector.race_signal = %d"
+                    races )
+            else ok
       in
       let progress =
         if jobs > 1 then begin
@@ -729,7 +760,7 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency faults
         | None ->
             Format.printf "invariants     : all held@.";
             print_metrics registry;
-            `Ok ()
+            check_expected_races (`Ok ())
         | Some (_, r) ->
             print_violations r;
             let decisions =
@@ -937,6 +968,17 @@ let explore_cmd =
             "Print the metrics-registry snapshot after the exploration \
              (merged across worker domains with --jobs > 1).")
   in
+  let expect_races =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "expect-races" ] ~docv:"BOOL"
+          ~doc:
+            "Assert the exploration-wide race count after a clean \
+             search: $(b,true) fails unless some schedule signalled a \
+             race, $(b,false) fails if any did. Collects metrics \
+             internally even without $(b,--metrics).")
+  in
   let trace_out_violation =
     Arg.(
       value
@@ -954,7 +996,8 @@ let explore_cmd =
       ret
         (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
        $ chunk $ dpor $ latency $ faults $ reliable $ bug $ max_events
-       $ replay $ no_minimize $ metrics $ trace_out_violation $ verbose))
+       $ replay $ no_minimize $ metrics $ expect_races
+       $ trace_out_violation $ verbose))
 
 (* ---------- scenario ---------- *)
 

@@ -40,7 +40,7 @@ let () =
               :: !arrows
         | None -> ())
     | Machine.Write_applied _ | Machine.Read_served _
-    | Machine.Atomic_applied _ ->
+    | Machine.Atomic_applied _ | Machine.Acc_applied _ ->
         ());
 
   (* 4. Two processes put to [a] with no synchronization: Figure 5a. *)

@@ -42,16 +42,34 @@ let vget_tag = "dsm.vget"
 
 let vput_tag = "dsm.vput"
 
-(* Access classes: the paper's reads and writes, plus the atomic
-   read-modify-write extension (NIC-serialized, hence synchronizing). *)
-type access_class = Plain_read | Plain_write | Atomic_rmw
+(* Extra [vput] class code: merge the payload into S only — the early
+   release an RMW performs before its fabric round trip. *)
+let s_release_code = 4
 
-let class_code = function Plain_read -> 0 | Plain_write -> 1 | Atomic_rmw -> 2
+(* Access classes: the paper's reads and writes, plus the one-sided
+   read-modify-write extension. An RMW is atomically both a read and a
+   write against the granule's V/W clocks — it read-marks V always and
+   write-marks W when it actually wrote (a failed compare-and-swap does
+   not) — and additionally releases the accessor's clock into the
+   granule's S clock. S is sound as a release point because the target
+   NIC applies every RMW on a granule under the same region lock: RMWs
+   on one granule are genuinely serialized, so a later RMW that acquires
+   S really does happen after every clock merged into it. Plain accesses
+   never touch S, so they cannot borrow synchronization they do not
+   have. *)
+type access_class = Plain_read | Plain_write | Rmw of { wrote : bool }
+
+let class_code = function
+  | Plain_read -> 0
+  | Plain_write -> 1
+  | Rmw { wrote = true } -> 2
+  | Rmw { wrote = false } -> 3
 
 let class_of_code = function
   | 0 -> Plain_read
   | 1 -> Plain_write
-  | 2 -> Atomic_rmw
+  | 2 -> Rmw { wrote = true }
+  | 3 -> Rmw { wrote = false }
   | c -> invalid_arg (Printf.sprintf "Detector: bad access class %d" c)
 
 let merge_entry (e : Clock_store.entry) cls clock =
@@ -60,7 +78,10 @@ let merge_entry (e : Clock_store.entry) cls clock =
   | Plain_write ->
       Vector_clock.merge_into ~into:e.v clock;
       Vector_clock.merge_into ~into:e.w clock
-  | Atomic_rmw -> Vector_clock.merge_into ~into:e.s clock
+  | Rmw { wrote } ->
+      Vector_clock.merge_into ~into:e.v clock;
+      if wrote then Vector_clock.merge_into ~into:e.w clock;
+      Vector_clock.merge_into ~into:e.s clock
 
 let install_control_plane t =
   Machine.set_control_handler t.machine ~tag:vget_tag
@@ -78,12 +99,18 @@ let install_control_plane t =
       let e =
         Clock_store.entry_at t.stores.(node) ~offset:words.(0) ~len:words.(1)
       in
-      (match class_of_code words.(2) with
-      | Plain_read -> Vector_clock.merge_words ~into:e.v words ~off:3
-      | Plain_write ->
-          Vector_clock.merge_words ~into:e.v words ~off:3;
-          Vector_clock.merge_words ~into:e.w words ~off:3
-      | Atomic_rmw -> Vector_clock.merge_words ~into:e.s words ~off:3);
+      (if words.(2) = s_release_code then
+         Vector_clock.merge_words ~into:e.s words ~off:3
+       else
+         match class_of_code words.(2) with
+         | Plain_read -> Vector_clock.merge_words ~into:e.v words ~off:3
+         | Plain_write ->
+             Vector_clock.merge_words ~into:e.v words ~off:3;
+             Vector_clock.merge_words ~into:e.w words ~off:3
+         | Rmw { wrote } ->
+             Vector_clock.merge_words ~into:e.v words ~off:3;
+             if wrote then Vector_clock.merge_words ~into:e.w words ~off:3;
+             Vector_clock.merge_words ~into:e.s words ~off:3);
       None)
 
 let create machine ?(config = Config.default) ?(verbose = false) () =
@@ -172,7 +199,7 @@ let record_access t p ~kind ~target =
 let kind_of_class = function
   | Plain_read -> Event.Read
   | Plain_write -> Event.Write
-  | Atomic_rmw -> Event.Atomic_update
+  | Rmw _ -> Event.Atomic_update
 
 (* Cold path: a race was found; materialize the granule region and the
    clock snapshots for the report. *)
@@ -193,13 +220,20 @@ let signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against =
     }
 
 (* Check the accessor's clock [v0] against one granule's clocks
-   [fv]/[fw]/[fs] and fold the clocks a read or atomic observes into
+   [fv]/[fw]/[fs] and fold the clocks a read or RMW observes into
    [absorb]. What this access must be ordered against:
-   - a plain read races with concurrent plain writes and atomics
-     (or with any access in the no-write-clock ablation);
-   - a plain write races with any concurrent access;
-   - an atomic races with concurrent plain accesses only (atomics
-     are serialized by the target NIC). *)
+   - a plain read races with concurrent writes — W carries both plain
+     write marks and RMW write marks (or any access in the
+     no-write-clock ablation);
+   - a plain write races with any concurrent access (V);
+   - an RMW first acquires the granule's S clock — the releases of every
+     RMW the target NIC serialized before it under the region lock —
+     then performs its read half and write half as one check: a writing
+     RMW checks V (W ⊆ V, so one comparison covers both halves); a
+     read-only RMW (failed compare-and-swap) checks only W, like a plain
+     read. The acquire is what keeps RMW/RMW pairs silent while leaving
+     every RMW/plain pair visible: plain accesses never release into S,
+     so their marks stay concurrent with the acquirer. *)
 let check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw ~fs
     ~absorb =
   let datum = t.scratch_datum.(pid) in
@@ -209,26 +243,30 @@ let check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw ~fs
     | Plain_read ->
         if t.config.Config.use_write_clock then begin
           Vector_clock.merge_into ~into:datum fw;
-          Vector_clock.merge_into ~into:datum fs;
           Report.Write_clock
         end
         else begin
           Vector_clock.merge_into ~into:datum fv;
-          Vector_clock.merge_into ~into:datum fs;
           Report.General_clock
         end
     | Plain_write ->
         Vector_clock.merge_into ~into:datum fv;
-        Vector_clock.merge_into ~into:datum fs;
         Report.General_clock
-    | Atomic_rmw ->
-        Vector_clock.merge_into ~into:datum fv;
-        Report.General_clock
+    | Rmw { wrote } ->
+        Vector_clock.merge_into ~into:v0 fs;
+        if wrote || not t.config.Config.use_write_clock then begin
+          Vector_clock.merge_into ~into:datum fv;
+          Report.General_clock
+        end
+        else begin
+          Vector_clock.merge_into ~into:datum fw;
+          Report.Write_clock
+        end
   in
   if Vector_clock.concurrent v0 datum then
     signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against;
   match cls with
-  | Plain_read | Atomic_rmw ->
+  | Plain_read | Rmw _ ->
       Vector_clock.merge_into ~into:absorb fw;
       Vector_clock.merge_into ~into:absorb fs
   | Plain_write -> ()
@@ -547,42 +585,120 @@ let get_batch t p ~pairs =
              cur.base.pid = prev.base.pid
              && cur.base.offset = prev.base.offset + prev.len))
 
-(* Checked atomic read-modify-writes (extension beyond the paper): the
-   NIC serializes them, so atomic/atomic pairs are synchronized — the
-   detector treats them as release/acquire points on the datum — while
-   atomic/plain pairs are checked like write races. *)
-let checked_atomic t p ~(target : Addr.global) ~run_op =
-  if target.space <> Addr.Public then
-    invalid_arg "Detector.atomic: target is not public";
+(* Checked one-sided read-modify-writes (extension beyond the paper).
+
+   The machine-level RMW runs first: whether it actually wrote (a failed
+   compare-and-swap does not) decides the write-half marking, and that
+   outcome is only known once the target NIC has applied the operation.
+   Detection then performs the read half and the write half against the
+   granule's V/W in one uninterrupted step — the meta-level mirror of
+   the NIC's single region-lock hold — after acquiring the granule's S
+   clock (see [check_granule]). Running detection after the fabric round
+   trip is sound exactly because of that acquire: any RMW whose marks
+   this access must not race with also released into S, and the two
+   sides of a plain/RMW race stay concurrent whichever detection runs
+   first, since plain accesses never release into S.
+
+   [read_src] is a local staging region some RMWs (accumulate) read
+   their operands from; when it is public it gets its own plain-read
+   check, like [checked_op]'s read side. *)
+
+(* Release the accessor's pre-RMW history into the granule's S clocks
+   BEFORE the fabric round trip. The target NIC serializes RMWs on a
+   granule under the region lock, so any RMW applied after this one
+   observes this release at its own acquire no matter how the two reply
+   deliveries interleave back at the origins. Without it a tie between
+   reply events could run the later RMW's detection (and S acquire)
+   before the earlier RMW's detection-time merge, and a poller that just
+   observed a flag value could still be reported as racing with the
+   flagger's earlier writes in some explored schedules. The release
+   deliberately excludes the RMW's own tick — that mark joins V/W/S only
+   at detection time, which is what keeps RMW/plain races visible. *)
+let release_rmw_history t p ~(region : Addr.region) =
+  let node = region.base.pid in
+  let pid = Machine.pid p in
+  let v0 = t.procs.(pid) in
+  let store = t.stores.(node) in
+  let remote_explicit =
+    match t.config.Config.transport with
+    | Config.Explicit_txn -> node <> pid
+    | Config.Inline | Config.Piggyback_txn -> false
+  in
+  Clock_store.iter_granules store region ~f:(fun ~offset ~len ->
+      if remote_explicit then begin
+        let payload = Array.make (3 + t.dim) 0 in
+        payload.(0) <- offset;
+        payload.(1) <- len;
+        payload.(2) <- s_release_code;
+        Vector_clock.store_words v0 payload ~off:3;
+        t.meta_messages <- t.meta_messages + 1;
+        t.clock_words_shipped <- t.clock_words_shipped + t.dim;
+        Machine.control_async p ~target:node ~tag:vput_tag ~words:payload
+      end
+      else
+        let e = Clock_store.entry_at store ~offset ~len in
+        Vector_clock.merge_into ~into:e.s v0)
+
+let checked_rmw t p ?read_src ~(region : Addr.region) ~run_op () =
+  count_shipped t 2;
+  release_rmw_history t p ~region;
+  let result, wrote = run_op ~extra_words:(piggyback_words t) in
   t.checked_ops <- t.checked_ops + 1;
-  let region = Addr.region_of_global target ~len:1 in
-  let v0 = t.procs.(Machine.pid p) in
+  let pid = Machine.pid p in
+  let v0 = t.procs.(pid) in
   if t.probe.on then
     Dsm_obs.Probe.emit t.probe
       (Detector_check
          {
            time = now t;
-           pid = Machine.pid p;
+           pid;
            kind = "atomic";
            fast_path = Vector_clock.is_epoch v0;
          });
   Vector_clock.tick v0 ~me:(me t p);
+  (match read_src with
+  | Some r when Addr.is_public r ->
+      let event_id = record_access t p ~kind:Event.Read ~target:r in
+      let absorbed =
+        check_access t p ~region:r ~cls:Plain_read ~v0 ~event_id
+      in
+      Vector_clock.merge_into ~into:v0 absorbed
+  | Some _ | None -> ());
   let event_id = record_access t p ~kind:Event.Atomic_update ~target:region in
-  let absorbed = check_access t p ~region ~cls:Atomic_rmw ~v0 ~event_id in
+  let absorbed = check_access t p ~region ~cls:(Rmw { wrote }) ~v0 ~event_id in
   Vector_clock.merge_into ~into:v0 absorbed;
   if t.probe.on then
-    Dsm_obs.Probe.emit t.probe
-      (Clock_merge { time = now t; pid = Machine.pid p });
-  count_shipped t 2;
-  run_op ~extra_words:(piggyback_words t)
+    Dsm_obs.Probe.emit t.probe (Clock_merge { time = now t; pid });
+  result
+
+let check_rmw_target (target : Addr.global) =
+  if target.space <> Addr.Public then
+    invalid_arg "Detector.atomic: target is not public"
 
 let fetch_add t p ~target ~delta =
-  checked_atomic t p ~target ~run_op:(fun ~extra_words ->
-      Machine.fetch_add p ~target ~extra_words ~delta ())
+  check_rmw_target target;
+  checked_rmw t p
+    ~region:(Addr.region_of_global target ~len:1)
+    ~run_op:(fun ~extra_words ->
+      (Machine.fetch_add p ~target ~extra_words ~delta (), true))
+    ()
 
 let cas t p ~target ~expected ~desired =
-  checked_atomic t p ~target ~run_op:(fun ~extra_words ->
-      Machine.cas p ~target ~extra_words ~expected ~desired ())
+  check_rmw_target target;
+  checked_rmw t p
+    ~region:(Addr.region_of_global target ~len:1)
+    ~run_op:(fun ~extra_words ->
+      let ok = Machine.cas p ~target ~extra_words ~expected ~desired () in
+      (ok, ok))
+    ()
+
+let accumulate t p ~src ~(dst : Addr.region) ~aop =
+  if not (Addr.is_public dst) then
+    invalid_arg "Detector.accumulate: dst is not public";
+  checked_rmw t p ~read_src:src ~region:dst
+    ~run_op:(fun ~extra_words ->
+      (Machine.accumulate p ~src ~dst ~aop ~extra_words (), true))
+    ()
 
 let record_lock t ~pid ~phase ~lock ~time =
   match t.recorder with

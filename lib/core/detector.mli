@@ -86,14 +86,20 @@ val get_batch :
     into one request/data round trip over the union span. Detection is
     per-operation, identical to {!get}. *)
 
-(** {1 Checked atomic operations (extension beyond the paper)}
+(** {1 Checked one-sided RMW operations (extension beyond the paper)}
 
-    The NIC serializes atomic read-modify-writes on a word, so two
-    atomics never race with each other; the detector treats them as
-    release/acquire points (the accessor absorbs the datum's write and
-    sync clocks, and publishes its own clock into the sync clock). An
-    atomic is still checked — and signalled — against concurrent {e
-    plain} accesses, which remain races. *)
+    An RMW is atomically both a read and a write against the granule's
+    V/W clocks: it read-marks V, write-marks W when it actually wrote (a
+    failed compare-and-swap leaves W untouched), and both its halves are
+    checked under one hold — a writing RMW compares against V (which
+    contains W), a read-only one against W like a plain read. Because the
+    target NIC applies every RMW on a granule under the same region
+    lock, RMWs are genuinely serialized there; the detector models this
+    as a release/acquire chain through the granule's S clock, so two
+    RMWs never race with each other while every concurrent RMW/plain
+    pair is still signalled. The machine operation runs before the
+    detection step: the write-half marking needs the outcome, and the S
+    acquire makes the late check sound. *)
 
 val fetch_add :
   t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global -> delta:int ->
@@ -103,7 +109,18 @@ val fetch_add :
 val cas :
   t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global ->
   expected:int -> desired:int -> bool
-(** Checked compare-and-swap. *)
+(** Checked compare-and-swap. A failed swap is a read-only RMW: the
+    target is read-marked but not write-marked, so it does not race with
+    concurrent plain reads — only with concurrent writes. *)
+
+val accumulate :
+  t -> Dsm_rdma.Machine.proc -> src:Dsm_memory.Addr.region ->
+  dst:Dsm_memory.Addr.region -> aop:Dsm_rdma.Message.acc_op -> int array
+(** Checked generalized accumulate (§5.2): element-wise RMW of the whole
+    public span [dst] with the local operands in [src], applied at the
+    target under one region lock hold and checked as one RMW access over
+    the span. Returns the span's prior contents. A public [src] gets its
+    own plain-read check first. *)
 
 (** {1 Checked user-level locks}
 

@@ -63,7 +63,7 @@ let collect_arrows m =
               :: !arrows
         | None -> ())
     | Machine.Write_applied _ | Machine.Read_served _
-    | Machine.Atomic_applied _ ->
+    | Machine.Atomic_applied _ | Machine.Acc_applied _ ->
         ());
   fun () -> List.rev !arrows
 

@@ -208,6 +208,9 @@ let check_invariants spec (built : Scenario.built) outcome mono =
             (Format.asprintf "%a" Coherence.pp_violation)
             (Coherence.violations built.coherence)));
   List.iter (fun m -> add "clock-monotonicity" m) mono;
+  List.iter
+    (fun detail -> add "rmw-linearizability" detail)
+    (Linearize.violations built.linearize);
   List.iter (fun (name, detail) -> add name detail) (built.monitor ());
   List.rev !v
 

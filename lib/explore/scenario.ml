@@ -10,6 +10,7 @@ type built = {
   machine : Machine.t;
   detector : Detector.t option;
   coherence : Coherence.t;
+  linearize : Linearize.t;
   monitor : unit -> (string * string) list;
 }
 
@@ -27,6 +28,7 @@ type plan = {
 let known =
   [
     "getput";
+    "rmwlost";
     "prog:FILE.dsm";
     "workload:random";
     "workload:master-worker";
@@ -36,14 +38,25 @@ let known =
     "workload:locked-counter";
     "workload:scale";
     "workload:scale-batched";
+    "workload:histogram";
+    "workload:histogram-racy";
+    "workload:deque";
+    "workload:deque-racy";
+    "workload:allreduce";
+    "workload:allreduce-racy";
+    "workload:rmw-mix";
   ]
 
 let no_monitor () = []
 
+(* [Skip_rmw_write_mark] is inert on scenarios without RMWs (getput),
+   so one [bug] flag plants the whole defect family. *)
 let make_machine sim ~n ~latency ~faults ~reliable ~bug =
   Machine.create sim ~n ~latency ~faults
     ?reliability:(if reliable then Some (Machine.reliability ()) else None)
-    ~protocol_bugs:(if bug then [ Machine.Skip_get_dst_lock ] else [])
+    ~protocol_bugs:
+      (if bug then [ Machine.Skip_get_dst_lock; Machine.Skip_rmw_write_mark ]
+       else [])
     ()
 
 (* The built-in scenario behind the planted-bug acceptance test: P0
@@ -54,6 +67,7 @@ let make_machine sim ~n ~latency ~faults ~reliable ~bug =
    [Skip_get_dst_lock] is planted. *)
 let populate_getput machine =
   let coherence = Coherence.attach machine in
+  let linearize = Linearize.attach machine in
   let a = Machine.alloc_public machine ~pid:0 ~name:"A" ~len:4 () in
   let b = Machine.alloc_public machine ~pid:1 ~name:"B" ~len:4 () in
   ignore (b : Dsm_memory.Addr.region);
@@ -92,7 +106,43 @@ let populate_getput machine =
   let monitor () =
     List.rev_map (fun m -> ("get-window-atomicity", m)) !bad
   in
-  { machine; detector = None; coherence; monitor }
+  { machine; detector = None; coherence; linearize; monitor }
+
+(* The §5.2 planted-bug acceptance scenario, [Skip_rmw_write_mark]'s
+   counterpart to [getput]: every process but 0 fetch_adds the same word
+   of node 0 at t = 0. Under constant latency the Atomic deliveries tie,
+   and with the bug planted the write half of an RMW is deferred to a
+   delay-0 event — so the explorer can order a tied delivery between an
+   RMW's read and its write, and the second RMW computes from the stale
+   value. The linearizability oracle flags the second apply (its [old]
+   disagrees with the serial replay) and the sum monitor sees the lost
+   increment. Bug-free, every schedule sums exactly. *)
+let populate_rmwlost machine =
+  let coherence = Coherence.attach machine in
+  let linearize = Linearize.attach machine in
+  let n = Machine.n machine in
+  let counter = Machine.alloc_public machine ~pid:0 ~name:"C" ~len:1 () in
+  let target =
+    Dsm_memory.Addr.global ~pid:0 ~space:Dsm_memory.Addr.Public
+      ~offset:counter.Dsm_memory.Addr.base.offset
+  in
+  for pid = 1 to n - 1 do
+    Machine.spawn machine ~pid
+      ~name:(Printf.sprintf "adder%d" pid)
+      (fun p -> ignore (Machine.fetch_add p ~target ~delta:1 ()))
+  done;
+  let monitor () =
+    let v =
+      (Dsm_memory.Node_memory.read (Machine.node machine 0) counter).(0)
+    in
+    if v = n - 1 then []
+    else
+      [
+        ( "rmw-sum",
+          Printf.sprintf "counter holds %d after %d fetch_adds" v (n - 1) );
+      ]
+  in
+  { machine; detector = None; coherence; linearize; monitor }
 
 let read_file path =
   let ic = open_in path in
@@ -113,57 +163,131 @@ let compile_prog path =
 
 let populate_prog ir machine =
   let coherence = Coherence.attach machine in
+  let linearize = Linearize.attach machine in
   let detector = Detector.create machine () in
   let (_ : Dsm_lang.Exec.runtime) = Dsm_lang.Exec.setup machine ~detector ir in
-  { machine; detector = Some detector; coherence; monitor = no_monitor }
+  { machine; detector = Some detector; coherence; linearize;
+    monitor = no_monitor }
 
 let populate_workload ~name ~seed machine =
   let coherence = Coherence.attach machine in
+  let linearize = Linearize.attach machine in
   let detector = Detector.create machine () in
   let env = Env.checked detector in
   let collectives = Collectives.create env in
-  (match name with
-  | "random" ->
-      Dsm_workload.Random_access.setup env ~collectives
-        {
-          Dsm_workload.Random_access.default with
-          ops_per_proc = 6;
-          think_mean = 1.0;
-          seed;
-        }
-  | "master-worker" | "master-worker-racy" ->
-      Dsm_workload.Master_worker.setup env ~collectives
-        {
-          Dsm_workload.Master_worker.default with
-          tasks_per_worker = 3;
-          racy = name = "master-worker-racy";
-          seed;
-        }
-  | "stencil" ->
-      ignore
-        (Dsm_workload.Stencil.setup env ~collectives
-           { Dsm_workload.Stencil.cells_per_node = 4; iterations = 2; seed })
-  | "pipeline" ->
-      Dsm_workload.Pipeline.setup env
-        { Dsm_workload.Pipeline.default with batches = 3; seed }
-  | "locked-counter" ->
-      Dsm_workload.Locked_counter.setup env
-        {
-          Dsm_workload.Locked_counter.increments_per_proc = 3;
-          think_mean = 1.0;
-          seed;
-        }
-  | "scale" | "scale-batched" ->
-      Dsm_workload.Scale.setup env
-        {
-          Dsm_workload.Scale.default with
-          racy = true;
-          batched = name = "scale-batched";
-          think_mean = 1.0;
-          seed;
-        }
-  | _ -> invalid_arg (Printf.sprintf "Scenario: unknown workload %S" name));
-  { machine; detector = Some detector; coherence; monitor = no_monitor }
+  let monitor =
+    match name with
+    | "random" ->
+        Dsm_workload.Random_access.setup env ~collectives
+          {
+            Dsm_workload.Random_access.default with
+            ops_per_proc = 6;
+            think_mean = 1.0;
+            seed;
+          };
+        no_monitor
+    | "master-worker" | "master-worker-racy" ->
+        Dsm_workload.Master_worker.setup env ~collectives
+          {
+            Dsm_workload.Master_worker.default with
+            tasks_per_worker = 3;
+            racy = name = "master-worker-racy";
+            seed;
+          };
+        no_monitor
+    | "stencil" ->
+        ignore
+          (Dsm_workload.Stencil.setup env ~collectives
+             { Dsm_workload.Stencil.cells_per_node = 4; iterations = 2; seed });
+        no_monitor
+    | "pipeline" ->
+        Dsm_workload.Pipeline.setup env
+          { Dsm_workload.Pipeline.default with batches = 3; seed };
+        no_monitor
+    | "locked-counter" ->
+        Dsm_workload.Locked_counter.setup env
+          {
+            Dsm_workload.Locked_counter.increments_per_proc = 3;
+            think_mean = 1.0;
+            seed;
+          };
+        no_monitor
+    | "scale" | "scale-batched" ->
+        Dsm_workload.Scale.setup env
+          {
+            Dsm_workload.Scale.default with
+            racy = true;
+            batched = name = "scale-batched";
+            think_mean = 1.0;
+            seed;
+          };
+        no_monitor
+    | "histogram" | "histogram-racy" ->
+        Dsm_workload.Histogram.setup env
+          {
+            Dsm_workload.Histogram.default with
+            updates_per_proc = 2;
+            racy = name = "histogram-racy";
+            think_mean = 1.0;
+            seed;
+          };
+        no_monitor
+    | "deque" | "deque-racy" ->
+        Dsm_workload.Deque.setup env
+          {
+            Dsm_workload.Deque.default with
+            racy = name = "deque-racy";
+            think_mean = 1.0;
+            seed;
+          }
+    | "allreduce" | "allreduce-racy" ->
+        Dsm_workload.Allreduce.setup env ~collectives
+          {
+            Dsm_workload.Allreduce.default with
+            contributions = 1;
+            racy = name = "allreduce-racy";
+            think_mean = 1.0;
+            seed;
+          }
+    | "rmw-mix" ->
+        let arena =
+          Dsm_workload.Rmw_mix.setup env
+            {
+              Dsm_workload.Rmw_mix.default with
+              ops_per_proc = 3;
+              think_mean = 1.0;
+              seed;
+            }
+        in
+        (* the arena is updated only through NIC-visible puts and RMWs,
+           so at quiescence memory must agree with the oracle's serial
+           replay word for word *)
+        fun () ->
+          List.filter_map
+            (fun (r : Dsm_memory.Addr.region) ->
+              match
+                Linearize.expected linearize ~node:r.base.pid
+                  ~offset:r.base.offset
+              with
+              | None -> None
+              | Some want ->
+                  let got =
+                    (Dsm_memory.Node_memory.read
+                       (Machine.node machine r.base.pid)
+                       r).(0)
+                  in
+                  if got = want then None
+                  else
+                    Some
+                      ( "rmw-heap",
+                        Printf.sprintf
+                          "%d[%d] holds %d at quiescence, serial replay \
+                           gives %d"
+                          r.base.pid r.base.offset got want ))
+            arena
+    | _ -> invalid_arg (Printf.sprintf "Scenario: unknown workload %S" name)
+  in
+  { machine; detector = Some detector; coherence; linearize; monitor }
 
 let prepare ?(latency = Dsm_net.Latency.infiniband_like) ~spec ~n ~seed
     ~faults ~reliable ~bug () =
@@ -182,6 +306,7 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like) ~spec ~n ~seed
   in
   match String.index_opt spec ':' with
   | None when spec = "getput" -> plan ~min_procs:2 populate_getput
+  | None when spec = "rmwlost" -> plan ~min_procs:2 populate_rmwlost
   | None -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec)
   | Some colon -> (
       let kind = String.sub spec 0 colon in

@@ -7,6 +7,12 @@
       flags any put applied to P0's region A inside an open get window —
       impossible under Figure 3's semantics, reachable only when the
       [Skip_get_dst_lock] protocol bug is planted.
+    - ["rmwlost"] — the RMW counterpart: every process but 0 fetch_adds
+      one word of node 0 at the same instant. Under constant latency
+      the deliveries tie, and only the planted [Skip_rmw_write_mark]
+      bug lets a tied delivery slip between an RMW's read and its
+      deferred write — a lost update the linearizability oracle and the
+      scenario's sum monitor both flag.
     - ["prog:FILE.dsm"] — a mini-language program run instrumented under
       the detector, like [dsmcheck run].
     - ["workload:NAME"] — one of the [dsm_workload] programs (random,
@@ -21,6 +27,11 @@ type built = {
   machine : Dsm_rdma.Machine.t;
   detector : Dsm_core.Detector.t option;
   coherence : Dsm_rdma.Coherence.t;
+  linearize : Linearize.t;
+      (** the RMW serial-specification oracle, attached to every
+          scenario (inert when the run performs no RMWs); the explorer
+          reports its violations as the ["rmw-linearizability"]
+          invariant *)
   monitor : unit -> (string * string) list;
       (** scenario-specific invariant violations observed during the run,
           as [(invariant, detail)] pairs; call after the run *)
@@ -84,4 +95,6 @@ val build :
 (** Raises [Invalid_argument] on an unknown spec or an unparsable
     program. [seed] parameterizes workload generators (the engine owns
     its own seed); [reliable] enables the retry/ack transport; [bug]
-    plants [Skip_get_dst_lock]. *)
+    plants the protocol-defect family ([Skip_get_dst_lock] and
+    [Skip_rmw_write_mark] — each inert on scenarios that never exercise
+    the affected path). *)

@@ -26,6 +26,7 @@ type t = {
   retransmit : Metrics.counter;
   batch_flush : Metrics.counter;
   batch_parts : Metrics.histogram;
+  rmw : Metrics.counter;
   coherence_violation : Metrics.counter;
   detector_check : Metrics.counter;
   fast_path : Metrics.counter;
@@ -68,6 +69,7 @@ let create registry =
     retransmit = c "rdma.retransmit";
     batch_flush = c "rdma.batch_flush";
     batch_parts = h "rdma.batch_parts";
+    rmw = c "rdma.rmw";
     coherence_violation = c "coherence.violation";
     detector_check = c "detector.check";
     fast_path = c "detector.epoch_fast_path";
@@ -129,6 +131,7 @@ let sink t (ev : Probe.event) =
   | Batch_flush { parts; _ } ->
       Metrics.incr t.batch_flush;
       Metrics.observe t.batch_parts parts
+  | Rmw _ -> Metrics.incr t.rmw
   | Coherence_violation _ -> Metrics.incr t.coherence_violation
   | Detector_check { fast_path; _ } ->
       Metrics.incr t.detector_check;

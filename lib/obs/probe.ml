@@ -43,6 +43,14 @@ type event =
       parts : int;
       words : int;
     }
+  | Rmw of {
+      time : float;
+      node : int;
+      origin : int;
+      offset : int;
+      len : int;
+      kind : string; (* "fetch_add" | "cas" | "acc:<op>" *)
+    }
   | Coherence_violation of {
       time : float;
       node : int;
@@ -96,6 +104,7 @@ let name = function
   | Lock_released _ -> "rdma.lock_released"
   | Retransmit _ -> "rdma.retransmit"
   | Batch_flush _ -> "rdma.batch_flush"
+  | Rmw _ -> "rdma.rmw"
   | Coherence_violation _ -> "coherence.violation"
   | Detector_check _ -> "detector.check"
   | Race_signal _ -> "detector.race_signal"

@@ -72,6 +72,17 @@ type event =
     }
       (** batched coherence flushed [parts] coalesced ops ([kind]
           put/get) totalling [words] data words towards [node] *)
+  | Rmw of {
+      time : float;
+      node : int;
+      origin : int;
+      offset : int;
+      len : int;
+      kind : string;
+    }
+      (** a one-sided RMW ([kind] fetch_add/cas/acc:<op>) from [origin]
+          was applied at [node]'s NIC — the operation's linearization
+          point, emitted while the region lock is still held *)
   | Coherence_violation of {
       time : float;
       node : int;

@@ -183,6 +183,13 @@ let sink t (ev : Probe.event) =
         ~cat:"batch" ~ts:time
         ~args:
           (Printf.sprintf {|"node":%d,"parts":%d,"words":%d|} node parts words)
+  | Rmw { time; node; origin; offset; len; kind } ->
+      instant t ~pid:node
+        ~name:(Printf.sprintf "rmw %s" kind)
+        ~cat:"rmw" ~ts:time
+        ~args:
+          (Printf.sprintf {|"origin":%d,"offset":%d,"len":%d|} origin offset
+             len)
   | Coherence_violation { time; node; offset; origin } ->
       instant t ~pid:node ~name:"coherence violation" ~cat:"violation"
         ~ts:time

@@ -230,12 +230,46 @@ let alltoall t p ~values =
   barrier t p;
   received
 
-let reduce_onesided_sum (_ : t) p array =
-  let sum = ref 0 in
-  for i = 0 to Shared_array.length array - 1 do
-    sum := !sum + Shared_array.read array p i
+(* The §5.2 one-sided reduction, generalized to any accumulate operator.
+   The caller alone pulls the whole distributed array — no participation
+   from the owners — but instead of one get per element it stages each
+   owner's span with a single batched get (the owner's elements are
+   contiguous in its chunk under every layout, so each node costs one
+   request/data round trip) and folds locally with [Message.apply_acc].
+   Detection is per element, exactly as if each get were issued alone. *)
+let reduce_onesided t p ?(aop = Dsm_rdma.Message.Add) array =
+  if Shared_array.elem_words array <> 1 then
+    invalid_arg "Collectives.reduce_onesided: single-word elements only";
+  let len = Shared_array.length array in
+  let m = Env.machine t.env in
+  let pid = Machine.pid p in
+  let stage = Machine.alloc_private m ~pid ~name:"pgas.reduce1s" ~len () in
+  let next = ref 0 in
+  for owner = 0 to t.n - 1 do
+    let pairs =
+      List.map
+        (fun i ->
+          let dst =
+            Addr.region ~pid ~space:Addr.Private
+              ~offset:(stage.base.offset + !next) ~len:1
+          in
+          incr next;
+          (Shared_array.region_of array i, dst))
+        (Shared_array.my_indices array ~pid:owner)
+    in
+    if pairs <> [] then Env.get_batch t.env p ~pairs
   done;
-  !sum
+  let words = Node_memory.read (Machine.node m pid) stage in
+  Array.fold_left
+    (fun acc v ->
+      match acc with
+      | None -> Some v
+      | Some a -> Some (Dsm_rdma.Message.apply_acc aop a v))
+    None words
+  |> Option.get
+
+let reduce_onesided_sum t p array =
+  reduce_onesided t p ~aop:Dsm_rdma.Message.Add array
 
 let allreduce t p ~value =
   match reduce_gather t p ~root:0 ~value with

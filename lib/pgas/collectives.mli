@@ -42,13 +42,22 @@ val reduce_gather :
     the root's slot array, a barrier closes the gather phase, and the root
     folds locally. [Some sum] at the root, [None] elsewhere. *)
 
-val reduce_onesided_sum :
-  t -> Dsm_rdma.Machine.proc -> Shared_array.t -> int
+val reduce_onesided :
+  t -> Dsm_rdma.Machine.proc -> ?aop:Dsm_rdma.Message.acc_op ->
+  Shared_array.t -> int
 (** §5.2: the calling process alone folds a distributed array with
     one-sided gets — "a reduction without any participation of the other
-    processes". Any process may call it, at any time; whether that is
-    safe is exactly what the race detector decides (see the tests: unsynchronized
-    calls are flagged, post-barrier calls are clean). *)
+    processes" — generalized to any accumulate operator (default
+    {!Dsm_rdma.Message.Add}). Each owner's contiguous span is staged
+    with one batched get ({!Env.get_batch}), then folded locally.
+    Single-word elements only. Any process may call it, at any time;
+    whether that is safe is exactly what the race detector decides (see
+    the tests: unsynchronized calls are flagged, post-barrier calls are
+    clean). *)
+
+val reduce_onesided_sum :
+  t -> Dsm_rdma.Machine.proc -> Shared_array.t -> int
+(** [reduce_onesided ~aop:Add]. *)
 
 val allreduce : t -> Dsm_rdma.Machine.proc -> value:int -> int
 (** Sum reduction whose result reaches every process: a gather to node 0

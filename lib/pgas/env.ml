@@ -38,6 +38,21 @@ let fetch_add t p ~target ~delta =
   | Plain _ -> Machine.fetch_add p ~target ~delta ()
   | Checked d -> Detector.fetch_add d p ~target ~delta
 
+let cas t p ~target ~expected ~desired =
+  match t with
+  | Plain _ -> Machine.cas p ~target ~expected ~desired ()
+  | Checked d -> Detector.cas d p ~target ~expected ~desired
+
+(* An atomic read is a fetch_add of zero: it rides the NIC's RMW path,
+   so it synchronizes with other RMWs on the word instead of racing
+   with them — the acquire half of a release/acquire flag. *)
+let atomic_read t p ~target = fetch_add t p ~target ~delta:0
+
+let accumulate t p ~src ~dst ~aop =
+  match t with
+  | Plain _ -> Machine.accumulate p ~src ~dst ~aop ()
+  | Checked d -> Detector.accumulate d p ~src ~dst ~aop
+
 type lock_handle =
   | Plain_lock of Machine.token
   | Checked_lock of Detector.lock_handle

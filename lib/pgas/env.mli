@@ -48,6 +48,25 @@ val fetch_add :
 (** Atomic add: checked under a checked environment (see
     [Dsm_core.Detector.fetch_add]), raw NIC atomic otherwise. *)
 
+val cas :
+  t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global ->
+  expected:int -> desired:int -> bool
+(** Compare-and-swap; [true] iff the swap happened. Under a checked
+    environment a failed swap is a read-only RMW (read-marked, not
+    write-marked). *)
+
+val atomic_read :
+  t -> Dsm_rdma.Machine.proc -> target:Dsm_memory.Addr.global -> int
+(** [fetch_add ~delta:0]: reads the word through the NIC's RMW path, so
+    the read synchronizes with concurrent RMWs on the word (the acquire
+    half of a release/acquire flag) instead of racing with them. *)
+
+val accumulate :
+  t -> Dsm_rdma.Machine.proc -> src:Dsm_memory.Addr.region ->
+  dst:Dsm_memory.Addr.region -> aop:Dsm_rdma.Message.acc_op -> int array
+(** Generalized one-sided accumulate over a whole public span; returns
+    the span's prior contents (see [Dsm_rdma.Machine.accumulate]). *)
+
 type lock_handle
 
 val lock : t -> Dsm_rdma.Machine.proc -> Dsm_memory.Addr.region -> lock_handle

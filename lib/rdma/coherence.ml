@@ -49,12 +49,18 @@ let attach m =
         Array.iteri
           (fun i v -> check t ~time ~node ~offset:(offset + i) ~origin v)
           data
-    | Machine.Atomic_applied { time; node; offset; old_value; new_value; origin }
-      ->
+    | Machine.Atomic_applied
+        { time; node; offset; old_value; new_value; origin; _ } ->
         (* The atomic's read side must agree with the shadow; its write
            side updates it. *)
         check t ~time ~node ~offset ~origin old_value;
         record t ~node ~offset new_value
+    | Machine.Acc_applied { time; node; offset; old; result; origin; _ } ->
+        Array.iteri
+          (fun i v ->
+            check t ~time ~node ~offset:(offset + i) ~origin v;
+            record t ~node ~offset:(offset + i) result.(i))
+          old
     | Machine.Sent _ | Machine.Delivered _ -> ());
   t
 

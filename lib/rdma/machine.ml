@@ -22,8 +22,19 @@ type observation =
       time : float;
       node : int;
       offset : int;
+      kind : Message.atomic_kind;
       old_value : int;
       new_value : int;
+      origin : int;
+    }
+  | Acc_applied of {
+      time : float;
+      node : int;
+      offset : int;
+      aop : Message.acc_op;
+      old : int array;
+      data : int array;
+      result : int array;
       origin : int;
     }
 
@@ -62,7 +73,7 @@ type rel_state = {
   mutable retransmits : int;
 }
 
-type protocol_bug = Skip_get_dst_lock
+type protocol_bug = Skip_get_dst_lock | Skip_rmw_write_mark
 
 type t = {
   sim : Engine.t;
@@ -88,6 +99,15 @@ type t = {
 type proc = { m : t; p : int }
 
 (* ---------- construction ---------- *)
+
+(* [rdma.rmw] probe point: fires at the target NIC at the instant a
+   one-sided RMW (single-word atomic or span accumulate) is applied —
+   the operation's linearization point. *)
+let rmw_probe m ~node ~origin ~offset ~len ~kind =
+  let probe = Engine.probe m.sim in
+  if probe.on then
+    Dsm_obs.Probe.emit probe
+      (Rmw { time = Engine.now m.sim; node; origin; offset; len; kind })
 
 let rec handle m ~node ~src msg =
   notify m (Delivered { time = Engine.now m.sim; src; dst = node; msg });
@@ -159,24 +179,75 @@ let rec handle m ~node ~src msg =
   | Message.Atomic { op; origin; offset; kind; _ } ->
       Lock_table.acquire locks ~offset ~len:1 (fun id ->
           let old_value = Segment.read public ~offset in
-          (match kind with
-          | Message.Fetch_add delta ->
-              Segment.write public ~offset (old_value + delta)
-          | Message.Compare_and_swap { expected; desired } ->
-              if old_value = expected then Segment.write public ~offset desired);
+          let new_value = Message.apply_atomic kind old_value in
+          let apply () =
+            Segment.write public ~offset new_value;
+            notify m
+              (Atomic_applied
+                 {
+                   time = Engine.now m.sim;
+                   node;
+                   offset;
+                   kind;
+                   old_value;
+                   new_value;
+                   origin;
+                 });
+            rmw_probe m ~node ~origin ~offset ~len:1
+              ~kind:
+                (match kind with
+                | Message.Fetch_add _ -> "fetch_add"
+                | Message.Compare_and_swap _ -> "cas")
+          in
+          if List.mem Skip_rmw_write_mark m.bugs then begin
+            (* Planted §5.2 bug: the read half runs under the region lock
+               but the write half is applied only after releasing it, as a
+               delay-0 event that ties with concurrent deliveries. A put
+               or another RMW can land inside the window, so the value
+               written is stale — the lost update the linearizability
+               oracle must catch. *)
+            Lock_table.release locks id;
+            Engine.schedule m.sim ~delay:0.
+              ~label:(Label.v ~node ~origin) (fun () ->
+                apply ();
+                transmit m ~src:node ~dst:origin
+                  (Message.Atomic_reply { op; old_value }))
+          end
+          else begin
+            apply ();
+            Lock_table.release locks id;
+            transmit m ~src:node ~dst:origin
+              (Message.Atomic_reply { op; old_value })
+          end)
+  | Message.Accumulate { op; origin; offset; aop; data; extra_words } ->
+      (* The generalized one-sided RMW: the whole span is read, combined
+         element-wise and written back under a single region lock hold,
+         so it is atomic against puts, gets and other RMWs over any part
+         of the span. *)
+      let len = Array.length data in
+      Lock_table.acquire locks ~offset ~len (fun id ->
+          let old = Segment.read_block public ~offset ~len in
+          let result =
+            Array.init len (fun i -> Message.apply_acc aop old.(i) data.(i))
+          in
+          Segment.write_block public ~offset result;
           notify m
-            (Atomic_applied
+            (Acc_applied
                {
                  time = Engine.now m.sim;
                  node;
                  offset;
-                 old_value;
-                 new_value = Segment.read public ~offset;
+                 aop;
+                 old;
+                 data;
+                 result;
                  origin;
                });
+          rmw_probe m ~node ~origin ~offset ~len
+            ~kind:("acc:" ^ Message.acc_op_name aop);
           Lock_table.release locks id;
           transmit m ~src:node ~dst:origin
-            (Message.Atomic_reply { op; old_value }))
+            (Message.Acc_reply { op; old; extra_words }))
   | Message.Lock_request { op; origin; offset; len } ->
       Lock_table.acquire locks ~offset ~len (fun id ->
           Hashtbl.replace m.remote_locks (node, op) id;
@@ -209,6 +280,7 @@ let rec handle m ~node ~src msg =
       fill_pending m.pending_data op data m ~node
   | Message.Atomic_reply { op; old_value } ->
       fill_pending m.pending_atomic op old_value m ~node
+  | Message.Acc_reply { op; old; _ } -> fill_pending m.pending_data op old m ~node
   | Message.Lock_granted { op; token } ->
       fill_pending m.pending_lock op token m ~node
   | Message.Control_reply { op; words } ->
@@ -762,6 +834,29 @@ let cas p ~target ?(extra_words = 0) ~expected ~desired () =
       (Message.Compare_and_swap { expected; desired })
   in
   old = expected
+
+(* One-sided accumulate over a whole span: local operands from [src],
+   applied element-wise to the remote [dst] under one region lock at the
+   target. Returns the values the span held before the update. *)
+let accumulate p ~(src : Addr.region) ~(dst : Addr.region)
+    ?(aop = Message.Add) ?(extra_words = 0) () =
+  check_local p src "accumulate";
+  check_public dst "accumulate";
+  check_same_len src dst "accumulate";
+  let data = read_local p src in
+  if Array.length data = 0 then
+    invalid_arg "Machine.accumulate: empty region";
+  let op = fresh_op p.m in
+  p.m.ops <- p.m.ops + 1;
+  let iv = Ivar.create () in
+  Hashtbl.replace p.m.pending_data op iv;
+  op_begin p ~op ~kind:"atomic" ~target:dst.base.pid;
+  transmit p.m ~src:p.p ~dst:dst.base.pid
+    (Message.Accumulate
+       { op; origin = p.p; offset = dst.base.offset; aop; data; extra_words });
+  let old = Ivar.read p.m.sim iv in
+  op_end p ~op ~kind:"atomic";
+  old
 
 (* ---------- lock service ---------- *)
 

@@ -42,12 +42,18 @@ val reliability : ?timeout:float -> ?max_retries:int -> unit -> reliability
     [max_retries = 30]. Raises [Invalid_argument] on a non-positive
     timeout or retry budget. *)
 
-type protocol_bug = Skip_get_dst_lock
+type protocol_bug = Skip_get_dst_lock | Skip_rmw_write_mark
     (** Deliberately plantable protocol bugs, used by the schedule
         explorer's acceptance tests. [Skip_get_dst_lock] elides the
         Figure 3 destination-region lock during a {!get}'s round trip,
         so a concurrent put can land inside the get window — exactly the
-        atomicity violation §3.2 exists to prevent. *)
+        atomicity violation §3.2 exists to prevent.
+        [Skip_rmw_write_mark] breaks a single-word RMW in two: the read
+        half still runs under the target region lock, but the write half
+        is applied after releasing it, as a separate delay-0 event. A
+        concurrent put or RMW can land in between, so the write commits
+        a stale value — the lost update the linearizability oracle
+        ([Dsm_explore.Linearize]) must flag on some explored schedule. *)
 
 val create :
   Dsm_sim.Engine.t ->
@@ -212,6 +218,18 @@ val cas :
   desired:int -> unit -> bool
 (** Compare-and-swap; [true] iff the swap happened. *)
 
+val accumulate :
+  proc -> src:Dsm_memory.Addr.region -> dst:Dsm_memory.Addr.region ->
+  ?aop:Message.acc_op -> ?extra_words:int -> unit -> int array
+(** [accumulate p ~src ~dst ~aop ()] is the generalized one-sided RMW of
+    §5.2: the local operands in [src] are combined element-wise
+    ([aop] defaults to [Add]) into the remote public span [dst], the
+    whole span read-modified-written under a single region lock hold at
+    the target NIC. Returns the values the span held {e before} the
+    update, making the operation a span-wide fetch-and-op. Raises
+    [Invalid_argument] on length mismatch, an empty region, a non-local
+    [src] or a non-public [dst]. *)
+
 (** {1 Lock service and raw data path (detector building blocks)} *)
 
 type token
@@ -313,10 +331,28 @@ type observation =
       time : float;
       node : int;
       offset : int;
+      kind : Message.atomic_kind;
       old_value : int;
       new_value : int;
       origin : int;
     }
+      (** a single-word RMW committed at [node]'s NIC under the region
+          lock: [old_value] is what the cell held at the linearization
+          point, [new_value] what the RMW left behind (equal on a failed
+          compare-and-swap) *)
+  | Acc_applied of {
+      time : float;
+      node : int;
+      offset : int;
+      aop : Message.acc_op;
+      old : int array;
+      data : int array;
+      result : int array;
+      origin : int;
+    }
+      (** a span accumulate committed: element-wise
+          [result.(i) = apply_acc aop old.(i) data.(i)] under one region
+          lock hold over the whole span *)
 
 val add_observer : t -> (observation -> unit) -> unit
 (** Observers see every message send/delivery and every NIC memory

@@ -60,6 +60,19 @@ type t =
       extra_words : int;
     }
   | Atomic_reply of { op : int; old_value : int }
+  | Accumulate of {
+      op : int;
+      origin : int;
+      offset : int;
+      aop : acc_op;
+      data : int array;
+          (** element-wise operands for [pub[offset..+len)]; the whole
+              span is read-modified-written under one region lock hold *)
+      extra_words : int;
+    }
+  | Acc_reply of { op : int; old : int array; extra_words : int }
+      (** the values the span held {e before} the accumulate applied —
+          returned so one-sided RMWs are oracle-checkable *)
   | Lock_request of { op : int; origin : int; offset : int; len : int }
   | Lock_granted of { op : int; token : int }
   | Unlock of { token : int }
@@ -75,6 +88,24 @@ type t =
 and atomic_kind =
   | Fetch_add of int
   | Compare_and_swap of { expected : int; desired : int }
+
+and acc_op = Add | Min | Max | Band | Bor
+    (** generalized accumulate operators (§5.2 one-sided extensions) *)
+
+val acc_op_name : acc_op -> string
+(** ["add"], ["min"], ["max"], ["band"], ["bor"]. *)
+
+val acc_op_of_name : string -> acc_op option
+(** Inverse of {!acc_op_name}. *)
+
+val apply_acc : acc_op -> int -> int -> int
+(** [apply_acc aop old operand] is the serial meaning of one accumulate
+    word: the value the target cell holds afterwards. *)
+
+val apply_atomic : atomic_kind -> int -> int
+(** Serial meaning of a single-word RMW: the value the cell holds after
+    the operation ran against [old]. A failed compare-and-swap returns
+    [old] unchanged. *)
 
 val is_reply : t -> bool
 (** [true] for messages that answer a pending operation at their
@@ -93,3 +124,29 @@ val wire_words : t -> int
 
 val describe : t -> string
 (** One-line rendering for traces and debugging. *)
+
+(** {2 RMW wire codec}
+
+    The four RMW messages ([Atomic], [Atomic_reply], [Accumulate],
+    [Acc_reply]) have a flat word encoding and an exact textual form, so
+    they can be logged, replayed and fuzzed like the sparse-clock codec.
+    Both decoders are total: any malformed input yields [Error reason],
+    never an exception. *)
+
+val encode_rmw : t -> int array
+(** Flat word encoding of an RMW message. Raises [Invalid_argument] on
+    non-RMW messages. *)
+
+val decode_rmw : int array -> (t, string) result
+(** Inverse of {!encode_rmw}. Rejects empty buffers, unknown tags,
+    truncated or over-long frames, bad op selectors and negative framing
+    fields with a human-readable reason. *)
+
+val rmw_to_string : t -> string
+(** Exact textual form of an RMW message ([fa|...], [cas|...],
+    [acc|...], [far|...], [accr|...]). Raises [Invalid_argument] on
+    non-RMW messages. *)
+
+val rmw_of_string : string -> (t, string) result
+(** Inverse of {!rmw_to_string}: [rmw_of_string (rmw_to_string m) = Ok m]
+    exactly. *)

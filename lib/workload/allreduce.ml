@@ -1,0 +1,121 @@
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+module Message = Dsm_rdma.Message
+
+type params = {
+  contributions : int;
+  aop : Message.acc_op;
+  racy : bool;
+  think_mean : float;
+  seed : int;
+}
+
+let default =
+  { contributions = 2; aop = Message.Add; racy = false; think_mean = 0.0;
+    seed = 1 }
+
+(* A one-sided allreduce: every process puts its contributions into its
+   own block of a shared array, announces arrival with a fetch_add on a
+   counter word, polls the counter through the RMW path until everyone
+   arrived, and then runs the §5.2 one-sided reduction (batched gets +
+   local fold) itself. The arrival fetch_add releases the contributor's
+   puts into the counter's S clock, and the poll that observes the full
+   count acquires them, so the reduction's plain gets are ordered after
+   every put — a barrier built from one word and no coordinator.
+
+   [racy] has process 0 reduce FIRST and announce arrival last: its
+   plain gets of the other blocks are concurrent with their owners'
+   puts in every schedule (process 0 absorbs nothing before reducing —
+   contribution slots carry no S and their W clocks hold only their
+   owner's private history), so the racy granule set is exactly the
+   contribution slots of processes 1..n-1, independent of the
+   interleaving. The other processes still poll for the full count —
+   which includes process 0's late arrival — so their reductions stay
+   clean. *)
+let setup env ~collectives params =
+  if params.contributions < 1 then
+    invalid_arg "Allreduce.setup: degenerate parameters";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  if n < 2 then invalid_arg "Allreduce.setup: needs at least 2 processes";
+  let len = n * params.contributions in
+  let array =
+    Shared_array.create env ~name:"allreduce.contrib" ~len
+      ~layout:Shared_array.Block ()
+  in
+  let counter =
+    Machine.alloc_public m ~pid:0 ~name:"allreduce.count" ~len:1 ()
+  in
+  Env.register env counter;
+  let counter_g =
+    Dsm_memory.Addr.global ~pid:0 ~space:Dsm_memory.Addr.Public
+      ~offset:counter.base.offset
+  in
+  let g0 = Prng.create ~seed:params.seed in
+  let vals = Array.init len (fun _ -> 1 + Prng.int g0 50) in
+  let expected =
+    Array.fold_left
+      (fun acc v ->
+        match acc with
+        | None -> Some v
+        | Some a -> Some (Message.apply_acc params.aop a v))
+      None vals
+    |> Option.get
+  in
+  let results = Array.make n None in
+  for pid = 0 to n - 1 do
+    let g = Prng.create ~seed:(params.seed + (1000 * pid)) in
+    let think () =
+      if params.think_mean <= 0. then 0.
+      else Prng.exponential g ~mean:params.think_mean
+    in
+    let thinks = Array.init params.contributions (fun _ -> think ()) in
+    Machine.spawn m ~pid (fun p ->
+        List.iteri
+          (fun k i ->
+            if thinks.(k mod params.contributions) > 0. then
+              Machine.compute p thinks.(k mod params.contributions);
+            Shared_array.write array p i vals.(i))
+          (Shared_array.my_indices array ~pid);
+        let arrive () = ignore (Env.fetch_add env p ~target:counter_g ~delta:1)
+        in
+        let poll () =
+          while Env.atomic_read env p ~target:counter_g < n do
+            Machine.compute p 1.0
+          done
+        in
+        let reduce () =
+          results.(pid) <-
+            Some (Collectives.reduce_onesided collectives p ~aop:params.aop
+                    array)
+        in
+        if params.racy && pid = 0 then begin
+          reduce ();
+          arrive ()
+        end
+        else begin
+          arrive ();
+          poll ();
+          reduce ()
+        end)
+  done;
+  (* post-run functional check: every synchronized process computed the
+     reduction of all contributions (process 0's result is unspecified
+     in racy mode — that is the point of the race) *)
+  let check () =
+    let problems = ref [] in
+    for pid = 0 to n - 1 do
+      if not (params.racy && pid = 0) then
+        match results.(pid) with
+        | None ->
+            problems := Printf.sprintf "P%d never reduced" pid :: !problems
+        | Some r when r <> expected ->
+            problems :=
+              Printf.sprintf "P%d reduced to %d, expected %d" pid r expected
+              :: !problems
+        | Some _ -> ()
+    done;
+    List.rev_map (fun msg -> ("allreduce-result", msg)) !problems
+  in
+  check

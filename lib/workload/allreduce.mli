@@ -1,0 +1,33 @@
+(** One-sided allreduce: a fetch_add arrival counter as the barrier and
+    the §5.2 one-sided reduction (batched gets + local fold) as the
+    reduction, so no process ever participates in another's reduce.
+
+    Every process puts [contributions] seeded values into its own block
+    of a shared array, fetch_adds the counter (releasing its puts into
+    the counter's S clock), polls the counter through the RMW path until
+    it reads the full count (the acquire), then reduces with
+    {!Dsm_pgas.Collectives.reduce_onesided} under [aop].
+
+    With [racy] set, process 0 reduces before announcing arrival: its
+    gets race with the other processes' puts, making the racy granule
+    set exactly the contribution slots of processes 1..n-1 in every
+    schedule, while every other process's reduction stays clean. *)
+
+type params = {
+  contributions : int;  (** values each process contributes *)
+  aop : Dsm_rdma.Message.acc_op;  (** reduction operator *)
+  racy : bool;  (** process 0 reduces before the barrier *)
+  think_mean : float;
+  seed : int;
+}
+
+val default : params
+(** 2 contributions per process, sum, race-free, no think time. *)
+
+val setup :
+  Dsm_pgas.Env.t -> collectives:Dsm_pgas.Collectives.t -> params ->
+  unit -> (string * string) list
+(** Spawns one program per node; returns a post-run check that every
+    synchronized process computed the reduction of all contributions
+    (label ["allreduce-result"]). Raises [Invalid_argument] with fewer
+    than 2 processes. *)

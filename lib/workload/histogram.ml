@@ -1,0 +1,114 @@
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+module Message = Dsm_rdma.Message
+module Addr = Dsm_memory.Addr
+
+type params = {
+  bins_per_node : int;
+  updates_per_proc : int;
+  racy : bool;
+  think_mean : float;
+  seed : int;
+}
+
+let default =
+  { bins_per_node = 2; updates_per_proc = 3; racy = false; think_mean = 0.0;
+    seed = 1 }
+
+let aops = [| Message.Add; Message.Min; Message.Max; Message.Band; Message.Bor |]
+
+let bin (chunk : Addr.region) k =
+  Addr.global ~pid:chunk.base.pid ~space:Addr.Public
+    ~offset:(chunk.base.offset + k)
+
+(* A lock-free distributed histogram: every node hosts a chunk of bins
+   (one granule per bin) and every process hammers random bins with
+   fetch_adds plus whole-chunk accumulates (add/min/max/band/bor). All
+   updates ride the NIC's RMW path, so the run is race-free by
+   construction — RMWs on a granule serialize under the target's region
+   lock and synchronize through the granule's S clock.
+
+   [racy] plants the one deliberate defect: processes 0 and 1 each
+   blind-put a precomputed value into bin 0 of node 0 as their very
+   first action. Their clocks at that point hold only their own initial
+   ticks — neither process has absorbed anything yet — so the two puts
+   (and the RMWs landing on that bin) are concurrent in every schedule:
+   the racy granule set is exactly {node 0, bin 0} regardless of
+   interleaving, which is what the schedule-independence tests pin. *)
+let setup env params =
+  if params.bins_per_node < 1 || params.updates_per_proc < 0 then
+    invalid_arg "Histogram.setup: degenerate parameters";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  if params.racy && n < 2 then
+    invalid_arg "Histogram.setup: racy mode needs at least 2 processes";
+  let chunks =
+    Array.init n (fun node ->
+        let r =
+          Machine.alloc_public m ~pid:node
+            ~name:(Printf.sprintf "hist.bins%d" node)
+            ~len:params.bins_per_node ()
+        in
+        (* one shared datum per bin *)
+        for k = 0 to params.bins_per_node - 1 do
+          Env.register env
+            (Addr.region ~pid:node ~space:Addr.Public
+               ~offset:(r.base.offset + k) ~len:1)
+        done;
+        r)
+  in
+  for pid = 0 to n - 1 do
+    let g = Prng.create ~seed:(params.seed + (1000 * pid)) in
+    (* Pre-draw the whole update plan so program behaviour is a pure
+       function of the seed, independent of simulated timing. *)
+    let plan =
+      List.init params.updates_per_proc (fun _ ->
+          let node = Prng.int g n in
+          let think =
+            if params.think_mean <= 0. then 0.
+            else Prng.exponential g ~mean:params.think_mean
+          in
+          if Prng.bernoulli g ~p:0.3 then
+            let aop = aops.(Prng.int g (Array.length aops)) in
+            let operands =
+              Array.init params.bins_per_node (fun _ -> 1 + Prng.int g 7)
+            in
+            `Acc (node, aop, operands, think)
+          else
+            `Fa (node, Prng.int g params.bins_per_node, 1 + Prng.int g 5, think))
+    in
+    let blind_value = 1 + Prng.int g 100 in
+    Machine.spawn m ~pid (fun p ->
+        let src =
+          Machine.alloc_private m ~pid ~name:"hist.src"
+            ~len:params.bins_per_node ()
+        in
+        if params.racy && pid < 2 then begin
+          (* the planted race: an unsynchronized plain put into the hot
+             bin, issued before this process absorbs anything *)
+          Dsm_memory.Node_memory.write (Machine.node m pid)
+            (Addr.region ~pid ~space:Addr.Private ~offset:src.base.offset
+               ~len:1)
+            [| blind_value |];
+          Env.put env p
+            ~src:
+              (Addr.region ~pid ~space:Addr.Private ~offset:src.base.offset
+                 ~len:1)
+            ~dst:
+              (Addr.region ~pid:0 ~space:Addr.Public
+                 ~offset:chunks.(0).base.offset ~len:1)
+        end;
+        List.iter
+          (fun op ->
+            match op with
+            | `Fa (node, k, delta, think) ->
+                if think > 0. then Machine.compute p think;
+                ignore
+                  (Env.fetch_add env p ~target:(bin chunks.(node) k) ~delta)
+            | `Acc (node, aop, operands, think) ->
+                if think > 0. then Machine.compute p think;
+                Dsm_memory.Node_memory.write (Machine.node m pid) src operands;
+                ignore (Env.accumulate env p ~src ~dst:chunks.(node) ~aop))
+          plan)
+  done

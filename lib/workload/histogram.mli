@@ -1,0 +1,30 @@
+(** Lock-free distributed histogram over one-sided RMWs.
+
+    Every node hosts [bins_per_node] single-word bins; every process
+    updates random bins with {!Dsm_pgas.Env.fetch_add} and whole-chunk
+    {!Dsm_pgas.Env.accumulate} (add/min/max/band/bor). All updates ride
+    the NIC's RMW path, so the race-free variant really is race-free:
+    RMWs on a bin serialize under the target's region lock and
+    synchronize through the bin's S clock.
+
+    With [racy] set, processes 0 and 1 each blind-put a precomputed
+    value into node 0's bin 0 as their very first action; those puts are
+    concurrent with each other and with every RMW on that bin in every
+    schedule, so the racy granule set is exactly {node 0, bin 0}
+    independent of the interleaving. *)
+
+type params = {
+  bins_per_node : int;
+  updates_per_proc : int;
+  racy : bool;  (** plant the unsynchronized plain puts into bin 0 *)
+  think_mean : float;
+  seed : int;
+}
+
+val default : params
+(** 2 bins per node, 3 updates per process, race-free, no think time. *)
+
+val setup : Dsm_pgas.Env.t -> params -> unit
+(** Allocates the bins and spawns one updater per node; the caller runs
+    the machine. Raises [Invalid_argument] on degenerate parameters or
+    [racy] with fewer than 2 processes. *)

@@ -1,0 +1,96 @@
+open Dsm_sim
+open Dsm_pgas
+module Machine = Dsm_rdma.Machine
+module Addr = Dsm_memory.Addr
+
+type params = {
+  words_per_node : int;
+  ops_per_proc : int;
+  value_range : int;
+  think_mean : float;
+  seed : int;
+}
+
+let default =
+  { words_per_node = 2; ops_per_proc = 4; value_range = 3; think_mean = 0.0;
+    seed = 1 }
+
+(* Random put/get/fetch_add/cas programs over a small public arena — the
+   stress fixture for the RMW linearizability oracle. The arena is
+   updated only through NIC-visible operations (puts and RMWs; gets land
+   in private memory), so at quiescence every arena word must hold
+   exactly what the oracle's serial replay predicts, and every RMW's
+   return value must match the serial specification along the way.
+   Races between the random accesses are expected and irrelevant here:
+   the property under test is the atomicity of the RMW path itself. *)
+let setup env params =
+  if
+    params.words_per_node < 1 || params.ops_per_proc < 0
+    || params.value_range < 1
+  then invalid_arg "Rmw_mix.setup: degenerate parameters";
+  let m = Env.machine env in
+  let n = Machine.n m in
+  let arena =
+    Array.init n (fun node ->
+        let r =
+          Machine.alloc_public m ~pid:node
+            ~name:(Printf.sprintf "mix.arena%d" node)
+            ~len:params.words_per_node ()
+        in
+        for k = 0 to params.words_per_node - 1 do
+          Env.register env
+            (Addr.region ~pid:node ~space:Addr.Public
+               ~offset:(r.base.offset + k) ~len:1)
+        done;
+        r)
+  in
+  let word node k =
+    Addr.global ~pid:node ~space:Addr.Public
+      ~offset:(arena.(node).base.offset + k)
+  in
+  for pid = 0 to n - 1 do
+    let g = Prng.create ~seed:(params.seed + (1000 * pid)) in
+    let plan =
+      List.init params.ops_per_proc (fun _ ->
+          let node = Prng.int g n in
+          let k = Prng.int g params.words_per_node in
+          let think =
+            if params.think_mean <= 0. then 0.
+            else Prng.exponential g ~mean:params.think_mean
+          in
+          let op =
+            match Prng.int g 4 with
+            | 0 -> `Put (Prng.int g params.value_range)
+            | 1 -> `Get
+            | 2 -> `Fa (Prng.int g 5 - 2)
+            | _ ->
+                `Cas (Prng.int g params.value_range,
+                      Prng.int g params.value_range)
+          in
+          (node, k, op, think))
+    in
+    Machine.spawn m ~pid (fun p ->
+        let buf = Machine.alloc_private m ~pid ~name:"mix.buf" ~len:1 () in
+        List.iter
+          (fun (node, k, op, think) ->
+            if think > 0. then Machine.compute p think;
+            match op with
+            | `Put v ->
+                Dsm_memory.Node_memory.write (Machine.node m pid) buf [| v |];
+                Env.put env p ~src:buf
+                  ~dst:(Addr.region_of_global (word node k) ~len:1)
+            | `Get ->
+                Env.get env p
+                  ~src:(Addr.region_of_global (word node k) ~len:1)
+                  ~dst:buf
+            | `Fa delta ->
+                ignore (Env.fetch_add env p ~target:(word node k) ~delta)
+            | `Cas (expected, desired) ->
+                ignore (Env.cas env p ~target:(word node k) ~expected ~desired))
+          plan)
+  done;
+  (* the monitor's view: every public word the workload may update *)
+  List.concat
+    (List.init n (fun node ->
+         List.init params.words_per_node (fun k ->
+             Addr.region_of_global (word node k) ~len:1)))

@@ -1,0 +1,24 @@
+(** Random put/get/fetch_add/cas programs over a small public arena —
+    the stress fixture for the RMW linearizability oracle.
+
+    The arena is updated only through NIC-visible operations (puts and
+    RMWs; gets land privately), so at quiescence every arena word must
+    equal the oracle's serial replay and every RMW return value must
+    match the serial specification. The random accesses race on
+    purpose; the property under test is the atomicity of the RMW path,
+    not race freedom. *)
+
+type params = {
+  words_per_node : int;
+  ops_per_proc : int;
+  value_range : int;  (** puts and cas operands draw from [0, range) *)
+  think_mean : float;
+  seed : int;
+}
+
+val default : params
+
+val setup : Dsm_pgas.Env.t -> params -> Dsm_memory.Addr.region list
+(** Spawns one random program per node and returns the arena's words
+    (one region per public word the workload may update) for final-heap
+    validation against the oracle. *)

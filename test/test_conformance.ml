@@ -31,10 +31,12 @@ type fingerprint = {
 }
 
 (* One random run over [n] processes and [max 3 (n/2)] shared variables:
-   puts, gets, atomics and mutex-protected RMWs. Gets and atomics absorb
-   remote clocks, so at larger [n] accessor clocks accumulate many active
-   components and cross the sparse representation's dense-promotion
-   threshold — the regime Part 1 must also cover. *)
+   puts, gets, atomics (fetch_add / CAS), whole-variable accumulates and
+   mutex-protected RMWs. Gets and atomics absorb remote clocks, so at
+   larger [n] accessor clocks accumulate many active components and
+   cross the sparse representation's dense-promotion threshold — the
+   regime Part 1 must also cover, now including RMW S-clock traffic
+   across that boundary. *)
 let run_once ~clock_rep ~n ~seed ~ops () =
   let sim = Engine.create ~seed () in
   let latency =
@@ -66,7 +68,7 @@ let run_once ~clock_rep ~n ~seed ~ops () =
     let g = Prng.create ~seed:(seed + (97 * pid)) in
     let plan =
       List.init ops (fun _ ->
-          (Prng.int g 5, Prng.int g nvars, Prng.int g 4, Prng.float g 15.0))
+          (Prng.int g 6, Prng.int g nvars, Prng.int g 4, Prng.float g 15.0))
     in
     Machine.spawn m ~pid (fun p ->
         let buf = Machine.alloc_private m ~pid ~len:4 () in
@@ -85,6 +87,12 @@ let run_once ~clock_rep ~n ~seed ~ops () =
             | 3 ->
                 ignore
                   (Detector.cas d p ~target ~expected:0 ~desired:(pid + 1))
+            | 4 ->
+                (* multi-word RMW: accumulate over the whole variable *)
+                let aop =
+                  [| Dsm_rdma.Message.Add; Min; Max; Bor |].(word)
+                in
+                ignore (Detector.accumulate d p ~src:buf ~dst:var ~aop)
             | _ ->
                 let h = Detector.lock d p mutexes.(v) in
                 let cell =

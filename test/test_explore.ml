@@ -620,6 +620,34 @@ let dpor_specs =
       },
       10,
       false );
+    (* the RMW workloads: CAS/fetch_add/accumulate races must survive
+       sleep-set pruning — every pruned schedule keeps an explored
+       representative with the same race set *)
+    ( "workload:histogram-racy",
+      {
+        Explore.default_spec with
+        Explore.scenario = "workload:histogram-racy";
+        n = 4;
+      },
+      12,
+      false );
+    ( "workload:deque-racy",
+      {
+        Explore.default_spec with
+        Explore.scenario = "workload:deque-racy";
+        n = 3;
+      },
+      12,
+      false );
+    ( "workload:allreduce-racy",
+      {
+        Explore.default_spec with
+        Explore.scenario = "workload:allreduce-racy";
+        n = 3;
+        latency = Dsm_net.Latency.Constant 1.0;
+      },
+      8,
+      false );
   ]
 
 let test_dpor_prunes_and_preserves_findings () =

@@ -450,7 +450,7 @@ let test_observer_sees_messages () =
     | Machine.Sent _ -> incr sent
     | Machine.Delivered _ -> incr delivered
     | Machine.Write_applied _ | Machine.Read_served _
-    | Machine.Atomic_applied _ ->
+    | Machine.Atomic_applied _ | Machine.Acc_applied _ ->
         ());
   let dst = Machine.alloc_public m ~pid:1 ~len:1 () in
   Machine.spawn m ~pid:0 (fun p ->
