@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke rmw-smoke experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke rmw-smoke wire-smoke experiments examples clean outputs
 
 all: build
 
@@ -98,6 +98,19 @@ rmw-smoke:
 	dune exec bin/dsmcheck.exe -- explore workload:allreduce --runs 20 --expect-races false
 	dune exec bin/dsmcheck.exe -- explore workload:rmw-mix --runs 20
 	dune exec bin/dsmcheck.exe -- explore rmwlost -n 3 --latency constant:1 --depth 8
+
+# Delta-encoded clock piggybacks (ISSUE 8): the delta wire must survive
+# dup/drop/reorder fault plans under the reliable transport (retransmits
+# fall back to self-contained frames), findings must be identical across
+# --clock-wire settings, and the racy workload must still signal. A
+# smaller version also runs inside `dune runtest`.
+wire-smoke:
+	dune exec bin/dsmcheck.exe -- explore getput --runs 30 --clock-wire delta --faults drop=0.2,dup=0.1 --reliable
+	dune exec bin/dsmcheck.exe -- explore getput --runs 30 --clock-wire delta --faults reorder=0.5,dup=0.2,drop=0.2 --reliable
+	dune exec bin/dsmcheck.exe -- explore workload:master-worker-racy -n 3 --runs 20 --clock-wire delta --expect-races true
+	dune exec bin/dsmcheck.exe -- explore workload:master-worker-racy -n 3 --runs 20 --clock-wire dense --expect-races true
+	dune exec bin/dsmcheck.exe -- scale -n 64 --rounds 1 --chunk 2 --clock-wire delta
+	dune exec bin/dsmcheck.exe -- scale -n 64 --rounds 1 --chunk 2 --clock-wire dense
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

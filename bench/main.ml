@@ -827,6 +827,86 @@ let metrics_rows prefix reg =
           ] ))
       snap.Dsm_obs.Metrics.histograms
 
+(* ISSUE 8: clock words per op under each wire encoding, as a linear
+   regression over growing op budgets on a live machine — the slope is
+   the marginal wire cost of one checked put (setup traffic lands in
+   the intercept), and the fit's r² gates the row exactly like the
+   timed rows' OLS r² does. The workload is the delta-friendly regime:
+   a few active workers in a large machine, clocks enriched through a
+   shared lock, then disjoint puts. *)
+let clock_words_points ~smoke ~n ~wire =
+  let workers = if smoke then 2 else 4 in
+  let budgets = if smoke then [ 2; 4; 6 ] else [ 5; 10; 20; 40 ] in
+  List.map
+    (fun ops ->
+      let m = Harness.fresh_machine ~n () in
+      let d =
+        Dsm_core.Detector.create m
+          ~config:
+            { Dsm_core.Config.default with Dsm_core.Config.clock_wire = wire }
+          ()
+      in
+      let var =
+        Dsm_core.Detector.alloc_shared d ~pid:0 ~name:"x" ~len:(workers + 1)
+          ()
+      in
+      let shared = Dsm_core.Detector.alloc_shared d ~pid:0 ~name:"c" ~len:1 () in
+      let mu = Dsm_core.Detector.alloc_shared d ~pid:0 ~name:"mu" ~len:1 () in
+      for pid = 1 to workers do
+        Dsm_rdma.Machine.spawn m ~pid (fun p ->
+            let buf = Dsm_rdma.Machine.alloc_private m ~pid ~len:1 () in
+            let scratch = Dsm_rdma.Machine.alloc_private m ~pid ~len:1 () in
+            let h = Dsm_core.Detector.lock d p mu in
+            Dsm_core.Detector.get d p ~src:shared ~dst:scratch;
+            Dsm_core.Detector.put d p ~src:scratch ~dst:shared;
+            Dsm_core.Detector.unlock d p h;
+            let dst =
+              Dsm_memory.Addr.region ~pid:0 ~space:Dsm_memory.Addr.Public
+                ~offset:(var.Dsm_memory.Addr.base.Dsm_memory.Addr.offset + pid)
+                ~len:1
+            in
+            for _ = 1 to ops do
+              Dsm_rdma.Machine.compute p 1.0;
+              Dsm_core.Detector.put d p ~src:buf ~dst
+            done)
+      done;
+      Harness.run_to_completion m;
+      ( float_of_int (workers * ops),
+        float_of_int (Dsm_rdma.Machine.clock_words_sent m) ))
+    budgets
+
+(* Least-squares slope and r² of y against x. *)
+let fit_slope_r2 pts =
+  let n = float_of_int (List.length pts) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let syy = List.fold_left (fun a (_, y) -> a +. (y *. y)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let cov = (n *. sxy) -. (sx *. sy) in
+  let varx = (n *. sxx) -. (sx *. sx) in
+  let vary = (n *. syy) -. (sy *. sy) in
+  let slope = cov /. varx in
+  let r2 = if vary = 0.0 then 1.0 else cov *. cov /. (varx *. vary) in
+  (slope, r2)
+
+let clock_wire_rows ~smoke () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun (wname, wire) ->
+          let slope, r2 =
+            fit_slope_r2 (clock_words_points ~smoke ~n ~wire)
+          in
+          ( Printf.sprintf "clock_words_per_op_n%d_%s" n wname,
+            [ ("words_per_op", num (Some slope)); ("r2", num (Some r2)) ] ))
+        [
+          ("delta", Dsm_core.Config.Delta_wire);
+          ("sparse", Dsm_core.Config.Sparse_wire);
+          ("dense", Dsm_core.Config.Dense_wire);
+        ])
+    [ 64; 256; 1024 ]
+
 let detector_extra_rows ~smoke () =
   let guard_ns, sites_per_op, op_ns, pct = probe_overhead ~smoke () in
   probe_overhead_pct := Some pct;
@@ -849,7 +929,7 @@ let detector_extra_rows ~smoke () =
       ("op_ns", num (Some op_ns));
       ("overhead_pct", num (Some pct));
     ] )
-  :: metrics_rows "detector_metrics" reg
+  :: (clock_wire_rows ~smoke () @ metrics_rows "detector_metrics" reg)
 
 let probe_overhead_gate ~smoke () =
   if not smoke then

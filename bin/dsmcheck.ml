@@ -336,7 +336,17 @@ let rep_name = function
   | Config.Dense_vector -> "dense"
   | Config.Sparse_vector -> "sparse"
 
-let run_scale n rounds chunk racy batched rep shards seed detect verbose =
+let wire_conv =
+  let parse = function
+    | "dense" -> Ok Config.Dense_wire
+    | "sparse" -> Ok Config.Sparse_wire
+    | "delta" -> Ok Config.Delta_wire
+    | s -> Error (`Msg (Printf.sprintf "unknown clock wire encoding %S" s))
+  in
+  let print ppf w = Format.pp_print_string ppf (Config.clock_wire_name w) in
+  Arg.conv (parse, print)
+
+let run_scale n rounds chunk racy batched rep shards wire seed detect verbose =
   setup_logs verbose;
   if n < 2 then `Error (false, "need at least 2 processes")
   else if racy && n < 3 then
@@ -353,6 +363,7 @@ let run_scale n rounds chunk racy batched rep shards seed detect verbose =
       {
         Config.default with
         Config.clock_rep = rep;
+        clock_wire = wire;
         store_shards = shards;
         granularity = Config.Word;
       }
@@ -389,8 +400,13 @@ let run_scale n rounds chunk racy batched rep shards seed detect verbose =
         Format.printf "race signals   : %d@." (Report.count (Detector.report d));
         Format.printf "clock storage  : %d words, %d compact clock(s)@."
           (Detector.storage_words d) (Detector.epoch_clocks d);
-        Format.printf "clock traffic  : %d piggybacked words@."
-          (Detector.clock_words_shipped d));
+        let dense, sparse, delta = Machine.clock_encodings machine in
+        Format.printf
+          "clock traffic  : %d piggybacked words (%s wire: %d dense, %d \
+           sparse, %d delta)@."
+          (Detector.clock_words_shipped d)
+          (Config.clock_wire_name wire)
+          dense sparse delta);
     `Ok ()
   end
 
@@ -435,6 +451,16 @@ let scale_cmd =
       value & opt int 8
       & info [ "shards" ] ~doc:"Clock-store shards (power of two).")
   in
+  let wire =
+    Arg.(
+      value
+      & opt wire_conv Config.Delta_wire
+      & info [ "clock-wire" ] ~docv:"ENC"
+          ~doc:
+            "Clock piggyback wire encoding: dense, sparse, or delta. \
+             Accounting-only — the schedule is identical for every \
+             choice; only the reported clock traffic changes.")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Engine seed.") in
   let detect =
     Arg.(
@@ -448,7 +474,7 @@ let scale_cmd =
     Term.(
       ret
         (const run_scale $ n $ rounds $ chunk $ racy $ batched $ rep
-       $ shards $ seed $ detect $ verbose))
+       $ shards $ wire $ seed $ detect $ verbose))
 
 (* ---------- run (mini-language programs) ---------- *)
 
@@ -641,8 +667,8 @@ let replay_with_diagram token =
   | Error _ as e -> e
   | Ok r -> Ok (r, List.rev !arrows, List.rev !marks)
 
-let run_explore scenario n seed runs depth jobs chunk dpor latency faults
-    reliable bug max_events replay no_minimize metrics expect_races
+let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
+    faults reliable bug max_events replay no_minimize metrics expect_races
     trace_out_violation verbose =
   setup_logs verbose;
   if chunk < 1 then
@@ -696,6 +722,7 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency faults
           n;
           seed;
           latency;
+          clock_wire;
           faults;
           reliable;
           bug;
@@ -919,6 +946,17 @@ let explore_cmd =
              break trace equivalence) and the search then runs \
              unpruned.")
   in
+  let clock_wire =
+    Arg.(
+      value
+      & opt wire_conv Config.Delta_wire
+      & info [ "clock-wire" ] ~docv:"ENC"
+          ~doc:
+            "Clock piggyback wire encoding for scenarios that attach the \
+             detector: dense, sparse, or delta. Accounting-only — \
+             schedules, fingerprints and repro tokens are bit-identical \
+             for every choice.")
+  in
   let faults =
     Arg.(
       value
@@ -995,8 +1033,8 @@ let explore_cmd =
     Term.(
       ret
         (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
-       $ chunk $ dpor $ latency $ faults $ reliable $ bug $ max_events
-       $ replay $ no_minimize $ metrics $ expect_races
+       $ chunk $ dpor $ latency $ clock_wire $ faults $ reliable $ bug
+       $ max_events $ replay $ no_minimize $ metrics $ expect_races
        $ trace_out_violation $ verbose))
 
 (* ---------- scenario ---------- *)

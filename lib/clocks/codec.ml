@@ -98,6 +98,10 @@ let varint_read b pos =
   let len = Bytes.length b in
   let rec go pos shift acc =
     if pos >= len then invalid_arg "Codec.decode_vector_varint: truncated";
+    (* OCaml ints are 63-bit: a continuation chain past 9 groups would
+       shift into (or past) the sign bit and decode a different number
+       than was encoded. *)
+    if shift >= 63 then invalid_arg "Codec.decode_vector_varint: overlong varint";
     let c = Char.code (Bytes.get b pos) in
     let acc = acc lor ((c land 0x7f) lsl shift) in
     if c land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
@@ -112,7 +116,13 @@ let encode_vector_varint v =
 
 let decode_vector_varint b =
   let n, pos = varint_read b 0 in
+  (* Each entry needs at least one byte, so a dimension header larger
+     than the remaining buffer is malformed — reject it before the
+     [Array.make] rather than letting an attacker-sized header allocate
+     gigabytes and then fail on the first truncated entry. *)
   if n <= 0 then invalid_arg "Codec.decode_vector_varint: bad dimension";
+  if n > Bytes.length b - pos then
+    invalid_arg "Codec.decode_vector_varint: truncated";
   let a = Array.make n 0 in
   let pos = ref pos in
   for i = 0 to n - 1 do
@@ -160,3 +170,82 @@ let decode_vector_delta ~base w =
     a.(i) <- x
   done;
   Vector_clock.of_array a
+
+(* ---------- self-framed piggyback ---------- *)
+
+(* [tag; seq; payload...] where tag selects the payload codec (0 dense,
+   1 sparse, 2 delta-since-last-on-this-edge) and seq is the per-edge
+   message number the sender's cache was at. Dense and sparse payloads
+   are self-contained, so any seq decodes; a delta payload is only
+   meaningful against the receiver's mirror of the sender's per-edge
+   cache, so the decoder insists the seq is exactly the one it expects
+   and rejects anything else — the directed defence against FIFO-bypass
+   reordering. *)
+
+type piggyback_mode = Dense | Sparse | Delta
+
+let frame ~tag ~seq payload =
+  let n = Array.length payload in
+  let w = Array.make (n + 2) 0 in
+  w.(0) <- tag;
+  w.(1) <- seq;
+  Array.blit payload 0 w 2 n;
+  w
+
+let encode_piggyback ~mode ~seq ?since v =
+  if seq < 0 then invalid_arg "Codec.encode_piggyback: negative seq";
+  match mode with
+  | Dense -> frame ~tag:0 ~seq (encode_vector v)
+  | Sparse -> frame ~tag:1 ~seq (encode_vector_sparse v)
+  | Delta ->
+      (* adaptive: smallest of the three candidate payloads, delta only
+         when the sender has a cache to diff against *)
+      let dense = encode_vector v in
+      let sparse = encode_vector_sparse v in
+      let delta =
+        match since with
+        | Some s when Vector_clock.dim s = Vector_clock.dim v ->
+            Some (encode_vector_delta ~since:s v)
+        | _ -> None
+      in
+      let self_contained =
+        if Array.length sparse <= Array.length dense then
+          frame ~tag:1 ~seq sparse
+        else frame ~tag:0 ~seq dense
+      in
+      (match delta with
+      | Some d when Array.length d + 2 < Array.length self_contained ->
+          frame ~tag:2 ~seq d
+      | _ -> self_contained)
+
+let piggyback_mode_of w =
+  if Array.length w < 2 then
+    invalid_arg "Codec.decode_piggyback: truncated frame";
+  match w.(0) with
+  | 0 -> Dense
+  | 1 -> Sparse
+  | 2 -> Delta
+  | _ -> invalid_arg "Codec.decode_piggyback: unknown tag"
+
+let piggyback_seq w =
+  if Array.length w < 2 then
+    invalid_arg "Codec.decode_piggyback: truncated frame";
+  w.(1)
+
+let decode_piggyback ~expect_seq ?base w =
+  let mode = piggyback_mode_of w in
+  let seq = w.(1) in
+  if seq < 0 then invalid_arg "Codec.decode_piggyback: negative seq";
+  let payload = Array.sub w 2 (Array.length w - 2) in
+  let v =
+    match mode with
+    | Dense -> decode_vector payload
+    | Sparse -> decode_vector_sparse payload
+    | Delta -> (
+        if seq <> expect_seq then
+          invalid_arg "Codec.decode_piggyback: out-of-sequence delta";
+        match base with
+        | None -> invalid_arg "Codec.decode_piggyback: delta without base"
+        | Some b -> decode_vector_delta ~base:b payload)
+  in
+  (v, seq)

@@ -70,4 +70,50 @@ val encode_vector_varint : Vector_clock.t -> bytes
 (** Varint dimension header followed by varint entries. *)
 
 val decode_vector_varint : bytes -> Vector_clock.t
-(** Raises [Invalid_argument] on malformed or truncated input. *)
+(** Raises [Invalid_argument] on malformed or truncated input, including
+    overlong (> 63-bit) varint chains and dimension headers larger than
+    the remaining buffer could possibly encode. *)
+
+(** {1 Self-framed piggyback}
+
+    The wire form the live transport attaches to clock-carrying
+    messages: [tag; seq; payload...]. The tag records which payload
+    codec was chosen (0 dense, 1 sparse, 2 delta) and [seq] is the
+    per-edge message number the sender's cache was at when it encoded.
+    Dense and sparse payloads are self-contained; a delta payload is
+    relative to the last clock shipped on the same (src, dst) edge, so
+    the decoder demands the expected sequence number and a base clock,
+    and raises [Invalid_argument] otherwise — out-of-order delivery of
+    a delta is detected, never silently mis-applied. *)
+
+type piggyback_mode = Dense | Sparse | Delta
+(** [Dense] and [Sparse] force that payload on every message (the
+    paper's fixed encodings as instances); [Delta] is adaptive — the
+    smallest of the three candidate payloads per message, falling back
+    to a self-contained form when no cache entry exists yet. *)
+
+val encode_piggyback :
+  mode:piggyback_mode ->
+  seq:int ->
+  ?since:Vector_clock.t ->
+  Vector_clock.t ->
+  wire
+(** [encode_piggyback ~mode ~seq ?since v] frames [v] for the wire.
+    [since] is the sender's per-edge cache (the last clock shipped on
+    this channel); it is only consulted under [Delta]. Raises
+    [Invalid_argument] on a negative [seq]. *)
+
+val decode_piggyback :
+  expect_seq:int -> ?base:Vector_clock.t -> wire -> Vector_clock.t * int
+(** [decode_piggyback ~expect_seq ?base w] recovers the clock and the
+    frame's sequence number. Self-contained frames (dense, sparse)
+    decode at any [seq]; a delta frame requires [seq = expect_seq] and
+    [base] to be the receiver's mirror of the sender's cache, and
+    raises [Invalid_argument] otherwise. *)
+
+val piggyback_mode_of : wire -> piggyback_mode
+(** The tag of a framed piggyback; raises [Invalid_argument] on a
+    truncated frame or unknown tag. *)
+
+val piggyback_seq : wire -> int
+(** The sequence number of a framed piggyback. *)

@@ -52,6 +52,21 @@ type clock_rep =
           conformance suite holds all three representations to identical
           verdicts *)
 
+type clock_wire =
+  | Dense_wire
+      (** every piggyback ships the full dense vector — the paper's
+          linear-in-[n] cost model taken literally on the wire *)
+  | Sparse_wire
+      (** every piggyback ships the sparse [(pid, tick)] pair form:
+          O(active writers) per message, self-contained *)
+  | Delta_wire
+      (** adaptive per-edge differential encoding (the default): each
+          clock-carrying message ships only the components changed since
+          the last message on the same (src, dst) channel, or the
+          smallest self-contained form when that is shorter or no cache
+          entry exists yet. Wire-only — race verdicts, schedules and
+          replay tokens are bit-identical across all three settings *)
+
 type t = {
   use_write_clock : bool;
       (** §4.4: keep a separate write clock [W]; reads are checked against
@@ -62,6 +77,11 @@ type t = {
   clock_rep : clock_rep;
       (** representation of every clock the detector owns (process,
           per-datum, per-lock, scratch); see {!clock_rep} *)
+  clock_wire : clock_wire;
+      (** wire encoding of the clocks piggybacked on data messages under
+          the [Inline] and [Piggyback_txn] transports; see {!clock_wire}.
+          Accounting-only: the fabric's timing model still charges the
+          nominal [dim + 1] words, so schedules are unchanged *)
   store_shards : int;
       (** number of address-range shards each node's [Clock_store] hashes
           its granules across (power of two; default 8). Sharding bounds
@@ -97,6 +117,8 @@ val name : t -> string
 val transport_name : transport -> string
 
 val granularity_name : granularity -> string
+
+val clock_wire_name : clock_wire -> string
 
 val validate : t -> t
 (** Checks internal consistency (e.g. positive block size); returns the

@@ -164,6 +164,21 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
     }
   in
   install_control_plane t;
+  (* Inline/piggyback transports ship the accessor's clock on the data
+     messages themselves: install the machine's clock source so every
+     clock-carrying message carries a real piggyback, encoded per
+     [clock_wire]. Accounting-only — the fabric still prices the nominal
+     [extra_words] allowance (see [Machine.set_clock_source]). *)
+  (match config.Config.transport with
+  | Config.Inline | Config.Piggyback_txn ->
+      let mode =
+        match config.Config.clock_wire with
+        | Config.Dense_wire -> Codec.Dense
+        | Config.Sparse_wire -> Codec.Sparse
+        | Config.Delta_wire -> Codec.Delta
+      in
+      Machine.set_clock_source machine ~mode (fun ~pid -> t.procs.(pid))
+  | Config.Explicit_txn -> ());
   t
 
 let machine t = t.machine
@@ -780,7 +795,15 @@ let checked_ops t = t.checked_ops
 
 let meta_messages t = t.meta_messages
 
-let clock_words_shipped t = t.clock_words_shipped
+(* Under the piggyback transports the true cost is what the machine's
+   encoder actually shipped (delta/sparse/dense per [clock_wire]); the
+   [count_shipped] field keeps the nominal dense allowance for the
+   latency model's books. Explicit transport still counts its control
+   payload words directly. *)
+let clock_words_shipped t =
+  match t.config.Config.transport with
+  | Config.Inline | Config.Piggyback_txn -> Machine.clock_words_sent t.machine
+  | Config.Explicit_txn -> t.clock_words_shipped
 
 let storage_words t =
   Array.fold_left (fun acc s -> acc + Clock_store.storage_words s) 0 t.stores

@@ -172,7 +172,11 @@ val meta_messages : t -> int
 (** Clock-plane control messages issued (explicit transport). *)
 
 val clock_words_shipped : t -> int
-(** Clock words that travelled on the wire (piggybacked or explicit). *)
+(** Clock words that travelled on the wire. Under the piggyback
+    transports this is the {e true} encoded size per
+    {!Config.clock_wire} (delta/sparse/dense, read from the machine's
+    fabric counters); under the explicit transport it is the control
+    payload words. *)
 
 val storage_words : t -> int
 (** Clock storage held across all nodes and processes: the §5.1 memory

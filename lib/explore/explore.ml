@@ -11,6 +11,7 @@ type spec = {
   n : int;
   seed : int;
   latency : Dsm_net.Latency.t;
+  clock_wire : Dsm_core.Config.clock_wire;
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -23,6 +24,7 @@ let default_spec =
     n = 2;
     seed = 1;
     latency = Dsm_net.Latency.infiniband_like;
+    clock_wire = Dsm_core.Config.default.Dsm_core.Config.clock_wire;
     faults = Dsm_net.Fault.none;
     reliable = false;
     bug = false;
@@ -88,9 +90,9 @@ type ctx = {
 
 let create_ctx ?metrics spec =
   let plan =
-    Scenario.prepare ~latency:spec.latency ~spec:spec.scenario ~n:spec.n
-      ~seed:spec.seed ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug
-      ()
+    Scenario.prepare ~latency:spec.latency ~clock_wire:spec.clock_wire
+      ~spec:spec.scenario ~n:spec.n ~seed:spec.seed ~faults:spec.faults
+      ~reliable:spec.reliable ~bug:spec.bug ()
   in
   let sim = Engine.create ~seed:spec.seed () in
   (* Telemetry is strictly read-only with respect to the simulation —
@@ -516,6 +518,7 @@ let token_of spec decisions =
     n = spec.n;
     seed = spec.seed;
     latency = spec.latency;
+    clock_wire = spec.clock_wire;
     faults = spec.faults;
     reliable = spec.reliable;
     bug = spec.bug;
@@ -529,6 +532,7 @@ let spec_of_token (t : Token.t) =
     n = t.n;
     seed = t.seed;
     latency = t.latency;
+    clock_wire = t.clock_wire;
     faults = t.faults;
     reliable = t.reliable;
     bug = t.bug;

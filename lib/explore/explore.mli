@@ -32,6 +32,11 @@ type spec = {
       (** fabric latency model; [Constant] makes deliveries tie, turning
           the scheduling tree from near-linear into genuinely branching —
           the regime the DPOR layer is for *)
+  clock_wire : Dsm_core.Config.clock_wire;
+      (** the detector's clock piggyback encoding (scenarios that attach
+          a detector). Accounting-only: schedules, fingerprints and race
+          verdicts are bit-identical across settings — the differential
+          suite holds the explorer to exactly that *)
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;

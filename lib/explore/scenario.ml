@@ -161,18 +161,25 @@ let compile_prog path =
       | Error msg -> invalid_arg (Printf.sprintf "Scenario %s: %s" path msg)
       | Ok ir -> ir)
 
-let populate_prog ir machine =
+let detector_config ~clock_wire =
+  { Config.default with Config.clock_wire }
+
+let populate_prog ~clock_wire ir machine =
   let coherence = Coherence.attach machine in
   let linearize = Linearize.attach machine in
-  let detector = Detector.create machine () in
+  let detector =
+    Detector.create machine ~config:(detector_config ~clock_wire) ()
+  in
   let (_ : Dsm_lang.Exec.runtime) = Dsm_lang.Exec.setup machine ~detector ir in
   { machine; detector = Some detector; coherence; linearize;
     monitor = no_monitor }
 
-let populate_workload ~name ~seed machine =
+let populate_workload ~name ~seed ~clock_wire machine =
   let coherence = Coherence.attach machine in
   let linearize = Linearize.attach machine in
-  let detector = Detector.create machine () in
+  let detector =
+    Detector.create machine ~config:(detector_config ~clock_wire) ()
+  in
   let env = Env.checked detector in
   let collectives = Collectives.create env in
   let monitor =
@@ -289,8 +296,9 @@ let populate_workload ~name ~seed machine =
   in
   { machine; detector = Some detector; coherence; linearize; monitor }
 
-let prepare ?(latency = Dsm_net.Latency.infiniband_like) ~spec ~n ~seed
-    ~faults ~reliable ~bug () =
+let prepare ?(latency = Dsm_net.Latency.infiniband_like)
+    ?(clock_wire = Config.default.Config.clock_wire) ~spec ~n ~seed ~faults
+    ~reliable ~bug () =
   let plan ~min_procs populate =
     if n < min_procs then
       invalid_arg
@@ -314,7 +322,7 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like) ~spec ~n ~seed
       match kind with
       | "prog" ->
           let ir = compile_prog arg in
-          plan ~min_procs:1 (populate_prog ir)
+          plan ~min_procs:1 (populate_prog ~clock_wire ir)
       | "workload" ->
           if not (List.mem ("workload:" ^ arg) known) then
             invalid_arg (Printf.sprintf "Scenario: unknown workload %S" arg);
@@ -322,7 +330,7 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like) ~spec ~n ~seed
             (* racy scale mode needs distinct ring neighbours *)
             match arg with "scale" | "scale-batched" -> 3 | _ -> 2
           in
-          plan ~min_procs (populate_workload ~name:arg ~seed)
+          plan ~min_procs (populate_workload ~name:arg ~seed ~clock_wire)
       | _ -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec))
 
 let procs plan = plan.procs
@@ -333,5 +341,7 @@ let repopulate plan machine =
   Machine.reset machine;
   plan.populate machine
 
-let build ?latency sim ~spec ~n ~seed ~faults ~reliable ~bug =
-  instantiate (prepare ?latency ~spec ~n ~seed ~faults ~reliable ~bug ()) sim
+let build ?latency ?clock_wire sim ~spec ~n ~seed ~faults ~reliable ~bug =
+  instantiate
+    (prepare ?latency ?clock_wire ~spec ~n ~seed ~faults ~reliable ~bug ())
+    sim

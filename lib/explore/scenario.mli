@@ -48,6 +48,7 @@ type plan
 
 val prepare :
   ?latency:Dsm_net.Latency.t ->
+  ?clock_wire:Dsm_core.Config.clock_wire ->
   spec:string ->
   n:int ->
   seed:int ->
@@ -59,8 +60,12 @@ val prepare :
 (** [latency] (default [Dsm_net.Latency.infiniband_like]) picks the
     fabric's latency model — [Constant] makes message deliveries tie
     and blows the scheduling tree wide open, which is exactly what the
-    DPOR experiments want. Raises [Invalid_argument] on an unknown
-    spec, an unparsable program,
+    DPOR experiments want. [clock_wire] (default
+    [Dsm_core.Config.default.clock_wire], i.e. [Delta_wire]) picks the
+    detector's clock piggyback encoding for scenarios that attach a
+    detector; it is accounting-only, so schedules, fingerprints and race
+    verdicts are identical across settings. Raises [Invalid_argument] on
+    an unknown spec, an unparsable program,
     or a process count below the scenario's minimum ([getput] and the
     workloads need at least 2; programs at least 1) — the validation that
     lets [dsmcheck explore --replay] reject a token whose declared
@@ -84,6 +89,7 @@ val repopulate : plan -> Dsm_rdma.Machine.t -> built
 
 val build :
   ?latency:Dsm_net.Latency.t ->
+  ?clock_wire:Dsm_core.Config.clock_wire ->
   Dsm_sim.Engine.t ->
   spec:string ->
   n:int ->

@@ -3,6 +3,7 @@ type t = {
   n : int;
   seed : int;
   latency : Dsm_net.Latency.t;
+  clock_wire : Dsm_core.Config.clock_wire;
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -27,8 +28,16 @@ let to_string t =
     if t.latency = Dsm_net.Latency.infiniband_like then ""
     else Printf.sprintf "|l=%s" (Dsm_net.Latency.to_string t.latency)
   in
-  Printf.sprintf "%s|s=%s|n=%d|seed=%d%s|f=%s|r=%d|b=%d|me=%d|d=%s" magic
-    t.scenario t.n t.seed l
+  (* likewise the wire encoding: omitted at the default so pre-knob
+     tokens keep printing (and parsing) unchanged *)
+  let w =
+    if t.clock_wire = Dsm_core.Config.default.Dsm_core.Config.clock_wire then
+      ""
+    else
+      Printf.sprintf "|w=%s" (Dsm_core.Config.clock_wire_name t.clock_wire)
+  in
+  Printf.sprintf "%s|s=%s|n=%d|seed=%d%s%s|f=%s|r=%d|b=%d|me=%d|d=%s" magic
+    t.scenario t.n t.seed l w
     (Dsm_net.Fault.to_string t.faults)
     (if t.reliable then 1 else 0)
     (if t.bug then 1 else 0)
@@ -68,6 +77,20 @@ let of_string s =
             | "l" ->
                 let* latency = Dsm_net.Latency.of_string v in
                 Ok { t with latency }
+            | "w" ->
+                let* clock_wire =
+                  match v with
+                  | "dense" -> Ok Dsm_core.Config.Dense_wire
+                  | "sparse" -> Ok Dsm_core.Config.Sparse_wire
+                  | "delta" -> Ok Dsm_core.Config.Delta_wire
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "replay token: w must be dense, sparse or delta, \
+                            got %s"
+                           v)
+                in
+                Ok { t with clock_wire }
             | "f" -> (
                 match Dsm_net.Fault.of_string v with
                 | faults -> Ok { t with faults }
@@ -103,6 +126,7 @@ let of_string s =
              n = 2;
              seed = 1;
              latency = Dsm_net.Latency.infiniband_like;
+             clock_wire = Dsm_core.Config.default.Dsm_core.Config.clock_wire;
              faults = Dsm_net.Fault.none;
              reliable = false;
              bug = false;

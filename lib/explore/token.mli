@@ -9,15 +9,20 @@
     Wire form (the [f] field uses {!Dsm_net.Fault.of_string}'s grammar,
     the optional [l] field {!Dsm_net.Latency.of_string}'s; [l] is
     omitted — printing and parsing — at the default model, so tokens
-    minted before the latency knob existed replay unchanged):
+    minted before the latency knob existed replay unchanged; the
+    optional [w] field (dense|sparse|delta) carries the clock wire
+    encoding and is likewise omitted at the default):
 
-    {v dsm1|s=getput|n=2|seed=7|l=constant:1|f=drop=0.2|r=1|b=1|me=200000|d=1,0,2 v} *)
+    {v dsm1|s=getput|n=2|seed=7|l=constant:1|w=dense|f=drop=0.2|r=1|b=1|me=200000|d=1,0,2 v} *)
 
 type t = {
   scenario : string;  (** {!Scenario} spec, e.g. ["getput"] *)
   n : int;
   seed : int;
   latency : Dsm_net.Latency.t;  (** fabric latency model *)
+  clock_wire : Dsm_core.Config.clock_wire;
+      (** detector clock piggyback encoding — accounting-only, carried
+          so a replayed run reports the same wire-byte counters *)
   faults : Dsm_net.Fault.t;
   reliable : bool;  (** reliable transport enabled *)
   bug : bool;  (** planted [Skip_get_dst_lock] protocol bug *)

@@ -11,6 +11,8 @@ type 'msg t = {
   last_delivery : float array array;
   mutable messages : int;
   mutable words : int;
+  mutable wire_words : int;
+  mutable clock_words : int;
   mutable dropped : int;
   mutable duplicated : int;
   mutable reordered : int;
@@ -46,6 +48,8 @@ let create sim ~topology ~latency ?(fifo = true) ?(drop_probability = 0.)
     last_delivery = Array.make_matrix n n 0.;
     messages = 0;
     words = 0;
+    wire_words = 0;
+    clock_words = 0;
     dropped = 0;
     duplicated = 0;
     reordered = 0;
@@ -88,12 +92,22 @@ let schedule_delivery t ~src ~dst ~in_order ?label msg ~arrival =
   in
   Engine.schedule_at t.sim ~at:arrival ?label (deliver t ~src ~dst msg)
 
-let send t ~src ~dst ~words ?label msg =
+let send t ~src ~dst ~words ?wire_words ?(clock_words = 0) ?label msg =
   if words < 0 then invalid_arg "Fabric.send: negative size";
   if src < 0 || src >= nodes t then invalid_arg "Fabric.send: src";
   if dst < 0 || dst >= nodes t then invalid_arg "Fabric.send: dst";
+  (* [words] is the nominal size the latency model prices; [wire_words]
+     (default: the same) is what the chosen encoding actually put on the
+     wire, of which [clock_words] were clock piggyback. Keeping the two
+     apart is what lets the wire encoding vary without perturbing a
+     single delivery time. *)
+  let wire_words = match wire_words with Some w -> w | None -> words in
+  if wire_words < 0 then invalid_arg "Fabric.send: negative wire size";
+  if clock_words < 0 then invalid_arg "Fabric.send: negative clock size";
   t.messages <- t.messages + 1;
   t.words <- t.words + words;
+  t.wire_words <- t.wire_words + wire_words;
+  t.clock_words <- t.clock_words + clock_words;
   let lf = Fault.link t.faults ~src ~dst in
   let now = Engine.now t.sim in
   let arrival =
@@ -111,7 +125,8 @@ let send t ~src ~dst ~words ?label msg =
   in
   let probe = Engine.probe t.sim in
   if probe.on then
-    Dsm_obs.Probe.emit probe (Net_send { time = now; src; dst; words; arrival });
+    Dsm_obs.Probe.emit probe
+      (Net_send { time = now; src; dst; words; wire_words; clock_words; arrival });
   if lf.Fault.drop > 0. && Prng.bernoulli t.rng ~p:lf.Fault.drop then begin
     t.dropped <- t.dropped + 1;
     if probe.on then
@@ -153,9 +168,15 @@ let messages_sent t = t.messages
 
 let words_sent t = t.words
 
+let wire_words_sent t = t.wire_words
+
+let clock_words_sent t = t.clock_words
+
 let reset_counters t =
   t.messages <- 0;
-  t.words <- 0
+  t.words <- 0;
+  t.wire_words <- 0;
+  t.clock_words <- 0
 
 (* Arena reuse: restore the [create] state while keeping handlers
    registered. Must run after [Engine.reset] so that re-splitting the
@@ -168,6 +189,8 @@ let reset t =
     t.last_delivery;
   t.messages <- 0;
   t.words <- 0;
+  t.wire_words <- 0;
+  t.clock_words <- 0;
   t.dropped <- 0;
   t.duplicated <- 0;
   t.reordered <- 0

@@ -62,22 +62,39 @@ val send :
   src:int ->
   dst:int ->
   words:int ->
+  ?wire_words:int ->
+  ?clock_words:int ->
   ?label:Dsm_sim.Label.t ->
   'msg ->
   unit
 (** [send t ~src ~dst ~words m] schedules delivery of [m] to [dst]'s
-    handler. [words] is the payload size used by the latency model and the
-    traffic counters. [label] is the footprint attached to the delivery
-    event (and to any duplicate) for schedule exploration. Sending to an
-    unregistered node raises [Failure] at delivery time. A message to
-    self is delivered after a fixed small loopback delay, without
-    touching the interconnect counters' hop accounting. *)
+    handler. [words] is the {e nominal} payload size used by the latency
+    model and the [words_sent] counter. [wire_words] (default [words])
+    is what the chosen encoding actually shipped and [clock_words]
+    (default [0]) how much of that was clock piggyback — they feed the
+    true-bytes counters only, never the delivery time, so varying the
+    clock wire encoding cannot perturb a schedule. [label] is the
+    footprint attached to the delivery event (and to any duplicate) for
+    schedule exploration. Sending to an unregistered node raises
+    [Failure] at delivery time. A message to self is delivered after a
+    fixed small loopback delay, without touching the interconnect
+    counters' hop accounting. *)
 
 val messages_sent : 'msg t -> int
 
 val words_sent : 'msg t -> int
-(** Total payload words over all sends — the denominator for the clock
-    overhead ratios in E6/E7. *)
+(** Total {e nominal} payload words over all sends — what the latency
+    model priced. *)
+
+val wire_words_sent : 'msg t -> int
+(** Total {e true} wire words over all sends: what the chosen encodings
+    actually shipped — the denominator for the clock overhead ratios in
+    E2/E6/E7. Equal to {!words_sent} when every send used the nominal
+    encoding. *)
+
+val clock_words_sent : 'msg t -> int
+(** Total clock-piggyback words within {!wire_words_sent} — the
+    numerator for the same ratios. *)
 
 val reset_counters : 'msg t -> unit
 

@@ -13,6 +13,8 @@ type t = {
   engine_choice : Metrics.counter;
   engine_quiescence : Metrics.counter;
   net_send : Metrics.counter;
+  net_wire_words : Metrics.histogram;
+  net_clock_words : Metrics.histogram;
   net_deliver : Metrics.counter;
   net_drop : Metrics.counter;
   net_duplicate : Metrics.counter;
@@ -56,6 +58,8 @@ let create registry =
     engine_choice = c "engine.choice";
     engine_quiescence = c "engine.quiescence";
     net_send = c "net.send";
+    net_wire_words = h "net.wire_words";
+    net_clock_words = h "net.clock_words";
     net_deliver = c "net.deliver";
     net_drop = c "net.drop";
     net_duplicate = c "net.duplicate";
@@ -101,7 +105,12 @@ let sink t (ev : Probe.event) =
       Metrics.incr t.engine_choice;
       Metrics.observe t.choice_ready ready
   | Engine_quiescence _ -> Metrics.incr t.engine_quiescence
-  | Net_send _ -> Metrics.incr t.net_send
+  | Net_send { wire_words; clock_words; _ } ->
+      Metrics.incr t.net_send;
+      Metrics.observe t.net_wire_words wire_words;
+      (* only clock-carrying messages contribute, so the histogram's
+         mean is words-per-piggyback, not diluted by control traffic *)
+      if clock_words > 0 then Metrics.observe t.net_clock_words clock_words
   | Net_deliver _ -> Metrics.incr t.net_deliver
   | Net_drop _ -> Metrics.incr t.net_drop
   | Net_duplicate _ -> Metrics.incr t.net_duplicate

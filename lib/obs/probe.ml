@@ -9,6 +9,8 @@ type event =
       src : int;
       dst : int;
       words : int;
+      wire_words : int;
+      clock_words : int;
       arrival : float;
     }
   | Net_deliver of { time : float; src : int; dst : int }

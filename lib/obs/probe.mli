@@ -33,8 +33,13 @@ type event =
       src : int;
       dst : int;
       words : int;
+      wire_words : int;
+      clock_words : int;
       arrival : float;
     }
+      (** [words] is the nominal size the latency model priced;
+          [wire_words] the size the chosen encoding actually shipped
+          (of which [clock_words] were clock piggyback) *)
   | Net_deliver of { time : float; src : int; dst : int }
   | Net_drop of { time : float; src : int; dst : int }
   | Net_duplicate of { time : float; src : int; dst : int }

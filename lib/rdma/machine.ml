@@ -50,7 +50,7 @@ type observation =
    transport that lets the coherence protocol ride out a faulty fabric
    (see [Dsm_net.Fault]) instead of hanging. *)
 
-type frame = { link_seq : int; body : frame_body }
+type frame = { link_seq : int; pb : int array option; body : frame_body }
 
 and frame_body = Msg of Message.t | Frame_ack of int
 
@@ -61,16 +61,34 @@ let reliability ?(timeout = 25.0) ?(max_retries = 30) () =
   if max_retries < 1 then invalid_arg "Machine.reliability: max_retries";
   { timeout; max_retries }
 
-type unacked = { u_msg : Message.t; u_words : int; mutable u_tries : int }
+type unacked = {
+  u_msg : Message.t;
+  u_words : int;
+  (* the piggyback as originally framed, with the clock value it encoded
+     so a delta frame can be re-encoded self-contained on retransmit *)
+  mutable u_pb : (int array * Dsm_clocks.Vector_clock.t) option;
+  mutable u_wire : int;
+  mutable u_clock : int;
+  mutable u_tries : int;
+}
 
 type rel_state = {
   cfg : reliability;
   next_seq : int array array; (* sender: [src].(dst) next seq to assign *)
   expected : int array array; (* receiver: [dst].(src) next seq to deliver *)
-  held_back : (int * int * int, Message.t) Hashtbl.t;
+  held_back : (int * int * int, Message.t * int array option) Hashtbl.t;
       (* (src, dst, seq) -> frame that arrived ahead of its turn *)
   unacked : (int * int * int, unacked) Hashtbl.t;
   mutable retransmits : int;
+}
+
+(* Per-(src,dst)-edge clock piggyback state: the last clock shipped on
+   the edge (the delta base) and the edge's piggyback sequence number.
+   The sender owns one table keyed (src, dst); each receiver mirrors it
+   from what actually got delivered, keyed the same way. *)
+type pb_edge = {
+  mutable pb_cache : Dsm_clocks.Vector_clock.t option;
+  mutable pb_seq : int;
 }
 
 type protocol_bug = Skip_get_dst_lock | Skip_rmw_write_mark
@@ -94,6 +112,24 @@ type t = {
     Hashtbl.t;
   mutable observers : (observation -> unit) list;
   mutable ops : int;
+  (* clock piggyback wiring (ISSUE 8): when a detector installs a clock
+     source, every clock-carrying message gets a framed piggyback whose
+     encoding is chosen per message — accounting-only; the latency model
+     keeps pricing the nominal [Message.wire_words]. *)
+  mutable clock_src : (pid:int -> Dsm_clocks.Vector_clock.t) option;
+  mutable pb_mode : Dsm_clocks.Codec.piggyback_mode;
+  pb_delta_ok : bool;
+      (* deltas need per-edge in-order, exactly-once delivery of the
+         piggybacks: true on a fault-free fabric (the FIFO floor gives
+         order, nothing drops or duplicates) or under the reliable
+         transport (which resequences and dedups); otherwise Delta
+         degrades to the self-contained sparse form *)
+  pb_sent : (int * int, pb_edge) Hashtbl.t;
+  pb_recv : (int * int, pb_edge) Hashtbl.t;
+  mutable pb_dense : int;
+  mutable pb_sparse : int;
+  mutable pb_delta : int;
+  mutable pb_fallbacks : int;
 }
 
 type proc = { m : t; p : int }
@@ -108,6 +144,71 @@ let rmw_probe m ~node ~origin ~offset ~len ~kind =
   if probe.on then
     Dsm_obs.Probe.emit probe
       (Rmw { time = Engine.now m.sim; node; origin; offset; len; kind })
+
+(* The messages a clock piggyback rides on: data towards the target
+   (puts), data back to the initiator (replies), and lock grants (a
+   release publishes the holder's history to the next holder). Requests
+   that carry no data ship no clock; their nominal [extra_words]
+   allowance stays a timing-model artifact. *)
+let carries_clock = function
+  | Message.Put _ | Message.Put_batch _ | Message.Get_reply _
+  | Message.Atomic_reply _ | Message.Acc_reply _ | Message.Lock_granted _ ->
+      true
+  | Message.Put_ack _ | Message.Get _ | Message.Atomic _
+  | Message.Accumulate _ | Message.Lock_request _ | Message.Unlock _
+  | Message.Control _ | Message.Control_reply _ ->
+      false
+
+let pb_edge_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some e -> e
+  | None ->
+      let e = { pb_cache = None; pb_seq = 0 } in
+      Hashtbl.replace tbl key e;
+      e
+
+let pb_count m w =
+  match Dsm_clocks.Codec.piggyback_mode_of w with
+  | Dsm_clocks.Codec.Dense -> m.pb_dense <- m.pb_dense + 1
+  | Dsm_clocks.Codec.Sparse -> m.pb_sparse <- m.pb_sparse + 1
+  | Dsm_clocks.Codec.Delta -> m.pb_delta <- m.pb_delta + 1
+
+(* Sender side: frame the clock for this edge, advance the edge cache to
+   the value just shipped (the next delta's base), and return the frame
+   with the snapshot the retransmit fallback may need. *)
+let encode_pb m ~src ~dst v =
+  let e = pb_edge_of m.pb_sent (src, dst) in
+  let mode =
+    match m.pb_mode with
+    | Dsm_clocks.Codec.Delta when not m.pb_delta_ok -> Dsm_clocks.Codec.Sparse
+    | mode -> mode
+  in
+  let w =
+    Dsm_clocks.Codec.encode_piggyback ~mode ~seq:e.pb_seq ?since:e.pb_cache v
+  in
+  let snap = Dsm_clocks.Vector_clock.snapshot v in
+  e.pb_seq <- e.pb_seq + 1;
+  e.pb_cache <- Some snap;
+  pb_count m w;
+  (w, snap)
+
+(* Receiver side: decode against the mirror of the sender's edge cache,
+   advancing the mirror to the decoded value. A delta frame that arrives
+   out of sequence (possible only if FIFO-bypass reordering defeated the
+   gating above) fails the decoder's seq check and raises — the run
+   surfaces as crashed rather than silently merging against the wrong
+   base. Runs only after the reliable transport's resequencing, so
+   retransmit duplicates never reach it. *)
+let absorb_pb m ~node ~src = function
+  | None -> ()
+  | Some w ->
+      let e = pb_edge_of m.pb_recv (src, node) in
+      let v, seq =
+        Dsm_clocks.Codec.decode_piggyback ~expect_seq:e.pb_seq ?base:e.pb_cache
+          w
+      in
+      e.pb_cache <- Some v;
+      e.pb_seq <- seq + 1
 
 let rec handle m ~node ~src msg =
   notify m (Delivered { time = Engine.now m.sim; src; dst = node; msg });
@@ -317,19 +418,45 @@ and transmit m ~src ~dst msg =
   let label =
     Label.v ~node:dst ~origin:(if Message.is_reply msg then dst else src)
   in
+  let pb =
+    match m.clock_src with
+    | Some f when carries_clock msg -> Some (encode_pb m ~src ~dst (f ~pid:src))
+    | _ -> None
+  in
+  let words = Message.wire_words msg in
+  (* True-bytes accounting: with a clock source installed, the nominal
+     [extra_words] allowance is replaced by the framed piggyback (or by
+     nothing on messages that carry no clock). Timing still prices
+     [words], so the wire encoding cannot perturb the schedule. *)
+  let wire_words, clock_words =
+    match (pb, m.clock_src) with
+    | Some (w, _), _ ->
+        let cw = Array.length w in
+        (Message.wire_words_piggyback ~pb:cw msg, cw)
+    | None, Some _ -> (Message.wire_words_piggyback ~pb:0 msg, 0)
+    | None, None -> (words, 0)
+  in
+  let pb_wire = Option.map fst pb in
   match m.rel with
   | None ->
-      Dsm_net.Fabric.send m.fabric ~src ~dst ~words:(Message.wire_words msg)
+      Dsm_net.Fabric.send m.fabric ~src ~dst ~words ~wire_words ~clock_words
         ~label
-        { link_seq = -1; body = Msg msg }
+        { link_seq = -1; pb = pb_wire; body = Msg msg }
   | Some r ->
       let seq = r.next_seq.(src).(dst) in
       r.next_seq.(src).(dst) <- seq + 1;
-      let words = Message.wire_words msg in
       Hashtbl.replace r.unacked (src, dst, seq)
-        { u_msg = msg; u_words = words; u_tries = 0 };
-      Dsm_net.Fabric.send m.fabric ~src ~dst ~words ~label
-        { link_seq = seq; body = Msg msg };
+        {
+          u_msg = msg;
+          u_words = words;
+          u_pb = pb;
+          u_wire = wire_words;
+          u_clock = clock_words;
+          u_tries = 0;
+        };
+      Dsm_net.Fabric.send m.fabric ~src ~dst ~words ~wire_words ~clock_words
+        ~label
+        { link_seq = seq; pb = pb_wire; body = Msg msg };
       arm_retransmit m r ~src ~dst ~seq
 
 (* Sender half of the reliable transport: while a frame is unacked, keep
@@ -355,8 +482,32 @@ and arm_retransmit m r ~src ~dst ~seq =
              if probe.on then
                Dsm_obs.Probe.emit probe
                  (Retransmit { time = Engine.now m.sim; src; dst; seq }));
+            (* A delta piggyback is unsound to resend as-is: the
+               original may have been delivered (only the ack lost), in
+               which case the receiver's mirror has already advanced
+               past the delta's base. Re-encode self-contained sparse
+               under the SAME edge seq — the link-seq dedup already
+               guarantees at most one of the two forms is absorbed, and
+               both decode to the same clock. *)
+            (match u.u_pb with
+            | Some (w, snap)
+              when Dsm_clocks.Codec.piggyback_mode_of w
+                   = Dsm_clocks.Codec.Delta ->
+                m.pb_fallbacks <- m.pb_fallbacks + 1;
+                let w' =
+                  Dsm_clocks.Codec.encode_piggyback
+                    ~mode:Dsm_clocks.Codec.Sparse
+                    ~seq:(Dsm_clocks.Codec.piggyback_seq w)
+                    snap
+                in
+                u.u_pb <- Some (w', snap);
+                u.u_clock <- Array.length w';
+                u.u_wire <-
+                  Message.wire_words_piggyback ~pb:(Array.length w') u.u_msg
+            | _ -> ());
             Dsm_net.Fabric.send m.fabric ~src ~dst ~words:u.u_words
-              { link_seq = seq; body = Msg u.u_msg };
+              ~wire_words:u.u_wire ~clock_words:u.u_clock
+              { link_seq = seq; pb = Option.map fst u.u_pb; body = Msg u.u_msg };
             arm_retransmit m r ~src ~dst ~seq
           end)
 
@@ -366,19 +517,25 @@ and arm_retransmit m r ~src ~dst ~seq =
    delivery the coherence protocol assumes. *)
 and handle_frame m ~node ~src fr =
   match (fr.body, m.rel) with
-  | Msg msg, None -> handle m ~node ~src msg
+  | Msg msg, None ->
+      absorb_pb m ~node ~src fr.pb;
+      handle m ~node ~src msg
   | Msg msg, Some r ->
-      if fr.link_seq < 0 then handle m ~node ~src msg
+      if fr.link_seq < 0 then begin
+        absorb_pb m ~node ~src fr.pb;
+        handle m ~node ~src msg
+      end
       else begin
         Dsm_net.Fabric.send m.fabric ~src:node ~dst:src ~words:1
           ~label:(Label.v ~node:src ~origin:src)
-          { link_seq = -1; body = Frame_ack fr.link_seq };
+          { link_seq = -1; pb = None; body = Frame_ack fr.link_seq };
         let exp = r.expected.(node).(src) in
         if fr.link_seq < exp then () (* duplicate of a delivered frame *)
         else if fr.link_seq > exp then
-          Hashtbl.replace r.held_back (src, node, fr.link_seq) msg
+          Hashtbl.replace r.held_back (src, node, fr.link_seq) (msg, fr.pb)
         else begin
           r.expected.(node).(src) <- exp + 1;
+          absorb_pb m ~node ~src fr.pb;
           handle m ~node ~src msg;
           drain_held m r ~node ~src
         end
@@ -390,9 +547,10 @@ and drain_held m r ~node ~src =
   let exp = r.expected.(node).(src) in
   match Hashtbl.find_opt r.held_back (src, node, exp) with
   | None -> ()
-  | Some msg ->
+  | Some (msg, pb) ->
       Hashtbl.remove r.held_back (src, node, exp);
       r.expected.(node).(src) <- exp + 1;
+      absorb_pb m ~node ~src pb;
       handle m ~node ~src msg;
       drain_held m r ~node ~src
 
@@ -447,6 +605,16 @@ let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
       control_handlers = Hashtbl.create 8;
       observers = [];
       ops = 0;
+      clock_src = None;
+      pb_mode = Dsm_clocks.Codec.Delta;
+      pb_delta_ok =
+        Dsm_net.Fault.is_none (Dsm_net.Fabric.faults fabric) || rel <> None;
+      pb_sent = Hashtbl.create 32;
+      pb_recv = Hashtbl.create 32;
+      pb_dense = 0;
+      pb_sparse = 0;
+      pb_delta = 0;
+      pb_fallbacks = 0;
     }
   in
   for node = 0 to n - 1 do
@@ -481,7 +649,18 @@ let reset m =
   Hashtbl.reset m.remote_locks;
   Hashtbl.reset m.control_handlers;
   m.observers <- [];
-  m.ops <- 0
+  m.ops <- 0;
+  (* piggyback state is per-run: the next population re-installs its
+     clock source (Detector.create) and both edge tables restart empty,
+     so a reset arena is bit-identical to a fresh machine *)
+  m.clock_src <- None;
+  m.pb_mode <- Dsm_clocks.Codec.Delta;
+  Hashtbl.reset m.pb_sent;
+  Hashtbl.reset m.pb_recv;
+  m.pb_dense <- 0;
+  m.pb_sparse <- 0;
+  m.pb_delta <- 0;
+  m.pb_fallbacks <- 0
 
 let sim m = m.sim
 
@@ -494,6 +673,18 @@ let node m pid =
 let fabric_messages m = Dsm_net.Fabric.messages_sent m.fabric
 
 let fabric_words m = Dsm_net.Fabric.words_sent m.fabric
+
+let wire_words_sent m = Dsm_net.Fabric.wire_words_sent m.fabric
+
+let clock_words_sent m = Dsm_net.Fabric.clock_words_sent m.fabric
+
+let set_clock_source m ~mode f =
+  m.pb_mode <- mode;
+  m.clock_src <- Some f
+
+let clock_encodings m = (m.pb_dense, m.pb_sparse, m.pb_delta)
+
+let clock_retransmit_fallbacks m = m.pb_fallbacks
 
 let fabric_faults m = Dsm_net.Fabric.faults m.fabric
 
@@ -519,7 +710,12 @@ let lock_grants_chained m =
     (fun acc nm -> acc + Lock_table.chained_grants (Node_memory.locks nm))
     0 m.nodes
 
-let reset_traffic_counters m = Dsm_net.Fabric.reset_counters m.fabric
+let reset_traffic_counters m =
+  Dsm_net.Fabric.reset_counters m.fabric;
+  m.pb_dense <- 0;
+  m.pb_sparse <- 0;
+  m.pb_delta <- 0;
+  m.pb_fallbacks <- 0
 
 (* ---------- processes ---------- *)
 

@@ -103,6 +103,46 @@ val fabric_messages : t -> int
 
 val fabric_words : t -> int
 
+val wire_words_sent : t -> int
+(** True wire words the fabric shipped (see [Dsm_net.Fabric.wire_words_sent]):
+    nominal sizes with each clock-carrying message's [extra_words]
+    allowance replaced by the piggyback encoding actually chosen. Equal
+    to {!fabric_words} while no clock source is installed. *)
+
+val clock_words_sent : t -> int
+(** Clock-piggyback words within {!wire_words_sent} — the true cost of
+    shipping clocks under the installed {!set_clock_source} encoding. *)
+
+val set_clock_source :
+  t ->
+  mode:Dsm_clocks.Codec.piggyback_mode ->
+  (pid:int -> Dsm_clocks.Vector_clock.t) ->
+  unit
+(** [set_clock_source m ~mode f] makes every clock-carrying protocol
+    message ([Put], [Put_batch], [Get_reply], [Atomic_reply],
+    [Acc_reply], [Lock_granted]) ship the sender's current clock [f ~pid]
+    as a piggyback encoded per [mode] against a per-[(src, dst)] edge
+    cache of the last clock sent on that channel (see
+    [Dsm_clocks.Codec.encode_piggyback]). Accounting-only: the latency
+    model still prices the nominal [extra_words] allowance, so installing
+    a source (or changing [mode]) cannot perturb a schedule. Under
+    [Delta] on a faulty fabric without {!reliability}, encoding degrades
+    to [Sparse] — deltas are only sound on in-order exactly-once
+    channels; with [reliability], retransmitted delta frames are
+    re-encoded self-contained instead ({!clock_retransmit_fallbacks}).
+    Cleared by {!reset}. *)
+
+val clock_encodings : t -> int * int * int
+(** [(dense, sparse, delta)] piggybacks encoded since creation (or
+    {!reset_traffic_counters}) — retransmits and fallback re-encodes are
+    not recounted. *)
+
+val clock_retransmit_fallbacks : t -> int
+(** Delta-encoded piggybacks re-encoded self-contained ([Sparse]) because
+    the reliable transport retransmitted their frame: a retransmit may
+    arrive after later deltas advanced the receiver's edge cache, so only
+    a self-contained form is sound to replay. *)
+
 val fabric_faults : t -> Dsm_net.Fault.t
 (** The fault plan the underlying fabric runs with. *)
 

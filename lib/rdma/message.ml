@@ -100,6 +100,24 @@ let is_reply = function
 
 let header_words = 2
 
+(* The nominal clock allowance a message carries: the [extra_words]
+   the detector charged when it issued the operation (dim + 1 under the
+   piggyback transports, 0 otherwise). The transport needs it separated
+   out so it can price the clock at what the chosen wire encoding
+   actually shipped instead of this linear-in-n model. *)
+let extra_words_of = function
+  | Put { extra_words; _ }
+  | Put_batch { extra_words; _ }
+  | Get { extra_words; _ }
+  | Get_reply { extra_words; _ }
+  | Atomic { extra_words; _ }
+  | Accumulate { extra_words; _ }
+  | Acc_reply { extra_words; _ } ->
+      extra_words
+  | Put_ack _ | Atomic_reply _ | Lock_request _ | Lock_granted _ | Unlock _
+  | Control _ | Control_reply _ ->
+      0
+
 let wire_words = function
   | Put { data; extra_words; _ } ->
       header_words + Array.length data + extra_words
@@ -126,6 +144,12 @@ let wire_words = function
   | Unlock _ -> header_words + 1
   | Control { words; _ } -> header_words + 1 + Array.length words
   | Control_reply { words; _ } -> header_words + Array.length words
+
+(* True wire size once a framed piggyback replaces the nominal clock
+   allowance: the message's own words minus its [extra_words] model,
+   plus the actual frame. Timing still uses [wire_words]; this feeds
+   the byte-accounting counters only. *)
+let wire_words_piggyback ~pb msg = wire_words msg - extra_words_of msg + pb
 
 let describe = function
   | Put { op; origin; offset; data; want_ack; locked; _ } ->

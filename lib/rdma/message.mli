@@ -120,7 +120,20 @@ val header_words : int
 
 val wire_words : t -> int
 (** Total words the fabric should charge for this message: header plus
-    payload plus [extra_words]. *)
+    payload plus [extra_words]. This is the {e nominal} size — the one
+    the latency model prices — even when a framed piggyback replaces
+    the clock allowance on the wire (see {!wire_words_piggyback}). *)
+
+val extra_words_of : t -> int
+(** The nominal piggybacked-metadata allowance the message carries
+    ([extra_words] on data messages, 0 on pure control messages). *)
+
+val wire_words_piggyback : pb:int -> t -> int
+(** [wire_words_piggyback ~pb msg] is the message's true wire size once
+    a [pb]-word framed clock piggyback replaces the nominal
+    [extra_words] allowance: [wire_words msg - extra_words_of msg + pb].
+    Feeds the byte-accounting counters only; timing keeps using
+    {!wire_words} so schedules are independent of the chosen encoding. *)
 
 val describe : t -> string
 (** One-line rendering for traces and debugging. *)

@@ -606,6 +606,107 @@ let test_codec_sizes () =
   let w = Codec.encode_vector_delta ~since:v v in
   Alcotest.(check int) "empty delta" 2 (Array.length w)
 
+(* The delta decoder gets the same reject coverage as the sparse one:
+   every malformed shape is a clean [Invalid_argument], never an
+   out-of-bounds access or an attacker-sized allocation. *)
+let test_codec_delta_malformed () =
+  let base = Vector_clock.of_array [| 1; 0; 2 |] in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Codec.decode_vector_delta: empty") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [||]));
+  Alcotest.check_raises "dimension mismatch vs base"
+    (Invalid_argument "Codec.decode_vector_delta: malformed buffer") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 4; 0 |]));
+  Alcotest.check_raises "negative entry count"
+    (Invalid_argument "Codec.decode_vector_delta: malformed buffer") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 3; -1 |]));
+  Alcotest.check_raises "truncated pair list"
+    (Invalid_argument "Codec.decode_vector_delta: malformed buffer") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 3; 1 |]));
+  Alcotest.check_raises "padded pair list"
+    (Invalid_argument "Codec.decode_vector_delta: malformed buffer") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 3; 1; 0; 5; 0 |]));
+  Alcotest.check_raises "pid out of range"
+    (Invalid_argument "Codec.decode_vector_delta: malformed entry") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 3; 1; 3; 5 |]));
+  Alcotest.check_raises "negative pid"
+    (Invalid_argument "Codec.decode_vector_delta: malformed entry") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 3; 1; -1; 5 |]));
+  Alcotest.check_raises "negative component"
+    (Invalid_argument "Codec.decode_vector_delta: malformed entry") (fun () ->
+      ignore (Codec.decode_vector_delta ~base [| 3; 1; 0; -2 |]));
+  Alcotest.check_raises "encode dimension mismatch"
+    (Invalid_argument "Codec.encode_vector_delta: dimension mismatch")
+    (fun () ->
+      ignore
+        (Codec.encode_vector_delta
+           ~since:(Vector_clock.create ~n:2)
+           base))
+
+(* Self-framed piggybacks: mode/seq accessors, the adaptive encoder's
+   tag choices, and the decoder's defence against out-of-sequence or
+   baseless deltas. *)
+let test_codec_piggyback () =
+  let v = Vector_clock.of_array [| 2; 0; 1; 0; 0; 0; 0; 0 |] in
+  (* dense and sparse frames are self-contained: any expected seq decodes *)
+  let wd = Codec.encode_piggyback ~mode:Codec.Dense ~seq:7 v in
+  Alcotest.(check bool) "dense tag" true (Codec.piggyback_mode_of wd = Codec.Dense);
+  Alcotest.(check int) "dense seq" 7 (Codec.piggyback_seq wd);
+  let v', s = Codec.decode_piggyback ~expect_seq:99 wd in
+  Alcotest.(check bool) "dense roundtrip" true (Vector_clock.equal v v');
+  Alcotest.(check int) "dense carried seq" 7 s;
+  let ws = Codec.encode_piggyback ~mode:Codec.Sparse ~seq:0 v in
+  Alcotest.(check bool) "sparse tag" true
+    (Codec.piggyback_mode_of ws = Codec.Sparse);
+  let v', _ = Codec.decode_piggyback ~expect_seq:3 ws in
+  Alcotest.(check bool) "sparse roundtrip" true (Vector_clock.equal v v');
+  (* adaptive: with a near base the delta frame wins and is pinned to
+     its seq and base *)
+  let since = Vector_clock.of_array [| 1; 0; 1; 0; 0; 0; 0; 0 |] in
+  let wdl = Codec.encode_piggyback ~mode:Codec.Delta ~seq:3 ~since v in
+  Alcotest.(check bool) "delta tag" true
+    (Codec.piggyback_mode_of wdl = Codec.Delta);
+  let v', _ = Codec.decode_piggyback ~expect_seq:3 ~base:since wdl in
+  Alcotest.(check bool) "delta roundtrip" true (Vector_clock.equal v v');
+  (* empty-delta edge: unchanged clock ships a two-word payload *)
+  let we = Codec.encode_piggyback ~mode:Codec.Delta ~seq:4 ~since:v v in
+  Alcotest.(check bool) "empty delta tag" true
+    (Codec.piggyback_mode_of we = Codec.Delta);
+  Alcotest.(check int) "empty delta frame" 4 (Array.length we);
+  let v', _ = Codec.decode_piggyback ~expect_seq:4 ~base:v we in
+  Alcotest.(check bool) "empty delta roundtrip" true (Vector_clock.equal v v');
+  (* since-mismatch edge: a base of the wrong dimension cannot be
+     diffed against, so the encoder degrades to self-contained *)
+  let wm =
+    Codec.encode_piggyback ~mode:Codec.Delta ~seq:5
+      ~since:(Vector_clock.create ~n:4) v
+  in
+  Alcotest.(check bool) "mismatched base degrades" true
+    (Codec.piggyback_mode_of wm <> Codec.Delta);
+  let wn = Codec.encode_piggyback ~mode:Codec.Delta ~seq:5 v in
+  Alcotest.(check bool) "no base degrades" true
+    (Codec.piggyback_mode_of wn <> Codec.Delta);
+  (* rejects *)
+  Alcotest.check_raises "negative seq (encode)"
+    (Invalid_argument "Codec.encode_piggyback: negative seq") (fun () ->
+      ignore (Codec.encode_piggyback ~mode:Codec.Dense ~seq:(-1) v));
+  Alcotest.check_raises "truncated frame"
+    (Invalid_argument "Codec.decode_piggyback: truncated frame") (fun () ->
+      ignore (Codec.decode_piggyback ~expect_seq:0 [| 0 |]));
+  Alcotest.check_raises "unknown tag"
+    (Invalid_argument "Codec.decode_piggyback: unknown tag") (fun () ->
+      ignore (Codec.decode_piggyback ~expect_seq:0 [| 9; 0; 1; 1 |]));
+  Alcotest.check_raises "negative seq (decode)"
+    (Invalid_argument "Codec.decode_piggyback: negative seq") (fun () ->
+      ignore (Codec.decode_piggyback ~expect_seq:0 [| 1; -2; 8; 0 |]));
+  Alcotest.check_raises "out-of-sequence delta"
+    (Invalid_argument "Codec.decode_piggyback: out-of-sequence delta")
+    (fun () ->
+      ignore (Codec.decode_piggyback ~expect_seq:4 ~base:since wdl));
+  Alcotest.check_raises "delta without base"
+    (Invalid_argument "Codec.decode_piggyback: delta without base") (fun () ->
+      ignore (Codec.decode_piggyback ~expect_seq:3 wdl))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [
     prop_compare_antisymmetric;
@@ -690,5 +791,7 @@ let () =
           Alcotest.test_case "varint large" `Quick test_codec_varint_large_values;
           Alcotest.test_case "matrix malformed" `Quick test_codec_matrix_malformed;
           Alcotest.test_case "sizes" `Quick test_codec_sizes;
+          Alcotest.test_case "delta malformed" `Quick test_codec_delta_malformed;
+          Alcotest.test_case "piggyback" `Quick test_codec_piggyback;
         ] );
     ]

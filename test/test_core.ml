@@ -167,9 +167,19 @@ let test_explicit_costs_meta_messages () =
   Alcotest.(check int) "piggyback needs none" 0 (Detector.meta_messages d')
 
 let test_piggyback_ships_clock_words () =
+  (* Under the default Piggyback_txn transport each put is one lock
+     round trip plus the data message, and of those only Lock_granted
+     and Put carry clocks. Every frame here is first-on-its-edge, so no
+     delta base exists and the adaptive (default Delta_wire) encoder
+     ships self-contained sparse frames: the two grants carry node 2's
+     still-zero clock (2 payload + tag + seq = 4 words each), the two
+     puts a single-entry sender clock (4 payload + tag + seq = 6 words
+     each) — 20 words in total. *)
   let d = scenario_5a Config.default in
-  (* two puts, each shipping a dim+1 = 4-word clock *)
-  Alcotest.(check int) "clock words" 8 (Detector.clock_words_shipped d)
+  Alcotest.(check int) "clock words" 20 (Detector.clock_words_shipped d);
+  let _, sparse, delta = Machine.clock_encodings (Detector.machine d) in
+  Alcotest.(check int) "self-contained sparse frames" 4 sparse;
+  Alcotest.(check int) "no deltas without a base" 0 delta
 
 (* ---------- ablation: Lamport clocks detect nothing ---------- *)
 

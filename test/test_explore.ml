@@ -24,6 +24,7 @@ let test_token_roundtrip () =
       n = 3;
       seed = 42;
       latency = Dsm_net.Latency.Constant 1.0;
+      clock_wire = Config.Sparse_wire;
       faults = Fault.of_string "drop=0.2,dup=0.1,0>1:reorder=0.5";
       reliable = true;
       bug = true;

@@ -245,6 +245,112 @@ let prop_codec_sparse_roundtrip =
       Array.length w <= (2 * n) + 2
       && Vector_clock.equal c (Codec.decode_vector_sparse w))
 
+(* --- Delta / varint / piggyback codec fuzz (ISSUE 8). -------------- *)
+
+(* Random base clocks with a random subset of components advanced: the
+   delta round-trips against the same base and its payload is exactly
+   [2 + 2·changed] words — the size the wire accounting banks on. *)
+let prop_codec_delta_roundtrip =
+  QCheck.Test.make ~name:"delta codec round-trips random advances" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "(n=%d, seed=%d)" n seed)
+        Gen.(pair (int_range 1 64) (int_range 0 1_000_000)))
+    (fun (n, seed) ->
+      let g = Prng.create ~seed in
+      let a =
+        Array.init n (fun _ ->
+            if Prng.int g 3 = 0 then 1 + Prng.int g 1_000 else 0)
+      in
+      let base = Vector_clock.of_array a in
+      let b = Array.copy a in
+      let changed = ref 0 in
+      Array.iteri
+        (fun i x ->
+          if Prng.int g 4 = 0 then begin
+            b.(i) <- x + 1 + Prng.int g 50;
+            incr changed
+          end)
+        a;
+      let v = Vector_clock.of_array b in
+      let w = Codec.encode_vector_delta ~since:base v in
+      Array.length w = 2 + (2 * !changed)
+      && Vector_clock.equal v (Codec.decode_vector_delta ~base w))
+
+(* A delta decoded against the wrong base silently reconstructs the
+   wrong clock — the reason the piggyback layer refuses deltas outside
+   strict per-edge FIFO. The codec itself must at least reject a base of
+   the wrong dimension. *)
+let test_codec_delta_since_mismatch () =
+  let base = Vector_clock.of_array [| 1; 2; 3 |] in
+  let v = Vector_clock.of_array [| 1; 5; 3 |] in
+  let w = Codec.encode_vector_delta ~since:base v in
+  (match
+     Codec.decode_vector_delta ~base:(Vector_clock.create ~n:5) w
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong-dimension base was accepted");
+  (* same dimension, different value: decodes, but to the value implied
+     by that base — never to the sender's clock *)
+  let other = Vector_clock.of_array [| 9; 2; 9 |] in
+  let v' = Codec.decode_vector_delta ~base:other w in
+  Alcotest.(check bool) "drifted base reconstructs a drifted clock" false
+    (Vector_clock.equal v v')
+
+let prop_codec_varint_roundtrip_random =
+  QCheck.Test.make ~name:"varint codec round-trips random clocks" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "(n=%d, seed=%d)" n seed)
+        Gen.(pair (int_range 1 64) (int_range 0 1_000_000)))
+    (fun (n, seed) ->
+      let g = Prng.create ~seed in
+      let a =
+        Array.init n (fun _ ->
+            match Prng.int g 4 with
+            | 0 -> 0
+            | 1 -> Prng.int g 128
+            | 2 -> 128 + Prng.int g 100_000
+            | _ -> Prng.int g 1_000_000_000)
+      in
+      let c = Vector_clock.of_array a in
+      Vector_clock.equal c
+        (Codec.decode_vector_varint (Codec.encode_vector_varint c)))
+
+(* Self-framed piggybacks under every mode: the frame round-trips, the
+   adaptive mode's frame is never larger than either self-contained
+   form, and tampering with the tag of a delta frame is caught. *)
+let prop_codec_piggyback_roundtrip =
+  QCheck.Test.make ~name:"piggyback frames round-trip random clocks"
+    ~count:200
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "(n=%d, seed=%d)" n seed)
+        Gen.(pair (int_range 1 48) (int_range 0 1_000_000)))
+    (fun (n, seed) ->
+      let g = Prng.create ~seed in
+      let a =
+        Array.init n (fun _ ->
+            if Prng.int g 3 = 0 then 1 + Prng.int g 1_000 else 0)
+      in
+      let since = Vector_clock.of_array a in
+      let b = Array.copy a in
+      Array.iteri
+        (fun i x -> if Prng.int g 5 = 0 then b.(i) <- x + 1 + Prng.int g 9)
+        a;
+      let v = Vector_clock.of_array b in
+      let seq = Prng.int g 1_000 in
+      let dense = Codec.encode_piggyback ~mode:Codec.Dense ~seq v in
+      let sparse = Codec.encode_piggyback ~mode:Codec.Sparse ~seq v in
+      let adaptive = Codec.encode_piggyback ~mode:Codec.Delta ~seq ~since v in
+      let ok_roundtrip w =
+        let v', s = Codec.decode_piggyback ~expect_seq:seq ~base:since w in
+        Vector_clock.equal v v' && s = seq
+      in
+      ok_roundtrip dense && ok_roundtrip sparse && ok_roundtrip adaptive
+      && Array.length adaptive <= Array.length dense
+      && Array.length adaptive <= Array.length sparse)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -265,5 +371,13 @@ let () =
           Alcotest.test_case "directed round-trips + rejection" `Quick
             test_codec_sparse_directed;
           QCheck_alcotest.to_alcotest prop_codec_sparse_roundtrip;
+        ] );
+      ( "codec-delta",
+        [
+          Alcotest.test_case "since mismatch" `Quick
+            test_codec_delta_since_mismatch;
+          QCheck_alcotest.to_alcotest prop_codec_delta_roundtrip;
+          QCheck_alcotest.to_alcotest prop_codec_varint_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_codec_piggyback_roundtrip;
         ] );
     ]
