@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke rmw-smoke wire-smoke experiments examples clean outputs
+.PHONY: all build test bench bench-smoke bench-json bench-explore explore-smoke explore-par-smoke obs-smoke conformance scale-smoke rmw-smoke wire-smoke explain-smoke experiments examples clean outputs
 
 all: build
 
@@ -111,6 +111,20 @@ wire-smoke:
 	dune exec bin/dsmcheck.exe -- explore workload:master-worker-racy -n 3 --runs 20 --clock-wire dense --expect-races true
 	dune exec bin/dsmcheck.exe -- scale -n 64 --rounds 1 --chunk 2 --clock-wire delta
 	dune exec bin/dsmcheck.exe -- scale -n 64 --rounds 1 --chunk 2 --clock-wire dense
+
+# Explainable race reports (ISSUE 9): the planted get/put bug under the
+# detector-attached scenario violates (exit 124) and --explain rebuilds
+# the causal report from the minimized token — both endpoints, the
+# incomparable clock components, the nearest sync edge, and the message
+# chain — with a JSON artifact; a --replay of a pinned token explains
+# identically, the race-silent RMW bug falls back to the atomicity
+# explanation, and dsmcheck run explains a racy program directly. A
+# smaller version also runs inside `dune runtest`.
+explain-smoke:
+	dune exec bin/dsmcheck.exe -- explore getput-checked --bug --latency constant:1 --runs 50 --explain --race-report /tmp/dsmcheck_explain_report.json; test $$? -eq 124
+	dune exec bin/dsmcheck.exe -- explore rmwlost-checked -n 3 --bug --latency constant:1 --runs 100 --explain; test $$? -eq 124
+	dune exec bin/dsmcheck.exe -- explore getput-checked --replay "dsm1|s=getput-checked|n=2|seed=1|l=constant:1|f=none|r=0|b=1|me=200000|d=" --explain
+	dune exec bin/dsmcheck.exe -- run programs/racy.dsm --explain --race-report /tmp/dsmcheck_explain_run_report.json
 
 experiments:
 	dune exec bench/main.exe -- --no-micro

@@ -47,6 +47,11 @@ let attach_telemetry sim ~trace_out ~metrics =
   in
   (timeline, registry)
 
+let write_string_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
 (* Write the accumulated timeline, then re-validate the bytes on disk
    against the trace-event schema so a bad export fails here instead of
    inside Perfetto. *)
@@ -346,13 +351,22 @@ let wire_conv =
   let print ppf w = Format.pp_print_string ppf (Config.clock_wire_name w) in
   Arg.conv (parse, print)
 
-let run_scale n rounds chunk racy batched rep shards wire seed detect verbose =
+let run_scale n rounds chunk racy batched rep shards wire seed detect
+    metrics_file verbose =
   setup_logs verbose;
   if n < 2 then `Error (false, "need at least 2 processes")
   else if racy && n < 3 then
     `Error (false, "racy mode needs at least 3 processes")
   else begin
     let sim = Dsm_sim.Engine.create ~seed () in
+    let registry =
+      match metrics_file with
+      | None -> None
+      | Some _ ->
+          let r = Dsm_obs.Metrics.create () in
+          ignore (Dsm_obs.Meter.attach r (Dsm_sim.Engine.probe sim));
+          Some r
+    in
     (* tiny segments: at n = 1024 the default 4096-word segments would
        cost tens of megabytes per run for buffers of a few words *)
     let words = max 64 chunk in
@@ -407,6 +421,12 @@ let run_scale n rounds chunk racy batched rep shards wire seed detect verbose =
           (Detector.clock_words_shipped d)
           (Config.clock_wire_name wire)
           dense sparse delta);
+    (match (metrics_file, registry) with
+    | Some path, Some reg ->
+        write_string_file path
+          (Dsm_obs.Metrics.to_json_string (Dsm_obs.Metrics.snapshot reg));
+        Format.printf "metrics        : %s@." path
+    | _ -> ());
     `Ok ()
   end
 
@@ -467,6 +487,15 @@ let scale_cmd =
       value & opt bool true
       & info [ "detect" ] ~doc:"Enable the race detector.")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Attach the metrics registry to the run and write its JSON \
+             snapshot to $(docv) after completion.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
   in
@@ -474,11 +503,41 @@ let scale_cmd =
     Term.(
       ret
         (const run_scale $ n $ rounds $ chunk $ racy $ batched $ rep
-       $ shards $ wire $ seed $ detect $ verbose))
+       $ shards $ wire $ seed $ detect $ metrics_file $ verbose))
 
 (* ---------- run (mini-language programs) ---------- *)
 
-let run_source path n instrument detect verbose trace_out metrics =
+(* Flight-recorder + provenance explanation of a finished run: correlate
+   each race signal of the report with the recorded event window. The
+   recorder is a passive sink, so attaching it never changes the run. *)
+let explain_finished_run ~explain ~race_report ~flight detector =
+  if explain || race_report <> None then begin
+    let window =
+      match flight with Some f -> Dsm_obs.Flight.events f | None -> []
+    in
+    let explanations =
+      match detector with
+      | None -> []
+      | Some d ->
+          Dsm_core.Diagnose.explain_report ~window (Detector.report d)
+    in
+    if explain then begin
+      if explanations = [] then
+        Format.printf "explain        : no race signal to explain@."
+      else
+        List.iter
+          (fun e -> print_string (Dsm_obs.Explain.to_text e))
+          explanations
+    end;
+    match race_report with
+    | None -> ()
+    | Some path ->
+        write_string_file path (Dsm_obs.Explain.list_to_json explanations);
+        Format.printf "race report    : %s@." path
+  end
+
+let run_source path n instrument detect verbose trace_out metrics explain
+    race_report =
   setup_logs verbose;
   let source = read_file path in
   match Dsm_lang.Parser.parse source with
@@ -490,6 +549,11 @@ let run_source path n instrument detect verbose trace_out metrics =
           let sim = Dsm_sim.Engine.create () in
           let machine = Machine.create sim ~n () in
           let timeline, registry = attach_telemetry sim ~trace_out ~metrics in
+          let flight =
+            if explain || race_report <> None then
+              Some (Dsm_obs.Flight.attach (Dsm_sim.Engine.probe sim))
+            else None
+          in
           let detector =
             if detect then Some (Detector.create machine ~verbose ())
             else None
@@ -514,16 +578,22 @@ let run_source path n instrument detect verbose trace_out metrics =
           | Some d ->
               Format.printf "@[<v>%a@]@." Report.pp_grouped
                 (Detector.report d));
+          explain_finished_run ~explain ~race_report ~flight detector;
           (match finish_telemetry ~timeline ~trace_out ~registry with
           | Ok () -> `Ok ()
           | Error msg -> `Error (false, msg)))
 
-let run_figure name n detect verbose trace_out metrics =
+let run_figure name n detect verbose trace_out metrics explain race_report =
   setup_logs verbose;
   let n = max n Dsm_experiments.Figures.figure_min_nodes in
   let sim = Dsm_sim.Engine.create () in
   let machine = Machine.create sim ~n () in
   let timeline, registry = attach_telemetry sim ~trace_out ~metrics in
+  let flight =
+    if explain || race_report <> None then
+      Some (Dsm_obs.Flight.attach (Dsm_sim.Engine.probe sim))
+    else None
+  in
   match Dsm_experiments.Figures.build_figure name machine with
   | Error msg -> `Error (false, msg)
   | Ok detector ->
@@ -540,17 +610,22 @@ let run_figure name n detect verbose trace_out metrics =
           Format.printf "checked ops    : %d@." (Detector.checked_ops d);
           Format.printf "@[<v>%a@]@." Report.pp_grouped (Detector.report d)
       | _ -> ());
+      explain_finished_run ~explain ~race_report ~flight
+        (if detect then detector else None);
       (match finish_telemetry ~timeline ~trace_out ~registry with
       | Ok () -> `Ok ()
       | Error msg -> `Error (false, msg))
 
-let run_program path scenario n instrument detect verbose trace_out metrics =
+let run_program path scenario n instrument detect verbose trace_out metrics
+    explain race_report =
   match (path, scenario) with
   | None, None -> `Error (true, "either FILE or --scenario NAME is required")
   | Some _, Some _ -> `Error (true, "FILE and --scenario are mutually exclusive")
-  | None, Some name -> run_figure name n detect verbose trace_out metrics
+  | None, Some name ->
+      run_figure name n detect verbose trace_out metrics explain race_report
   | Some path, None ->
-      run_source path n instrument detect verbose trace_out metrics
+      run_source path n instrument detect verbose trace_out metrics explain
+        race_report
 
 let run_cmd =
   let doc =
@@ -605,11 +680,28 @@ let run_cmd =
       & info [ "metrics" ]
           ~doc:"Print the metrics-registry snapshot after the run.")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Explain every race signal: both conflicting accesses with \
+             their clocks, the incomparable components, and the most \
+             recent sync edge between the two processes in the \
+             flight-recorder window.")
+  in
+  let race_report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "race-report" ] ~docv:"FILE"
+          ~doc:"Write the race explanations as a JSON document to $(docv).")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run_program $ path $ scenario $ n $ instrument $ detect
-       $ verbose $ trace_out $ metrics))
+       $ verbose $ trace_out $ metrics $ explain $ race_report))
 
 (* ---------- explore ---------- *)
 
@@ -632,7 +724,7 @@ let replay_with_diagram token =
     Hashtbl.create 32
   in
   let sink = function
-    | Dsm_obs.Probe.Msg_sent { time; src; dst; label } ->
+    | Dsm_obs.Probe.Msg_sent { time; src; dst; label; _ } ->
         let q =
           match Hashtbl.find_opt pending (src, dst, label) with
           | Some q -> q
@@ -642,7 +734,7 @@ let replay_with_diagram token =
               q
         in
         Queue.push time q
-    | Dsm_obs.Probe.Msg_delivered { time; src; dst; label } -> (
+    | Dsm_obs.Probe.Msg_delivered { time; src; dst; label; _ } -> (
         match Hashtbl.find_opt pending (src, dst, label) with
         | Some q when not (Queue.is_empty q) ->
             let send_time = Queue.pop q in
@@ -651,7 +743,7 @@ let replay_with_diagram token =
                 label }
               :: !arrows
         | _ -> ())
-    | Dsm_obs.Probe.Race_signal { time; pid; node; offset; len } ->
+    | Dsm_obs.Probe.Race_signal { time; pid; node; offset; len; _ } ->
         marks :=
           {
             Dsm_trace.Spacetime.time;
@@ -667,9 +759,43 @@ let replay_with_diagram token =
   | Error _ as e -> e
   | Ok r -> Ok (r, List.rev !arrows, List.rev !marks)
 
+(* One deterministic explanation pass over a repro token: flight-recorded
+   replay, explanation text/JSON, optional annotated Perfetto timeline.
+   Every --explain path (explore finish, --replay) goes through here, so
+   the rendered bytes are identical no matter how the token was found. *)
+let explain_token ~explain ~race_report ~trace_out_violation token =
+  if explain || race_report <> None || trace_out_violation <> None then begin
+    let tl =
+      match trace_out_violation with
+      | Some _ -> Some (Dsm_obs.Timeline.create ())
+      | None -> None
+    in
+    match Dsm_explore.Explain_run.of_token ?timeline:tl token with
+    | Error msg -> Printf.eprintf "warning: explanation replay failed: %s\n" msg
+    | Ok o ->
+        if explain then begin
+          if o.Dsm_explore.Explain_run.text = "" then
+            Format.printf
+              "explain        : no race signal and no provenance conflict \
+               in this run@."
+          else print_string o.Dsm_explore.Explain_run.text
+        end;
+        (match race_report with
+        | None -> ()
+        | Some path ->
+            write_string_file path o.Dsm_explore.Explain_run.json;
+            Format.printf "race report    : %s@." path);
+        (match (tl, trace_out_violation) with
+        | Some tl, Some path -> (
+            match write_trace tl path with
+            | Ok () -> ()
+            | Error msg -> Printf.eprintf "warning: %s\n" msg)
+        | _ -> ())
+  end
+
 let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
     faults reliable bug max_events replay no_minimize metrics expect_races
-    trace_out_violation verbose =
+    trace_out_violation explain race_report verbose =
   setup_logs verbose;
   if chunk < 1 then
     `Error (false, "--chunk must be a positive number of runs per claim")
@@ -706,6 +832,8 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
                    ());
               if r.Explore.violations = [] then
                 Format.printf "replay         : no invariant violated@.";
+              explain_token ~explain ~race_report
+                ~trace_out_violation:None token;
               `Ok ()))
   | None -> (
       match Dsm_net.Latency.of_string latency with
@@ -796,26 +924,11 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
             in
             let token = Explore.token_of spec decisions in
             Format.printf "repro          : %s@." (Token.to_string token);
-            (match trace_out_violation with
-            | None -> ()
-            | Some path -> (
-                (* Re-execute the (minimized) violating run with a
-                   timeline sink on its replay arena and export it. *)
-                let tl = ref None in
-                match
-                  Explore.replay
-                    ~probe:(fun bus -> tl := Some (Dsm_obs.Timeline.attach bus))
-                    token
-                with
-                | Error msg ->
-                    Printf.eprintf "warning: violation replay failed: %s\n" msg
-                | Ok _ -> (
-                    match !tl with
-                    | None -> ()
-                    | Some tl -> (
-                        match write_trace tl path with
-                        | Ok () -> ()
-                        | Error msg -> Printf.eprintf "warning: %s\n" msg))));
+            (* Re-execute the (minimized) violating run once, with a
+               flight recorder (and a timeline sink when requested) on
+               its replay arena: explanation text/JSON and the exported
+               trace all describe the same deterministic run. *)
+            explain_token ~explain ~race_report ~trace_out_violation token;
             print_metrics registry;
             `Error (false, "invariant violated (see repro token)")
       in
@@ -1026,6 +1139,30 @@ let explore_cmd =
             "On a violation, replay the (minimized) repro token and write \
              its Chrome/Perfetto trace-event JSON timeline to $(docv).")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "On a violation (or with $(b,--replay)), re-execute the repro \
+             token with a flight recorder attached and print a causal \
+             explanation of every race signal: both conflicting accesses \
+             with their clocks, the incomparable clock components, and \
+             the most recent sync edge between the two processes. Runs \
+             with a violation but no race signal fall back to the \
+             detector's per-granule provenance (e.g. the planted \
+             RMW-atomicity bug).")
+  in
+  let race_report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "race-report" ] ~docv:"FILE"
+          ~doc:
+            "Write the explanations of the (minimized) violating run as a \
+             JSON document to $(docv). Implies the same deterministic \
+             token replay as $(b,--explain).")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
   in
@@ -1035,7 +1172,7 @@ let explore_cmd =
         (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
        $ chunk $ dpor $ latency $ clock_wire $ faults $ reliable $ bug
        $ max_events $ replay $ no_minimize $ metrics $ expect_races
-       $ trace_out_violation $ verbose))
+       $ trace_out_violation $ explain $ race_report $ verbose))
 
 (* ---------- scenario ---------- *)
 

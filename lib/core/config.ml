@@ -20,6 +20,7 @@ type t = {
   trace_reads_from : [ `All_writers | `Last_writer ];
   ordered_locking : bool;
   lock_aware_clocks : bool;
+  provenance_depth : int;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     trace_reads_from = `All_writers;
     ordered_locking = true;
     lock_aware_clocks = false;
+    provenance_depth = 4;
   }
 
 let transport_name = function
@@ -73,4 +75,6 @@ let validate t =
   | Variable | Block _ | Word -> ());
   if t.store_shards < 1 || t.store_shards land (t.store_shards - 1) <> 0 then
     invalid_arg "Config.validate: store_shards must be a positive power of two";
+  if t.provenance_depth < 0 then
+    invalid_arg "Config.validate: provenance_depth must be non-negative";
   t

@@ -106,6 +106,12 @@ type t = {
           acquire absorbs it. With the paper's plain clocks ([false],
           the default) lock-disciplined programs produce false positives;
           experiment E11 measures the difference *)
+  provenance_depth : int;
+      (** how many recent accesses (last writer + recent readers) the
+          detector retains per granule so a race can name {e both}
+          endpoints (default 4; [0] disables provenance entirely).
+          Observation-only: never changes verdicts, schedules or
+          fingerprints *)
 }
 
 val default : t

@@ -33,6 +33,9 @@ type t = {
   scratch_fw : Vector_clock.t array;
   scratch_fs : Vector_clock.t array;
   scratch_barrier : Vector_clock.t;
+  (* bounded per-granule access history so races can name both
+     endpoints; observation-only (never feeds back into detection) *)
+  provenance : Provenance.t;
   mutable checked_ops : int;
   mutable meta_messages : int;
   mutable clock_words_shipped : int;
@@ -158,6 +161,7 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
            in
            Some (Recorder.create ~reads_from ~n ())
          else None);
+      provenance = Provenance.create ~depth:config.Config.provenance_depth;
       checked_ops = 0;
       meta_messages = 0;
       clock_words_shipped = 0;
@@ -216,22 +220,56 @@ let kind_of_class = function
   | Plain_write -> Event.Write
   | Rmw _ -> Event.Atomic_update
 
+let is_writing_class = function
+  | Plain_write | Rmw { wrote = true } -> true
+  | Plain_read | Rmw { wrote = false } -> false
+
 (* Cold path: a race was found; materialize the granule region and the
-   clock snapshots for the report. *)
+   clock snapshots for the report, and recover the race's other endpoint
+   from the granule's provenance ring (the current access has not been
+   noted yet, so the lookup cannot return the access itself). *)
 let signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against =
+  let kind = kind_of_class cls in
   if t.probe.on then
     Dsm_obs.Probe.emit t.probe
-      (Race_signal { time = now t; pid; node; offset; len });
+      (Race_signal
+         {
+           time = now t;
+           pid;
+           node;
+           offset;
+           len;
+           kind = Event.kind_name kind;
+           against =
+             (match against with
+             | Report.General_clock -> "general"
+             | Report.Write_clock -> "write");
+         });
+  let prior =
+    Option.map
+      (fun (e : Provenance.entry) ->
+        {
+          Report.p_pid = e.pid;
+          p_kind = e.kind;
+          p_time = e.time;
+          p_op = e.op;
+          p_event_id = (if e.event_id >= 0 then Some e.event_id else None);
+          p_clock = Vector_clock.snapshot e.clock;
+        })
+      (Provenance.find_prior t.provenance ~node ~offset ~len ~pid
+         ~write:(is_writing_class cls) ~clock:v0)
+  in
   Report.signal t.report
     {
       Report.event_id;
       time = now t;
       accessor = pid;
-      kind = kind_of_class cls;
+      kind;
       granule = Addr.region ~pid:node ~space:Addr.Public ~offset ~len;
       accessor_clock = Vector_clock.snapshot v0;
       datum_clock = Vector_clock.snapshot datum;
       against;
+      prior;
     }
 
 (* Check the accessor's clock [v0] against one granule's clocks
@@ -280,6 +318,16 @@ let check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw ~fs
   in
   if Vector_clock.concurrent v0 datum then
     signal_race t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~datum ~against;
+  if Provenance.depth t.provenance > 0 then
+    Provenance.note t.provenance ~node ~offset ~len
+      {
+        Provenance.pid;
+        kind = kind_of_class cls;
+        time = now t;
+        op = t.checked_ops;
+        event_id = (match event_id with Some id -> id | None -> -1);
+        clock = Vector_clock.snapshot v0;
+      };
   match cls with
   | Plain_read | Rmw _ ->
       Vector_clock.merge_into ~into:absorb fw;
@@ -788,6 +836,8 @@ let on_barrier t ~pid ~phase ~generation ~time =
       | `Exit -> ignore (Recorder.barrier_exit rec_ ~time ~pid ~generation))
 
 let proc_clock t pid = Vector_clock.snapshot t.procs.(pid)
+
+let provenance t = t.provenance
 
 let trace t = Option.map Recorder.finish t.recorder
 

@@ -163,6 +163,10 @@ val record_lock :
 val proc_clock : t -> int -> Dsm_clocks.Vector_clock.t
 (** Snapshot of a process's current clock. *)
 
+val provenance : t -> Provenance.t
+(** The per-granule access-history store behind [Report.race.prior]
+    (depth [Config.provenance_depth]; empty when the depth is 0). *)
+
 val trace : t -> Dsm_trace.Trace.t option
 (** The recorded trace so far ([Config.record_trace] runs only). *)
 

@@ -1,0 +1,26 @@
+(** Adapter from detector-side race data to the plain-data explanation
+    layer: lowers [Report.race] values (clocks become dense [int array]
+    snapshots) and drives {!Dsm_obs.Explain} with the flight-recorder
+    window. Pure — explaining a report is a deterministic function of
+    (report, provenance, window). *)
+
+val explain_race :
+  window:Dsm_obs.Probe.event list -> Report.race -> Dsm_obs.Explain.t
+(** Explain one signal. [window] is the flight-recorder contents, oldest
+    first ({!Dsm_obs.Flight.events}). *)
+
+val explain_report :
+  window:Dsm_obs.Probe.event list -> Report.t -> Dsm_obs.Explain.t list
+(** Every signal of the report, in signal order. *)
+
+val explain_atomicity :
+  window:Dsm_obs.Probe.event list ->
+  detail:string ->
+  Provenance.t ->
+  Dsm_obs.Explain.t option
+(** Fallback for violating runs with {e zero} race signals (e.g. the
+    planted RMW write-mark bug, which breaks atomicity without breaking
+    happens-before): the first granule — in deterministic granule
+    order — whose provenance holds atomic updates from two distinct
+    processes becomes an "atomicity" explanation of its two most recent
+    such entries. [detail] names the violated invariant. *)

@@ -1,0 +1,102 @@
+(* Per-granule access history: a bounded ring of the most recent checked
+   accesses (last writer + recent readers), so a race signal can name
+   the *other* endpoint, not just the flagged one.
+
+   Keyed exactly like the granule clocks: (node, offset, len) — one
+   history per granule the detector checks. Observation-only state: it
+   is consulted and updated on the detection path but never feeds back
+   into clocks, verdicts or scheduling. *)
+
+open Dsm_clocks
+
+type entry = {
+  pid : int;
+  kind : Dsm_trace.Event.kind;
+  time : float;
+  op : int; (* detector checked-op ordinal *)
+  event_id : int; (* trace event id, -1 when tracing is off *)
+  clock : Vector_clock.t; (* accessor clock snapshot at check time *)
+}
+
+type ring = { slots : entry option array; mutable n : int }
+
+type t = {
+  depth : int;
+  granules : (int, ring) Hashtbl.t; (* packed (node, offset, len) *)
+}
+
+(* Same trick as Clock_store: pack the key into an immediate int.
+   Offsets/lengths are segment-bounded (well under 2^20 words). *)
+let pack ~node ~offset ~len = (((node lsl 21) lor offset) lsl 21) lor len
+
+let unpack key =
+  let len = key land 0x1FFFFF in
+  let offset = (key lsr 21) land 0x1FFFFF in
+  let node = key lsr 42 in
+  (node, offset, len)
+
+let create ~depth =
+  if depth < 0 then invalid_arg "Provenance.create: negative depth";
+  { depth; granules = Hashtbl.create 64 }
+
+let depth t = t.depth
+
+let note t ~node ~offset ~len entry =
+  if t.depth > 0 then begin
+    let key = pack ~node ~offset ~len in
+    let ring =
+      match Hashtbl.find_opt t.granules key with
+      | Some r -> r
+      | None ->
+          let r = { slots = Array.make t.depth None; n = 0 } in
+          Hashtbl.add t.granules key r;
+          r
+    in
+    ring.slots.(ring.n mod t.depth) <- Some entry;
+    ring.n <- ring.n + 1
+  end
+
+(* Newest first. *)
+let history t ~node ~offset ~len =
+  match Hashtbl.find_opt t.granules (pack ~node ~offset ~len) with
+  | None -> []
+  | Some ring ->
+      let depth = Array.length ring.slots in
+      let live = min ring.n depth in
+      let acc = ref [] in
+      (* newest is slot (n-1) mod depth, then backwards *)
+      for i = live - 1 downto 0 do
+        match ring.slots.((ring.n - 1 - i) mod depth) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      !acc
+
+let conflicts ~write entry =
+  (* two reads never conflict; anything involving a write or RMW does *)
+  write || entry.kind <> Dsm_trace.Event.Read
+
+(* The most recent access by another process that conflicts with the
+   flagged access and is concurrent with its clock — the race's other
+   endpoint. Falls back to the most recent conflicting access by
+   another process when no retained entry is concurrent (the real
+   endpoint may have been evicted from the bounded ring). *)
+let find_prior t ~node ~offset ~len ~pid ~write ~clock =
+  let entries = history t ~node ~offset ~len in
+  let candidates =
+    List.filter (fun e -> e.pid <> pid && conflicts ~write e) entries
+  in
+  match
+    List.find_opt (fun e -> Vector_clock.concurrent clock e.clock) candidates
+  with
+  | Some e -> Some e
+  | None -> ( match candidates with e :: _ -> Some e | [] -> None)
+
+let iter_granules t ~f =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.granules [] in
+  let keys = List.sort compare keys in
+  List.iter
+    (fun key ->
+      let node, offset, len = unpack key in
+      f ~node ~offset ~len (history t ~node ~offset ~len))
+    keys

@@ -1,5 +1,14 @@
 type against = General_clock | Write_clock
 
+type prior_access = {
+  p_pid : int;
+  p_kind : Dsm_trace.Event.kind;
+  p_time : float;
+  p_op : int;
+  p_event_id : int option;
+  p_clock : Dsm_clocks.Vector_clock.t;
+}
+
 type race = {
   event_id : int option;
   time : float;
@@ -9,6 +18,7 @@ type race = {
   accessor_clock : Dsm_clocks.Vector_clock.t;
   datum_clock : Dsm_clocks.Vector_clock.t;
   against : against;
+  prior : prior_access option;
 }
 
 type t = {
@@ -48,7 +58,19 @@ let signal t r =
     if t.verbose then Log.warn (fun m -> m "%a" pp_race r)
   end
 
-let suppress t region = t.suppressions <- region :: t.suppressions
+(* Suppressing a region also reclassifies signals that arrived *before*
+   the suppression, so [count]/[races]/[grouped] agree no matter when
+   the acknowledgment happened. Both lists are newest-first. *)
+let suppress t region =
+  t.suppressions <- region :: t.suppressions;
+  let now_suppressed, kept =
+    List.partition
+      (fun r -> Dsm_memory.Addr.overlap r.granule region)
+      t.races
+  in
+  t.races <- kept;
+  t.count <- t.count - List.length now_suppressed;
+  t.suppressed <- now_suppressed @ t.suppressed
 
 let suppressed t = List.rev t.suppressed
 
@@ -132,11 +154,11 @@ let pp_grouped ppf t =
 let to_csv t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "time,accessor,kind,node,offset,len,against,accessor_clock,datum_clock\n";
+    "time,accessor,kind,node,offset,len,against,accessor_clock,datum_clock,event_id\n";
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%.6f,%d,%s,%d,%d,%d,%s,\"%s\",\"%s\"\n" r.time
+        (Printf.sprintf "%.6f,%d,%s,%d,%d,%d,%s,\"%s\",\"%s\",%s\n" r.time
            r.accessor
            (Dsm_trace.Event.kind_name r.kind)
            r.granule.Dsm_memory.Addr.base.pid
@@ -145,7 +167,8 @@ let to_csv t =
            | General_clock -> "general"
            | Write_clock -> "write")
            (Dsm_clocks.Vector_clock.to_string r.accessor_clock)
-           (Dsm_clocks.Vector_clock.to_string r.datum_clock)))
+           (Dsm_clocks.Vector_clock.to_string r.datum_clock)
+           (match r.event_id with Some id -> string_of_int id | None -> "")))
     (races t);
   Buffer.contents buf
 

@@ -7,6 +7,18 @@
 type against = General_clock | Write_clock
 (** Which per-datum clock the accessor's clock was incomparable with. *)
 
+type prior_access = {
+  p_pid : int;
+  p_kind : Dsm_trace.Event.kind;
+  p_time : float;
+  p_op : int;  (** detector checked-op ordinal *)
+  p_event_id : int option;
+  p_clock : Dsm_clocks.Vector_clock.t;
+}
+(** The race's {e other} endpoint, recovered from the detector's
+    per-granule provenance ring (see {!Provenance}): the most recent
+    conflicting access by another process. *)
+
 type race = {
   event_id : int option;
       (** trace event id of the flagged access, when tracing is on *)
@@ -17,6 +29,9 @@ type race = {
   accessor_clock : Dsm_clocks.Vector_clock.t;
   datum_clock : Dsm_clocks.Vector_clock.t;
   against : against;
+  prior : prior_access option;
+      (** [None] when provenance is disabled ([provenance_depth = 0]) or
+          no conflicting access is retained *)
 }
 
 type t
@@ -30,10 +45,12 @@ val signal : t -> race -> unit
 
 val suppress : t -> Dsm_memory.Addr.region -> unit
 (** §4.4: "some algorithms contain race conditions on purpose". Marks a
-    region as intentionally racy: later signals whose granule overlaps it
-    are still recorded (see {!suppressed}) but excluded from {!count},
-    {!races} and the groupings — the acknowledgment workflow of a real
-    debugging tool. *)
+    region as intentionally racy: signals whose granule overlaps it —
+    including signals that arrived {e before} the suppression — are
+    still recorded (see {!suppressed}) but excluded from {!count},
+    {!races} and the groupings, so the acknowledgment workflow of a real
+    debugging tool stays consistent no matter when the region was
+    acknowledged. *)
 
 val suppressed : t -> race list
 (** Signals swallowed by suppressions, in signal order. *)
@@ -67,8 +84,10 @@ val pp_grouped : Format.formatter -> t -> unit
 
 val to_csv : t -> string
 (** One row per signal:
-    [time,accessor,kind,node,offset,len,against,accessor_clock,datum_clock]
-    — the machine-readable companion of [Dsm_trace.Export]. *)
+    [time,accessor,kind,node,offset,len,against,accessor_clock,datum_clock,event_id]
+    — the machine-readable companion of [Dsm_trace.Export]. [event_id]
+    is empty when tracing was off, otherwise it joins the row to the
+    recorded trace event. *)
 
 val fingerprint : t -> string
 (** Hex digest of {!to_csv}: two runs produced the same signals (same

@@ -86,6 +86,9 @@ type ctx = {
   mutable ready_log : Ready_log.t option;
       (* when installed, every run records its choice-point ready views
          and chained-grant samples — the DPOR layer's input *)
+  mutable last_built : Scenario.built option;
+      (* the machine/detector/monitor set of the most recent run, for
+         post-run inspection (race explanations) *)
 }
 
 let create_ctx ?metrics spec =
@@ -114,11 +117,14 @@ let create_ctx ?metrics spec =
     prev = Array.make (Scenario.procs plan) None;
     runs_executed = 0;
     ready_log = None;
+    last_built = None;
   }
 
 let ctx_probe ctx = Engine.probe ctx.sim
 
 let ctx_spec ctx = ctx.spec
+
+let last_built ctx = ctx.last_built
 
 let set_ready_log ctx log = ctx.ready_log <- log
 
@@ -290,6 +296,7 @@ let exec_with ctx chooser =
   if probe.Dsm_obs.Probe.on then
     Dsm_obs.Probe.emit probe (Run_begin { run });
   let built = fresh_built ctx in
+  ctx.last_built <- Some built;
   Engine.set_chooser ctx.sim (Some (Chooser.fn chooser));
   (match ctx.ready_log with
   | None -> ()

@@ -106,6 +106,12 @@ val ctx_probe : ctx -> Dsm_obs.Probe.t
 val ctx_spec : ctx -> spec
 (** The spec this arena was created for. *)
 
+val last_built : ctx -> Scenario.built option
+(** The machine/detector/monitor set of the most recent run executed in
+    this arena ([None] before the first run) — post-run inspection for
+    race explanations: the detector's report and provenance describe
+    exactly that run until the next one starts. *)
+
 val set_ready_log : ctx -> Ready_log.t option -> unit
 (** Install (or remove) a {!Ready_log} on the arena: every subsequent
     run records its choice-point ready views and chained-grant samples

@@ -28,7 +28,9 @@ type plan = {
 let known =
   [
     "getput";
+    "getput-checked";
     "rmwlost";
+    "rmwlost-checked";
     "prog:FILE.dsm";
     "workload:random";
     "workload:master-worker";
@@ -143,6 +145,94 @@ let populate_rmwlost machine =
       ]
   in
   { machine; detector = None; coherence; linearize; monitor }
+
+(* [getput]/[rmwlost] with the race detector watching. The accesses go
+   through [Detector.get]/[put]/[fetch_add] under the [Inline] transport,
+   so the data path is still the machine's own atomic verbs — the planted
+   bugs bite exactly as in the unchecked variants — while every access is
+   clock-checked: the unsynchronized get/put pair signals races whose
+   explanations must name both endpoints, and the RMW storm (S-serialized,
+   hence race-silent) exercises the provenance-based atomicity fallback. *)
+let checked_config ~clock_wire =
+  { Config.default with Config.transport = Config.Inline; clock_wire }
+
+let populate_getput_checked ~clock_wire machine =
+  let coherence = Coherence.attach machine in
+  let linearize = Linearize.attach machine in
+  let detector =
+    Detector.create machine ~config:(checked_config ~clock_wire) ()
+  in
+  let a = Machine.alloc_public machine ~pid:0 ~name:"A" ~len:4 () in
+  let b = Machine.alloc_public machine ~pid:1 ~name:"B" ~len:4 () in
+  Detector.register detector a;
+  Detector.register detector b;
+  let open_gets : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let bad = ref [] in
+  let a_lo = a.Dsm_memory.Addr.base.offset in
+  let a_len = a.Dsm_memory.Addr.len in
+  Machine.add_observer machine (function
+    | Machine.Sent { src = 0; msg = Message.Get { op; _ }; _ } ->
+        Hashtbl.replace open_gets op ()
+    | Machine.Delivered { dst = 0; msg = Message.Get_reply { op; _ }; _ } ->
+        Hashtbl.remove open_gets op
+    | Machine.Write_applied { node = 0; offset; data; origin; time } ->
+        let len = Array.length data in
+        let overlaps = offset < a_lo + a_len && a_lo < offset + len in
+        if overlaps && origin <> 0 && Hashtbl.length open_gets > 0 then
+          bad :=
+            Printf.sprintf
+              "put by P%d applied to A at t=%.3f inside P0's open get window"
+              origin time
+            :: !bad
+    | _ -> ());
+  let iters = 3 in
+  Machine.spawn machine ~pid:0 ~name:"getter" (fun p ->
+      for _ = 1 to iters do
+        Detector.get detector p ~src:b ~dst:a;
+        Machine.compute p 0.5
+      done);
+  let payload = Machine.alloc_private machine ~pid:1 ~name:"payload" ~len:4 () in
+  Dsm_memory.Node_memory.write (Machine.node machine 1) payload [| 7; 7; 7; 7 |];
+  Machine.spawn machine ~pid:1 ~name:"putter" (fun p ->
+      for _ = 1 to iters do
+        Detector.put detector p ~src:payload ~dst:a;
+        Machine.compute p 0.3
+      done);
+  let monitor () =
+    List.rev_map (fun m -> ("get-window-atomicity", m)) !bad
+  in
+  { machine; detector = Some detector; coherence; linearize; monitor }
+
+let populate_rmwlost_checked ~clock_wire machine =
+  let coherence = Coherence.attach machine in
+  let linearize = Linearize.attach machine in
+  let detector =
+    Detector.create machine ~config:(checked_config ~clock_wire) ()
+  in
+  let n = Machine.n machine in
+  let counter = Machine.alloc_public machine ~pid:0 ~name:"C" ~len:1 () in
+  Detector.register detector counter;
+  let target =
+    Dsm_memory.Addr.global ~pid:0 ~space:Dsm_memory.Addr.Public
+      ~offset:counter.Dsm_memory.Addr.base.offset
+  in
+  for pid = 1 to n - 1 do
+    Machine.spawn machine ~pid
+      ~name:(Printf.sprintf "adder%d" pid)
+      (fun p -> ignore (Detector.fetch_add detector p ~target ~delta:1))
+  done;
+  let monitor () =
+    let v =
+      (Dsm_memory.Node_memory.read (Machine.node machine 0) counter).(0)
+    in
+    if v = n - 1 then []
+    else
+      [
+        ( "rmw-sum",
+          Printf.sprintf "counter holds %d after %d fetch_adds" v (n - 1) );
+      ]
+  in
+  { machine; detector = Some detector; coherence; linearize; monitor }
 
 let read_file path =
   let ic = open_in path in
@@ -314,7 +404,11 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like)
   in
   match String.index_opt spec ':' with
   | None when spec = "getput" -> plan ~min_procs:2 populate_getput
+  | None when spec = "getput-checked" ->
+      plan ~min_procs:2 (populate_getput_checked ~clock_wire)
   | None when spec = "rmwlost" -> plan ~min_procs:2 populate_rmwlost
+  | None when spec = "rmwlost-checked" ->
+      plan ~min_procs:2 (populate_rmwlost_checked ~clock_wire)
   | None -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec)
   | Some colon -> (
       let kind = String.sub spec 0 colon in

@@ -13,6 +13,12 @@
       bug lets a tied delivery slip between an RMW's read and its
       deferred write — a lost update the linearizability oracle and the
       scenario's sum monitor both flag.
+    - ["getput-checked"] / ["rmwlost-checked"] — the same two collisions
+      with the race detector attached (Inline transport, so the data path
+      — and the planted bugs — are unchanged): [getput-checked] signals
+      races whose explanations name both endpoints, and [rmwlost-checked]
+      stays race-silent (RMWs are S-serialized) while still violating
+      under the bug, exercising the provenance-based atomicity fallback.
     - ["prog:FILE.dsm"] — a mini-language program run instrumented under
       the detector, like [dsmcheck run].
     - ["workload:NAME"] — one of the [dsm_workload] programs (random,

@@ -1,0 +1,131 @@
+(** Causal race explanations: one race signal, the provenance endpoint
+    and the flight-recorder window correlated into a structured,
+    deterministically-rendered report.
+
+    This module is plain data end to end — pids, times, strings and
+    dense [int array] clock snapshots — because [dsm_obs] sits below the
+    clock/detector libraries. [Dsm_core.Diagnose] lowers [Report.race]
+    values into {!access} records; the explorer's [Explain_run] drives
+    the whole pipeline from a replay token.
+
+    Construction is pure and rendering uses fixed formats, so the same
+    inputs always produce byte-identical text and JSON — the property
+    the acceptance gate checks across [--jobs]×[--chunk] and fresh-run
+    vs [--replay]. *)
+
+(** One endpoint of the explained conflict. [time]/[op]/[event_id] are
+    [-1(.)] when unknown. *)
+type access = {
+  pid : int;
+  kind : string;  (** "read" | "write" | "atomic-update" *)
+  time : float;
+  op : int;  (** detector checked-op ordinal *)
+  event_id : int;
+  clock : int array;
+}
+
+(** The most recent event in the window that could have ordered the two
+    endpoints — the "this is the sync that failed you" witness. *)
+type sync_edge =
+  | Lock_handoff of {
+      node : int;
+      offset : int;
+      len : int;
+      from_pid : int;
+      to_pid : int;
+      released : float;
+      acquired : float;
+    }
+  | Message of {
+      src : int;
+      dst : int;
+      op : int;
+      label : string;
+      sent : float;
+      delivered : float;
+    }
+  | Rmw_serialization of {
+      node : int;
+      origin : int;
+      offset : int;
+      len : int;
+      kind : string;
+      time : float;
+    }
+
+type msg = {
+  m_src : int;
+  m_dst : int;
+  m_op : int;
+  m_label : string;
+  m_sent : float;  (** -1. when the send fell outside the window *)
+  m_delivered : float;
+}
+
+type component = int * int * int
+(** [(i, accessor_tick, datum_tick)] — one clock coordinate where the
+    two clocks disagree. *)
+
+type t = {
+  cause : string;  (** "race" | "atomicity" *)
+  node : int;
+  offset : int;
+  len : int;
+  against : string;  (** "general" | "write" | "serial-spec" *)
+  flagged : access;
+  datum_clock : int array;
+  prior : access option;
+  ahead : component list;  (** accessor strictly ahead (first 8) *)
+  ahead_count : int;
+  behind : component list;  (** accessor strictly behind (first 8) *)
+  behind_count : int;
+  sync_edge : sync_edge option;
+  chain : msg list;
+      (** recent delivered messages touching the endpoints, oldest
+          first, capped at 8 *)
+  window_events : int;
+  detail : string;
+}
+
+val of_race :
+  node:int ->
+  offset:int ->
+  len:int ->
+  against:string ->
+  flagged:access ->
+  datum_clock:int array ->
+  ?prior:access ->
+  window:Probe.event list ->
+  unit ->
+  t
+(** Explain one happens-before race: computes the incomparable clock
+    components, scans [window] (oldest first — {!Flight.events}) for the
+    last sync edge between the endpoints and the recent message chain. *)
+
+val of_atomicity :
+  node:int ->
+  offset:int ->
+  len:int ->
+  flagged:access ->
+  ?prior:access ->
+  window:Probe.event list ->
+  detail:string ->
+  unit ->
+  t
+(** Explain a serial-spec violation that produced {e no} race signal
+    (e.g. a planted RMW-atomicity bug): endpoints come from provenance,
+    and their clocks are typically ordered — which is exactly the
+    story: synchronization looked right, the applied values were not. *)
+
+val to_text : t -> string
+(** TSan-style two-sided report. *)
+
+val to_json : t -> string
+(** One JSON object (hand-rolled, stable field order). *)
+
+val list_to_json : t list -> string
+(** [{"explanations": [...]}] document. *)
+
+val annotate : Timeline.t -> t -> unit
+(** Add instant marks at both endpoints and a flow arrow between them
+    to an existing Perfetto timeline. *)

@@ -1,0 +1,86 @@
+(* A bounded flight recorder over the probe bus: a fixed-capacity ring
+   of the most recent events, O(1) append, reset in place when the
+   explorer starts a new run in the same arena. *)
+
+type t = {
+  capacity : int;
+  slots : Probe.event array; (* only indices < min total capacity are live *)
+  mutable total : int; (* events accepted since the last reset *)
+  mutable head : int; (* next slot to write; always total mod capacity *)
+  keep : bool array; (* indexed by Probe.class_id *)
+}
+
+let default_exclude = [ "engine.step" ]
+
+(* Any event works as the fill value; slots past [total] are never read. *)
+let filler = Probe.Run_begin { run = -1 }
+
+(* Compile the name-based exclude list into a per-class bool table once:
+   the per-event filter is then a tag dispatch plus an array load. *)
+let keep_of_exclude exclude =
+  Array.init Probe.class_count (fun i ->
+      not (List.mem Probe.class_names.(i) exclude))
+
+let create ?(capacity = 256) ?(exclude = default_exclude) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  {
+    capacity;
+    slots = Array.make capacity filler;
+    total = 0;
+    head = 0;
+    keep = keep_of_exclude exclude;
+  }
+
+let capacity t = t.capacity
+let total t = t.total
+let length t = min t.total t.capacity
+let dropped t = t.total - length t
+
+let reset t =
+  t.total <- 0;
+  t.head <- 0
+
+let record t ev =
+  if t.keep.(Probe.class_id ev) then begin
+    t.slots.(t.head) <- ev;
+    let head = t.head + 1 in
+    t.head <- (if head = t.capacity then 0 else head);
+    t.total <- t.total + 1
+  end
+
+(* The sink is arena-reset-aware: the explorer emits [Run_begin] at the
+   top of every run it executes in a (possibly reused) arena, so the
+   window always covers exactly the current run. The run-boundary
+   markers themselves are control events for the recorder, not window
+   content — they carry the arena-global run counter, which would make
+   two otherwise identical runs leave different windows. *)
+let sink t ev =
+  match ev with
+  | Probe.Run_begin _ -> reset t
+  | Probe.Run_end _ -> ()
+  | ev -> record t ev
+
+let attach ?capacity ?exclude bus =
+  let t = create ?capacity ?exclude () in
+  Probe.attach bus (sink t);
+  t
+
+let nth_oldest t i =
+  let n = length t in
+  if i < 0 || i >= n then invalid_arg "Flight.nth_oldest";
+  (* oldest retained event is seq [total - n] *)
+  t.slots.((t.total - n + i) mod t.capacity)
+
+let iter t ~f =
+  let n = length t in
+  let first = t.total - n in
+  for i = 0 to n - 1 do
+    f ~seq:(first + i) t.slots.((first + i) mod t.capacity)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t ~f:(fun ~seq ev -> acc := (seq, ev) :: !acc);
+  List.rev !acc
+
+let events t = List.map snd (to_list t)

@@ -1,0 +1,66 @@
+(** A bounded per-run flight recorder: an ordinary probe sink that
+    retains the last K events in a fixed-capacity ring.
+
+    Appends are O(1) and allocation-free (one array store + counter
+    bump); once full, the oldest event is overwritten. The sink is
+    arena-reset-aware: an [explore.run_begin] event resets the window in
+    place, so across the explorer's reused-arena runs the ring always
+    holds a suffix of the {e current} run only. The run-boundary
+    markers are consumed as control events rather than recorded — they
+    carry the arena-global run counter, so keeping them would make two
+    otherwise identical runs leave different windows.
+
+    Like every sink, the recorder is a read-only observer — attaching it
+    never changes a run's schedule, races or fingerprint (QCheck-tested
+    in [test_explain.ml]). *)
+
+type t
+
+val default_exclude : string list
+(** Event classes dropped by default: [["engine.step"]] — the one
+    per-event firehose with no explanatory value, excluded so the
+    window covers meaningful traffic and the attach cost stays inside
+    the ≤ 3% probe-overhead gate. *)
+
+val create : ?capacity:int -> ?exclude:string list -> unit -> t
+(** A detached recorder. [capacity] defaults to 256 and must be ≥ 1;
+    [exclude] is a list of {!Probe.name} classes to filter out
+    (default {!default_exclude}; pass [[]] to keep everything). *)
+
+val attach : ?capacity:int -> ?exclude:string list -> Probe.t -> t
+(** [create] + [Probe.attach] in one step. *)
+
+val sink : t -> Probe.event -> unit
+(** The raw sink, for attaching by hand (e.g. next to a timeline). *)
+
+val record : t -> Probe.event -> unit
+(** Append one event (subject to the class filter), without the
+    [sink]'s run-begin reset handling. *)
+
+val reset : t -> unit
+(** Empty the window in place (no allocation). *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently retained: [min total capacity]. *)
+
+val total : t -> int
+(** Events accepted (post-filter) since the last reset. *)
+
+val dropped : t -> int
+(** Accepted events that have already been overwritten. *)
+
+val nth_oldest : t -> int -> Probe.event
+(** [nth_oldest t 0] is the oldest retained event; raises
+    [Invalid_argument] outside [\[0, length)]. *)
+
+val iter : t -> f:(seq:int -> Probe.event -> unit) -> unit
+(** Oldest → newest; [seq] is the event's global index since the last
+    reset (so [seq = total - 1] for the newest). *)
+
+val to_list : t -> (int * Probe.event) list
+(** [(seq, event)] pairs, oldest first. *)
+
+val events : t -> Probe.event list
+(** The retained window, oldest first. *)

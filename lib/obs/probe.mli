@@ -47,10 +47,17 @@ type event =
   | Op_begin of { time : float; pid : int; op : int; kind : string; target : int }
       (** a one-sided operation ([kind] put/get/atomic/lock) left [pid] *)
   | Op_end of { time : float; pid : int; op : int; kind : string }
-  | Msg_sent of { time : float; src : int; dst : int; label : string }
+  | Msg_sent of { time : float; src : int; dst : int; op : int; label : string }
       (** protocol message handed to the fabric ([label] from
-          [Message.describe]) *)
-  | Msg_delivered of { time : float; src : int; dst : int; label : string }
+          [Message.describe], [op] the issuing operation id so a send can
+          be paired with its delivery) *)
+  | Msg_delivered of {
+      time : float;
+      src : int;
+      dst : int;
+      op : int;
+      label : string;
+    }
   | Lock_acquired of {
       time : float;
       pid : int;
@@ -97,7 +104,19 @@ type event =
   | Detector_check of { time : float; pid : int; kind : string; fast_path : bool }
       (** one checked access; [fast_path] = the accessor clock was still
           an O(1) epoch when the check began *)
-  | Race_signal of { time : float; pid : int; node : int; offset : int; len : int }
+  | Race_signal of {
+      time : float;
+      pid : int;
+      node : int;
+      offset : int;
+      len : int;
+      kind : string;
+      against : string;
+    }
+      (** [kind] is the flagged access ("read"/"write"/"atomic-update"),
+          [against] the incomparable granule clock it lost to ("general"
+          for V, "write" for W) — mirrors [Report.race] so sinks need not
+          re-join against the report *)
   | Clock_merge of { time : float; pid : int }
       (** the accessor absorbed observed clocks (read/atomic/barrier) *)
   | Run_begin of { run : int }  (** explorer: schedule [run] starting *)
@@ -136,3 +155,13 @@ val emit : t -> event -> unit
 val name : event -> string
 (** Stable dotted name of the event's emit point, e.g. ["net.send"] —
     the key the {!Meter} counters and the timeline exporter use. *)
+
+val class_id : event -> int
+(** Dense event-class index in [0, class_count): a tag dispatch, for
+    per-class filters that must be an array load on the hot path (the
+    {!Flight} recorder's exclude list). *)
+
+val class_count : int
+
+val class_names : string array
+(** [class_names.(class_id ev) = name ev]. *)

@@ -135,7 +135,7 @@ let sink t (ev : Probe.event) =
             ~cat:"op" ~ts:t0
             ~dur:(Float.max (time -. t0) 0.)
             ~args:(Printf.sprintf {|"op":%d,"target":%d|} op target))
-  | Msg_sent { time; src; dst; label } ->
+  | Msg_sent { time; src; dst; label; _ } ->
       let id = t.next_flow in
       t.next_flow <- id + 1;
       let key = (src, dst, label) in
@@ -150,7 +150,7 @@ let sink t (ev : Probe.event) =
       Queue.push id q;
       slice t ~pid:src ~name:label ~cat:"msg" ~ts:time ~dur:stub_dur ~args:"";
       flow t ~pid:src ~phase:"s" ~id ~name:label ~ts:time
-  | Msg_delivered { time; src; dst; label } -> (
+  | Msg_delivered { time; src; dst; label; _ } -> (
       match Hashtbl.find_opt t.flows (src, dst, label) with
       | None -> ()
       | Some q when Queue.is_empty q -> ()
@@ -195,10 +195,12 @@ let sink t (ev : Probe.event) =
         ~ts:time
         ~args:(Printf.sprintf {|"offset":%d,"origin":%d|} offset origin)
   | Detector_check _ | Clock_merge _ -> ()
-  | Race_signal { time; pid; node; offset; len } ->
+  | Race_signal { time; pid; node; offset; len; kind; against } ->
       instant t ~pid ~name:"race signal" ~cat:"race" ~ts:time
         ~args:
-          (Printf.sprintf {|"node":%d,"offset":%d,"len":%d|} node offset len)
+          (Printf.sprintf
+             {|"node":%d,"offset":%d,"len":%d,"kind":"%s","against":"%s"|}
+             node offset len (escape kind) (escape against))
   | Run_begin _ | Run_end _ -> ()
   | Violation { run; invariant } ->
       instant t ~pid:scheduler_pid ~name:"invariant violation" ~cat:"explore"
@@ -223,6 +225,16 @@ let attach bus =
   let t = create () in
   Probe.attach bus (sink t);
   t
+
+(* Post-hoc annotation entry points (race explanations etc.): the same
+   primitives the sink uses, with caller-supplied payloads. *)
+let add_instant t ~pid ~name ~cat ~ts ~args = instant t ~pid ~name ~cat ~ts ~args
+
+let add_flow_pair t ~src ~dst ~name ~ts_start ~ts_end =
+  let id = t.next_flow in
+  t.next_flow <- id + 1;
+  flow t ~pid:src ~phase:"s" ~id ~name ~ts:ts_start;
+  flow t ~pid:dst ~phase:"f" ~id ~name ~ts:ts_end
 
 let event_count t = t.n_events
 

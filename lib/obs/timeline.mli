@@ -30,6 +30,17 @@ val to_json_string : t -> string
 
 val write_file : t -> string -> unit
 
+val add_instant :
+  t -> pid:int -> name:string -> cat:string -> ts:float -> args:string -> unit
+(** Append an ["i"] instant record directly — used by {!Explain.annotate}
+    to mark the two endpoints of an explained race. [args] is a raw JSON
+    object body (no braces), e.g. [{|"node":0,"offset":4|}]. *)
+
+val add_flow_pair :
+  t -> src:int -> dst:int -> name:string -> ts_start:float -> ts_end:float -> unit
+(** Append a matched ["s"]/["f"] flow-arrow pair with a fresh id, from
+    lane [src] at [ts_start] to lane [dst] at [ts_end]. *)
+
 val scheduler_pid : int
 (** Lane id used for scheduler events (choices, quiescence). *)
 

@@ -220,6 +220,7 @@ let rec handle m ~node ~src msg =
             time = Engine.now m.sim;
             src;
             dst = node;
+            op = Message.op_id msg;
             label = Message.describe msg;
           }));
   let nm = m.nodes.(node) in
@@ -409,6 +410,7 @@ and transmit m ~src ~dst msg =
             time = Engine.now m.sim;
             src;
             dst;
+            op = Message.op_id msg;
             label = Message.describe msg;
           }));
   (* Footprint of the delivery event: a request's handler mutates the

@@ -98,6 +98,25 @@ let is_reply = function
   | Unlock _ | Control _ ->
       false
 
+(* The issuing operation's id, used to pair a send with its delivery in
+   telemetry. [Unlock] is fire-and-forget with no op of its own: -1. *)
+let op_id = function
+  | Put { op; _ }
+  | Put_ack { op }
+  | Put_batch { op; _ }
+  | Get { op; _ }
+  | Get_reply { op; _ }
+  | Atomic { op; _ }
+  | Atomic_reply { op; _ }
+  | Accumulate { op; _ }
+  | Acc_reply { op; _ }
+  | Lock_request { op; _ }
+  | Lock_granted { op; _ }
+  | Control { op; _ }
+  | Control_reply { op; _ } ->
+      op
+  | Unlock _ -> -1
+
 let header_words = 2
 
 (* The nominal clock allowance a message carries: the [extra_words]

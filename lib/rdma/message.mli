@@ -115,6 +115,11 @@ val is_reply : t -> bool
     delivery acts on behalf of the sending side's process — are [false].
     [Unlock] counts as a request: releasing may grant queued waiters. *)
 
+val op_id : t -> int
+(** The issuing operation's id — the key telemetry uses to pair a
+    [Msg_sent] with its [Msg_delivered]. [-1] for [Unlock], which is
+    fire-and-forget and carries no op of its own. *)
+
 val header_words : int
 (** Fixed per-message header size charged on the wire (routing, op ids). *)
 

@@ -308,6 +308,64 @@ let test_report_suppression () =
   Alcotest.(check int) "suppressed recorded" 2
     (List.length (Report.suppressed (Detector.report d)))
 
+(* ISSUE 9 satellite: suppressing a region must also retroactively move
+   already-signalled races out of the live set — count, races and
+   grouped stay consistent, and the moved signals remain on record. *)
+let test_report_suppress_after_signal () =
+  let m, d = make ~n:4 () in
+  let intentional = Detector.alloc_shared d ~pid:3 ~name:"mw" ~len:1 () in
+  let accidental = Detector.alloc_shared d ~pid:3 ~name:"bug" ~len:1 () in
+  for pid = 0 to 2 do
+    Machine.spawn m ~pid (fun p ->
+        Detector.put d p ~src:(private_buf m ~pid [| pid |]) ~dst:intentional;
+        Detector.put d p ~src:(private_buf m ~pid [| pid |]) ~dst:accidental)
+  done;
+  expect_completed m;
+  let report = Detector.report d in
+  Alcotest.(check int) "both variables signalled" 4 (Report.count report);
+  Report.suppress report intentional;
+  Alcotest.(check int) "count excludes the suppressed granule" 2
+    (Report.count report);
+  Alcotest.(check int) "list agrees with count" (Report.count report)
+    (List.length (Report.races report));
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "live races only on the bug"
+        accidental.Addr.base.offset r.Report.granule.Addr.base.offset)
+    (Report.races report);
+  Alcotest.(check int) "moved to suppressed" 2
+    (List.length (Report.suppressed report));
+  let grouped_total =
+    List.fold_left (fun a g -> a + g.Report.g_count) 0 (Report.grouped report)
+  in
+  Alcotest.(check int) "grouped covers exactly the live races" 2 grouped_total
+
+(* ISSUE 9 satellite: the CSV gained an event_id column joining each
+   signal to its recorded trace event; without tracing the cell is
+   empty but the column is always there. *)
+let test_report_csv_event_id () =
+  let d = scenario_5a Config.default in
+  let csv = Report.to_csv (Detector.report d) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  let header = List.hd lines in
+  Alcotest.(check bool) "event_id column" true
+    (Test_util.contains header ",event_id");
+  (* field count, ignoring commas inside double-quoted clock snapshots *)
+  let cols s =
+    let n = ref 1 and quoted = ref false in
+    String.iter
+      (fun c ->
+        if c = '"' then quoted := not !quoted
+        else if c = ',' && not !quoted then incr n)
+      s;
+    !n
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "row width matches header" (cols header)
+        (cols line))
+    lines
+
 let test_report_clear () =
   let d = scenario_5a Config.default in
   Alcotest.(check int) "had one" 1 (races d);
@@ -794,7 +852,10 @@ let () =
           Alcotest.test_case "grouping" `Quick test_report_grouping;
           Alcotest.test_case "clear" `Quick test_report_clear;
           Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "csv event_id" `Quick test_report_csv_event_id;
           Alcotest.test_case "suppression" `Quick test_report_suppression;
+          Alcotest.test_case "suppress after signal" `Quick
+            test_report_suppress_after_signal;
         ] );
       ( "granule-coverage",
         [

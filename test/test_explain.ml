@@ -1,0 +1,276 @@
+(* ISSUE 9: the explanation pipeline — flight-recorder ring semantics
+   (bounded, O(1), arena-reset-aware), fingerprint invariance of the
+   attached recorder, and the determinism + both-endpoints guarantees of
+   the token-driven race explanations. *)
+
+module Probe = Dsm_obs.Probe
+module Flight = Dsm_obs.Flight
+module Explain = Dsm_obs.Explain
+module Explore = Dsm_explore.Explore
+module Explain_run = Dsm_explore.Explain_run
+module Parallel = Dsm_explore.Parallel
+module Token = Dsm_explore.Token
+
+let step i = Probe.Engine_step { time = float_of_int i }
+
+(* ---------- ring semantics ---------- *)
+
+(* record every class: the default exclude would drop Engine_step *)
+let fresh ?(capacity = 4) () = Flight.create ~capacity ~exclude:[] ()
+
+let test_ring_capacity_one () =
+  let f = fresh ~capacity:1 () in
+  for i = 1 to 5 do
+    Flight.record f (step i)
+  done;
+  Alcotest.(check int) "length" 1 (Flight.length f);
+  Alcotest.(check int) "total" 5 (Flight.total f);
+  Alcotest.(check int) "dropped" 4 (Flight.dropped f);
+  match Flight.nth_oldest f 0 with
+  | Probe.Engine_step { time } ->
+      Alcotest.(check (float 0.0)) "keeps only the newest" 5.0 time
+  | _ -> Alcotest.fail "unexpected event class"
+
+let test_ring_wraparound () =
+  let f = fresh ~capacity:4 () in
+  for i = 1 to 10 do
+    Flight.record f (step i)
+  done;
+  Alcotest.(check int) "length" 4 (Flight.length f);
+  Alcotest.(check int) "dropped" 6 (Flight.dropped f);
+  let got =
+    List.map
+      (function
+        | seq, Probe.Engine_step { time } -> (seq, int_of_float time)
+        | _ -> Alcotest.fail "unexpected event class")
+      (Flight.to_list f)
+  in
+  (* global sequence numbers survive the wrap; events oldest first *)
+  Alcotest.(check (list (pair int int)))
+    "last four, oldest first, with global seq"
+    [ (6, 7); (7, 8); (8, 9); (9, 10) ]
+    got
+
+let test_ring_capacity_zero_rejected () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Flight.create: capacity must be >= 1") (fun () ->
+      ignore (Flight.create ~capacity:0 ()))
+
+let test_ring_filter () =
+  let f = Flight.create ~capacity:8 () (* default exclude: engine.step *) in
+  Flight.record f (step 1);
+  Flight.record f
+    (Probe.Engine_quiescence { time = 2.0; events = 1; outcome = "completed" });
+  Alcotest.(check int) "engine.step filtered" 1 (Flight.length f);
+  Alcotest.(check int) "filtered events don't count" 1 (Flight.total f)
+
+(* The explorer emits Run_begin at the top of every run in a (possibly
+   reused) arena: the window must cover exactly the current run, so two
+   identical runs in the same arena leave identical windows. *)
+let test_ring_resets_across_arena_runs () =
+  let spec = { Explore.default_spec with Explore.seed = 3 } in
+  let ctx = Explore.create_ctx spec in
+  let f = Flight.attach ~capacity:1024 (Explore.ctx_probe ctx) in
+  ignore (Explore.run_once_in ctx (Explore.Walk 1));
+  let first = Flight.events f in
+  let first_total = Flight.total f in
+  ignore (Explore.run_once_in ctx (Explore.Walk 1));
+  Alcotest.(check bool) "first run recorded something" true (first <> []);
+  Alcotest.(check int) "window covers one run, not two" first_total
+    (Flight.total f);
+  Alcotest.(check bool) "identical run, identical window" true
+    (Flight.events f = first);
+  Probe.detach_all (Explore.ctx_probe ctx)
+
+(* ---------- fingerprint invariance ---------- *)
+
+(* A recorder is a passive sink: attaching one must not change the
+   schedule, the fingerprint, or the race verdicts of any run. *)
+let prop_flight_fingerprint_invariance =
+  QCheck.Test.make ~name:"flight recorder never changes a run" ~count:25
+    QCheck.(pair (int_bound 500) (int_bound 2))
+    (fun (walk, cap_sel) ->
+      let spec = { Explore.default_spec with Explore.seed = 7 } in
+      let plain = Explore.run_once spec (Explore.Walk walk) in
+      let ctx = Explore.create_ctx spec in
+      let capacity = [| 1; 8; 512 |].(cap_sel) in
+      ignore (Flight.attach ~capacity (Explore.ctx_probe ctx));
+      let recorded = Explore.run_once_in ctx (Explore.Walk walk) in
+      Probe.detach_all (Explore.ctx_probe ctx);
+      plain.Explore.fingerprint = recorded.Explore.fingerprint
+      && plain.Explore.decisions = recorded.Explore.decisions
+      && plain.Explore.races = recorded.Explore.races)
+
+(* ---------- explanations: planted get/put bug ---------- *)
+
+let checked_spec =
+  {
+    Explore.default_spec with
+    Explore.scenario = "getput-checked";
+    latency = Dsm_net.Latency.Constant 1.0;
+    bug = true;
+  }
+
+let explain_ok token =
+  match Explain_run.of_token token with
+  | Ok o -> o
+  | Error msg -> Alcotest.fail ("explanation replay failed: " ^ msg)
+
+let test_getput_checked_names_both_endpoints () =
+  let r = Explore.run_once checked_spec (Explore.Script []) in
+  Alcotest.(check bool) "the planted bug violates" true
+    (r.Explore.violations <> []);
+  let token = Explore.token_of checked_spec r.Explore.decisions in
+  let o = explain_ok token in
+  Alcotest.(check bool) "has explanations" true (o.Explain_run.explanations <> []);
+  List.iter
+    (fun (e : Explain.t) ->
+      Alcotest.(check string) "cause" "race" e.Explain.cause;
+      Alcotest.(check int) "granule node" 0 e.Explain.node;
+      (match e.Explain.prior with
+      | None -> Alcotest.fail "explanation must name the prior endpoint"
+      | Some prior ->
+          Alcotest.(check bool) "two distinct processes" true
+            (prior.Explain.pid <> e.Explain.flagged.Explain.pid);
+          Alcotest.(check bool) "prior clock snapshot kept" true
+            (Array.length prior.Explain.clock > 0));
+      (* Lemma 1: a race signal means incomparable clocks — both
+         directions must be witnessed by concrete components *)
+      Alcotest.(check bool) "accessor ahead somewhere" true
+        (e.Explain.ahead_count > 0);
+      Alcotest.(check bool) "accessor behind somewhere" true
+        (e.Explain.behind_count > 0);
+      (* a concrete missing-sync witness: either the last sync edge that
+         failed to order the endpoints, or an explicit absence *)
+      (match e.Explain.sync_edge with
+      | Some _ -> ()
+      | None ->
+          Alcotest.(check bool) "window was recorded" true
+            (e.Explain.window_events > 0));
+      let text = Explain.to_text e in
+      Alcotest.(check bool) "text names P0" true
+        (Test_util.contains text "P0");
+      Alcotest.(check bool) "text names P1" true
+        (Test_util.contains text "P1");
+      Alcotest.(check bool) "text shows clocks" true
+        (Test_util.contains text "clock ["))
+    o.Explain_run.explanations
+
+let test_explanations_deterministic () =
+  let r = Explore.run_once checked_spec (Explore.Script []) in
+  let token = Explore.token_of checked_spec r.Explore.decisions in
+  let a = explain_ok token in
+  let b = explain_ok token in
+  Alcotest.(check string) "text byte-identical across replays"
+    a.Explain_run.text b.Explain_run.text;
+  Alcotest.(check string) "json byte-identical across replays"
+    a.Explain_run.json b.Explain_run.json;
+  (* and the attached recorder is invisible to the run fingerprint *)
+  Alcotest.(check string) "fingerprint matches the bare run"
+    r.Explore.fingerprint a.Explain_run.result.Explore.fingerprint
+
+(* The parallel driver's first-violation token is bit-identical for
+   every jobs/chunk combination, so the explanations are too. *)
+let test_explanations_identical_across_jobs_and_chunk () =
+  let texts =
+    List.map
+      (fun (jobs, chunk) ->
+        let stats =
+          Parallel.explore_random ~check_determinism:false ~jobs ~chunk
+            checked_spec ~runs:20
+        in
+        match stats.Explore.first with
+        | None -> Alcotest.fail "expected a violation"
+        | Some (_, r) ->
+            let decisions = Token.trim_trailing_zeros r.Explore.decisions in
+            let token = Explore.token_of checked_spec decisions in
+            (explain_ok token).Explain_run.text)
+      [ (1, 1); (2, 1); (2, 64); (4, 64) ]
+  in
+  match texts with
+  | first :: rest ->
+      List.iteri
+        (fun i t ->
+          Alcotest.(check string)
+            (Printf.sprintf "jobs/chunk combination %d" (i + 1))
+            first t)
+        rest;
+      Alcotest.(check bool) "non-empty" true (first <> "")
+  | [] -> Alcotest.fail "no combinations ran"
+
+(* ---------- explanations: race-silent RMW atomicity bug ---------- *)
+
+let rmw_spec =
+  {
+    Explore.default_spec with
+    Explore.scenario = "rmwlost-checked";
+    n = 3;
+    latency = Dsm_net.Latency.Constant 1.0;
+    bug = true;
+  }
+
+let test_rmwlost_checked_atomicity_fallback () =
+  let stats =
+    Explore.explore_random ~check_determinism:false rmw_spec ~runs:100
+  in
+  match stats.Explore.first with
+  | None -> Alcotest.fail "the planted RMW bug never violated"
+  | Some (_, r) ->
+      let token = Explore.token_of rmw_spec r.Explore.decisions in
+      let o = explain_ok token in
+      (match o.Explain_run.explanations with
+      | [ e ] ->
+          Alcotest.(check string) "cause" "atomicity" e.Explain.cause;
+          Alcotest.(check string) "against the serial spec" "serial-spec"
+            e.Explain.against;
+          (match e.Explain.prior with
+          | None -> Alcotest.fail "atomicity explanation needs both endpoints"
+          | Some prior ->
+              Alcotest.(check bool) "two distinct processes" true
+                (prior.Explain.pid <> e.Explain.flagged.Explain.pid));
+          Alcotest.(check string) "flagged endpoint is an RMW" "atomic"
+            e.Explain.flagged.Explain.kind
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected exactly one fallback explanation, got %d"
+               (List.length l)))
+
+(* Clean runs produce no explanations — the pipeline stays quiet when
+   there is nothing to explain. *)
+let test_clean_run_explains_nothing () =
+  let spec = { rmw_spec with Explore.bug = false } in
+  let r = Explore.run_once spec (Explore.Script []) in
+  Alcotest.(check bool) "clean" true (r.Explore.violations = []);
+  let o = explain_ok (Explore.token_of spec r.Explore.decisions) in
+  Alcotest.(check int) "no explanations" 0
+    (List.length o.Explain_run.explanations);
+  Alcotest.(check string) "empty text" "" o.Explain_run.text
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "capacity one" `Quick test_ring_capacity_one;
+          Alcotest.test_case "wrap-around" `Quick test_ring_wraparound;
+          Alcotest.test_case "capacity zero rejected" `Quick
+            test_ring_capacity_zero_rejected;
+          Alcotest.test_case "class filter" `Quick test_ring_filter;
+          Alcotest.test_case "arena reset" `Quick
+            test_ring_resets_across_arena_runs;
+          QCheck_alcotest.to_alcotest prop_flight_fingerprint_invariance;
+        ] );
+      ( "explanations",
+        [
+          Alcotest.test_case "both endpoints named" `Quick
+            test_getput_checked_names_both_endpoints;
+          Alcotest.test_case "deterministic" `Quick
+            test_explanations_deterministic;
+          Alcotest.test_case "jobs x chunk identical" `Quick
+            test_explanations_identical_across_jobs_and_chunk;
+          Alcotest.test_case "atomicity fallback" `Quick
+            test_rmwlost_checked_atomicity_fallback;
+          Alcotest.test_case "clean run silent" `Quick
+            test_clean_run_explains_nothing;
+        ] );
+    ]
