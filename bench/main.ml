@@ -747,8 +747,8 @@ let dpor_json_rows ~smoke () =
    and are exempt from the confidence gate. *)
 
 let single_writer_workload ?(on_machine = fun (_ : Dsm_rdma.Machine.t) -> ())
-    () =
-  let m = Harness.fresh_machine ~n:4 () in
+    ?model () =
+  let m = Harness.fresh_machine ~n:4 ?model () in
   on_machine m;
   let d = Dsm_core.Detector.create m () in
   let a = Dsm_core.Detector.alloc_shared d ~pid:3 ~name:"a" ~len:1 () in
@@ -859,6 +859,45 @@ let flight_recorder_overhead ~smoke () =
   (observed_ns, recorded_ns, pct)
 
 let flight_overhead_pct = ref None
+
+(* ISSUE 10: the memory-model refactor's indirection cost on the same
+   checked-put workload, hand-timed best-of-reps like the rows above.
+   Ordering decisions that used to be hard-coded in the machine and the
+   detector are now read from a per-model hook record (unpacked at
+   construction); the nic_atomic row compares the defaulted
+   construction against the explicit-model one — every hook consulted,
+   same answers — and the --json run gates that at the <= 3% bar: the
+   paper's model must not pay for the pluggability. The relaxed row
+   reruns the same workload under the weaker backend for scale; its
+   puts are single-word, so its delta is also pure indirection, but it
+   is reported, not gated (a semantically different backend is allowed
+   to cost what it costs). *)
+let model_overhead ~smoke () =
+  let reps = if smoke then 10 else 100 in
+  let timed body =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Monotonic_clock.get () in
+      body ();
+      let dt = Monotonic_clock.get () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best /. 64.0
+  in
+  let base_ns = timed (fun () -> single_writer_workload ()) in
+  let nic_ns =
+    timed (fun () ->
+        single_writer_workload ~model:Dsm_rdma.Model.Nic_atomic ())
+  in
+  let relaxed_ns =
+    timed (fun () -> single_writer_workload ~model:Dsm_rdma.Model.Relaxed ())
+  in
+  let pct_vs base v =
+    if base > 0.0 then Float.max 0.0 (100.0 *. (v -. base) /. base) else 0.0
+  in
+  (base_ns, nic_ns, pct_vs base_ns nic_ns, relaxed_ns, pct_vs base_ns relaxed_ns)
+
+let model_overhead_pct = ref None
 
 (* Deterministic telemetry rows: the simulation is deterministic, so the
    counters a fixed workload meters are exact numbers worth tracking
@@ -972,6 +1011,15 @@ let detector_extra_rows ~smoke () =
      ring-recorded = %.3f%%\n\
      %!"
     f_observed f_recorded f_pct;
+  let m_base, m_nic, m_nic_pct, m_relaxed, m_relaxed_pct =
+    model_overhead ~smoke ()
+  in
+  model_overhead_pct := Some m_nic_pct;
+  Printf.printf
+    "detector/model_overhead: %.0f ns/op defaulted vs %.0f ns/op \
+     nic_atomic (= %.3f%%), %.0f ns/op relaxed (= %.3f%%)\n\
+     %!"
+    m_base m_nic m_nic_pct m_relaxed m_relaxed_pct;
   let reg = Dsm_obs.Metrics.create () in
   single_writer_workload
     ~on_machine:(fun m ->
@@ -992,6 +1040,18 @@ let detector_extra_rows ~smoke () =
          ("recorded_op_ns", num (Some f_recorded));
          ("overhead_pct", num (Some f_pct));
        ] )
+  :: ( "detector/model_overhead_nic_atomic",
+       [
+         ("defaulted_op_ns", num (Some m_base));
+         ("explicit_op_ns", num (Some m_nic));
+         ("overhead_pct", num (Some m_nic_pct));
+       ] )
+  :: ( "detector/model_overhead_relaxed",
+       [
+         ("defaulted_op_ns", num (Some m_base));
+         ("relaxed_op_ns", num (Some m_relaxed));
+         ("overhead_pct", num (Some m_relaxed_pct));
+       ] )
   :: (clock_wire_rows ~smoke () @ metrics_rows "detector_metrics" reg)
 
 let probe_overhead_gate ~smoke () =
@@ -1004,10 +1064,18 @@ let probe_overhead_gate ~smoke () =
           pct;
         exit 1
     | _ -> ());
-    match !flight_overhead_pct with
+    (match !flight_overhead_pct with
     | Some pct when pct > 3.0 ->
         Printf.eprintf
           "flight_recorder_overhead %.3f%% exceeds the 3%% gate; the \
+           numbers were not blessed.\n"
+          pct;
+        exit 1
+    | _ -> ());
+    match !model_overhead_pct with
+    | Some pct when pct > 3.0 ->
+        Printf.eprintf
+          "model_overhead_nic_atomic %.3f%% exceeds the 3%% gate; the \
            numbers were not blessed.\n"
           pct;
         exit 1

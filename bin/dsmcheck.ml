@@ -351,7 +351,27 @@ let wire_conv =
   let print ppf w = Format.pp_print_string ppf (Config.clock_wire_name w) in
   Arg.conv (parse, print)
 
-let run_scale n rounds chunk racy batched rep shards wire seed detect
+module Model = Dsm_rdma.Model
+
+let model_conv =
+  let parse s =
+    match Model.of_name s with Ok m -> Ok m | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Model.name m) in
+  Arg.conv (parse, print)
+
+let model_arg ~extra_doc =
+  Arg.(
+    value
+    & opt model_conv Model.default
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          ("Memory-model backend: nic_atomic (the paper's, default), \
+            relaxed, eventual, or seq_consistent. Semantic — it changes \
+            the protocol's ordering guarantees and the detector's \
+            happens-before edges." ^ extra_doc))
+
+let run_scale n rounds chunk racy batched rep shards wire model seed detect
     metrics_file verbose =
   setup_logs verbose;
   if n < 2 then `Error (false, "need at least 2 processes")
@@ -371,7 +391,7 @@ let run_scale n rounds chunk racy batched rep shards wire seed detect
        cost tens of megabytes per run for buffers of a few words *)
     let words = max 64 chunk in
     let machine =
-      Machine.create sim ~n ~private_words:words ~public_words:words ()
+      Machine.create sim ~n ~private_words:words ~public_words:words ~model ()
     in
     let config =
       {
@@ -380,6 +400,7 @@ let run_scale n rounds chunk racy batched rep shards wire seed detect
         clock_wire = wire;
         store_shards = shards;
         granularity = Config.Word;
+        memory_model = model;
       }
     in
     let detector =
@@ -481,6 +502,7 @@ let scale_cmd =
              Accounting-only — the schedule is identical for every \
              choice; only the reported clock traffic changes.")
   in
+  let model = model_arg ~extra_doc:"" in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Engine seed.") in
   let detect =
     Arg.(
@@ -503,7 +525,7 @@ let scale_cmd =
     Term.(
       ret
         (const run_scale $ n $ rounds $ chunk $ racy $ batched $ rep
-       $ shards $ wire $ seed $ detect $ metrics_file $ verbose))
+       $ shards $ wire $ model $ seed $ detect $ metrics_file $ verbose))
 
 (* ---------- run (mini-language programs) ---------- *)
 
@@ -536,8 +558,8 @@ let explain_finished_run ~explain ~race_report ~flight detector =
         Format.printf "race report    : %s@." path
   end
 
-let run_source path n instrument detect verbose trace_out metrics explain
-    race_report =
+let run_source path n model instrument detect verbose trace_out metrics
+    explain race_report =
   setup_logs verbose;
   let source = read_file path in
   match Dsm_lang.Parser.parse source with
@@ -547,7 +569,7 @@ let run_source path n instrument detect verbose trace_out metrics explain
       | Error msg -> `Error (false, msg)
       | Ok ir ->
           let sim = Dsm_sim.Engine.create () in
-          let machine = Machine.create sim ~n () in
+          let machine = Machine.create sim ~n ~model () in
           let timeline, registry = attach_telemetry sim ~trace_out ~metrics in
           let flight =
             if explain || race_report <> None then
@@ -583,11 +605,12 @@ let run_source path n instrument detect verbose trace_out metrics explain
           | Ok () -> `Ok ()
           | Error msg -> `Error (false, msg)))
 
-let run_figure name n detect verbose trace_out metrics explain race_report =
+let run_figure name n model detect verbose trace_out metrics explain
+    race_report =
   setup_logs verbose;
   let n = max n Dsm_experiments.Figures.figure_min_nodes in
   let sim = Dsm_sim.Engine.create () in
-  let machine = Machine.create sim ~n () in
+  let machine = Machine.create sim ~n ~model () in
   let timeline, registry = attach_telemetry sim ~trace_out ~metrics in
   let flight =
     if explain || race_report <> None then
@@ -616,16 +639,17 @@ let run_figure name n detect verbose trace_out metrics explain race_report =
       | Ok () -> `Ok ()
       | Error msg -> `Error (false, msg))
 
-let run_program path scenario n instrument detect verbose trace_out metrics
-    explain race_report =
+let run_program path scenario n model instrument detect verbose trace_out
+    metrics explain race_report =
   match (path, scenario) with
   | None, None -> `Error (true, "either FILE or --scenario NAME is required")
   | Some _, Some _ -> `Error (true, "FILE and --scenario are mutually exclusive")
   | None, Some name ->
-      run_figure name n detect verbose trace_out metrics explain race_report
-  | Some path, None ->
-      run_source path n instrument detect verbose trace_out metrics explain
+      run_figure name n model detect verbose trace_out metrics explain
         race_report
+  | Some path, None ->
+      run_source path n model instrument detect verbose trace_out metrics
+        explain race_report
 
 let run_cmd =
   let doc =
@@ -651,6 +675,7 @@ let run_cmd =
   let n =
     Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Process count.")
   in
+  let model = model_arg ~extra_doc:"" in
   let instrument =
     Arg.(
       value & opt bool true
@@ -700,8 +725,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run_program $ path $ scenario $ n $ instrument $ detect
-       $ verbose $ trace_out $ metrics $ explain $ race_report))
+        (const run_program $ path $ scenario $ n $ model $ instrument
+       $ detect $ verbose $ trace_out $ metrics $ explain $ race_report))
 
 (* ---------- explore ---------- *)
 
@@ -793,12 +818,89 @@ let explain_token ~explain ~race_report ~trace_out_violation token =
         | _ -> ())
   end
 
+(* Differential exploration: replay each explored schedule under two
+   backends and report the first schedule whose verdicts differ, with a
+   replay token per model and the sync edges the weaker model lacks. *)
+let run_diff_models spec ~pair ~runs ~depth ~explain ~race_report =
+  match String.split_on_char ',' pair with
+  | [ a; b ] -> (
+      match (Model.of_name (String.trim a), Model.of_name (String.trim b)) with
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+      | Ok ma, Ok mb when ma = mb ->
+          `Error
+            ( false,
+              "--diff-models needs two distinct backends (got "
+              ^ Model.name ma ^ " twice)" )
+      | Ok ma, Ok mb -> (
+          match Dsm_explore.Diff.run ?depth ~runs spec (ma, mb) with
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | exception Sys_error msg -> `Error (false, msg)
+          | o ->
+              Format.printf
+                "schedules      : %d explored under %s, replayed under %s@."
+                o.Dsm_explore.Diff.schedules (Model.name ma) (Model.name mb);
+              Format.printf
+                "differing      : %d (%d flip a race verdict)@."
+                o.Dsm_explore.Diff.differing o.Dsm_explore.Diff.race_dependent;
+              (match o.Dsm_explore.Diff.first with
+              | None ->
+                  Format.printf
+                    "verdicts       : identical under both models@.";
+                  `Ok ()
+              | Some f ->
+                  Format.printf "races          : %d under %s, %d under %s@."
+                    f.Dsm_explore.Diff.races_a (Model.name ma)
+                    f.Dsm_explore.Diff.races_b (Model.name mb);
+                  Format.printf "repro (%s) : %s@."
+                    (Model.name ma)
+                    (Token.to_string f.Dsm_explore.Diff.token_a);
+                  Format.printf "repro (%s) : %s@."
+                    (Model.name mb)
+                    (Token.to_string f.Dsm_explore.Diff.token_b);
+                  List.iter
+                    (fun e -> Format.printf "missing edge   : %s@." e)
+                    f.Dsm_explore.Diff.missing_edges;
+                  (* Explain the run on the side that signalled races —
+                     the explanation names the conflicting accesses the
+                     missing edge would have ordered. *)
+                  let racy_token =
+                    if
+                      f.Dsm_explore.Diff.races_b > f.Dsm_explore.Diff.races_a
+                    then f.Dsm_explore.Diff.token_b
+                    else f.Dsm_explore.Diff.token_a
+                  in
+                  explain_token ~explain ~race_report
+                    ~trace_out_violation:None racy_token;
+                  `Error
+                    ( false,
+                      "model-dependent verdict (see the per-model repro \
+                       tokens)" ))))
+  | _ ->
+      `Error
+        ( false,
+          "--diff-models takes exactly two comma-separated backends, e.g. \
+           nic_atomic,relaxed" )
+
 let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
-    faults reliable bug max_events replay no_minimize metrics expect_races
-    trace_out_violation explain race_report verbose =
+    model diff_models force faults reliable bug max_events replay no_minimize
+    metrics expect_races trace_out_violation explain race_report verbose =
   setup_logs verbose;
   if chunk < 1 then
     `Error (false, "--chunk must be a positive number of runs per claim")
+  else if diff_models <> None && replay <> None then
+    `Error
+      ( false,
+        "--diff-models explores fresh schedules; it cannot be combined \
+         with --replay (replay one token per model instead)" )
+  else if diff_models <> None && dpor then
+    `Error
+      ( false,
+        "--diff-models replays every explored schedule under both \
+         backends; --dpor's pruning is justified per model and does not \
+         compose — drop one of them" )
+  else if diff_models <> None && jobs > 1 then
+    `Error
+      (false, "--diff-models is a single-domain comparison; drop --jobs")
   else if dpor && replay <> None then
     `Error
       ( false,
@@ -819,7 +921,29 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
   | Some token_str -> (
       match Token.of_string token_str with
       | Error msg -> `Error (false, msg)
+      | Ok token when
+          (match model with
+           | Some m -> m <> token.Token.model && not force
+           | None -> false) ->
+          (* A token replays the run that minted it, and the run is a
+             function of the model — silently replaying under another
+             backend would "reproduce" a different run. *)
+          let m = Option.get model in
+          `Error
+            ( false,
+              Printf.sprintf
+                "token was minted under --model %s but --model %s was \
+                 given; the schedule and verdict are model-dependent. \
+                 Pass --force to replay the decision prefix under %s \
+                 anyway."
+                (Model.name token.Token.model)
+                (Model.name m) (Model.name m) )
       | Ok token -> (
+          let token =
+            match model with
+            | Some m when force -> { token with Token.model = m }
+            | _ -> token
+          in
           match replay_with_diagram token with
           | Error msg -> `Error (false, msg)
           | Ok (r, arrows, marks) ->
@@ -851,12 +975,17 @@ let run_explore scenario n seed runs depth jobs chunk dpor latency clock_wire
           seed;
           latency;
           clock_wire;
+          model = Option.value model ~default:Model.default;
           faults;
           reliable;
           bug;
           max_events;
         }
       in
+      match diff_models with
+      | Some pair ->
+          run_diff_models spec ~pair ~runs ~depth ~explain ~race_report
+      | None ->
       (* --expect-races needs the merged race counter even when the user
          did not ask for a metrics printout *)
       let registry =
@@ -1070,6 +1199,42 @@ let explore_cmd =
              schedules, fingerprints and repro tokens are bit-identical \
              for every choice.")
   in
+  let model =
+    Arg.(
+      value
+      & opt (some model_conv) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Memory-model backend: nic_atomic (the paper's, default), \
+             relaxed, eventual, or seq_consistent. Semantic — schedules, \
+             fingerprints and race verdicts change with it, so repro \
+             tokens carry the model and $(b,--replay) refuses a token \
+             minted under a different $(b,--model) unless $(b,--force) \
+             is given.")
+  in
+  let diff_models =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff-models" ] ~docv:"A,B"
+          ~doc:
+            "Differential mode: explore schedules under backend $(i,A) \
+             and replay each explored schedule's decision list under \
+             $(i,B), reporting the first schedule whose race verdicts \
+             differ — with a replay token per model and the sync edges \
+             the weaker model is missing. Exits nonzero on a \
+             model-dependent verdict, like an invariant violation.")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "With $(b,--replay) and $(b,--model): replay the token's \
+             decision prefix under the given model even though the token \
+             was minted under a different one. The run is a valid run of \
+             the new model, but not the run the token describes.")
+  in
   let faults =
     Arg.(
       value
@@ -1170,9 +1335,10 @@ let explore_cmd =
     Term.(
       ret
         (const run_explore $ scenario $ n $ seed $ runs $ depth $ jobs
-       $ chunk $ dpor $ latency $ clock_wire $ faults $ reliable $ bug
-       $ max_events $ replay $ no_minimize $ metrics $ expect_races
-       $ trace_out_violation $ explain $ race_report $ verbose))
+       $ chunk $ dpor $ latency $ clock_wire $ model $ diff_models $ force
+       $ faults $ reliable $ bug $ max_events $ replay $ no_minimize
+       $ metrics $ expect_races $ trace_out_violation $ explain
+       $ race_report $ verbose))
 
 (* ---------- scenario ---------- *)
 

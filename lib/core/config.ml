@@ -21,6 +21,7 @@ type t = {
   ordered_locking : bool;
   lock_aware_clocks : bool;
   provenance_depth : int;
+  memory_model : Dsm_rdma.Model.t;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     ordered_locking = true;
     lock_aware_clocks = false;
     provenance_depth = 4;
+    memory_model = Dsm_rdma.Model.default;
   }
 
 let transport_name = function
@@ -55,7 +57,7 @@ let clock_wire_name = function
   | Delta_wire -> "delta"
 
 let name t =
-  Printf.sprintf "%s%s/%s/%s%s%s"
+  Printf.sprintf "%s%s/%s/%s%s%s%s"
     (match t.clock_mode with Vector -> "vector" | Lamport_only -> "lamport")
     (if t.use_write_clock then "+W" else "")
     (transport_name t.transport)
@@ -67,6 +69,8 @@ let name t =
     (match t.clock_wire with
     | Delta_wire -> ""
     | (Dense_wire | Sparse_wire) as w -> "/wire=" ^ clock_wire_name w)
+    (if t.memory_model = Dsm_rdma.Model.default then ""
+     else "/model=" ^ Dsm_rdma.Model.name t.memory_model)
 
 let validate t =
   (match t.granularity with

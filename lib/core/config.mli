@@ -112,13 +112,24 @@ type t = {
           endpoints (default 4; [0] disables provenance entirely).
           Observation-only: never changes verdicts, schedules or
           fingerprints *)
+  memory_model : Dsm_rdma.Model.t;
+      (** the memory-model backend whose detector hooks pick the
+          happens-before edges derived per message class — which
+          accesses acquire the granule's write history, whether RMWs
+          serialize through the S clock, whether writes see total store
+          order (see {!Dsm_rdma.Model.hooks}). Default
+          {!Dsm_rdma.Model.default} ([Nic_atomic], the paper's model).
+          Must agree with the machine's model
+          ({!Dsm_rdma.Machine.create}'s [?model]) — [Detector.create]
+          rejects a mismatch *)
 }
 
 val default : t
 
 val name : t -> string
 (** Compact descriptor for bench tables, e.g. ["vector+W/piggyback/var"];
-    the {!clock_rep} ablation appends ["/dense"]. *)
+    the {!clock_rep} ablation appends ["/dense"], a non-default
+    {!memory_model} appends ["/model=<name>"]. *)
 
 val transport_name : transport -> string
 

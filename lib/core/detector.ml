@@ -16,6 +16,9 @@ module Recorder = Dsm_trace.Recorder
 type t = {
   machine : Machine.t;
   config : Config.t;
+  mh : Dsm_rdma.Model.hooks;
+      (* the memory model's detector hooks, unpacked at creation so the
+         per-access path reads plain booleans *)
   probe : Dsm_obs.Probe.t; (* the owning engine's telemetry bus *)
   report : Report.t;
   dim : int; (* vector dimension: n, or 1 in the Lamport ablation *)
@@ -75,7 +78,8 @@ let class_of_code = function
   | 3 -> Rmw { wrote = false }
   | c -> invalid_arg (Printf.sprintf "Detector: bad access class %d" c)
 
-let merge_entry (e : Clock_store.entry) cls clock =
+let merge_entry (mh : Dsm_rdma.Model.hooks) (e : Clock_store.entry) cls clock
+    =
   match cls with
   | Plain_read -> Vector_clock.merge_into ~into:e.v clock
   | Plain_write ->
@@ -84,7 +88,7 @@ let merge_entry (e : Clock_store.entry) cls clock =
   | Rmw { wrote } ->
       Vector_clock.merge_into ~into:e.v clock;
       if wrote then Vector_clock.merge_into ~into:e.w clock;
-      Vector_clock.merge_into ~into:e.s clock
+      if mh.rmw_acquires_order then Vector_clock.merge_into ~into:e.s clock
 
 let install_control_plane t =
   Machine.set_control_handler t.machine ~tag:vget_tag
@@ -102,8 +106,10 @@ let install_control_plane t =
       let e =
         Clock_store.entry_at t.stores.(node) ~offset:words.(0) ~len:words.(1)
       in
-      (if words.(2) = s_release_code then
-         Vector_clock.merge_words ~into:e.s words ~off:3
+      (if words.(2) = s_release_code then begin
+         if t.mh.rmw_acquires_order then
+           Vector_clock.merge_words ~into:e.s words ~off:3
+       end
        else
          match class_of_code words.(2) with
          | Plain_read -> Vector_clock.merge_words ~into:e.v words ~off:3
@@ -113,11 +119,29 @@ let install_control_plane t =
          | Rmw { wrote } ->
              Vector_clock.merge_words ~into:e.v words ~off:3;
              if wrote then Vector_clock.merge_words ~into:e.w words ~off:3;
-             Vector_clock.merge_words ~into:e.s words ~off:3);
+             if t.mh.rmw_acquires_order then
+               Vector_clock.merge_words ~into:e.s words ~off:3);
       None)
 
-let create machine ?(config = Config.default) ?(verbose = false) () =
+let create machine ?config ?(verbose = false) () =
+  (* An omitted config adopts the machine's memory model — the common
+     "default config, whatever the machine runs" construction; an
+     explicit config must agree with the machine (checked below). *)
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        { Config.default with Config.memory_model = Machine.model machine }
+  in
   let config = Config.validate config in
+  if config.Config.memory_model <> Machine.model machine then
+    invalid_arg
+      (Printf.sprintf
+         "Detector.create: config.memory_model is %s but the machine was \
+          created under %s — the detector's happens-before edges must match \
+          the machine's protocol"
+         (Dsm_rdma.Model.name config.Config.memory_model)
+         (Dsm_rdma.Model.name (Machine.model machine)));
   let n = Machine.n machine in
   let dim =
     match config.Config.clock_mode with
@@ -136,6 +160,7 @@ let create machine ?(config = Config.default) ?(verbose = false) () =
     {
       machine;
       config;
+      mh = Dsm_rdma.Model.hooks config.Config.memory_model;
       probe = Dsm_sim.Engine.probe (Machine.sim machine);
       report = Report.create ~verbose ();
       dim;
@@ -306,7 +331,7 @@ let check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw ~fs
         Vector_clock.merge_into ~into:datum fv;
         Report.General_clock
     | Rmw { wrote } ->
-        Vector_clock.merge_into ~into:v0 fs;
+        if t.mh.rmw_acquires_order then Vector_clock.merge_into ~into:v0 fs;
         if wrote || not t.config.Config.use_write_clock then begin
           Vector_clock.merge_into ~into:datum fv;
           Report.General_clock
@@ -330,9 +355,17 @@ let check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv ~fw ~fs
       };
   match cls with
   | Plain_read | Rmw _ ->
-      Vector_clock.merge_into ~into:absorb fw;
-      Vector_clock.merge_into ~into:absorb fs
-  | Plain_write -> ()
+      if t.mh.read_acquires_writes then begin
+        Vector_clock.merge_into ~into:absorb fw;
+        Vector_clock.merge_into ~into:absorb fs
+      end;
+      (* total store order: every access additionally acquires the
+         granule's full history *)
+      if t.mh.write_acquires_order then
+        Vector_clock.merge_into ~into:absorb fv
+  | Plain_write ->
+      if t.mh.write_acquires_order then
+        Vector_clock.merge_into ~into:absorb fv
 
 (* Check one access (already ticked clock [v0]) against every granule it
    covers, signal incomparabilities, merge [v0] into the granules, and
@@ -386,7 +419,7 @@ let check_access t p ~(region : Addr.region) ~cls ~v0 ~event_id =
         let e = Clock_store.entry_at store ~offset ~len in
         check_granule t ~pid ~cls ~v0 ~event_id ~node ~offset ~len ~fv:e.v
           ~fw:e.w ~fs:e.s ~absorb;
-        merge_entry e cls v0
+        merge_entry t.mh e cls v0
       end);
   absorb
 
@@ -440,8 +473,13 @@ let checked_op t p ~kind ~read_region ~write_region ~transfer =
       let event_id =
         record_access t p ~kind:Event.Write ~target:write_region
       in
-      ignore
-        (check_access t p ~region:write_region ~cls:Plain_write ~v0 ~event_id)
+      let absorbed =
+        check_access t p ~region:write_region ~cls:Plain_write ~v0 ~event_id
+      in
+      (* under total store order the writer absorbs the granule's whole
+         history; under every weaker model [absorbed] is empty here *)
+      if t.mh.write_acquires_order then
+        Vector_clock.merge_into ~into:v0 absorbed
     end;
     transfer ()
   in
@@ -528,8 +566,11 @@ let check_op t p ~kind ~read_region ~write_region =
   end;
   if Addr.is_public write_region then begin
     let event_id = record_access t p ~kind:Event.Write ~target:write_region in
-    ignore
-      (check_access t p ~region:write_region ~cls:Plain_write ~v0 ~event_id)
+    let absorbed =
+      check_access t p ~region:write_region ~cls:Plain_write ~v0 ~event_id
+    in
+    if t.mh.write_acquires_order then
+      Vector_clock.merge_into ~into:v0 absorbed
   end
 
 (* Maximal runs of consecutive pairs satisfying [key prev cur]. *)
@@ -678,6 +719,8 @@ let get_batch t p ~pairs =
    deliberately excludes the RMW's own tick — that mark joins V/W/S only
    at detection time, which is what keeps RMW/plain races visible. *)
 let release_rmw_history t p ~(region : Addr.region) =
+  if not t.mh.rmw_acquires_order then ()
+  else begin
   let node = region.base.pid in
   let pid = Machine.pid p in
   let v0 = t.procs.(pid) in
@@ -701,6 +744,7 @@ let release_rmw_history t p ~(region : Addr.region) =
       else
         let e = Clock_store.entry_at store ~offset ~len in
         Vector_clock.merge_into ~into:e.s v0)
+  end
 
 let checked_rmw t p ?read_src ~(region : Addr.region) ~run_op () =
   count_shipped t 2;

@@ -35,7 +35,11 @@ val create :
   Dsm_rdma.Machine.t -> ?config:Config.t -> ?verbose:bool -> unit -> t
 (** One detector per machine. Installs the clock control-plane services
     (explicit transport) on the machine's NICs. [verbose] makes every
-    race signal print through [Logs]. *)
+    race signal print through [Logs]. An omitted [config] is
+    {!Config.default} with [memory_model] adopted from the machine; an
+    explicit [config] whose [memory_model] disagrees with the machine's
+    raises [Invalid_argument] — the detector's happens-before edges
+    must match the protocol that produced the messages. *)
 
 val machine : t -> Dsm_rdma.Machine.t
 

@@ -12,10 +12,10 @@ let section ppf e =
   e.run ppf;
   Format.pp_print_flush ppf ()
 
-let fresh_machine ?(n = 3) ?(latency = Dsm_net.Latency.Constant 1.0) ?seed ()
-    =
+let fresh_machine ?(n = 3) ?(latency = Dsm_net.Latency.Constant 1.0) ?seed
+    ?model () =
   let sim = Engine.create ?seed () in
-  Machine.create sim ~n ~latency ()
+  Machine.create sim ~n ~latency ?model ()
 
 let run_to_completion m =
   match Machine.run m with

@@ -21,9 +21,11 @@ val fresh_machine :
   ?n:int ->
   ?latency:Dsm_net.Latency.t ->
   ?seed:int ->
+  ?model:Dsm_rdma.Model.t ->
   unit ->
   Dsm_rdma.Machine.t
-(** A machine on a fresh engine; default n=3, constant 1 us latency. *)
+(** A machine on a fresh engine; default n=3, constant 1 us latency,
+    the default ([Nic_atomic]) memory model. *)
 
 val run_to_completion : Dsm_rdma.Machine.t -> unit
 (** Runs the simulation; raises [Failure] if it blocks or is cut off. *)

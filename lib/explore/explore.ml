@@ -12,6 +12,7 @@ type spec = {
   seed : int;
   latency : Dsm_net.Latency.t;
   clock_wire : Dsm_core.Config.clock_wire;
+  model : Dsm_rdma.Model.t;
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -25,6 +26,7 @@ let default_spec =
     seed = 1;
     latency = Dsm_net.Latency.infiniband_like;
     clock_wire = Dsm_core.Config.default.Dsm_core.Config.clock_wire;
+    model = Dsm_rdma.Model.default;
     faults = Dsm_net.Fault.none;
     reliable = false;
     bug = false;
@@ -94,8 +96,8 @@ type ctx = {
 let create_ctx ?metrics spec =
   let plan =
     Scenario.prepare ~latency:spec.latency ~clock_wire:spec.clock_wire
-      ~spec:spec.scenario ~n:spec.n ~seed:spec.seed ~faults:spec.faults
-      ~reliable:spec.reliable ~bug:spec.bug ()
+      ~model:spec.model ~spec:spec.scenario ~n:spec.n ~seed:spec.seed
+      ~faults:spec.faults ~reliable:spec.reliable ~bug:spec.bug ()
   in
   let sim = Engine.create ~seed:spec.seed () in
   (* Telemetry is strictly read-only with respect to the simulation —
@@ -526,6 +528,7 @@ let token_of spec decisions =
     seed = spec.seed;
     latency = spec.latency;
     clock_wire = spec.clock_wire;
+    model = spec.model;
     faults = spec.faults;
     reliable = spec.reliable;
     bug = spec.bug;
@@ -540,6 +543,7 @@ let spec_of_token (t : Token.t) =
     seed = t.seed;
     latency = t.latency;
     clock_wire = t.clock_wire;
+    model = t.model;
     faults = t.faults;
     reliable = t.reliable;
     bug = t.bug;

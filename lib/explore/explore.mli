@@ -37,6 +37,13 @@ type spec = {
           a detector). Accounting-only: schedules, fingerprints and race
           verdicts are bit-identical across settings — the differential
           suite holds the explorer to exactly that *)
+  model : Dsm_rdma.Model.t;
+      (** memory-model backend (default [Nic_atomic], the paper's).
+          Semantic, unlike [clock_wire]: it changes the machine's
+          protocol hooks and the detector's happens-before edges, hence
+          schedules, fingerprints and verdicts — replay tokens carry it
+          as the [m=] field so a token replays under the model that
+          minted it *)
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;

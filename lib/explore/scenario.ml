@@ -53,13 +53,13 @@ let no_monitor () = []
 
 (* [Skip_rmw_write_mark] is inert on scenarios without RMWs (getput),
    so one [bug] flag plants the whole defect family. *)
-let make_machine sim ~n ~latency ~faults ~reliable ~bug =
+let make_machine sim ~n ~latency ~faults ~reliable ~bug ~model =
   Machine.create sim ~n ~latency ~faults
     ?reliability:(if reliable then Some (Machine.reliability ()) else None)
     ~protocol_bugs:
       (if bug then [ Machine.Skip_get_dst_lock; Machine.Skip_rmw_write_mark ]
        else [])
-    ()
+    ~model ()
 
 (* The built-in scenario behind the planted-bug acceptance test: P0
    repeatedly gets a remote region into its own public region A while P1
@@ -72,7 +72,14 @@ let populate_getput machine =
   let linearize = Linearize.attach machine in
   let a = Machine.alloc_public machine ~pid:0 ~name:"A" ~len:4 () in
   let b = Machine.alloc_public machine ~pid:1 ~name:"B" ~len:4 () in
-  ignore (b : Dsm_memory.Addr.region);
+  (* the scenario's declared initial images: first reads of
+     never-written words are checked against these, not adopted *)
+  Coherence.declare_init coherence ~node:0
+    ~offset:a.Dsm_memory.Addr.base.offset
+    (Dsm_memory.Node_memory.read (Machine.node machine 0) a);
+  Coherence.declare_init coherence ~node:1
+    ~offset:b.Dsm_memory.Addr.base.offset
+    (Dsm_memory.Node_memory.read (Machine.node machine 1) b);
   let open_gets : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let bad = ref [] in
   let a_lo = a.Dsm_memory.Addr.base.offset in
@@ -124,6 +131,9 @@ let populate_rmwlost machine =
   let linearize = Linearize.attach machine in
   let n = Machine.n machine in
   let counter = Machine.alloc_public machine ~pid:0 ~name:"C" ~len:1 () in
+  Coherence.declare_init coherence ~node:0
+    ~offset:counter.Dsm_memory.Addr.base.offset
+    (Dsm_memory.Node_memory.read (Machine.node machine 0) counter);
   let target =
     Dsm_memory.Addr.global ~pid:0 ~space:Dsm_memory.Addr.Public
       ~offset:counter.Dsm_memory.Addr.base.offset
@@ -153,17 +163,28 @@ let populate_rmwlost machine =
    clock-checked: the unsynchronized get/put pair signals races whose
    explanations must name both endpoints, and the RMW storm (S-serialized,
    hence race-silent) exercises the provenance-based atomicity fallback. *)
-let checked_config ~clock_wire =
-  { Config.default with Config.transport = Config.Inline; clock_wire }
+let checked_config ~clock_wire ~model =
+  {
+    Config.default with
+    Config.transport = Config.Inline;
+    clock_wire;
+    memory_model = model;
+  }
 
-let populate_getput_checked ~clock_wire machine =
+let populate_getput_checked ~clock_wire ~model machine =
   let coherence = Coherence.attach machine in
   let linearize = Linearize.attach machine in
   let detector =
-    Detector.create machine ~config:(checked_config ~clock_wire) ()
+    Detector.create machine ~config:(checked_config ~clock_wire ~model) ()
   in
   let a = Machine.alloc_public machine ~pid:0 ~name:"A" ~len:4 () in
   let b = Machine.alloc_public machine ~pid:1 ~name:"B" ~len:4 () in
+  Coherence.declare_init coherence ~node:0
+    ~offset:a.Dsm_memory.Addr.base.offset
+    (Dsm_memory.Node_memory.read (Machine.node machine 0) a);
+  Coherence.declare_init coherence ~node:1
+    ~offset:b.Dsm_memory.Addr.base.offset
+    (Dsm_memory.Node_memory.read (Machine.node machine 1) b);
   Detector.register detector a;
   Detector.register detector b;
   let open_gets : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -203,14 +224,17 @@ let populate_getput_checked ~clock_wire machine =
   in
   { machine; detector = Some detector; coherence; linearize; monitor }
 
-let populate_rmwlost_checked ~clock_wire machine =
+let populate_rmwlost_checked ~clock_wire ~model machine =
   let coherence = Coherence.attach machine in
   let linearize = Linearize.attach machine in
   let detector =
-    Detector.create machine ~config:(checked_config ~clock_wire) ()
+    Detector.create machine ~config:(checked_config ~clock_wire ~model) ()
   in
   let n = Machine.n machine in
   let counter = Machine.alloc_public machine ~pid:0 ~name:"C" ~len:1 () in
+  Coherence.declare_init coherence ~node:0
+    ~offset:counter.Dsm_memory.Addr.base.offset
+    (Dsm_memory.Node_memory.read (Machine.node machine 0) counter);
   Detector.register detector counter;
   let target =
     Dsm_memory.Addr.global ~pid:0 ~space:Dsm_memory.Addr.Public
@@ -251,24 +275,24 @@ let compile_prog path =
       | Error msg -> invalid_arg (Printf.sprintf "Scenario %s: %s" path msg)
       | Ok ir -> ir)
 
-let detector_config ~clock_wire =
-  { Config.default with Config.clock_wire }
+let detector_config ~clock_wire ~model =
+  { Config.default with Config.clock_wire; memory_model = model }
 
-let populate_prog ~clock_wire ir machine =
+let populate_prog ~clock_wire ~model ir machine =
   let coherence = Coherence.attach machine in
   let linearize = Linearize.attach machine in
   let detector =
-    Detector.create machine ~config:(detector_config ~clock_wire) ()
+    Detector.create machine ~config:(detector_config ~clock_wire ~model) ()
   in
   let (_ : Dsm_lang.Exec.runtime) = Dsm_lang.Exec.setup machine ~detector ir in
   { machine; detector = Some detector; coherence; linearize;
     monitor = no_monitor }
 
-let populate_workload ~name ~seed ~clock_wire machine =
+let populate_workload ~name ~seed ~clock_wire ~model machine =
   let coherence = Coherence.attach machine in
   let linearize = Linearize.attach machine in
   let detector =
-    Detector.create machine ~config:(detector_config ~clock_wire) ()
+    Detector.create machine ~config:(detector_config ~clock_wire ~model) ()
   in
   let env = Env.checked detector in
   let collectives = Collectives.create env in
@@ -387,8 +411,9 @@ let populate_workload ~name ~seed ~clock_wire machine =
   { machine; detector = Some detector; coherence; linearize; monitor }
 
 let prepare ?(latency = Dsm_net.Latency.infiniband_like)
-    ?(clock_wire = Config.default.Config.clock_wire) ~spec ~n ~seed ~faults
-    ~reliable ~bug () =
+    ?(clock_wire = Config.default.Config.clock_wire)
+    ?(model = Dsm_rdma.Model.default) ~spec ~n ~seed ~faults ~reliable ~bug
+    () =
   let plan ~min_procs populate =
     if n < min_procs then
       invalid_arg
@@ -398,17 +423,17 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like)
     {
       procs = n;
       mk_machine =
-        (fun sim -> make_machine sim ~n ~latency ~faults ~reliable ~bug);
+        (fun sim -> make_machine sim ~n ~latency ~faults ~reliable ~bug ~model);
       populate;
     }
   in
   match String.index_opt spec ':' with
   | None when spec = "getput" -> plan ~min_procs:2 populate_getput
   | None when spec = "getput-checked" ->
-      plan ~min_procs:2 (populate_getput_checked ~clock_wire)
+      plan ~min_procs:2 (populate_getput_checked ~clock_wire ~model)
   | None when spec = "rmwlost" -> plan ~min_procs:2 populate_rmwlost
   | None when spec = "rmwlost-checked" ->
-      plan ~min_procs:2 (populate_rmwlost_checked ~clock_wire)
+      plan ~min_procs:2 (populate_rmwlost_checked ~clock_wire ~model)
   | None -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec)
   | Some colon -> (
       let kind = String.sub spec 0 colon in
@@ -416,7 +441,7 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like)
       match kind with
       | "prog" ->
           let ir = compile_prog arg in
-          plan ~min_procs:1 (populate_prog ~clock_wire ir)
+          plan ~min_procs:1 (populate_prog ~clock_wire ~model ir)
       | "workload" ->
           if not (List.mem ("workload:" ^ arg) known) then
             invalid_arg (Printf.sprintf "Scenario: unknown workload %S" arg);
@@ -424,7 +449,7 @@ let prepare ?(latency = Dsm_net.Latency.infiniband_like)
             (* racy scale mode needs distinct ring neighbours *)
             match arg with "scale" | "scale-batched" -> 3 | _ -> 2
           in
-          plan ~min_procs (populate_workload ~name:arg ~seed ~clock_wire)
+          plan ~min_procs (populate_workload ~name:arg ~seed ~clock_wire ~model)
       | _ -> invalid_arg (Printf.sprintf "Scenario: unknown scenario %S" spec))
 
 let procs plan = plan.procs
@@ -435,7 +460,9 @@ let repopulate plan machine =
   Machine.reset machine;
   plan.populate machine
 
-let build ?latency ?clock_wire sim ~spec ~n ~seed ~faults ~reliable ~bug =
+let build ?latency ?clock_wire ?model sim ~spec ~n ~seed ~faults ~reliable
+    ~bug =
   instantiate
-    (prepare ?latency ?clock_wire ~spec ~n ~seed ~faults ~reliable ~bug ())
+    (prepare ?latency ?clock_wire ?model ~spec ~n ~seed ~faults ~reliable ~bug
+       ())
     sim

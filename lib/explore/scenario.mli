@@ -55,6 +55,7 @@ type plan
 val prepare :
   ?latency:Dsm_net.Latency.t ->
   ?clock_wire:Dsm_core.Config.clock_wire ->
+  ?model:Dsm_rdma.Model.t ->
   spec:string ->
   n:int ->
   seed:int ->
@@ -70,7 +71,12 @@ val prepare :
     [Dsm_core.Config.default.clock_wire], i.e. [Delta_wire]) picks the
     detector's clock piggyback encoding for scenarios that attach a
     detector; it is accounting-only, so schedules, fingerprints and race
-    verdicts are identical across settings. Raises [Invalid_argument] on
+    verdicts are identical across settings. [model] (default
+    [Dsm_rdma.Model.default], the paper's [Nic_atomic]) selects the
+    memory-model backend for both the machine's protocol hooks and the
+    detector's happens-before edges — unlike [clock_wire] it {e does}
+    change schedules, fingerprints and race verdicts, which is why
+    replay tokens carry it. Raises [Invalid_argument] on
     an unknown spec, an unparsable program,
     or a process count below the scenario's minimum ([getput] and the
     workloads need at least 2; programs at least 1) — the validation that
@@ -96,6 +102,7 @@ val repopulate : plan -> Dsm_rdma.Machine.t -> built
 val build :
   ?latency:Dsm_net.Latency.t ->
   ?clock_wire:Dsm_core.Config.clock_wire ->
+  ?model:Dsm_rdma.Model.t ->
   Dsm_sim.Engine.t ->
   spec:string ->
   n:int ->

@@ -4,6 +4,7 @@ type t = {
   seed : int;
   latency : Dsm_net.Latency.t;
   clock_wire : Dsm_core.Config.clock_wire;
+  model : Dsm_rdma.Model.t;
   faults : Dsm_net.Fault.t;
   reliable : bool;
   bug : bool;
@@ -36,8 +37,14 @@ let to_string t =
     else
       Printf.sprintf "|w=%s" (Dsm_core.Config.clock_wire_name t.clock_wire)
   in
-  Printf.sprintf "%s|s=%s|n=%d|seed=%d%s%s|f=%s|r=%d|b=%d|me=%d|d=%s" magic
-    t.scenario t.n t.seed l w
+  (* and the memory model: omitted at the default ([nic_atomic]) so
+     pre-model tokens keep printing (and parsing) unchanged *)
+  let m =
+    if t.model = Dsm_rdma.Model.default then ""
+    else Printf.sprintf "|m=%s" (Dsm_rdma.Model.name t.model)
+  in
+  Printf.sprintf "%s|s=%s|n=%d|seed=%d%s%s%s|f=%s|r=%d|b=%d|me=%d|d=%s" magic
+    t.scenario t.n t.seed l w m
     (Dsm_net.Fault.to_string t.faults)
     (if t.reliable then 1 else 0)
     (if t.bug then 1 else 0)
@@ -91,6 +98,9 @@ let of_string s =
                            v)
                 in
                 Ok { t with clock_wire }
+            | "m" ->
+                let* model = Dsm_rdma.Model.of_name v in
+                Ok { t with model }
             | "f" -> (
                 match Dsm_net.Fault.of_string v with
                 | faults -> Ok { t with faults }
@@ -127,6 +137,7 @@ let of_string s =
              seed = 1;
              latency = Dsm_net.Latency.infiniband_like;
              clock_wire = Dsm_core.Config.default.Dsm_core.Config.clock_wire;
+             model = Dsm_rdma.Model.default;
              faults = Dsm_net.Fault.none;
              reliable = false;
              bug = false;

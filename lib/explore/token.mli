@@ -11,7 +11,9 @@
     omitted — printing and parsing — at the default model, so tokens
     minted before the latency knob existed replay unchanged; the
     optional [w] field (dense|sparse|delta) carries the clock wire
-    encoding and is likewise omitted at the default):
+    encoding and the optional [m] field
+    (nic_atomic|relaxed|eventual|seq_consistent) the memory-model
+    backend, each likewise omitted at its default):
 
     {v dsm1|s=getput|n=2|seed=7|l=constant:1|w=dense|f=drop=0.2|r=1|b=1|me=200000|d=1,0,2 v} *)
 
@@ -23,6 +25,11 @@ type t = {
   clock_wire : Dsm_core.Config.clock_wire;
       (** detector clock piggyback encoding — accounting-only, carried
           so a replayed run reports the same wire-byte counters *)
+  model : Dsm_rdma.Model.t;
+      (** memory-model backend the run executed under; semantic (it
+          changes schedules and verdicts), carried as the [m=] field
+          and omitted at the default ([nic_atomic]) so pre-model tokens
+          parse unchanged *)
   faults : Dsm_net.Fault.t;
   reliable : bool;  (** reliable transport enabled *)
   bug : bool;  (** planted [Skip_get_dst_lock] protocol bug *)

@@ -92,7 +92,8 @@ let schedule_delivery t ~src ~dst ~in_order ?label msg ~arrival =
   in
   Engine.schedule_at t.sim ~at:arrival ?label (deliver t ~src ~dst msg)
 
-let send t ~src ~dst ~words ?wire_words ?(clock_words = 0) ?label msg =
+let send t ~src ~dst ~words ?wire_words ?(clock_words = 0) ?(fifo = true)
+    ?label msg =
   if words < 0 then invalid_arg "Fabric.send: negative size";
   if src < 0 || src >= nodes t then invalid_arg "Fabric.send: src";
   if dst < 0 || dst >= nodes t then invalid_arg "Fabric.send: dst";
@@ -145,6 +146,10 @@ let send t ~src ~dst ~words ?wire_words ?(clock_words = 0) ?label msg =
       end
       else (arrival, true)
     in
+    (* A caller can opt a frame out of FIFO ordering (weak memory-model
+       backends reorder put lanes this way); it still never overtakes
+       the floor update of ordered traffic it was sent after. *)
+    let in_order = in_order && fifo in
     schedule_delivery t ~src ~dst ~in_order ?label msg ~arrival;
     if
       lf.Fault.duplicate > 0.

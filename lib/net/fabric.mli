@@ -64,6 +64,7 @@ val send :
   words:int ->
   ?wire_words:int ->
   ?clock_words:int ->
+  ?fifo:bool ->
   ?label:Dsm_sim.Label.t ->
   'msg ->
   unit
@@ -73,7 +74,11 @@ val send :
     is what the chosen encoding actually shipped and [clock_words]
     (default [0]) how much of that was clock piggyback — they feed the
     true-bytes counters only, never the delivery time, so varying the
-    clock wire encoding cannot perturb a schedule. [label] is the
+    clock wire encoding cannot perturb a schedule. [fifo] (default
+    [true]) opts this frame into the per-(src, dst) FIFO delivery floor
+    when the fabric is FIFO; passing [false] lets the frame overtake —
+    and be overtaken by — other traffic on the edge, which is how weak
+    memory-model backends reorder put lanes. [label] is the
     footprint attached to the delivery event (and to any duplicate) for
     schedule exploration. Sending to an unregistered node raises
     [Failure] at delivery time. A message to self is delivered after a

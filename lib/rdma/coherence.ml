@@ -17,6 +17,12 @@ type t = {
 
 let record t ~node ~offset value = Hashtbl.replace t.shadow (node, offset) value
 
+(* A read of never-written memory used to be silent adoption even when
+   the scenario had declared an initial value for it; seeding the shadow
+   with the init image makes the first read checkable like any other. *)
+let declare_init t ~node ~offset data =
+  Array.iteri (fun i v -> record t ~node ~offset:(offset + i) v) data
+
 let check t ~time ~node ~offset ~origin observed =
   t.checked <- t.checked + 1;
   match Hashtbl.find_opt t.shadow (node, offset) with

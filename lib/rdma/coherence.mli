@@ -9,10 +9,13 @@
     read against it.
 
     A word that was initialized out-of-band (a test fixture poked before
-    the run) is adopted on first sight; a word mutated out-of-band {e
-    during} the run — or any NIC bug that reorders, loses, or corrupts a
-    write — produces a violation. All workloads in the test suite run
-    under this checker with zero violations. *)
+    the run) is adopted on first sight {e unless} the scenario declared
+    its initial value via {!declare_init}, in which case the first read
+    is checked against the declared image like any later read; a word
+    mutated out-of-band {e during} the run — or any NIC bug that
+    reorders, loses, or corrupts a write — produces a violation. All
+    workloads in the test suite run under this checker with zero
+    violations. *)
 
 type t
 
@@ -27,6 +30,13 @@ type violation = {
 
 val attach : Machine.t -> t
 (** Installs the checker as a machine observer. Attach before running. *)
+
+val declare_init : t -> node:int -> offset:int -> int array -> unit
+(** [declare_init t ~node ~offset data] seeds the shadow with a
+    scenario's declared initial image, so a read of memory that was
+    initialized out-of-band but never written during the run is checked
+    against the declared value instead of silently adopted. Call after
+    {!attach}, before running. *)
 
 val violations : t -> violation list
 (** In detection order. *)

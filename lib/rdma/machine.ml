@@ -98,6 +98,10 @@ type t = {
   fabric : frame Dsm_net.Fabric.t;
   rel : rel_state option;
   bugs : protocol_bug list;
+  model : Model.t;
+  mh : Model.hooks;
+      (* the model's hook record, unpacked once at construction so the
+         per-message paths read plain booleans *)
   nodes : Node_memory.t array;
   mutable next_op : int;
   pending_acks : (int, unit Ivar.t) Hashtbl.t;
@@ -227,6 +231,29 @@ let rec handle m ~node ~src msg =
   let locks = Node_memory.locks nm in
   let public = Node_memory.segment nm Addr.Public in
   match msg with
+  | Message.Put { op; origin; offset; data; locked; want_ack; _ }
+    when (not m.mh.Model.atomic_puts) && Array.length data > 1 ->
+      (* Non-atomic puts (Relaxed / Eventual): the span applies word by
+         word, each word its own locked step with a scheduling point in
+         between, so a concurrent get over the span can observe a torn
+         write — exactly the window the paper's NIC-atomic model closes. *)
+      non_atomic_put m ~node ~origin ~locked
+        ~words:(Array.to_list (Array.mapi (fun i v -> (offset + i, v)) data))
+        ~finish:(fun () ->
+          if want_ack then
+            transmit m ~src:node ~dst:origin (Message.Put_ack { op }))
+  | Message.Put_batch { op; origin; parts; locked; want_ack; _ }
+    when not m.mh.Model.atomic_puts ->
+      (* Non-atomic batches lose the union-span lock too: parts land word
+         by word, interleaving with whatever else the schedule delivers. *)
+      let words =
+        Array.to_list parts
+        |> List.concat_map (fun (offset, data) ->
+               Array.to_list (Array.mapi (fun i v -> (offset + i, v)) data))
+      in
+      non_atomic_put m ~node ~origin ~locked ~words ~finish:(fun () ->
+          if want_ack then
+            transmit m ~src:node ~dst:origin (Message.Put_ack { op }))
   | Message.Put { op; origin; offset; data; locked; want_ack; _ } ->
       let write_and_finish id =
         Segment.write_block public ~offset data;
@@ -400,6 +427,37 @@ and fill_pending :
       Ivar.fill ~label:(Label.v ~node ~origin:node) m.sim iv v
   | None -> failwith (Printf.sprintf "NIC: reply for unknown op #%d" op)
 
+and non_atomic_put m ~node ~origin ~locked ~words ~finish =
+  let nm = m.nodes.(node) in
+  let locks = Node_memory.locks nm in
+  let public = Node_memory.segment nm Addr.Public in
+  let rec step = function
+    | [] -> finish ()
+    | (offset, v) :: rest ->
+        let apply id =
+          Segment.write_block public ~offset [| v |];
+          notify m
+            (Write_applied
+               {
+                 time = Engine.now m.sim;
+                 node;
+                 offset;
+                 data = [| v |];
+                 origin;
+               });
+          (match id with Some id -> Lock_table.release locks id | None -> ());
+          match rest with
+          | [] -> finish ()
+          | _ ->
+              Engine.schedule m.sim ~delay:0. ~label:(Label.v ~node ~origin)
+                (fun () -> step rest)
+        in
+        if locked then
+          Lock_table.acquire locks ~offset ~len:1 (fun id -> apply (Some id))
+        else apply None
+  in
+  step words
+
 and transmit m ~src ~dst msg =
   notify m (Sent { time = Engine.now m.sim; src; dst; msg });
   (let probe = Engine.probe m.sim in
@@ -439,10 +497,22 @@ and transmit m ~src ~dst msg =
     | None, None -> (words, 0)
   in
   let pb_wire = Option.map fst pb in
+  (* Eventual: put frames skip the fabric's FIFO floor, so two puts on
+     the same edge can apply out of send order. Everything else (gets,
+     replies, locks, acks) stays ordered; the reliable transport's
+     resequencing restores put order when it is on. *)
+  let fifo =
+    not
+      (m.mh.Model.put_reorder_granules
+      &&
+      match msg with
+      | Message.Put _ | Message.Put_batch _ -> true
+      | _ -> false)
+  in
   match m.rel with
   | None ->
       Dsm_net.Fabric.send m.fabric ~src ~dst ~words ~wire_words ~clock_words
-        ~label
+        ~fifo ~label
         { link_seq = -1; pb = pb_wire; body = Msg msg }
   | Some r ->
       let seq = r.next_seq.(src).(dst) in
@@ -560,7 +630,8 @@ and notify m obs = List.iter (fun f -> f obs) m.observers
 
 let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
     ?private_words ?public_words ?discipline ?drop_probability
-    ?duplicate_probability ?faults ?reliability ?(protocol_bugs = []) () =
+    ?duplicate_probability ?faults ?reliability ?(protocol_bugs = [])
+    ?(model = Model.default) () =
   if n < 1 then invalid_arg "Machine.create: need at least one node";
   let topology =
     match topology with
@@ -594,6 +665,8 @@ let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
       fabric;
       rel;
       bugs = protocol_bugs;
+      model;
+      mh = Model.hooks model;
       nodes =
         Array.init n (fun pid ->
             Node_memory.create ~pid ?private_words ?public_words ?discipline ());
@@ -610,7 +683,12 @@ let create sim ~n ?topology ?(latency = Dsm_net.Latency.infiniband_like)
       clock_src = None;
       pb_mode = Dsm_clocks.Codec.Delta;
       pb_delta_ok =
-        Dsm_net.Fault.is_none (Dsm_net.Fabric.faults fabric) || rel <> None;
+        (* put-lane reordering (Eventual) defeats per-edge in-order
+           delivery just like reorder faults do; the reliable transport
+           resequences either way *)
+        (Dsm_net.Fault.is_none (Dsm_net.Fabric.faults fabric)
+        && not (Model.hooks model).Model.put_reorder_granules)
+        || rel <> None;
       pb_sent = Hashtbl.create 32;
       pb_recv = Hashtbl.create 32;
       pb_dense = 0;
@@ -665,6 +743,8 @@ let reset m =
   m.pb_fallbacks <- 0
 
 let sim m = m.sim
+
+let model m = m.model
 
 let n m = Array.length m.nodes
 
@@ -862,10 +942,15 @@ let get p ~src ~(dst : Addr.region) ?(extra_words = 0) () =
      trip, so a concurrent put to it is delayed until the get finishes.
      [Skip_get_dst_lock] plants the protocol bug the explorer's
      acceptance test hunts for: eliding this lock lets a concurrent put
-     land inside the get window. *)
+     land inside the get window — which is also the {e legal} behavior
+     of models without get-delays-put serialization (Relaxed and
+     weaker). *)
   let dst_lock =
-    if Addr.is_public dst && not (List.mem Skip_get_dst_lock p.m.bugs) then
-      Some (await_local_lock p ~offset:dst.base.offset ~len:dst.len)
+    if
+      Addr.is_public dst
+      && p.m.mh.Model.get_delays_put
+      && not (List.mem Skip_get_dst_lock p.m.bugs)
+    then Some (await_local_lock p ~offset:dst.base.offset ~len:dst.len)
     else None
   in
   let data = send_get p ~src ~extra_words ~locked:true in
@@ -984,6 +1069,7 @@ let send_get_batch p ~(pairs : (Addr.region * Addr.region) list) ~extra_words
             (fun (_, (dst : Addr.region)) ->
               if
                 Addr.is_public dst
+                && p.m.mh.Model.get_delays_put
                 && not (List.mem Skip_get_dst_lock p.m.bugs)
               then
                 Some (await_local_lock p ~offset:dst.base.offset ~len:dst.len)

@@ -68,6 +68,7 @@ val create :
   ?faults:Dsm_net.Fault.t ->
   ?reliability:reliability ->
   ?protocol_bugs:protocol_bug list ->
+  ?model:Model.t ->
   unit ->
   t
 (** Defaults: fully-connected topology over [n], {!Dsm_net.Latency.infiniband_like},
@@ -76,8 +77,12 @@ val create :
     are forwarded to [Dsm_net.Fabric] for robustness testing: the
     one-sided protocols assume reliable delivery, so without
     [reliability] drops surface as blocked operations. [protocol_bugs]
-    defaults to none. Raises [Invalid_argument] if [n] disagrees with an
-    explicit topology's node count or [n < 1]. *)
+    defaults to none. [model] (default {!Model.default}, the paper's
+    [Nic_atomic]) selects the memory-model backend whose protocol hooks
+    govern put atomicity, get-delays-put serialization and put-lane
+    FIFO ordering — see {!Model.hooks}; the default is bit-identical to
+    the pre-model machine. Raises [Invalid_argument] if [n] disagrees
+    with an explicit topology's node count or [n < 1]. *)
 
 val reset : t -> unit
 (** [reset m] returns the machine to its freshly-[create]d state in
@@ -91,6 +96,9 @@ val reset : t -> unit
     (detector control planes, coherence observers) must re-attach. *)
 
 val sim : t -> Dsm_sim.Engine.t
+
+val model : t -> Model.t
+(** The memory-model backend the machine was created under. *)
 
 val n : t -> int
 

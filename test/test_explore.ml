@@ -25,6 +25,7 @@ let test_token_roundtrip () =
       seed = 42;
       latency = Dsm_net.Latency.Constant 1.0;
       clock_wire = Config.Sparse_wire;
+      model = Dsm_rdma.Model.Relaxed;
       faults = Fault.of_string "drop=0.2,dup=0.1,0>1:reorder=0.5";
       reliable = true;
       bug = true;
